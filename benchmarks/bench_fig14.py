@@ -1,0 +1,42 @@
+"""Figure 14 — pass-2 execution time of the five proposed algorithms.
+
+Paper expectations encoded below:
+
+* NPGM collapses at small support (candidate fragments force repeated
+  database scans);
+* TGD's whole-tree duplication shrinks (relative to |C2|) as support
+  falls, converging towards plain H-HPGM;
+* FGD is at least as fast as H-HPGM at every support level.
+"""
+
+from benchmarks.conftest import BENCH_DATASETS
+from repro.experiments import fig14
+from repro.experiments.common import MINSUP_GRID
+
+
+def test_fig14_proposed_algorithms(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig14.run(datasets=BENCH_DATASETS), rounds=1, iterations=1
+    )
+    record_result("fig14", result.to_table())
+
+    smallest = MINSUP_GRID[-1]
+    largest = MINSUP_GRID[0]
+    for dataset in BENCH_DATASETS:
+        # NPGM fragments and falls behind at the small-support end.
+        npgm_small = result.point(dataset, smallest, "NPGM")
+        hhpgm_small = result.point(dataset, smallest, "H-HPGM")
+        assert npgm_small.fragments > 1, dataset
+        assert npgm_small.elapsed > hhpgm_small.elapsed, dataset
+
+        # TGD duplicates a smaller fraction of the candidates when free
+        # memory is scarce (small support) than when it is plentiful.
+        tgd_small = result.point(dataset, smallest, "H-HPGM-TGD")
+        tgd_large = result.point(dataset, largest, "H-HPGM-TGD")
+        assert tgd_small.duplicated_fraction <= tgd_large.duplicated_fraction, dataset
+
+        # FGD never loses to plain H-HPGM.
+        for min_support in MINSUP_GRID:
+            fgd = result.point(dataset, min_support, "H-HPGM-FGD")
+            base = result.point(dataset, min_support, "H-HPGM")
+            assert fgd.elapsed <= base.elapsed * 1.10, (dataset, min_support)

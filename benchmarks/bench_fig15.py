@@ -1,0 +1,25 @@
+"""Figure 15 — per-node hash-probe distribution (workload skew).
+
+Paper expectation: H-HPGM's per-node probe distribution is "largely
+fractured"; the duplication variants flatten it, and the finer the
+grain the flatter the distribution (FGD flattest).
+"""
+
+from repro.experiments import fig15
+
+
+def test_fig15_workload_distribution(benchmark, record_result):
+    result = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    record_result("fig15", result.to_table())
+
+    balance = {s.algorithm: s.balance for s in result.series}
+    # Duplication flattens the distribution relative to plain H-HPGM...
+    assert balance["H-HPGM-FGD"].cv < balance["H-HPGM"].cv
+    assert balance["H-HPGM-PGD"].cv < balance["H-HPGM"].cv
+    # ...and the finer grains are flatter than the coarse tree grain.
+    assert balance["H-HPGM-FGD"].cv < balance["H-HPGM-TGD"].cv
+    assert balance["H-HPGM-PGD"].cv < balance["H-HPGM-TGD"].cv
+    # FGD also caps the hottest node below H-HPGM's.
+    fgd = next(s for s in result.series if s.algorithm == "H-HPGM-FGD")
+    base = next(s for s in result.series if s.algorithm == "H-HPGM")
+    assert max(fgd.probes_per_node) <= max(base.probes_per_node) * 1.5

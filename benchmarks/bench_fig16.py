@@ -1,0 +1,31 @@
+"""Figure 16 — speedup ratio over node counts, normalised at 4 nodes.
+
+Paper expectation: FGD and PGD attain higher linearity than plain
+H-HPGM; curves are normalised so 4 nodes maps to speedup 4.
+"""
+
+from repro.experiments import fig16
+
+
+def test_fig16_speedup(benchmark, record_result):
+    result = benchmark.pedantic(fig16.run, rounds=1, iterations=1)
+    record_result("fig16", result.to_table())
+
+    for min_support in {c.min_support for c in result.curves}:
+        curves = {
+            c.algorithm: c.speedups
+            for c in result.curves
+            if c.min_support == min_support
+        }
+        top_nodes = max(curves["H-HPGM"])
+        # Normalisation anchor.
+        for speedups in curves.values():
+            assert abs(speedups[result.baseline_nodes] - result.baseline_nodes) < 1e-9
+        # FGD is at least as scalable as plain H-HPGM at the top end.
+        assert (
+            curves["H-HPGM-FGD"][top_nodes] >= curves["H-HPGM"][top_nodes] * 0.95
+        ), min_support
+        # Speedups grow with the node count for the best algorithm.
+        fgd = curves["H-HPGM-FGD"]
+        ordered = [fgd[n] for n in sorted(fgd)]
+        assert ordered == sorted(ordered), min_support

@@ -1,0 +1,96 @@
+"""Lineage bench: the flat [SK96] family vs the paper's HPGM family.
+
+Not a paper figure — DESIGN.md §6.  Two questions:
+
+1. Within the flat family, does the [SK96] story hold on the simulator
+   (HPA beats SPA's broadcast; ELD's duplication removes traffic)?
+2. What does the classification hierarchy *cost*?  Running HPA on the
+   raw transactions vs H-HPGM on the same data with its taxonomy shows
+   the overhead generalized mining adds — the paper's motivation for
+   parallelism in the first place ("adding the classification
+   hierarchy further increases the processing complexity").
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.experiments.common import (
+    DEFAULT_MEMORY_PER_NODE,
+    DEFAULT_NUM_NODES,
+    SKEW_POINT_MINSUP,
+    experiment_dataset,
+)
+from repro.flat.registry import make_flat_miner
+from repro.metrics import format_table
+from repro.parallel.registry import make_miner
+
+FLAT_NAMES = ("NPA", "SPA", "HPA", "HPA-ELD")
+
+
+def _cluster(dataset):
+    return Cluster.from_database(
+        ClusterConfig(
+            num_nodes=DEFAULT_NUM_NODES, memory_per_node=DEFAULT_MEMORY_PER_NODE
+        ),
+        dataset.database,
+    )
+
+
+def test_flat_family_and_hierarchy_cost(benchmark, record_result):
+    dataset = experiment_dataset("R30F5")
+
+    def sweep():
+        rows = []
+        for name in FLAT_NAMES:
+            run = make_flat_miner(name, _cluster(dataset)).mine(
+                SKEW_POINT_MINSUP, max_k=2
+            )
+            pass2 = run.stats.pass_stats(2)
+            rows.append(
+                [
+                    name,
+                    "flat",
+                    pass2.num_candidates,
+                    pass2.elapsed,
+                    pass2.total_bytes_received,
+                    pass2.duplicated_candidates,
+                ]
+            )
+        for name in ("HPGM", "H-HPGM", "H-HPGM-FGD"):
+            run = make_miner(name, _cluster(dataset), dataset.taxonomy).mine(
+                SKEW_POINT_MINSUP, max_k=2
+            )
+            pass2 = run.stats.pass_stats(2)
+            rows.append(
+                [
+                    name,
+                    "hierarchical",
+                    pass2.num_candidates,
+                    pass2.elapsed,
+                    pass2.total_bytes_received,
+                    pass2.duplicated_candidates,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_result(
+        "flat_family",
+        format_table(
+            ["algorithm", "rules", "|C2|", "pass-2 (s)", "bytes recv", "dup"],
+            rows,
+            title=(
+                "Lineage — [SK96] flat family vs the paper's algorithms "
+                f"(R30F5, minsup={SKEW_POINT_MINSUP:.2%}, "
+                f"{DEFAULT_NUM_NODES} nodes)"
+            ),
+        ),
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # Hierarchy blows up the candidate space — the paper's motivation.
+    assert by_name["H-HPGM"][2] > 3 * by_name["HPA"][2]
+    # ELD strictly reduces HPA's communication on this skewed workload.
+    assert by_name["HPA-ELD"][4] <= by_name["HPA"][4]
+    # SPA's broadcast is the most expensive flat strategy at 16 nodes.
+    flat_times = {name: by_name[name][3] for name in FLAT_NAMES}
+    assert flat_times["SPA"] == max(flat_times.values())

@@ -1,0 +1,57 @@
+"""Real-time benchmarks of the sequential substrate.
+
+Unlike the table/figure benches (which report *simulated* cluster
+time), these measure actual CPU time of the counting kernels through
+pytest-benchmark's timer — useful for tracking kernel regressions.
+"""
+
+import pytest
+
+from repro.core.apriori import apriori
+from repro.core.cumulate import cumulate
+from repro.datagen.generator import generate_dataset
+from repro.datagen.params import GeneratorParams
+
+
+@pytest.fixture(scope="module")
+def bench_dataset():
+    return generate_dataset(
+        GeneratorParams(
+            num_transactions=2_000,
+            num_items=600,
+            num_roots=20,
+            fanout=5.0,
+            num_patterns=150,
+            avg_transaction_size=8.0,
+            avg_pattern_size=4.0,
+            seed=3,
+        )
+    )
+
+
+def test_cumulate_pass2_dict(benchmark, bench_dataset):
+    result = benchmark(
+        cumulate, bench_dataset.database, bench_dataset.taxonomy, 0.02, "dict", 2
+    )
+    assert result.large_itemsets(2)
+
+
+def test_cumulate_pass2_hashtree(benchmark, bench_dataset):
+    result = benchmark(
+        cumulate, bench_dataset.database, bench_dataset.taxonomy, 0.02, "hashtree", 2
+    )
+    assert result.large_itemsets(2)
+
+
+def test_flat_apriori_pass2(benchmark, bench_dataset):
+    result = benchmark(apriori, bench_dataset.database, 0.02, "dict", 2)
+    assert result.passes
+
+
+def test_cumulate_full_run(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: cumulate(bench_dataset.database, bench_dataset.taxonomy, 0.05),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.max_k >= 2

@@ -1,0 +1,22 @@
+"""Table 6 — average received message volume per node, HPGM vs H-HPGM.
+
+Paper expectation: H-HPGM's per-node received volume is 25-30x lower
+than HPGM's (absolute MB differ — scaled dataset), and both volumes
+fall as nodes are added.
+"""
+
+from repro.experiments import table6
+
+
+def test_table6_received_volume(benchmark, record_result):
+    result = benchmark.pedantic(table6.run, rounds=1, iterations=1)
+    record_result("table6", result.to_table())
+
+    ratios = [row.ratio for row in result.rows]
+    # Order-of-magnitude gap at every node count.
+    assert all(ratio > 5 for ratio in ratios)
+    # Per-node volume decreases with the node count for both algorithms.
+    hpgm = [row.hpgm_bytes_per_node for row in result.rows]
+    hhpgm = [row.hhpgm_bytes_per_node for row in result.rows]
+    assert hpgm == sorted(hpgm, reverse=True)
+    assert hhpgm == sorted(hhpgm, reverse=True)

@@ -1,0 +1,71 @@
+"""Speedup study: scale the simulated cluster from 2 to 16 nodes.
+
+Runs H-HPGM and H-HPGM-FGD over a node-count sweep and prints the
+speedup curves normalised at the smallest configuration — the
+experiment behind the paper's Figure 16, at example scale.
+
+Run with::
+
+    python examples/cluster_speedup.py
+"""
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.datagen import GeneratorParams, generate_dataset
+from repro.metrics import format_table, speedup_curve
+from repro.parallel import make_miner
+
+
+def main() -> None:
+    params = GeneratorParams(
+        num_transactions=4_000,
+        num_items=800,
+        num_roots=20,
+        fanout=5.0,
+        num_patterns=200,
+        avg_transaction_size=10.0,
+        avg_pattern_size=5.0,
+        seed=16,
+    )
+    dataset = generate_dataset(params)
+    node_counts = (2, 4, 8, 12, 16)
+    min_support = 0.015
+    algorithms = ("H-HPGM", "H-HPGM-FGD")
+
+    times: dict[str, dict[int, float]] = {name: {} for name in algorithms}
+    for name in algorithms:
+        for num_nodes in node_counts:
+            config = ClusterConfig(num_nodes=num_nodes, memory_per_node=40_000)
+            cluster = Cluster.from_database(config, dataset.database)
+            run = make_miner(name, cluster, dataset.taxonomy).mine(
+                min_support, max_k=2
+            )
+            times[name][num_nodes] = run.stats.pass_stats(2).elapsed
+
+    baseline = node_counts[0]
+    curves = {
+        name: speedup_curve(times[name], baseline) for name in algorithms
+    }
+    rows = []
+    for num_nodes in node_counts:
+        rows.append(
+            [num_nodes, float(num_nodes)]
+            + [curves[name][num_nodes] for name in algorithms]
+        )
+    print(
+        format_table(
+            ["nodes", "ideal"] + list(algorithms),
+            rows,
+            title=(
+                f"Pass-2 speedup at minsup={min_support:.2%} "
+                f"(normalised at {baseline} nodes)"
+            ),
+        )
+    )
+    print(
+        "\nFGD tracks the ideal line more closely because duplication "
+        "spreads the hot itemsets' counting over every node."
+    )
+
+
+if __name__ == "__main__":
+    main()

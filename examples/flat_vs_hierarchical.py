@@ -1,0 +1,95 @@
+"""What the classification hierarchy costs — and why it is worth it.
+
+The paper's opening motivation: "adding the classification hierarchy
+further increases the processing complexity … parallel processing is
+essential".  This example makes that concrete on one dataset:
+
+1. mine it flat (items only) with HPA — the authors' earlier system;
+2. mine it generalized (with the taxonomy) with H-HPGM;
+3. compare candidate volume, interconnect traffic and what the rules
+   can actually say.
+
+Run with::
+
+    python examples/flat_vs_hierarchical.py
+"""
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.datagen import GeneratorParams, generate_dataset
+from repro.flat import make_flat_miner
+from repro.metrics import format_table
+from repro.parallel import make_miner
+
+
+def main() -> None:
+    params = GeneratorParams(
+        num_transactions=4_000,
+        num_items=800,
+        num_roots=20,
+        fanout=5.0,
+        num_patterns=200,
+        avg_transaction_size=10.0,
+        avg_pattern_size=5.0,
+        seed=98,
+    )
+    dataset = generate_dataset(params)
+    taxonomy = dataset.taxonomy
+    min_support = 0.02
+    config = ClusterConfig(num_nodes=8, memory_per_node=40_000)
+
+    flat_run = make_flat_miner(
+        "HPA", Cluster.from_database(config, dataset.database)
+    ).mine(min_support, max_k=2)
+    hier_run = make_miner(
+        "H-HPGM", Cluster.from_database(config, dataset.database), taxonomy
+    ).mine(min_support, max_k=2)
+
+    flat2 = flat_run.stats.pass_stats(2)
+    hier2 = hier_run.stats.pass_stats(2)
+    rows = [
+        ["|L1|", flat_run.result.passes[0].num_large,
+         hier_run.result.passes[0].num_large],
+        ["|C2|", flat2.num_candidates, hier2.num_candidates],
+        ["|L2|", flat2.num_large, hier2.num_large],
+        ["pass-2 time (s)", flat2.elapsed, hier2.elapsed],
+        ["bytes received", flat2.total_bytes_received, hier2.total_bytes_received],
+    ]
+    print(
+        format_table(
+            ["quantity", "flat (HPA)", "hierarchical (H-HPGM)"],
+            rows,
+            title=f"Flat vs generalized mining (minsup={min_support:.0%}, 8 nodes)",
+        )
+    )
+
+    flat_large = set(flat_run.result.large_itemsets(2))
+    hier_large = hier_run.result.large_itemsets(2)
+    cross_level = [
+        itemset
+        for itemset in hier_large
+        if any(not taxonomy.is_leaf(item) for item in itemset)
+    ]
+    print(
+        f"\nThe hierarchy multiplies the candidate space "
+        f"{hier2.num_candidates / max(1, flat2.num_candidates):.1f}x — "
+        "the cost the paper parallelizes away."
+    )
+    print(
+        f"In exchange, {len(cross_level)} of {len(hier_large)} large "
+        "2-itemsets span category levels; none of them are visible to "
+        f"the flat miner (it finds {len(flat_large)})."
+    )
+    example = max(
+        cross_level,
+        key=lambda itemset: hier_large[itemset],
+        default=None,
+    )
+    if example is not None:
+        print(
+            f"Most frequent generalized itemset: {example} "
+            f"(support {hier_large[example]}/{len(dataset.database)})"
+        )
+
+
+if __name__ == "__main__":
+    main()

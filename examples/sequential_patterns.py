@@ -1,0 +1,83 @@
+"""Generalized sequential patterns — the paper's stated future work.
+
+Mines customer purchase *sequences* across hierarchy levels with GSP
+[SA96], then runs the hash-partitioned parallelization HPSPM [SK98] on
+the simulated cluster — the extension the paper's conclusion proposes.
+
+Run with::
+
+    python examples/sequential_patterns.py
+"""
+
+from repro.cluster import ClusterConfig
+from repro.sequences import (
+    SequenceGeneratorParams,
+    generate_sequence_dataset,
+    gsp,
+    mine_sequences_parallel,
+)
+
+
+def main() -> None:
+    params = SequenceGeneratorParams(
+        num_customers=400,
+        num_items=150,
+        num_roots=8,
+        fanout=4.0,
+        num_patterns=40,
+        avg_elements=4.0,
+        seed=21,
+    )
+    dataset = generate_sequence_dataset(params)
+    taxonomy = dataset.taxonomy
+    print(
+        f"{len(dataset.database)} customer sequences over {len(taxonomy)} "
+        f"items in {len(taxonomy.roots)} category trees"
+    )
+
+    result = gsp(dataset.database, taxonomy, min_support=0.05, max_k=2)
+    print(f"\nGSP at 5% support: {result}")
+
+    generalized = [
+        (sequence, count)
+        for sequence, count in result.large_sequences(2).items()
+        if any(not taxonomy.is_leaf(item) for element in sequence for item in element)
+    ]
+    print(
+        f"{len(generalized)} of {len(result.large_sequences(2))} large "
+        "2-sequences span interior hierarchy levels."
+    )
+    print("Examples (sequence: support):")
+    for sequence, count in sorted(generalized, key=lambda kv: -kv[1])[:5]:
+        rendered = " -> ".join(
+            "{" + ", ".join(map(str, element)) + "}" for element in sequence
+        )
+        print(f"  {rendered}: {count}/{len(dataset.database)}")
+
+    # The same answer from the hash-partitioned parallel miner.
+    for algorithm in ("NPSPM", "SPSPM", "HPSPM"):
+        run = mine_sequences_parallel(
+            dataset.database,
+            taxonomy,
+            0.05,
+            algorithm=algorithm,
+            config=ClusterConfig(num_nodes=8, memory_per_node=20_000),
+            max_k=2,
+        )
+        assert run.result == result
+        pass2 = run.stats.pass_stats(2)
+        print(
+            f"{algorithm:6s}: pass-2 {pass2.elapsed:.3f}s simulated, "
+            f"{pass2.total_bytes_received} bytes received"
+        )
+    print(
+        "\nTrade-offs on display: NPSPM needs every node to hold every "
+        "candidate; SPSPM's broadcast volume grows with the node count; "
+        "HPSPM's per-subsequence shipping is node-count-independent and "
+        "exploits the aggregate memory — the regime [SK98] targets "
+        "(huge candidate sets, tight per-node memory)."
+    )
+
+
+if __name__ == "__main__":
+    main()

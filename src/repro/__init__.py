@@ -1,0 +1,48 @@
+"""repro — parallel mining of generalized association rules.
+
+Reproduction of Shintani & Kitsuregawa, *Parallel Mining Algorithms for
+Generalized Association Rules with Classification Hierarchy* (SIGMOD
+1998).
+
+Public API tour
+---------------
+Taxonomy substrate
+    :class:`~repro.taxonomy.Taxonomy`, :func:`~repro.taxonomy.generate_taxonomy`
+Synthetic data (Srikant-Agrawal generator)
+    :func:`~repro.datagen.generate_dataset`, :func:`~repro.datagen.preset`
+Sequential mining
+    :func:`~repro.core.cumulate`, :func:`~repro.core.apriori`,
+    :func:`~repro.core.generate_rules`
+Cluster simulator (shared-nothing SP-2 substitute)
+    :class:`~repro.cluster.ClusterConfig`, :class:`~repro.cluster.Cluster`
+Parallel algorithms
+    :func:`~repro.parallel.mine_parallel` and the classes
+    ``NPGM``, ``HPGM``, ``HHPGM``, ``HHPGMTreeGrain``, ``HHPGMPathGrain``,
+    ``HHPGMFineGrain``
+Experiments
+    :mod:`repro.experiments` — one module per table/figure of the paper.
+"""
+
+from repro.core import apriori, cumulate, generate_rules, interesting_rules, stratify
+from repro.core.result import MiningResult, PassResult, Rule
+from repro.datagen import GeneratorParams, TransactionDatabase, generate_dataset, preset
+from repro.taxonomy import Taxonomy, generate_taxonomy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeneratorParams",
+    "MiningResult",
+    "PassResult",
+    "Rule",
+    "Taxonomy",
+    "TransactionDatabase",
+    "apriori",
+    "cumulate",
+    "generate_dataset",
+    "generate_rules",
+    "generate_taxonomy",
+    "interesting_rules",
+    "preset",
+    "stratify",
+]

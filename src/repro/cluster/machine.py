@@ -1,0 +1,148 @@
+"""The :class:`Cluster`: nodes + network + pass bookkeeping.
+
+A cluster is built from a transaction database (partitioned evenly over
+the nodes' local disks, as in the paper's experiments, or from explicit
+per-node partitions for skew ablations).  The parallel algorithms drive
+it in bulk-synchronous passes:
+
+1. :meth:`begin_pass` resets every node's counters;
+2. the algorithm scans disks, probes tables and exchanges messages
+   through :attr:`network`, charging everything to the node stats;
+3. :meth:`finish_pass` prices the counters through the cost model and
+   appends a :class:`~repro.cluster.stats.PassStats` snapshot.
+
+The coordinator is not a distinguished node — matching the paper, its
+reduce/broadcast work is priced separately by the cost model and added
+to the pass time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.cluster.stats import NodeStats, PassStats
+from repro.datagen.corpus import TransactionDatabase
+from repro.datagen.partition import partition_evenly
+from repro.errors import ClusterError
+
+
+class Cluster:
+    """A simulated shared-nothing machine loaded with data."""
+
+    def __init__(self, config: ClusterConfig, partitions: Sequence[TransactionDatabase]):
+        if len(partitions) != config.num_nodes:
+            raise ClusterError(
+                f"{len(partitions)} partitions for {config.num_nodes} nodes"
+            )
+        self.config = config
+        self.trace = None
+        self.nodes: list[Node] = [
+            Node(node_id, partition, config)
+            for node_id, partition in enumerate(partitions)
+        ]
+        self.network = Network(
+            num_nodes=config.num_nodes,
+            item_bytes=config.item_bytes,
+            header_bytes=config.message_header_bytes,
+        )
+
+    @classmethod
+    def from_database(
+        cls,
+        config: ClusterConfig,
+        database: TransactionDatabase,
+    ) -> "Cluster":
+        """Even horizontal partitioning, the paper's data placement."""
+        return cls(config, partition_evenly(database, config.num_nodes))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def num_transactions(self) -> int:
+        return sum(len(node.disk) for node in self.nodes)
+
+    def attach_trace(self, trace) -> None:
+        """Attach a :class:`~repro.cluster.trace.SimulationTrace`.
+
+        Subsequent sends and pass boundaries are recorded on it.
+        """
+        self.trace = trace
+        self.network.trace = trace
+
+    # ------------------------------------------------------------------
+    # Pass lifecycle
+    # ------------------------------------------------------------------
+    def begin_pass(self) -> list[NodeStats]:
+        """Reset all node counters; returns them in node order."""
+        if self.trace is not None:
+            self.trace.record("pass-begin")
+        return [node.begin_pass() for node in self.nodes]
+
+    def finish_pass(
+        self,
+        k: int,
+        num_candidates: int,
+        num_large: int,
+        reduced_counts: int,
+        duplicated_candidates: int = 0,
+        fragments: int = 1,
+    ) -> PassStats:
+        """Price the pass and snapshot its statistics.
+
+        Parameters
+        ----------
+        k:
+            Pass number (itemset size).
+        num_candidates:
+            ``|Ck|`` cluster-wide.
+        num_large:
+            ``|Lk|`` found this pass.
+        reduced_counts:
+            (candidate, node) count pairs the coordinator merged — the
+            reduce volume differs per algorithm (NPGM reduces every
+            candidate from every node; the partitioned algorithms reduce
+            only duplicated candidates plus per-node large sets).
+        duplicated_candidates:
+            ``|Ck^D|`` for the duplication variants.
+        fragments:
+            NPGM's ⌈|Ck| / M⌉ scan repetitions.
+        """
+        if self.network.total_pending() != 0:
+            raise ClusterError("finish_pass with undelivered messages")
+        cost = self.config.cost
+        node_times = [cost.node_time(node.stats) for node in self.nodes]
+        coordinator = cost.coordinator_time(
+            reduced_counts, num_large * self.config.num_nodes
+        )
+        pass_stats = PassStats(
+            k=k,
+            num_candidates=num_candidates,
+            num_large=num_large,
+            nodes=[node.stats for node in self.nodes],
+            node_times=node_times,
+            coordinator_time=coordinator,
+            elapsed=(max(node_times) if node_times else 0.0) + coordinator,
+            duplicated_candidates=duplicated_candidates,
+            fragments=fragments,
+        )
+        if self.trace is not None:
+            self.trace.record(
+                "pass-end",
+                k=k,
+                candidates=num_candidates,
+                large=num_large,
+                elapsed=pass_stats.elapsed,
+            )
+        return pass_stats
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(nodes={self.num_nodes}, "
+            f"transactions={self.num_transactions}, "
+            f"memory_per_node={self.config.memory_per_node})"
+        )

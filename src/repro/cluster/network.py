@@ -1,0 +1,117 @@
+"""Point-to-point message passing with exact traffic accounting.
+
+The network models the SP-2's High-Performance Switch as mailboxes: a
+send appends the payload to the destination's queue and charges wire
+bytes (items × ``item_bytes`` + a fixed header) to both endpoints'
+:class:`~repro.cluster.stats.NodeStats`.  Delivery is exact and lossless
+— the quantity under study is *volume* (Table 6), not fault handling.
+
+Payloads are tuples of item ids (a routed transaction fragment t″ or a
+batch of hashed k-itemsets).  A per-link traffic matrix is kept for
+diagnostics and the network tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.cluster.stats import NodeStats
+from repro.errors import RoutingError
+
+Payload = tuple[int, ...]
+
+
+class Network:
+    """Mailbox network between ``num_nodes`` nodes.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of endpoints (node ids ``0 .. num_nodes - 1``).
+    item_bytes:
+        Wire size of one item id.
+    header_bytes:
+        Fixed per-message overhead.
+    """
+
+    def __init__(self, num_nodes: int, item_bytes: int = 4, header_bytes: int = 8):
+        if num_nodes <= 0:
+            raise RoutingError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.item_bytes = item_bytes
+        self.header_bytes = header_bytes
+        #: Optional :class:`repro.cluster.trace.SimulationTrace`.
+        self.trace = None
+        self._mailboxes: list[deque[Payload]] = [deque() for _ in range(num_nodes)]
+        self._traffic: dict[tuple[int, int], int] = {}
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise RoutingError(
+                f"node id {node} outside cluster of {self.num_nodes} nodes"
+            )
+
+    def message_bytes(self, payload: Sequence[int]) -> int:
+        """Wire size of one payload."""
+        return self.header_bytes + len(payload) * self.item_bytes
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Payload,
+        src_stats: NodeStats | None = None,
+        dst_stats: NodeStats | None = None,
+    ) -> None:
+        """Enqueue ``payload`` for ``dst``, charging both endpoints.
+
+        Self-sends are rejected: local work must never be accounted as
+        communication (that would corrupt Table 6).
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise RoutingError(f"node {src} attempted to send to itself")
+        size = self.message_bytes(payload)
+        self._mailboxes[dst].append(payload)
+        self._traffic[(src, dst)] = self._traffic.get((src, dst), 0) + size
+        if self.trace is not None:
+            self.trace.record("send", src=src, dst=dst, bytes=size, items=len(payload))
+        if src_stats is not None:
+            src_stats.bytes_sent += size
+            src_stats.messages_sent += 1
+        if dst_stats is not None:
+            dst_stats.bytes_received += size
+            dst_stats.messages_received += 1
+
+    def drain(self, node: int) -> list[Payload]:
+        """Remove and return everything queued for ``node``."""
+        self._check(node)
+        mailbox = self._mailboxes[node]
+        payloads = list(mailbox)
+        mailbox.clear()
+        return payloads
+
+    def pending(self, node: int) -> int:
+        """Messages currently queued for ``node``."""
+        self._check(node)
+        return len(self._mailboxes[node])
+
+    def total_pending(self) -> int:
+        """Messages queued anywhere in the cluster."""
+        return sum(len(mailbox) for mailbox in self._mailboxes)
+
+    def traffic_matrix(self) -> dict[tuple[int, int], int]:
+        """Cumulative (src, dst) → bytes since construction."""
+        return dict(self._traffic)
+
+    def total_traffic(self) -> int:
+        """Total bytes ever sent across the interconnect."""
+        return sum(self._traffic.values())
+
+    def reset_traffic(self) -> None:
+        """Zero the traffic matrix (mailboxes must already be empty)."""
+        if any(self._mailboxes):
+            raise RoutingError("cannot reset traffic with undelivered messages")
+        self._traffic.clear()

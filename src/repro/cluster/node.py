@@ -1,0 +1,61 @@
+"""One simulated shared-nothing node.
+
+A node bundles its local disk, its identity, and the per-pass
+:class:`~repro.cluster.stats.NodeStats`.  The memory-budget check lives
+here: algorithms call :meth:`Node.charge_candidates` when they build
+their per-pass candidate tables, and the node either records the
+residency (default) or raises under ``strict_memory``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.disk import LocalDisk
+from repro.cluster.stats import NodeStats
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MemoryBudgetError
+
+
+class Node:
+    """A shared-nothing node: id, local disk, per-pass counters."""
+
+    def __init__(self, node_id: int, partition: TransactionDatabase, config: ClusterConfig):
+        self.node_id = node_id
+        self.disk = LocalDisk(partition)
+        self.config = config
+        self.stats = NodeStats()
+
+    def begin_pass(self) -> NodeStats:
+        """Reset and return this node's counters for a new pass."""
+        self.stats = NodeStats()
+        return self.stats
+
+    def charge_candidates(self, count: int) -> None:
+        """Record ``count`` resident candidates for this pass.
+
+        Under ``strict_memory`` the call raises when the node's budget
+        would be exceeded; otherwise residency is recorded as-is (the
+        experiments read it to report overflow).
+        """
+        budget = self.config.memory_per_node
+        if (
+            self.config.strict_memory
+            and budget is not None
+            and self.stats.candidates_stored + count > budget
+        ):
+            raise MemoryBudgetError(
+                f"node {self.node_id}: {self.stats.candidates_stored + count} "
+                f"candidates exceed the {budget}-slot budget"
+            )
+        self.stats.candidates_stored += count
+
+    @property
+    def free_slots(self) -> int | None:
+        """Remaining candidate slots this pass (None when unbounded)."""
+        budget = self.config.memory_per_node
+        if budget is None:
+            return None
+        return max(0, budget - self.stats.candidates_stored)
+
+    def __repr__(self) -> str:
+        return f"Node(id={self.node_id}, transactions={len(self.disk)})"

@@ -1,0 +1,123 @@
+"""Per-node, per-pass and per-run statistics containers.
+
+These are the measurement surface of the reproduction: Table 6 reads
+``bytes_received``, Figure 15 reads ``probes``, Figures 13/14/16 read
+the cost-model times derived from all counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class NodeStats:
+    """Raw work counters of one node during one pass.
+
+    Attributes
+    ----------
+    io_items:
+        Transaction items read from the local disk (scan repetitions
+        included — NPGM's fragment loop re-reads the partition).
+    io_scans:
+        Number of complete partition scans.
+    extend_items:
+        Items touched while extending / rewriting transactions.
+    itemsets_generated:
+        k-subsets produced from transactions before probing.
+    probes:
+        Candidate hash-table probes (Figure 15's metric).
+    increments:
+        Probes that hit and incremented a support count.
+    bytes_sent / bytes_received:
+        Payload bytes on the interconnect (Table 6's metric).
+    messages_sent / messages_received:
+        Message counts (per-destination transaction batches).
+    candidates_stored:
+        Candidate itemsets resident in this node's memory this pass
+        (partition share plus any duplicated set).
+    """
+
+    io_items: int = 0
+    io_scans: int = 0
+    extend_items: int = 0
+    itemsets_generated: int = 0
+    probes: int = 0
+    increments: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    candidates_stored: int = 0
+
+    def merged_with(self, other: "NodeStats") -> "NodeStats":
+        """Counter-wise sum (used when aggregating passes)."""
+        merged = NodeStats()
+        for spec in fields(NodeStats):
+            setattr(
+                merged,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        return merged
+
+
+@dataclass
+class PassStats:
+    """Cluster-wide statistics of one mining pass.
+
+    ``node_times`` and ``elapsed`` are produced by the cost model:
+    ``elapsed = max(node_times) + coordinator_time`` (bulk-synchronous
+    pass with overlapped communication).
+    """
+
+    k: int
+    num_candidates: int
+    num_large: int
+    nodes: list[NodeStats] = field(default_factory=list)
+    node_times: list[float] = field(default_factory=list)
+    coordinator_time: float = 0.0
+    elapsed: float = 0.0
+    duplicated_candidates: int = 0
+    fragments: int = 1
+
+    @property
+    def total_bytes_received(self) -> int:
+        return sum(n.bytes_received for n in self.nodes)
+
+    @property
+    def avg_bytes_received(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return self.total_bytes_received / len(self.nodes)
+
+    @property
+    def total_probes(self) -> int:
+        return sum(n.probes for n in self.nodes)
+
+    def probe_distribution(self) -> list[int]:
+        """Per-node probe counts, node order (Figure 15's bars)."""
+        return [n.probes for n in self.nodes]
+
+
+@dataclass
+class RunStats:
+    """Statistics of a complete mining run (all passes)."""
+
+    algorithm: str
+    num_nodes: int
+    passes: list[PassStats] = field(default_factory=list)
+
+    @property
+    def total_elapsed(self) -> float:
+        return sum(p.elapsed for p in self.passes)
+
+    def pass_stats(self, k: int) -> PassStats:
+        for pass_stats in self.passes:
+            if pass_stats.k == k:
+                return pass_stats
+        raise KeyError(f"no pass {k} in this run")
+
+    @property
+    def total_bytes_received(self) -> int:
+        return sum(p.total_bytes_received for p in self.passes)

@@ -1,0 +1,60 @@
+"""Sequential mining substrate: Apriori, Cumulate, and rule generation.
+
+This subpackage is the paper's sequential baseline — everything a single
+node runs.  The parallel algorithms in :mod:`repro.parallel` reuse the
+candidate generation and counting kernels defined here, which is also
+what makes the "every parallel algorithm computes exactly Cumulate's
+answer" tests meaningful.
+
+Modules
+-------
+itemsets
+    Canonical itemset representation and the brute-force support oracle.
+hash_tree
+    The classic Apriori hash-tree candidate index.
+candidates
+    ``apriori-gen`` join + prune, and the hierarchy-aware pass-2 filter.
+counting
+    Per-transaction support-counting kernels (subset enumeration and
+    hash-tree traversal).
+apriori
+    Flat (non-hierarchical) Apriori.
+cumulate
+    Cumulate [SA95] — generalized association mining, the reference the
+    parallel algorithms must agree with.
+rules
+    Rule derivation (subproblem 2), ancestor-redundancy pruning, and the
+    R-interesting filter of [SA95].
+result
+    Result containers shared by sequential and parallel miners.
+"""
+
+from repro.core.apriori import apriori
+from repro.core.candidates import apriori_gen, generate_candidates
+from repro.core.cumulate import cumulate
+from repro.core.hash_tree import HashTree
+from repro.core.itemsets import (
+    canonical,
+    itemset_support,
+    transaction_contains,
+)
+from repro.core.result import MiningResult, PassResult, Rule
+from repro.core.rules import generate_rules, interesting_rules
+from repro.core.stratify import stratify
+
+__all__ = [
+    "HashTree",
+    "MiningResult",
+    "PassResult",
+    "Rule",
+    "apriori",
+    "apriori_gen",
+    "canonical",
+    "cumulate",
+    "generate_candidates",
+    "generate_rules",
+    "interesting_rules",
+    "itemset_support",
+    "stratify",
+    "transaction_contains",
+]

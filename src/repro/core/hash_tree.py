@@ -1,0 +1,173 @@
+"""The classic Apriori hash tree for candidate itemsets.
+
+Apriori [RR94] stores candidate k-itemsets in a hash tree: interior
+nodes hash the next item of the itemset into a fixed number of branches;
+leaves hold small buckets of candidates.  Given a (sorted) transaction,
+a single recursive traversal enumerates exactly the candidates contained
+in it, without materialising all :math:`\\binom{|t|}{k}` subsets.
+
+The paper's per-node candidate store ("insert it into the hash table")
+is this structure; its probe counter is what Figure 15 plots.  The
+simulator counts probes through the :attr:`HashTree.probes` attribute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.core.itemsets import Itemset
+from repro.errors import MiningError
+
+
+class _Node:
+    """One hash-tree node; a leaf until its bucket overflows."""
+
+    __slots__ = ("bucket", "branches", "depth")
+
+    def __init__(self, depth: int):
+        self.bucket: list[Itemset] | None = []
+        self.branches: dict[int, _Node] | None = None
+        self.depth = depth
+
+
+class HashTree:
+    """Hash tree over candidate k-itemsets.
+
+    Parameters
+    ----------
+    k:
+        Itemset size; every inserted itemset must have exactly this many
+        items.
+    leaf_capacity:
+        A leaf splits into an interior node once it holds more than this
+        many itemsets (and depth < k).
+    num_branches:
+        Branching factor of the interior hash (item id modulo this).
+
+    Attributes
+    ----------
+    probes:
+        Number of candidate itemsets touched during containment
+        enumeration — the workload metric of the paper's Figure 15.
+    """
+
+    def __init__(self, k: int, leaf_capacity: int = 16, num_branches: int = 32):
+        if k <= 0:
+            raise MiningError(f"k must be positive, got {k}")
+        if leaf_capacity <= 0:
+            raise MiningError(f"leaf_capacity must be positive, got {leaf_capacity}")
+        if num_branches <= 1:
+            raise MiningError(f"num_branches must exceed 1, got {num_branches}")
+        self.k = k
+        self.leaf_capacity = leaf_capacity
+        self.num_branches = num_branches
+        self.probes = 0
+        self._size = 0
+        self._root = _Node(depth=0)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _hash(self, item: int) -> int:
+        return item % self.num_branches
+
+    def insert(self, itemset: Itemset) -> None:
+        """Insert one candidate (must be sorted and of size ``k``)."""
+        if len(itemset) != self.k:
+            raise MiningError(
+                f"expected a {self.k}-itemset, got {itemset!r}"
+            )
+        node = self._root
+        while node.bucket is None:
+            assert node.branches is not None
+            key = self._hash(itemset[node.depth])
+            child = node.branches.get(key)
+            if child is None:
+                child = _Node(depth=node.depth + 1)
+                node.branches[key] = child
+            node = child
+        node.bucket.append(itemset)
+        self._size += 1
+        if len(node.bucket) > self.leaf_capacity and node.depth < self.k:
+            self._split(node)
+
+    def _split(self, node: _Node) -> None:
+        """Convert an overflowing leaf into an interior node."""
+        assert node.bucket is not None
+        pending = node.bucket
+        node.bucket = None
+        node.branches = {}
+        for itemset in pending:
+            key = self._hash(itemset[node.depth])
+            child = node.branches.get(key)
+            if child is None:
+                child = _Node(depth=node.depth + 1)
+                node.branches[key] = child
+            assert child.bucket is not None
+            child.bucket.append(itemset)
+        # A pathological split can leave a child still over capacity
+        # (all items hash alike); recurse while depth allows.
+        for child in node.branches.values():
+            assert child.bucket is not None
+            if len(child.bucket) > self.leaf_capacity and child.depth < self.k:
+                self._split(child)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                yield from node.bucket
+            else:
+                assert node.branches is not None
+                stack.extend(node.branches.values())
+
+    def contained_in(self, transaction: Iterable[int]) -> list[Itemset]:
+        """All stored candidates contained in a sorted transaction."""
+        found: list[Itemset] = []
+        self.for_each_contained(transaction, found.append)
+        return found
+
+    def for_each_contained(
+        self,
+        transaction: Iterable[int],
+        callback: Callable[[Itemset], None],
+    ) -> None:
+        """Invoke ``callback`` for every candidate contained in the transaction.
+
+        ``transaction`` must be sorted ascending and duplicate-free (the
+        canonical transaction form everywhere in the library).
+        """
+        items = tuple(transaction)
+        if len(items) < self.k:
+            return
+        members = set(items)
+        self._walk(self._root, items, 0, members, callback)
+
+    def _walk(
+        self,
+        node: _Node,
+        items: tuple[int, ...],
+        start: int,
+        members: set[int],
+        callback: Callable[[Itemset], None],
+    ) -> None:
+        if node.bucket is not None:
+            for candidate in node.bucket:
+                self.probes += 1
+                if all(item in members for item in candidate):
+                    callback(candidate)
+            return
+        assert node.branches is not None
+        # Descend once per distinct hash bucket among remaining items;
+        # itemsets are sorted so the (depth)-th item must come from
+        # items[start:].
+        seen: set[int] = set()
+        for position in range(start, len(items) - (self.k - node.depth) + 1):
+            key = self._hash(items[position])
+            if key in seen:
+                continue
+            seen.add(key)
+            child = node.branches.get(key)
+            if child is not None:
+                self._walk(child, items, position + 1, members, callback)

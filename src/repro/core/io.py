@@ -1,0 +1,81 @@
+"""Mining-result serialization (JSON).
+
+Round-trips :class:`~repro.core.result.MiningResult` through a stable
+JSON document, so long runs can be archived and rule generation or
+reporting re-run without re-mining.  Itemsets are encoded as lists
+(JSON has no tuples); decoding restores canonical tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.result import MiningResult, PassResult
+from repro.errors import TransactionFormatError
+
+_FORMAT = "repro-mining-result-v1"
+
+
+def result_to_dict(result: MiningResult) -> dict:
+    """JSON-ready dictionary form of a mining result."""
+    return {
+        "format": _FORMAT,
+        "min_support": result.min_support,
+        "num_transactions": result.num_transactions,
+        "passes": [
+            {
+                "k": pass_result.k,
+                "num_candidates": pass_result.num_candidates,
+                "large": [
+                    {"itemset": list(itemset), "count": count}
+                    for itemset, count in sorted(pass_result.large.items())
+                ],
+            }
+            for pass_result in result.passes
+        ],
+    }
+
+
+def result_from_dict(document: dict) -> MiningResult:
+    """Inverse of :func:`result_to_dict` (validated)."""
+    if document.get("format") != _FORMAT:
+        raise TransactionFormatError(
+            f"not a {_FORMAT} document (format={document.get('format')!r})"
+        )
+    try:
+        result = MiningResult(
+            min_support=float(document["min_support"]),
+            num_transactions=int(document["num_transactions"]),
+        )
+        for pass_document in document["passes"]:
+            large = {
+                tuple(entry["itemset"]): int(entry["count"])
+                for entry in pass_document["large"]
+            }
+            result.passes.append(
+                PassResult(
+                    k=int(pass_document["k"]),
+                    num_candidates=int(pass_document["num_candidates"]),
+                    large=large,
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransactionFormatError(f"malformed result document: {exc}") from exc
+    return result
+
+
+def save_result(result: MiningResult, path: str | Path) -> None:
+    """Write a mining result as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=1), encoding="utf-8"
+    )
+
+
+def load_result(path: str | Path) -> MiningResult:
+    """Read a mining result written by :func:`save_result`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TransactionFormatError(f"{path}: invalid JSON") from exc
+    return result_from_dict(document)

@@ -1,0 +1,102 @@
+"""Canonical itemsets and the brute-force support oracle.
+
+An *itemset* throughout the library is a sorted tuple of distinct item
+ids.  Sorted tuples hash fast, compare deterministically, and make
+``apriori-gen``'s prefix join trivial.
+
+This module also implements the paper's containment definition directly
+(Section 2): a transaction ``t`` *contains* itemset ``X`` when every
+``x ∈ X`` is in ``t`` **or is an ancestor of some item of** ``t``.  The
+resulting :func:`itemset_support` is deliberately naive — it is the
+ground-truth oracle the fast algorithms are tested against.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+from repro.taxonomy.hierarchy import Taxonomy
+
+Itemset = tuple[int, ...]
+
+
+def canonical(items: Iterable[int]) -> Itemset:
+    """Normalise any iterable of item ids into a canonical itemset.
+
+    Raises :class:`~repro.errors.MiningError` on duplicates — a set of
+    items cannot contain an item twice, and silently deduplicating would
+    hide caller bugs (e.g. joining an item with itself).
+    """
+    itemset = tuple(sorted(items))
+    if len(set(itemset)) != len(itemset):
+        raise MiningError(f"duplicate items in itemset {itemset}")
+    return itemset
+
+
+def has_ancestor_pair(itemset: Itemset, taxonomy: Taxonomy) -> bool:
+    """True when the itemset contains both an item and one of its ancestors.
+
+    Such itemsets are never counted (Cumulate's pass-2 optimization):
+    support({x, ancestor(x)}) == support({x}), so they carry no
+    information and their rules are redundant.
+    """
+    members = set(itemset)
+    for item in itemset:
+        if item not in taxonomy:
+            continue
+        for ancestor in taxonomy.ancestors(item):
+            if ancestor in members:
+                return True
+    return False
+
+
+def transaction_contains(
+    transaction: Iterable[int],
+    itemset: Itemset,
+    taxonomy: Taxonomy,
+) -> bool:
+    """Paper Section 2 containment: every x ∈ itemset is in t or an ancestor of an item of t."""
+    present: set[int] = set()
+    for item in transaction:
+        present.add(item)
+        if item in taxonomy:
+            present.update(taxonomy.ancestors(item))
+    return all(x in present for x in itemset)
+
+
+def itemset_support(
+    database: TransactionDatabase,
+    itemset: Itemset,
+    taxonomy: Taxonomy,
+) -> int:
+    """Number of transactions containing ``itemset`` (brute force oracle)."""
+    return sum(
+        1
+        for transaction in database
+        if transaction_contains(transaction, itemset, taxonomy)
+    )
+
+
+def support_fraction(count: int, num_transactions: int) -> float:
+    """Convert a raw support count into the fraction the thresholds use."""
+    if num_transactions <= 0:
+        raise MiningError("support fraction undefined for an empty database")
+    return count / num_transactions
+
+
+def minimum_count(min_support: float, num_transactions: int) -> int:
+    """Smallest raw count that satisfies a fractional ``min_support``.
+
+    A candidate is large when ``count / n >= min_support``; the integer
+    threshold is ``ceil(min_support * n)`` computed without floating-
+    point drift.
+    """
+    if not 0 < min_support <= 1:
+        raise MiningError(f"min_support must be in (0, 1], got {min_support}")
+    # ceil with a tolerance so 0.003 * 1000 == 3.0000000000000004 still
+    # yields 3 rather than 4.
+    threshold = math.ceil(min_support * num_transactions - 1e-9)
+    return max(threshold, 1)

@@ -1,0 +1,123 @@
+"""Result containers shared by the sequential and parallel miners.
+
+The containers carry raw counts rather than fractions: counts are exact
+integers, and every consumer (rule generation, the experiment harness,
+the equality tests between algorithms) derives fractions on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.itemsets import Itemset
+from repro.errors import MiningError
+
+
+@dataclass(frozen=True)
+class PassResult:
+    """Outcome of one mining pass.
+
+    Attributes
+    ----------
+    k:
+        Itemset size of the pass.
+    num_candidates:
+        ``|Ck|`` after all generation-time filters.
+    large:
+        The large k-itemsets with their raw support counts.
+    """
+
+    k: int
+    num_candidates: int
+    large: dict[Itemset, int]
+
+    @property
+    def num_large(self) -> int:
+        return len(self.large)
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Full outcome of a frequent-itemset mining run.
+
+    Algorithm-independent: Cumulate and all six parallel algorithms
+    produce structurally identical results (and the test suite asserts
+    they are *equal*).
+    """
+
+    min_support: float
+    num_transactions: int
+    passes: list[PassResult] = field(default_factory=list)
+
+    def large_itemsets(self, k: int | None = None) -> dict[Itemset, int]:
+        """Large itemsets with counts; all sizes merged when ``k`` is None."""
+        if k is not None:
+            for pass_result in self.passes:
+                if pass_result.k == k:
+                    return dict(pass_result.large)
+            return {}
+        merged: dict[Itemset, int] = {}
+        for pass_result in self.passes:
+            merged.update(pass_result.large)
+        return merged
+
+    def support_count(self, itemset: Itemset) -> int:
+        """Raw count of a large itemset; raises if it is not large."""
+        for pass_result in self.passes:
+            if pass_result.k == len(itemset):
+                try:
+                    return pass_result.large[itemset]
+                except KeyError:
+                    break
+        raise MiningError(f"{itemset} is not a large itemset of this result")
+
+    def support(self, itemset: Itemset) -> float:
+        """Support fraction of a large itemset."""
+        return self.support_count(itemset) / self.num_transactions
+
+    @property
+    def max_k(self) -> int:
+        """Largest itemset size with at least one large itemset."""
+        sizes = [p.k for p in self.passes if p.large]
+        return max(sizes, default=0)
+
+    @property
+    def total_large(self) -> int:
+        return sum(p.num_large for p in self.passes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MiningResult):
+            return NotImplemented
+        return (
+            self.min_support == other.min_support
+            and self.num_transactions == other.num_transactions
+            and self.large_itemsets() == other.large_itemsets()
+        )
+
+    def __repr__(self) -> str:
+        per_pass = ", ".join(f"|L{p.k}|={p.num_large}" for p in self.passes)
+        return (
+            f"MiningResult(min_support={self.min_support}, "
+            f"n={self.num_transactions}, {per_pass})"
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One association rule ``antecedent ⇒ consequent``.
+
+    ``support`` and ``confidence`` are fractions in [0, 1].
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:
+        lhs = ", ".join(map(str, self.antecedent))
+        rhs = ", ".join(map(str, self.consequent))
+        return (
+            f"{{{lhs}}} => {{{rhs}}} "
+            f"(sup={self.support:.4f}, conf={self.confidence:.4f})"
+        )

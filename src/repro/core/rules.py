@@ -1,0 +1,179 @@
+"""Rule generation — subproblem 2 of Section 2, plus [SA95] extras.
+
+From every large itemset ``X`` (k >= 2) and every non-empty proper
+subset ``A``, the rule ``A ⇒ X − A`` is emitted when its confidence
+``sup(X) / sup(A)`` reaches the threshold, subject to the paper's
+redundancy constraint: *no item of the consequent may be an ancestor of
+any item of the antecedent* (such rules hold with confidence 100% by
+construction and carry no information).
+
+As an extension, :func:`interesting_rules` implements the
+*R-interesting* filter of Srikant & Agrawal [SA95]: a rule is pruned
+when a close-ancestor rule (one item replaced by its parent) already
+predicts its support and confidence to within a factor ``R``.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+
+from repro.core.itemsets import Itemset
+from repro.core.result import MiningResult, Rule
+from repro.errors import MiningError
+from repro.taxonomy.hierarchy import Taxonomy
+
+
+def _proper_subsets(itemset: Itemset) -> chain[tuple[int, ...]]:
+    """All non-empty proper subsets, smallest first."""
+    return chain.from_iterable(
+        combinations(itemset, size) for size in range(1, len(itemset))
+    )
+
+
+def _consequent_has_antecedent_ancestor(
+    antecedent: Itemset,
+    consequent: Itemset,
+    taxonomy: Taxonomy,
+) -> bool:
+    """True when some consequent item is an ancestor of an antecedent item."""
+    consequent_set = set(consequent)
+    for item in antecedent:
+        if item not in taxonomy:
+            continue
+        if consequent_set.intersection(taxonomy.ancestors(item)):
+            return True
+    return False
+
+
+def generate_rules(
+    result: MiningResult,
+    min_confidence: float,
+    taxonomy: Taxonomy | None = None,
+) -> list[Rule]:
+    """Derive all rules meeting ``min_confidence`` from a mining result.
+
+    Parameters
+    ----------
+    result:
+        Output of any miner in this library (sequential or parallel).
+    min_confidence:
+        Fractional confidence threshold in (0, 1].
+    taxonomy:
+        When given, rules whose consequent contains an ancestor of an
+        antecedent item are suppressed (the paper's redundancy rule).
+
+    Returns
+    -------
+    Rules sorted by descending confidence then descending support.
+    """
+    if not 0 < min_confidence <= 1:
+        raise MiningError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    supports = result.large_itemsets()
+    n = result.num_transactions
+    rules: list[Rule] = []
+    for itemset, count in supports.items():
+        if len(itemset) < 2:
+            continue
+        for antecedent in _proper_subsets(itemset):
+            antecedent_count = supports.get(antecedent)
+            if antecedent_count is None:
+                # Cannot happen for a complete Apriori-style result
+                # (support is monotone), but be robust to truncated runs.
+                continue
+            confidence = count / antecedent_count
+            if confidence < min_confidence:
+                continue
+            consequent = tuple(i for i in itemset if i not in set(antecedent))
+            if taxonomy is not None and _consequent_has_antecedent_ancestor(
+                antecedent, consequent, taxonomy
+            ):
+                continue
+            rules.append(
+                Rule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=count / n,
+                    confidence=confidence,
+                )
+            )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, r.antecedent, r.consequent))
+    return rules
+
+
+def interesting_rules(
+    rules: list[Rule],
+    result: MiningResult,
+    taxonomy: Taxonomy,
+    min_interest: float = 1.1,
+) -> list[Rule]:
+    """Keep only the R-interesting rules [SA95, Section 2.2].
+
+    A rule ``A ⇒ C`` is pruned when some *close ancestor* rule — the
+    same rule with exactly one item replaced by its parent — exists
+    among ``rules`` and predicts both this rule's support and confidence
+    to within a factor ``min_interest``.  The expected support of the
+    specialised rule is the ancestor rule's support scaled by
+    ``sup(item) / sup(parent)`` of the replaced item; the expected
+    confidence scales by that ratio only when the replaced item sits in
+    the consequent (an antecedent replacement rescales numerator and
+    denominator alike, so the expected confidence is unchanged).
+
+    Parameters
+    ----------
+    rules:
+        Candidate rules (typically the output of :func:`generate_rules`).
+    result:
+        The mining result the rules came from (for item supports).
+    taxonomy:
+        The classification hierarchy.
+    min_interest:
+        The factor ``R``; [SA95] uses 1.1.
+    """
+    if min_interest <= 0:
+        raise MiningError(f"min_interest must be positive, got {min_interest}")
+    supports = result.large_itemsets()
+    by_key = {(rule.antecedent, rule.consequent): rule for rule in rules}
+
+    def item_support(item: int) -> int | None:
+        return supports.get((item,))
+
+    kept: list[Rule] = []
+    for rule in rules:
+        interesting = True
+        full = tuple(sorted(rule.antecedent + rule.consequent))
+        for item in full:
+            if item not in taxonomy:
+                continue
+            parent = taxonomy.parent(item)
+            if parent is None or parent in full:
+                continue
+            child_sup = item_support(item)
+            parent_sup = item_support(parent)
+            if not child_sup or not parent_sup:
+                continue
+            replace = {item: parent}
+            ancestor_antecedent = tuple(
+                sorted(replace.get(i, i) for i in rule.antecedent)
+            )
+            ancestor_consequent = tuple(
+                sorted(replace.get(i, i) for i in rule.consequent)
+            )
+            ancestor_rule = by_key.get((ancestor_antecedent, ancestor_consequent))
+            if ancestor_rule is None:
+                continue
+            ratio = child_sup / parent_sup
+            expected_support = ancestor_rule.support * ratio
+            expected_confidence = ancestor_rule.confidence * (
+                ratio if item in rule.consequent else 1.0
+            )
+            if (
+                rule.support < min_interest * expected_support
+                and rule.confidence < min_interest * expected_confidence
+            ):
+                interesting = False
+                break
+        if interesting:
+            kept.append(rule)
+    return kept

@@ -1,0 +1,190 @@
+"""Stratify [SA95] — top-down counting over the candidate lattice.
+
+Cumulate counts every candidate in one scan per pass.  Stratify
+exploits support monotonicity across the hierarchy instead: if the
+*ancestor itemset* X̂ (some items replaced by their parents) is small,
+then X is small too and need not be counted.  Candidates are therefore
+stratified by depth in the ancestor lattice and counted top-down in
+waves; after each wave, every descendant of a just-found-small
+candidate is pruned uncounted.
+
+The trade-off (measured by ``benchmarks/bench_ablation_stratify.py``):
+fewer candidate probes, but one database scan per wave instead of one
+per pass.  The answer is always exactly Cumulate's (tested).
+
+This module is part of the [SA95] substrate the paper builds on, not
+of the paper's own contribution — DESIGN.md §6 lists it as an
+extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.candidates import candidate_item_universe, generate_candidates
+from repro.core.counting import SupportCounter, count_items
+from repro.core.itemsets import Itemset, minimum_count
+from repro.core.result import MiningResult, PassResult
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+from repro.taxonomy.hierarchy import Taxonomy
+from repro.taxonomy.ops import AncestorIndex
+
+
+@dataclass
+class StratifyTelemetry:
+    """Work counters for the Cumulate-vs-Stratify trade-off study."""
+
+    scans_per_pass: list[int] = field(default_factory=list)
+    probes: int = 0
+    pruned_uncounted: int = 0
+
+
+def _parent_itemsets(itemset: Itemset, taxonomy: Taxonomy) -> list[Itemset]:
+    """Itemsets obtained by replacing exactly one item with its parent."""
+    parents: list[Itemset] = []
+    members = set(itemset)
+    for position, item in enumerate(itemset):
+        if item not in taxonomy:
+            continue
+        parent = taxonomy.parent(item)
+        if parent is None or parent in members:
+            continue
+        replaced = tuple(
+            sorted(itemset[:position] + (parent,) + itemset[position + 1 :])
+        )
+        parents.append(replaced)
+    return parents
+
+
+def _stratify_candidates(
+    candidates: list[Itemset],
+    taxonomy: Taxonomy,
+) -> tuple[dict[Itemset, int], dict[Itemset, list[Itemset]]]:
+    """Depth of each candidate in the ancestor lattice, plus child lists.
+
+    Depth 0 = candidates with no parent candidate; otherwise
+    1 + max(parent depths).  The lattice is acyclic (parents are
+    strictly closer to the roots), so memoised recursion terminates.
+    """
+    candidate_set = set(candidates)
+    children: dict[Itemset, list[Itemset]] = {}
+    depth: dict[Itemset, int] = {}
+
+    def resolve(itemset: Itemset) -> int:
+        cached = depth.get(itemset)
+        if cached is not None:
+            return cached
+        best = -1
+        for parent in _parent_itemsets(itemset, taxonomy):
+            if parent in candidate_set:
+                children.setdefault(parent, []).append(itemset)
+                best = max(best, resolve(parent))
+        depth[itemset] = best + 1
+        return best + 1
+
+    for candidate in candidates:
+        resolve(candidate)
+    return depth, children
+
+
+def stratify(
+    database: TransactionDatabase,
+    taxonomy: Taxonomy,
+    min_support: float,
+    max_k: int | None = None,
+    wave_depths: int = 2,
+    telemetry: StratifyTelemetry | None = None,
+) -> MiningResult:
+    """Find all large generalized itemsets, counting top-down in waves.
+
+    Parameters
+    ----------
+    database, taxonomy, min_support, max_k:
+        As in :func:`repro.core.cumulate.cumulate`.
+    wave_depths:
+        How many lattice depths to count per database scan.  [SA95]
+        counts the top two levels in the first scan; 1 maximises
+        pruning, larger values trade probes for scans.
+    telemetry:
+        Optional sink for scan/probe/prune counters.
+    """
+    if wave_depths < 1:
+        raise MiningError(f"wave_depths must be >= 1, got {wave_depths}")
+    num_transactions = len(database)
+    if num_transactions == 0:
+        raise MiningError("cannot mine an empty database")
+    threshold = minimum_count(min_support, num_transactions)
+    result = MiningResult(min_support=min_support, num_transactions=num_transactions)
+
+    full_index = AncestorIndex(taxonomy)
+    item_counts = count_items(database, full_index)
+    large_1 = {
+        (item,): count for item, count in item_counts.items() if count >= threshold
+    }
+    result.passes.append(
+        PassResult(k=1, num_candidates=len(item_counts), large=large_1)
+    )
+
+    previous: dict[Itemset, int] = large_1
+    k = 2
+    while previous and (max_k is None or k <= max_k):
+        candidates = generate_candidates(previous.keys(), k, taxonomy)
+        if not candidates:
+            break
+        universe = candidate_item_universe(candidates)
+        index = AncestorIndex(taxonomy, keep=universe)
+        depth, children = _stratify_candidates(candidates, taxonomy)
+
+        alive = set(candidates)
+        large_k: dict[Itemset, int] = {}
+        scans = 0
+        next_depth = 0
+        max_depth = max(depth.values(), default=0)
+        while next_depth <= max_depth:
+            wave = [
+                c
+                for c in alive
+                if next_depth <= depth[c] < next_depth + wave_depths
+            ]
+            next_depth += wave_depths
+            if not wave:
+                continue
+            # Hash-tree counting: per-scan probe work is proportional to
+            # the wave's candidates, which is the whole economics of
+            # Stratify (dict counting would pay near-full subset
+            # enumeration per scan and erase the pruning win).
+            counter = SupportCounter(wave, k, strategy="hashtree")
+            for transaction in database:
+                counter.add_transaction(index.extend(transaction))
+            scans += 1
+            if telemetry is not None:
+                telemetry.probes += counter.probes
+            small_frontier: list[Itemset] = []
+            for itemset, count in counter.counts.items():
+                alive.discard(itemset)
+                if count >= threshold:
+                    large_k[itemset] = count
+                else:
+                    small_frontier.append(itemset)
+            # Prune every still-alive descendant of the small wave
+            # members — support monotonicity says they cannot be large.
+            stack = small_frontier
+            while stack:
+                node = stack.pop()
+                for child in children.get(node, ()):
+                    if child in alive:
+                        alive.discard(child)
+                        if telemetry is not None:
+                            telemetry.pruned_uncounted += 1
+                        stack.append(child)
+
+        if telemetry is not None:
+            telemetry.scans_per_pass.append(scans)
+        result.passes.append(
+            PassResult(k=k, num_candidates=len(candidates), large=large_k)
+        )
+        previous = large_k
+        k += 1
+
+    return result

@@ -1,0 +1,93 @@
+"""On-disk transaction formats.
+
+Two formats, both round-tripping through
+:class:`~repro.datagen.corpus.TransactionDatabase`:
+
+* **Text** — one transaction per line, space-separated item ids.  Human
+  readable; interoperable with the classic FIMI repository layout.
+* **Binary** — little-endian ``uint32`` stream: a magic word, the
+  transaction count, then each transaction as a length prefix followed by
+  its item ids.  Compact and fast to parse.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import TransactionFormatError
+
+_MAGIC = 0x47415231  # "GAR1" — generalized association rules, format 1
+_HEADER = struct.Struct("<II")
+_WORD = struct.Struct("<I")
+
+
+def save_transactions_text(database: TransactionDatabase, path: str | Path) -> None:
+    """Write one space-separated transaction per line."""
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        for transaction in database:
+            handle.write(" ".join(str(item) for item in transaction))
+            handle.write("\n")
+
+
+def load_transactions_text(path: str | Path) -> TransactionDatabase:
+    """Read the text format written by :func:`save_transactions_text`.
+
+    Blank lines are empty transactions; anything non-numeric raises
+    :class:`~repro.errors.TransactionFormatError` with the line number.
+    """
+    path = Path(path)
+    transactions: list[tuple[int, ...]] = []
+    with path.open("r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                transactions.append(())
+                continue
+            try:
+                transactions.append(tuple(int(token) for token in line.split()))
+            except ValueError as exc:
+                raise TransactionFormatError(
+                    f"{path}:{line_number}: non-integer item id"
+                ) from exc
+    return TransactionDatabase(transactions)
+
+
+def save_transactions_binary(database: TransactionDatabase, path: str | Path) -> None:
+    """Write the compact binary format (see module docstring)."""
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, len(database)))
+        for transaction in database:
+            handle.write(_WORD.pack(len(transaction)))
+            handle.write(struct.pack(f"<{len(transaction)}I", *transaction))
+
+
+def load_transactions_binary(path: str | Path) -> TransactionDatabase:
+    """Read the binary format written by :func:`save_transactions_binary`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        raise TransactionFormatError(f"{path}: truncated header")
+    magic, count = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise TransactionFormatError(f"{path}: bad magic {magic:#x}")
+    offset = _HEADER.size
+    transactions: list[tuple[int, ...]] = []
+    for index in range(count):
+        if offset + _WORD.size > len(data):
+            raise TransactionFormatError(
+                f"{path}: truncated at transaction {index} length prefix"
+            )
+        (length,) = _WORD.unpack_from(data, offset)
+        offset += _WORD.size
+        end = offset + length * _WORD.size
+        if end > len(data):
+            raise TransactionFormatError(f"{path}: truncated at transaction {index}")
+        transactions.append(struct.unpack_from(f"<{length}I", data, offset))
+        offset = end
+    if offset != len(data):
+        raise TransactionFormatError(f"{path}: {len(data) - offset} trailing bytes")
+    return TransactionDatabase(transactions)

@@ -1,0 +1,163 @@
+"""Generator parameters and the paper's dataset presets (Table 5).
+
+The paper's three datasets share every knob except the hierarchy shape:
+
+==============================================  =======  =======  =======
+Parameter                                        R30F5    R30F3    R30F10
+==============================================  =======  =======  =======
+Number of transactions                          3200000  3200000  3200000
+Average size of the transactions                     10       10       10
+Average size of maximal potentially large sets        5        5        5
+Number of maximal potentially large itemsets      10000    10000    10000
+Number of items                                   30000    30000    30000
+Number of roots                                      30       30       30
+Number of levels (emergent)                         5–6      6–7      3–4
+Fanout                                                5        3       10
+==============================================  =======  =======  =======
+
+Full-size generation is supported but slow in pure Python, so
+:func:`preset` takes a ``scale`` factor that shrinks the transaction
+count, item universe and pattern pool proportionally while preserving the
+structural ratios (roots and fanout are never scaled — they define the
+hierarchy *shape* the experiments depend on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DataGenerationError
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Knobs of the synthetic transaction generator.
+
+    Attributes
+    ----------
+    num_transactions:
+        ``|D|`` — number of transactions to generate.
+    avg_transaction_size:
+        ``|T|`` — mean transaction size (Poisson).
+    avg_pattern_size:
+        ``|I|`` — mean size of the maximal potentially large itemsets
+        (Poisson, at least 1).
+    num_patterns:
+        ``|L|`` — size of the potentially-large-itemset pool.
+    num_items:
+        ``N`` — total number of items across all hierarchy levels.
+    num_roots:
+        ``R`` — number of trees in the classification hierarchy.
+    fanout:
+        ``F`` — average children per interior item.
+    correlation:
+        Mean of the exponential deciding what fraction of a pattern is
+        inherited from the previous pattern (Quest's correlation level).
+    corruption_mean / corruption_sigma:
+        Per-pattern corruption level ~ clipped normal; during transaction
+        fill, each pattern is truncated by dropping items while a uniform
+        draw is below the corruption level (Quest's recipe).
+    pattern_weight_exponent:
+        Pattern weights are ``exponential(1) ** pattern_weight_exponent``
+        before normalisation.  1.0 reproduces Quest; larger values crank
+        the frequency skew (used by the skew ablation bench).
+    interior_item_prob:
+        Probability that a pattern item is drawn from interior hierarchy
+        levels instead of the leaves.  The default 0 matches retail
+        reality (transactions contain actual products = leaves).
+    seed:
+        Base RNG seed; the full dataset is a pure function of the params.
+    """
+
+    num_transactions: int = 100_000
+    avg_transaction_size: float = 10.0
+    avg_pattern_size: float = 5.0
+    num_patterns: int = 10_000
+    num_items: int = 30_000
+    num_roots: int = 30
+    fanout: float = 5.0
+    correlation: float = 0.25
+    corruption_mean: float = 0.5
+    corruption_sigma: float = 0.1
+    pattern_weight_exponent: float = 1.0
+    interior_item_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_transactions <= 0:
+            raise DataGenerationError("num_transactions must be positive")
+        if self.avg_transaction_size < 1:
+            raise DataGenerationError("avg_transaction_size must be >= 1")
+        if self.avg_pattern_size < 1:
+            raise DataGenerationError("avg_pattern_size must be >= 1")
+        if self.num_patterns <= 0:
+            raise DataGenerationError("num_patterns must be positive")
+        if self.num_items <= self.num_roots:
+            raise DataGenerationError("num_items must exceed num_roots")
+        if self.num_roots <= 0:
+            raise DataGenerationError("num_roots must be positive")
+        if self.fanout < 1:
+            raise DataGenerationError("fanout must be >= 1")
+        if not 0 <= self.interior_item_prob <= 1:
+            raise DataGenerationError("interior_item_prob must be in [0, 1]")
+        if self.pattern_weight_exponent <= 0:
+            raise DataGenerationError("pattern_weight_exponent must be positive")
+
+    def scaled(self, scale: float) -> "GeneratorParams":
+        """Proportionally shrink (or grow) the dataset.
+
+        ``num_transactions``, ``num_items`` and ``num_patterns`` scale
+        linearly; hierarchy shape (roots, fanout) and per-transaction
+        statistics are untouched.  The item floor keeps at least three
+        hierarchy levels so the generalized-rule machinery stays
+        exercised at tiny scales.
+        """
+        if scale <= 0:
+            raise DataGenerationError(f"scale must be positive, got {scale}")
+        min_items = int(self.num_roots * (1 + self.fanout + self.fanout**2)) + 1
+        return replace(
+            self,
+            num_transactions=max(1, round(self.num_transactions * scale)),
+            num_items=max(min_items, round(self.num_items * scale)),
+            num_patterns=max(10, round(self.num_patterns * scale)),
+        )
+
+
+#: The paper's datasets at full size (Table 5).
+DATASET_PRESETS: dict[str, GeneratorParams] = {
+    "R30F5": GeneratorParams(
+        num_transactions=3_200_000, num_items=30_000, num_roots=30, fanout=5.0
+    ),
+    "R30F3": GeneratorParams(
+        num_transactions=3_200_000, num_items=30_000, num_roots=30, fanout=3.0
+    ),
+    "R30F10": GeneratorParams(
+        num_transactions=3_200_000, num_items=30_000, num_roots=30, fanout=10.0
+    ),
+}
+
+
+def preset(name: str, scale: float = 1.0, seed: int | None = None) -> GeneratorParams:
+    """Look up a Table-5 preset, optionally scaled and reseeded.
+
+    Parameters
+    ----------
+    name:
+        One of ``"R30F5"``, ``"R30F3"``, ``"R30F10"`` (case-insensitive).
+    scale:
+        Linear shrink factor applied to transactions/items/patterns; the
+        experiment harness defaults to a laptop-friendly scale and
+        records it in EXPERIMENTS.md.
+    seed:
+        Override the preset's RNG seed.
+    """
+    try:
+        params = DATASET_PRESETS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_PRESETS))
+        raise DataGenerationError(f"unknown preset {name!r}; known: {known}") from None
+    if scale != 1.0:
+        params = params.scaled(scale)
+    if seed is not None:
+        params = replace(params, seed=seed)
+    return params

@@ -1,0 +1,90 @@
+"""Dataset statistics — the skew and shape numbers behind the experiments.
+
+Summarises a generated dataset the way the evaluation needs to reason
+about it: transaction-size distribution, item-frequency skew (the fuel
+of §3.4's load balancing), and per-tree volume concentration (what the
+root-hash partitioning actually distributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import DataGenerationError
+from repro.metrics.balance import coefficient_of_variation
+from repro.taxonomy.hierarchy import Taxonomy
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary of one transaction database over its taxonomy.
+
+    Attributes
+    ----------
+    num_transactions / avg_transaction_size:
+        Volume and mean basket size.
+    distinct_items:
+        Items occurring at least once.
+    top1_item_share / top10_item_share:
+        Fraction of total item volume owned by the most frequent item /
+        the ten most frequent items — the frequency-skew dial.
+    item_frequency_cv:
+        Coefficient of variation of the per-item occurrence counts.
+    tree_volume_cv:
+        Coefficient of variation of per-root transaction-item volume —
+        the skew root-hash placement is exposed to.
+    """
+
+    num_transactions: int
+    avg_transaction_size: float
+    distinct_items: int
+    top1_item_share: float
+    top10_item_share: float
+    item_frequency_cv: float
+    tree_volume_cv: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.num_transactions} avg_size={self.avg_transaction_size:.2f} "
+            f"items={self.distinct_items} top1={self.top1_item_share:.1%} "
+            f"top10={self.top10_item_share:.1%} "
+            f"item_cv={self.item_frequency_cv:.2f} "
+            f"tree_cv={self.tree_volume_cv:.2f}"
+        )
+
+
+def describe_dataset(
+    database: TransactionDatabase,
+    taxonomy: Taxonomy,
+) -> DatasetStats:
+    """Compute :class:`DatasetStats` for a database over a taxonomy."""
+    if len(database) == 0:
+        raise DataGenerationError("cannot describe an empty database")
+
+    item_counts: dict[int, int] = {}
+    tree_volume: dict[int, int] = {}
+    for transaction in database:
+        for item in transaction:
+            item_counts[item] = item_counts.get(item, 0) + 1
+            if item in taxonomy:
+                root = taxonomy.root_of(item)
+                tree_volume[root] = tree_volume.get(root, 0) + 1
+
+    total_volume = sum(item_counts.values())
+    ranked = sorted(item_counts.values(), reverse=True)
+    top1 = ranked[0] / total_volume if total_volume else 0.0
+    top10 = sum(ranked[:10]) / total_volume if total_volume else 0.0
+
+    # Include silent trees: a root with zero volume is real skew.
+    per_tree = [tree_volume.get(root, 0) for root in taxonomy.roots]
+
+    return DatasetStats(
+        num_transactions=len(database),
+        avg_transaction_size=database.average_size(),
+        distinct_items=len(item_counts),
+        top1_item_share=top1,
+        top10_item_share=top10,
+        item_frequency_cv=coefficient_of_variation(ranked) if ranked else 0.0,
+        tree_volume_cv=coefficient_of_variation(per_tree) if per_tree else 0.0,
+    )

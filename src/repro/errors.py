@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch one base class.  Subclasses are grouped by subsystem:
+taxonomy construction, data generation, cluster simulation, and mining.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TaxonomyError(ReproError):
+    """Invalid classification-hierarchy structure or item reference."""
+
+
+class CycleError(TaxonomyError):
+    """The supplied parent relation contains a cycle.
+
+    A classification hierarchy is acyclic by definition (Section 2 of the
+    paper): "there is no item which is an ancestor of itself".
+    """
+
+
+class UnknownItemError(TaxonomyError):
+    """An operation referenced an item id outside the taxonomy."""
+
+
+class DataGenerationError(ReproError):
+    """Invalid synthetic-data parameters or generation failure."""
+
+
+class TransactionFormatError(ReproError):
+    """A transaction file or byte stream could not be parsed."""
+
+
+class ClusterError(ReproError):
+    """Invalid cluster configuration or simulator misuse."""
+
+
+class MemoryBudgetError(ClusterError):
+    """A node's candidate memory budget was exceeded.
+
+    Raised when an allocation strategy places more candidates on a node
+    than :attr:`repro.cluster.config.ClusterConfig.memory_per_node` allows
+    and the algorithm has no fragmenting fallback.
+    """
+
+
+class RoutingError(ClusterError):
+    """A message was addressed to a node id outside the cluster."""
+
+
+class MiningError(ReproError):
+    """Invalid mining parameters (e.g. minimum support outside (0, 1])."""

@@ -1,0 +1,44 @@
+"""Experiment harness: one module per table/figure of the evaluation.
+
+Every module exposes a ``run(...)`` function returning a result object
+with the measured rows and a ``main()`` that prints the same rows the
+paper reports (via :func:`repro.metrics.format_table`):
+
+* :mod:`~repro.experiments.table6` — average received message volume
+  per node, HPGM vs H-HPGM (Table 6).
+* :mod:`~repro.experiments.fig13`  — pass-2 execution time, HPGM vs
+  H-HPGM, varying minimum support (Figure 13).
+* :mod:`~repro.experiments.fig14`  — pass-2 execution time of NPGM and
+  the H-HPGM family, varying minimum support (Figure 14).
+* :mod:`~repro.experiments.fig15`  — per-node hash-probe distribution
+  (Figure 15).
+* :mod:`~repro.experiments.fig16`  — speedup ratio over node counts
+  (Figure 16).
+* :mod:`~repro.experiments.report` — runs everything and emits the
+  markdown that EXPERIMENTS.md records.
+
+Scaling: the paper's datasets (3.2 M transactions, 30 000 items) are
+shrunk to laptop size (default 8 000 transactions, 1 500 items, same
+root count / fanout structure) and the minimum-support grid is shifted
+accordingly; :mod:`~repro.experiments.common` documents the mapping.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_MEMORY_PER_NODE,
+    DEFAULT_NUM_NODES,
+    DEFAULT_NUM_TRANSACTIONS,
+    MINSUP_GRID,
+    experiment_dataset,
+    experiment_params,
+    run_algorithm,
+)
+
+__all__ = [
+    "DEFAULT_MEMORY_PER_NODE",
+    "DEFAULT_NUM_NODES",
+    "DEFAULT_NUM_TRANSACTIONS",
+    "MINSUP_GRID",
+    "experiment_dataset",
+    "experiment_params",
+    "run_algorithm",
+]

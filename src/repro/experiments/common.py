@@ -1,0 +1,138 @@
+"""Shared experiment configuration: scaled datasets and run helpers.
+
+Scaling map (paper → this harness)
+----------------------------------
+==============================  ==============  =====================
+Quantity                        Paper           Here (default)
+==============================  ==============  =====================
+Transactions                    3 200 000       8 000  (×1/400)
+Items                           30 000          1 500  (×1/20)
+Potentially large itemsets      10 000          300
+Roots / fanout / |T| / |I|      30 / {3,5,10}   unchanged
+                                / 10 / 5
+Minimum support grid            2 % … 0.3 %     3 % … 0.75 %
+Per-node memory                 256 MB          60 000 candidate slots
+==============================  ==============  =====================
+
+Transactions shrink more than items, so the support grid shifts up to
+keep the candidate-volume *regimes* of the paper: at the large-support
+end |C2| fits a single node (NPGM healthy, plenty of free space for
+duplication); at the small end |C2| spans several nodes' memories
+(NPGM fragments, TGD cannot copy whole trees) while staying below the
+aggregate memory, the paper's standing assumption.
+
+The pattern weights are squared (``pattern_weight_exponent = 2``): at
+1/400 of the paper's transaction volume the Quest generator's natural
+frequency skew compresses, and the load imbalance that drives §3.4
+("load skew is intrinsic to the data mining problem") would all but
+vanish.  Squaring the exponential weights restores the hot-itemset
+dynamic range the full-size datasets exhibit.
+
+``REPRO_TX`` / ``REPRO_NODES`` / ``REPRO_MEMORY`` environment variables
+override the defaults for larger (or quicker) runs.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.datagen.generator import SyntheticDataset, generate_dataset
+from repro.datagen.params import GeneratorParams
+from repro.errors import DataGenerationError
+from repro.parallel.base import ParallelRun
+from repro.parallel.registry import make_miner
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return default if raw is None else int(raw)
+
+
+DEFAULT_NUM_TRANSACTIONS = _env_int("REPRO_TX", 8_000)
+DEFAULT_NUM_NODES = _env_int("REPRO_NODES", 16)
+DEFAULT_MEMORY_PER_NODE = _env_int("REPRO_MEMORY", 60_000)
+DEFAULT_SEED = 1998  # the paper's year
+
+#: The scaled analogue of the paper's 2 % … 0.3 % sweep.
+MINSUP_GRID: tuple[float, ...] = (0.03, 0.02, 0.015, 0.01, 0.0075)
+
+#: Scaled analogue of Table 6 / Figure 15's 0.3 % operating point.
+SKEW_POINT_MINSUP = 0.01
+
+#: Figure 16's two operating points (paper: 0.5 % and 0.3 %).
+SPEEDUP_MINSUPS: tuple[float, ...] = (0.015, 0.01)
+SPEEDUP_NODE_COUNTS: tuple[int, ...] = (4, 6, 8, 12, 16)
+
+_STRUCTURES = {
+    "R30F5": (30, 5.0),
+    "R30F3": (30, 3.0),
+    "R30F10": (30, 10.0),
+}
+
+DATASET_NAMES = tuple(_STRUCTURES)
+
+
+def experiment_params(
+    dataset: str,
+    num_transactions: int | None = None,
+    seed: int = DEFAULT_SEED,
+) -> GeneratorParams:
+    """Scaled generator parameters for one of the paper's datasets."""
+    try:
+        num_roots, fanout = _STRUCTURES[dataset.upper()]
+    except KeyError:
+        known = ", ".join(_STRUCTURES)
+        raise DataGenerationError(
+            f"unknown dataset {dataset!r}; known: {known}"
+        ) from None
+    return GeneratorParams(
+        num_transactions=(
+            num_transactions
+            if num_transactions is not None
+            else DEFAULT_NUM_TRANSACTIONS
+        ),
+        avg_transaction_size=10.0,
+        avg_pattern_size=5.0,
+        num_patterns=300,
+        num_items=1_500,
+        num_roots=num_roots,
+        fanout=fanout,
+        pattern_weight_exponent=2.0,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=8)
+def _cached_dataset(params: GeneratorParams) -> SyntheticDataset:
+    return generate_dataset(params)
+
+
+def experiment_dataset(
+    dataset: str,
+    num_transactions: int | None = None,
+    seed: int = DEFAULT_SEED,
+) -> SyntheticDataset:
+    """The (cached) scaled dataset; pure function of its arguments."""
+    return _cached_dataset(experiment_params(dataset, num_transactions, seed))
+
+
+def run_algorithm(
+    dataset: SyntheticDataset,
+    algorithm: str,
+    min_support: float,
+    num_nodes: int = DEFAULT_NUM_NODES,
+    memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
+    max_k: int | None = 2,
+) -> ParallelRun:
+    """Run one algorithm on a freshly built cluster.
+
+    ``max_k`` defaults to 2 because the paper's evaluation reports
+    pass 2 ("the results of the other passes are also very similar").
+    """
+    config = ClusterConfig(num_nodes=num_nodes, memory_per_node=memory_per_node)
+    cluster = Cluster.from_database(config, dataset.database)
+    miner = make_miner(algorithm, cluster, dataset.taxonomy)
+    return miner.mine(min_support, max_k=max_k)

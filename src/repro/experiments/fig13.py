@@ -1,0 +1,140 @@
+"""Figure 13 — pass-2 execution time, HPGM vs H-HPGM, varying support.
+
+Paper setting: all three datasets, 16 nodes, minimum support swept
+downward.  Expected shape: H-HPGM beats HPGM at every support level
+(the gap widens as support falls, since HPGM ships every k-itemset of
+every extended transaction) and both grow as support shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_MEMORY_PER_NODE,
+    DEFAULT_NUM_NODES,
+    MINSUP_GRID,
+    experiment_dataset,
+    run_algorithm,
+)
+from repro.metrics.tables import format_table
+
+ALGORITHMS: tuple[str, ...] = ("HPGM", "H-HPGM")
+
+
+@dataclass(frozen=True)
+class Fig13Point:
+    dataset: str
+    min_support: float
+    algorithm: str
+    elapsed: float
+    bytes_received: int
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    num_nodes: int
+    points: tuple[Fig13Point, ...]
+
+    def series(self, dataset: str, algorithm: str) -> list[tuple[float, float]]:
+        """(min_support, elapsed) points of one curve, support descending."""
+        return [
+            (p.min_support, p.elapsed)
+            for p in self.points
+            if p.dataset == dataset and p.algorithm == algorithm
+        ]
+
+    def to_chart(self) -> str:
+        """ASCII rendering of the figure (one chart per dataset)."""
+        from repro.metrics.charts import line_chart
+
+        blocks = []
+        for dataset in dict.fromkeys(p.dataset for p in self.points):
+            blocks.append(
+                line_chart(
+                    {
+                        algorithm: [
+                            (support * 100, elapsed)
+                            for support, elapsed in self.series(dataset, algorithm)
+                        ]
+                        for algorithm in ALGORITHMS
+                    },
+                    title=f"Figure 13 ({dataset}): pass-2 time vs minsup",
+                    x_label="minsup (%)",
+                    y_label="simulated s",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def to_table(self) -> str:
+        blocks = []
+        for dataset in dict.fromkeys(p.dataset for p in self.points):
+            rows = []
+            for min_support in dict.fromkeys(
+                p.min_support for p in self.points if p.dataset == dataset
+            ):
+                row: list[object] = [f"{min_support:.2%}"]
+                for algorithm in ALGORITHMS:
+                    match = [
+                        p
+                        for p in self.points
+                        if p.dataset == dataset
+                        and p.min_support == min_support
+                        and p.algorithm == algorithm
+                    ]
+                    row.append(match[0].elapsed if match else float("nan"))
+                rows.append(row)
+            blocks.append(
+                format_table(
+                    ["minsup"] + [f"{a} (s)" for a in ALGORITHMS],
+                    rows,
+                    title=(
+                        f"Figure 13 — pass-2 execution time, {dataset}, "
+                        f"{self.num_nodes} nodes"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    datasets: tuple[str, ...] = ("R30F5", "R30F3", "R30F10"),
+    min_supports: tuple[float, ...] = MINSUP_GRID,
+    num_nodes: int = DEFAULT_NUM_NODES,
+    memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
+) -> Fig13Result:
+    """Sweep min_support for HPGM and H-HPGM on each dataset."""
+    points = []
+    for dataset in datasets:
+        data = experiment_dataset(dataset)
+        for min_support in min_supports:
+            for algorithm in ALGORITHMS:
+                outcome = run_algorithm(
+                    data,
+                    algorithm,
+                    min_support,
+                    num_nodes=num_nodes,
+                    memory_per_node=memory_per_node,
+                )
+                pass2 = outcome.stats.pass_stats(2)
+                points.append(
+                    Fig13Point(
+                        dataset=dataset,
+                        min_support=min_support,
+                        algorithm=algorithm,
+                        elapsed=pass2.elapsed,
+                        bytes_received=pass2.total_bytes_received,
+                    )
+                )
+    return Fig13Result(num_nodes=num_nodes, points=tuple(points))
+
+
+def main() -> None:
+    result = run()
+    print(result.to_table())
+    print()
+    print(result.to_chart())
+
+
+if __name__ == "__main__":
+    main()

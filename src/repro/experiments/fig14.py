@@ -1,0 +1,172 @@
+"""Figure 14 — pass-2 execution time of the proposed algorithms.
+
+Paper setting: NPGM, H-HPGM, H-HPGM-TGD, H-HPGM-PGD, H-HPGM-FGD on 16
+nodes, minimum support swept downward, per-node memory bounded.
+
+Expected shape:
+
+* NPGM degrades sharply once |C2| overflows one node's memory (its
+  fragment count multiplies I/O and probing);
+* the duplication variants beat H-HPGM wherever free memory exists;
+* TGD converges to H-HPGM at small support (whole trees no longer fit);
+* FGD is the best performer across the whole range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_MEMORY_PER_NODE,
+    DEFAULT_NUM_NODES,
+    MINSUP_GRID,
+    experiment_dataset,
+    run_algorithm,
+)
+from repro.metrics.tables import format_table
+
+ALGORITHMS: tuple[str, ...] = (
+    "NPGM",
+    "H-HPGM",
+    "H-HPGM-TGD",
+    "H-HPGM-PGD",
+    "H-HPGM-FGD",
+)
+
+
+@dataclass(frozen=True)
+class Fig14Point:
+    dataset: str
+    min_support: float
+    algorithm: str
+    elapsed: float
+    fragments: int
+    duplicated: int
+    num_candidates: int
+
+    @property
+    def duplicated_fraction(self) -> float:
+        """|Ck^D| / |Ck| — how much of the candidate set was copied."""
+        if self.num_candidates == 0:
+            return 0.0
+        return self.duplicated / self.num_candidates
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    num_nodes: int
+    memory_per_node: int | None
+    points: tuple[Fig14Point, ...]
+
+    def series(self, dataset: str, algorithm: str) -> list[tuple[float, float]]:
+        return [
+            (p.min_support, p.elapsed)
+            for p in self.points
+            if p.dataset == dataset and p.algorithm == algorithm
+        ]
+
+    def point(self, dataset: str, min_support: float, algorithm: str) -> Fig14Point:
+        for p in self.points:
+            if (
+                p.dataset == dataset
+                and p.min_support == min_support
+                and p.algorithm == algorithm
+            ):
+                return p
+        raise KeyError((dataset, min_support, algorithm))
+
+    def to_chart(self) -> str:
+        """ASCII rendering of the figure (one chart per dataset)."""
+        from repro.metrics.charts import line_chart
+
+        blocks = []
+        for dataset in dict.fromkeys(p.dataset for p in self.points):
+            blocks.append(
+                line_chart(
+                    {
+                        algorithm: [
+                            (support * 100, elapsed)
+                            for support, elapsed in self.series(dataset, algorithm)
+                        ]
+                        for algorithm in ALGORITHMS
+                    },
+                    title=f"Figure 14 ({dataset}): pass-2 time vs minsup",
+                    x_label="minsup (%)",
+                    y_label="simulated s",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def to_table(self) -> str:
+        blocks = []
+        for dataset in dict.fromkeys(p.dataset for p in self.points):
+            rows = []
+            for min_support in dict.fromkeys(
+                p.min_support for p in self.points if p.dataset == dataset
+            ):
+                row: list[object] = [f"{min_support:.2%}"]
+                for algorithm in ALGORITHMS:
+                    try:
+                        row.append(self.point(dataset, min_support, algorithm).elapsed)
+                    except KeyError:
+                        row.append(float("nan"))
+                rows.append(row)
+            blocks.append(
+                format_table(
+                    ["minsup"] + [f"{a} (s)" for a in ALGORITHMS],
+                    rows,
+                    title=(
+                        f"Figure 14 — pass-2 execution time, {dataset}, "
+                        f"{self.num_nodes} nodes, M={self.memory_per_node}"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    datasets: tuple[str, ...] = ("R30F5", "R30F3", "R30F10"),
+    min_supports: tuple[float, ...] = MINSUP_GRID,
+    num_nodes: int = DEFAULT_NUM_NODES,
+    memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+) -> Fig14Result:
+    """Sweep min_support for the five proposed algorithms."""
+    points = []
+    for dataset in datasets:
+        data = experiment_dataset(dataset)
+        for min_support in min_supports:
+            for algorithm in algorithms:
+                outcome = run_algorithm(
+                    data,
+                    algorithm,
+                    min_support,
+                    num_nodes=num_nodes,
+                    memory_per_node=memory_per_node,
+                )
+                pass2 = outcome.stats.pass_stats(2)
+                points.append(
+                    Fig14Point(
+                        dataset=dataset,
+                        min_support=min_support,
+                        algorithm=algorithm,
+                        elapsed=pass2.elapsed,
+                        fragments=pass2.fragments,
+                        duplicated=pass2.duplicated_candidates,
+                        num_candidates=pass2.num_candidates,
+                    )
+                )
+    return Fig14Result(
+        num_nodes=num_nodes, memory_per_node=memory_per_node, points=tuple(points)
+    )
+
+
+def main() -> None:
+    result = run()
+    print(result.to_table())
+    print()
+    print(result.to_chart())
+
+
+if __name__ == "__main__":
+    main()

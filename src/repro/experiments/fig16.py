@@ -1,0 +1,145 @@
+"""Figure 16 — speedup ratio over node counts, normalised at 4 nodes.
+
+Paper setting: dataset R30F5, nodes in {4, 6, 8, 12, 16}, minimum
+support 0.5 % and 0.3 %, curves normalised by the 4-node time.
+
+Expected shape: H-HPGM-FGD and H-HPGM-PGD near-linear; H-HPGM clearly
+sub-linear (skew concentrates the routed fragments on few nodes and the
+pass lasts as long as its hottest node); TGD in between — when free
+memory is tight its whole-tree grain cannot duplicate and it tracks
+H-HPGM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_MEMORY_PER_NODE,
+    SPEEDUP_MINSUPS,
+    SPEEDUP_NODE_COUNTS,
+    experiment_dataset,
+    run_algorithm,
+)
+from repro.metrics.speedup import speedup_curve
+from repro.metrics.tables import format_table
+
+ALGORITHMS: tuple[str, ...] = (
+    "H-HPGM",
+    "H-HPGM-TGD",
+    "H-HPGM-PGD",
+    "H-HPGM-FGD",
+)
+
+
+@dataclass(frozen=True)
+class Fig16Curve:
+    algorithm: str
+    min_support: float
+    times: dict[int, float]
+    speedups: dict[int, float]
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    dataset: str
+    baseline_nodes: int
+    curves: tuple[Fig16Curve, ...]
+
+    def to_chart(self) -> str:
+        """ASCII speedup curves with the ideal-linearity reference."""
+        from repro.metrics.charts import line_chart
+
+        blocks = []
+        for min_support in dict.fromkeys(c.min_support for c in self.curves):
+            selected = [c for c in self.curves if c.min_support == min_support]
+            series: dict[str, list[tuple[float, float]]] = {
+                "ideal": [
+                    (float(n), float(n)) for n in sorted(selected[0].speedups)
+                ]
+            }
+            for curve in selected:
+                series[curve.algorithm] = sorted(curve.speedups.items())
+            blocks.append(
+                line_chart(
+                    series,
+                    title=(
+                        f"Figure 16 ({self.dataset}, minsup={min_support:.2%}): "
+                        "speedup vs nodes"
+                    ),
+                    x_label="nodes",
+                    y_label="speedup",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def to_table(self) -> str:
+        blocks = []
+        for min_support in dict.fromkeys(c.min_support for c in self.curves):
+            selected = [c for c in self.curves if c.min_support == min_support]
+            node_counts = sorted(selected[0].speedups)
+            rows = []
+            for nodes in node_counts:
+                row: list[object] = [nodes, float(nodes)]
+                for curve in selected:
+                    row.append(curve.speedups[nodes])
+                rows.append(row)
+            blocks.append(
+                format_table(
+                    ["nodes", "ideal"] + [c.algorithm for c in selected],
+                    rows,
+                    title=(
+                        f"Figure 16 — speedup ratio, {self.dataset}, "
+                        f"minsup={min_support:.2%} "
+                        f"(normalised at {self.baseline_nodes} nodes)"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    dataset: str = "R30F5",
+    min_supports: tuple[float, ...] = SPEEDUP_MINSUPS,
+    node_counts: tuple[int, ...] = SPEEDUP_NODE_COUNTS,
+    memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+) -> Fig16Result:
+    """Sweep node counts at each support level; normalise at the smallest."""
+    data = experiment_dataset(dataset)
+    baseline = min(node_counts)
+    curves = []
+    for min_support in min_supports:
+        for algorithm in algorithms:
+            times: dict[int, float] = {}
+            for num_nodes in node_counts:
+                outcome = run_algorithm(
+                    data,
+                    algorithm,
+                    min_support,
+                    num_nodes=num_nodes,
+                    memory_per_node=memory_per_node,
+                )
+                times[num_nodes] = outcome.stats.pass_stats(2).elapsed
+            curves.append(
+                Fig16Curve(
+                    algorithm=algorithm,
+                    min_support=min_support,
+                    times=times,
+                    speedups=speedup_curve(times, baseline),
+                )
+            )
+    return Fig16Result(
+        dataset=dataset, baseline_nodes=baseline, curves=tuple(curves)
+    )
+
+
+def main() -> None:
+    result = run()
+    print(result.to_table())
+    print()
+    print(result.to_chart())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Table 6 — average received message volume per node, HPGM vs H-HPGM.
+
+Paper setting: dataset R30F5, minimum support 0.3 %, pass 2, nodes in
+{8, 12, 16}.  Reported quantity: mean bytes received per node.  The
+paper's numbers (MB): HPGM 360.7 / 251.9 / 193.3 vs H-HPGM 12.5 / 9.6 /
+7.8 — H-HPGM receives 25–30× less.  The reproduction checks the
+*ratio*, not the absolute megabytes (the data is scaled down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_MEMORY_PER_NODE,
+    SKEW_POINT_MINSUP,
+    experiment_dataset,
+    run_algorithm,
+)
+from repro.metrics.tables import format_table
+
+#: Paper values for reference rows (MB received per node).
+PAPER_TABLE6 = {
+    8: {"HPGM": 360.7, "H-HPGM": 12.5},
+    12: {"HPGM": 251.9, "H-HPGM": 9.6},
+    16: {"HPGM": 193.3, "H-HPGM": 7.8},
+}
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One (node count) row of the table."""
+
+    num_nodes: int
+    hpgm_bytes_per_node: float
+    hhpgm_bytes_per_node: float
+
+    @property
+    def ratio(self) -> float:
+        """HPGM volume relative to H-HPGM (paper: 25–30×)."""
+        if self.hhpgm_bytes_per_node == 0:
+            return float("inf")
+        return self.hpgm_bytes_per_node / self.hhpgm_bytes_per_node
+
+
+@dataclass(frozen=True)
+class Table6Result:
+    dataset: str
+    min_support: float
+    rows: tuple[Table6Row, ...]
+
+    def to_table(self) -> str:
+        headers = [
+            "# of nodes",
+            "HPGM (KB/node)",
+            "H-HPGM (KB/node)",
+            "ratio",
+            "paper ratio",
+        ]
+        body = []
+        for row in self.rows:
+            paper = PAPER_TABLE6.get(row.num_nodes)
+            paper_ratio = (
+                paper["HPGM"] / paper["H-HPGM"] if paper is not None else float("nan")
+            )
+            body.append(
+                [
+                    row.num_nodes,
+                    row.hpgm_bytes_per_node / 1024.0,
+                    row.hhpgm_bytes_per_node / 1024.0,
+                    row.ratio,
+                    paper_ratio,
+                ]
+            )
+        return format_table(
+            headers,
+            body,
+            title=(
+                f"Table 6 — avg received message volume per node "
+                f"({self.dataset}, minsup={self.min_support:.2%}, pass 2)"
+            ),
+        )
+
+
+def run(
+    dataset: str = "R30F5",
+    min_support: float = SKEW_POINT_MINSUP,
+    node_counts: tuple[int, ...] = (8, 12, 16),
+    memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
+) -> Table6Result:
+    """Measure pass-2 received bytes for HPGM and H-HPGM."""
+    data = experiment_dataset(dataset)
+    rows = []
+    for num_nodes in node_counts:
+        per_algorithm = {}
+        for algorithm in ("HPGM", "H-HPGM"):
+            outcome = run_algorithm(
+                data,
+                algorithm,
+                min_support,
+                num_nodes=num_nodes,
+                memory_per_node=memory_per_node,
+            )
+            per_algorithm[algorithm] = outcome.stats.pass_stats(2).avg_bytes_received
+        rows.append(
+            Table6Row(
+                num_nodes=num_nodes,
+                hpgm_bytes_per_node=per_algorithm["HPGM"],
+                hhpgm_bytes_per_node=per_algorithm["H-HPGM"],
+            )
+        )
+    return Table6Result(
+        dataset=dataset, min_support=min_support, rows=tuple(rows)
+    )
+
+
+def main() -> None:
+    print(run().to_table())
+
+
+if __name__ == "__main__":
+    main()

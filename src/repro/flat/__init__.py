@@ -1,0 +1,44 @@
+"""Flat (non-hierarchical) parallel association mining — the paper's lineage.
+
+The paper builds directly on the authors' earlier HPA work (Shintani &
+Kitsuregawa, PDIS '96, cited as [SK96]): *"In our previous study, we
+proposed parallel algorithm for mining association rules on a
+shared-nothing environment, named HPA (Hash Partitioned Apriori)"*.
+This subpackage implements that flat family on the same cluster
+simulator, both as the historical baseline and as the cleanest way to
+see what the hierarchy adds:
+
+* :class:`~repro.flat.npa.NPA` — Non-Partitioned Apriori: candidates
+  replicated, counts reduced (Count-Distribution style); fragments and
+  re-scans when candidates overflow one node's memory.
+* :class:`~repro.flat.spa.SPA` — Simply-Partitioned Apriori:
+  candidates split round-robin, every transaction broadcast to every
+  node (Data-Distribution style).
+* :class:`~repro.flat.hpa.HPA` — Hash-Partitioned Apriori: candidates
+  and generated k-itemsets routed by the same hash; only the itemsets
+  travel, to exactly one node each.
+* :class:`~repro.flat.hpa_eld.HPAELD` — HPA with Extremely Large
+  itemset Duplication: the frequently occurring candidates are copied
+  to all nodes and counted locally — the direct ancestor of the
+  paper's TGD/PGD/FGD skew handling.
+
+All four return exactly :func:`repro.core.apriori`'s answer (tested).
+"""
+
+from repro.flat.base import FlatParallelMiner, mine_flat_parallel
+from repro.flat.hpa import HPA
+from repro.flat.hpa_eld import HPAELD
+from repro.flat.npa import NPA
+from repro.flat.registry import FLAT_ALGORITHMS, make_flat_miner
+from repro.flat.spa import SPA
+
+__all__ = [
+    "FLAT_ALGORITHMS",
+    "FlatParallelMiner",
+    "HPA",
+    "HPAELD",
+    "NPA",
+    "SPA",
+    "make_flat_miner",
+    "mine_flat_parallel",
+]

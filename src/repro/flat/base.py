@@ -1,0 +1,134 @@
+"""Shared skeleton of the flat parallel miners ([SK96] family).
+
+Mirrors :class:`repro.parallel.base.ParallelMiner` without the
+taxonomy: pass 1 counts plain items locally and reduces; pass k >= 2 is
+algorithm-specific.  Kept separate rather than parameterising the
+hierarchical base — the two families differ in every pass-k mechanism,
+and sharing only the thin loop would couple them for no gain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.cluster.stats import PassStats, RunStats
+from repro.core.candidates import apriori_gen
+from repro.core.itemsets import Itemset, minimum_count
+from repro.core.result import MiningResult, PassResult
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+
+
+@dataclass(frozen=True)
+class FlatParallelRun:
+    """Outcome of a flat parallel mining run."""
+
+    result: MiningResult
+    stats: RunStats
+
+    @property
+    def algorithm(self) -> str:
+        return self.stats.algorithm
+
+
+class FlatParallelMiner(ABC):
+    """Base class for NPA / SPA / HPA / HPA-ELD."""
+
+    name = "abstract-flat"
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._item_counts: dict[int, int] = {}
+
+    def mine(self, min_support: float, max_k: int | None = None) -> FlatParallelRun:
+        """Run the pass loop; parameters as in the hierarchical miners."""
+        num_transactions = self.cluster.num_transactions
+        if num_transactions == 0:
+            raise MiningError("cannot mine an empty cluster")
+        threshold = minimum_count(min_support, num_transactions)
+
+        result = MiningResult(
+            min_support=min_support, num_transactions=num_transactions
+        )
+        run = RunStats(algorithm=self.name, num_nodes=self.cluster.num_nodes)
+
+        large_1, pass1_stats = self._pass_one(threshold)
+        result.passes.append(
+            PassResult(k=1, num_candidates=pass1_stats.num_candidates, large=large_1)
+        )
+        run.passes.append(pass1_stats)
+
+        previous: dict[Itemset, int] = large_1
+        k = 2
+        while previous and (max_k is None or k <= max_k):
+            candidates = apriori_gen(previous.keys(), k)
+            if not candidates:
+                break
+            large_k, pass_stats = self._run_pass(k, candidates, threshold)
+            result.passes.append(
+                PassResult(k=k, num_candidates=len(candidates), large=large_k)
+            )
+            run.passes.append(pass_stats)
+            previous = large_k
+            k += 1
+
+        return FlatParallelRun(result=result, stats=run)
+
+    def _pass_one(self, threshold: int) -> tuple[dict[Itemset, int], PassStats]:
+        self.cluster.begin_pass()
+        total: dict[int, int] = {}
+        reduced = 0
+        budget = self.cluster.config.memory_per_node
+        for node in self.cluster.nodes:
+            stats = node.stats
+            local: dict[int, int] = {}
+            for transaction in node.disk.scan(stats):
+                stats.probes += len(transaction)
+                stats.increments += len(transaction)
+                for item in transaction:
+                    local[item] = local.get(item, 0) + 1
+            node.charge_candidates(
+                len(local) if budget is None else min(len(local), budget)
+            )
+            reduced += len(local)
+            for item, count in local.items():
+                total[item] = total.get(item, 0) + count
+
+        self._item_counts = total
+        large_1 = {
+            (item,): count for item, count in total.items() if count >= threshold
+        }
+        pass_stats = self.cluster.finish_pass(
+            k=1,
+            num_candidates=len(total),
+            num_large=len(large_1),
+            reduced_counts=reduced,
+        )
+        return large_1, pass_stats
+
+    @abstractmethod
+    def _run_pass(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        threshold: int,
+    ) -> tuple[dict[Itemset, int], PassStats]:
+        """Count one pass; return the large k-itemsets and the pass stats."""
+
+
+def mine_flat_parallel(
+    database: TransactionDatabase,
+    min_support: float,
+    algorithm: str = "HPA",
+    config: ClusterConfig | None = None,
+    max_k: int | None = None,
+) -> FlatParallelRun:
+    """One-call entry point mirroring :func:`repro.parallel.mine_parallel`."""
+    from repro.flat.registry import make_flat_miner
+
+    config = config if config is not None else ClusterConfig.sp2_like()
+    cluster = Cluster.from_database(config, database)
+    return make_flat_miner(algorithm, cluster).mine(min_support, max_k=max_k)

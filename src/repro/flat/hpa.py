@@ -1,0 +1,140 @@
+"""HPA — Hash-Partitioned Apriori ([SK96], the paper's own precursor).
+
+Candidates are placed by hashing the itemset; during the scan each
+node enumerates the k-itemsets of its local transactions and ships
+each one to the node owning its hash — exactly one destination per
+itemset, no broadcast.  HPGM is this algorithm plus ancestor handling;
+running both on the same simulator shows what the hierarchy costs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.cluster.stats import PassStats
+from repro.core.itemsets import Itemset
+from repro.flat.base import FlatParallelMiner
+from repro.parallel.allocation import itemset_owner, partition_candidates_by_itemset
+
+
+class HPA(FlatParallelMiner):
+    """Hash-partitioned candidates with per-itemset routing."""
+
+    name = "HPA"
+
+    def _duplicate_candidates(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        partition_sizes: list[int],
+    ) -> set[Itemset]:
+        """Hook for HPA-ELD; plain HPA duplicates nothing."""
+        return set()
+
+    def _run_pass(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        threshold: int,
+    ) -> tuple[dict[Itemset, int], PassStats]:
+        cluster = self.cluster
+        num_nodes = cluster.num_nodes
+        network = cluster.network
+        node_stats = cluster.begin_pass()
+
+        partitions = partition_candidates_by_itemset(candidates, num_nodes)
+        duplicated = self._duplicate_candidates(
+            k, candidates, [len(p) for p in partitions]
+        )
+        if duplicated:
+            partitions = [
+                [c for c in partition if c not in duplicated]
+                for partition in partitions
+            ]
+        counts: list[dict[Itemset, int]] = [
+            dict.fromkeys(partition, 0) for partition in partitions
+        ]
+        dup_counts: list[dict[Itemset, int]] | None = (
+            [dict.fromkeys(duplicated, 0) for _ in range(num_nodes)]
+            if duplicated
+            else None
+        )
+        for node, partition in zip(cluster.nodes, partitions):
+            node.charge_candidates(len(partition) + len(duplicated))
+
+        universe = {item for c in candidates for item in c}
+
+        for node in cluster.nodes:
+            me = node.node_id
+            stats = node.stats
+            my_counts = counts[me]
+            my_dups = dup_counts[me] if dup_counts is not None else None
+            for transaction in node.disk.scan(stats):
+                relevant = tuple(i for i in transaction if i in universe)
+                if len(relevant) < k:
+                    continue
+                batches: dict[int, list[int]] = {}
+                for subset in combinations(relevant, k):
+                    stats.itemsets_generated += 1
+                    if my_dups is not None and subset in my_dups:
+                        # ELD: frequent itemsets are counted locally and
+                        # never travel.
+                        stats.probes += 1
+                        my_dups[subset] += 1
+                        stats.increments += 1
+                        continue
+                    dest = itemset_owner(subset, num_nodes)
+                    if dest == me:
+                        stats.probes += 1
+                        if subset in my_counts:
+                            my_counts[subset] += 1
+                            stats.increments += 1
+                    else:
+                        batches.setdefault(dest, []).extend(subset)
+                for dest, flat in batches.items():
+                    network.send(me, dest, tuple(flat), stats, node_stats[dest])
+
+        for node in cluster.nodes:
+            me = node.node_id
+            stats = node.stats
+            my_counts = counts[me]
+            for payload in network.drain(me):
+                for start in range(0, len(payload), k):
+                    subset = payload[start : start + k]
+                    stats.probes += 1
+                    if subset in my_counts:
+                        my_counts[subset] += 1
+                        stats.increments += 1
+
+        large: dict[Itemset, int] = {}
+        reduced = 0
+        for per_node in counts:
+            local_large = {
+                itemset: count
+                for itemset, count in per_node.items()
+                if count >= threshold
+            }
+            reduced += len(local_large)
+            large.update(local_large)
+        if dup_counts is not None:
+            aggregated: dict[Itemset, int] = {}
+            for per_node in dup_counts:
+                for itemset, count in per_node.items():
+                    aggregated[itemset] = aggregated.get(itemset, 0) + count
+            reduced += len(duplicated) * num_nodes
+            large.update(
+                {
+                    itemset: count
+                    for itemset, count in aggregated.items()
+                    if count >= threshold
+                }
+            )
+
+        pass_stats = cluster.finish_pass(
+            k=k,
+            num_candidates=len(candidates),
+            num_large=len(large),
+            reduced_counts=reduced,
+            duplicated_candidates=len(duplicated),
+        )
+        return large, pass_stats

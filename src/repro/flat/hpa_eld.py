@@ -1,0 +1,38 @@
+"""HPA-ELD — HPA with Extremely Large itemset Duplication ([SK96]).
+
+The skew handler of the flat family and the direct ancestor of the
+paper's TGD/PGD/FGD: when the hash-partitioned candidates leave free
+memory, the candidates built from the most frequent items are copied
+to every node and counted locally, so the hottest itemsets neither
+travel nor pile onto one owner.
+"""
+
+from __future__ import annotations
+
+from repro.core.itemsets import Itemset
+from repro.flat.hpa import HPA
+from repro.parallel.duplication import GreedyPacker
+from repro.parallel.allocation import itemset_owner
+
+
+class HPAELD(HPA):
+    """HPA plus frequent-itemset duplication into free memory."""
+
+    name = "HPA-ELD"
+
+    def _duplicate_candidates(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        partition_sizes: list[int],
+    ) -> set[Itemset]:
+        item_counts = self._item_counts
+        ordered = sorted(
+            candidates,
+            key=lambda c: (-sum(item_counts.get(i, 0) for i in c), c),
+        )
+        packer = GreedyPacker(partition_sizes, self.cluster.config.memory_per_node)
+        num_nodes = self.cluster.num_nodes
+        for candidate in ordered:
+            packer.try_add([(candidate, itemset_owner(candidate, num_nodes))])
+        return packer.duplicated

@@ -1,0 +1,31 @@
+"""Registry for the flat ([SK96]) algorithm family."""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.errors import MiningError
+from repro.flat.base import FlatParallelMiner
+from repro.flat.hpa import HPA
+from repro.flat.hpa_eld import HPAELD
+from repro.flat.npa import NPA
+from repro.flat.spa import SPA
+
+#: Name → miner class, in [SK96]'s order.
+FLAT_ALGORITHMS: dict[str, type[FlatParallelMiner]] = {
+    "NPA": NPA,
+    "SPA": SPA,
+    "HPA": HPA,
+    "HPA-ELD": HPAELD,
+}
+
+
+def make_flat_miner(algorithm: str, cluster: Cluster) -> FlatParallelMiner:
+    """Instantiate a flat miner by name (case-insensitive)."""
+    try:
+        miner_class = FLAT_ALGORITHMS[algorithm.upper()]
+    except KeyError:
+        known = ", ".join(FLAT_ALGORITHMS)
+        raise MiningError(
+            f"unknown flat algorithm {algorithm!r}; known: {known}"
+        ) from None
+    return miner_class(cluster)

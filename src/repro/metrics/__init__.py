@@ -1,0 +1,27 @@
+"""Load-balance and speedup metrics, plus text-table rendering.
+
+These are the lenses the paper's evaluation looks through: Figure 15 is
+a per-node workload distribution, Figure 16 a speedup curve.  The
+balance metrics beyond the paper (coefficient of variation, max/mean)
+quantify the flatness the paper shows graphically.
+"""
+
+from repro.metrics.balance import (
+    balance_summary,
+    coefficient_of_variation,
+    max_mean_ratio,
+)
+from repro.metrics.charts import bar_chart, line_chart
+from repro.metrics.speedup import efficiency_curve, speedup_curve
+from repro.metrics.tables import format_table
+
+__all__ = [
+    "balance_summary",
+    "bar_chart",
+    "coefficient_of_variation",
+    "efficiency_curve",
+    "format_table",
+    "line_chart",
+    "max_mean_ratio",
+    "speedup_curve",
+]

@@ -1,0 +1,74 @@
+"""Workload-distribution metrics (Figure 15's flatness, quantified).
+
+The paper compares per-node hash-probe counts visually; these helpers
+reduce a per-node distribution to the numbers the benchmarks report:
+
+* :func:`coefficient_of_variation` — stddev / mean; 0 for a perfectly
+  flat distribution.
+* :func:`max_mean_ratio` — the bulk-synchronous slowdown factor: a pass
+  lasts as long as its most loaded node, so max/mean is exactly the
+  time lost to skew.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+def _require_values(values: Sequence[float]) -> None:
+    if not values:
+        raise ReproError("balance metrics need at least one value")
+    if any(v < 0 for v in values):
+        raise ReproError("balance metrics need non-negative values")
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Population stddev divided by mean (0.0 when the mean is 0)."""
+    _require_values(values)
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean
+
+
+def max_mean_ratio(values: Sequence[float]) -> float:
+    """Most-loaded node relative to the average (1.0 = perfectly flat)."""
+    _require_values(values)
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 1.0
+    return max(values) / mean
+
+
+@dataclass(frozen=True)
+class BalanceSummary:
+    """Summary statistics of one per-node workload distribution."""
+
+    minimum: float
+    maximum: float
+    mean: float
+    cv: float
+    max_mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"min={self.minimum:.0f} max={self.maximum:.0f} "
+            f"mean={self.mean:.1f} cv={self.cv:.3f} max/mean={self.max_mean:.3f}"
+        )
+
+
+def balance_summary(values: Sequence[float]) -> BalanceSummary:
+    """Compute the full balance summary of a per-node distribution."""
+    _require_values(values)
+    return BalanceSummary(
+        minimum=min(values),
+        maximum=max(values),
+        mean=sum(values) / len(values),
+        cv=coefficient_of_variation(values),
+        max_mean=max_mean_ratio(values),
+    )

@@ -1,0 +1,126 @@
+"""ASCII line charts — terminal renderings of the paper's figures.
+
+The experiment harness prints tables (exact numbers) *and* a chart (the
+figure's shape at a glance).  Pure text, no plotting dependency; one
+marker character per series, shared axes, optional sub-linear-friendly
+scaling from zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ReproError
+
+_MARKERS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_from_zero: bool = True,
+) -> str:
+    """Render (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Name → list of (x, y) points.  Up to eight series (one marker
+        each); points need not be sorted.
+    width / height:
+        Plot-area size in characters.
+    y_from_zero:
+        Anchor the y axis at zero (the paper's figures all do).
+
+    Returns
+    -------
+    The chart as a multi-line string, legend included.
+    """
+    if not series:
+        raise ReproError("line_chart needs at least one series")
+    if len(series) > len(_MARKERS):
+        raise ReproError(f"at most {len(_MARKERS)} series supported")
+    if width < 8 or height < 4:
+        raise ReproError("chart area too small")
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ReproError("line_chart needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low = 0.0 if y_from_zero else min(ys)
+    y_high = max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    def column(x: float) -> int:
+        return round((x - x_low) / (x_high - x_low) * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_low) / (y_high - y_low) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            r, c = row(y), column(x)
+            grid[r][c] = marker if grid[r][c] == " " else "+"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.4g}"
+    bottom_label = f"{y_low:.4g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for index, grid_row in enumerate(grid):
+        if index == 0:
+            label = top_label.rjust(gutter)
+        elif index == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label}|" + "".join(grid_row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    left = f"{x_low:.4g}"
+    right = f"{x_high:.4g}"
+    padding = width - len(left) - len(right)
+    lines.append(
+        " " * (gutter + 1) + left + " " * max(1, padding) + right
+    )
+    lines.append(" " * (gutter + 1) + f"{x_label}  (y: {y_label})")
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart (Figure 15's per-node bars, textually)."""
+    if not values:
+        raise ReproError("bar_chart needs at least one bar")
+    peak = max(values.values())
+    if peak < 0:
+        raise ReproError("bar_chart needs non-negative values")
+    label_width = max(len(str(label)) for label in values)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        length = 0 if peak == 0 else max(
+            1 if value > 0 else 0, round(width * value / peak)
+        )
+        lines.append(
+            f"{str(label).rjust(label_width)} |{'#' * length} {value:.4g}"
+        )
+    return "\n".join(lines)

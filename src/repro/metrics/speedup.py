@@ -1,0 +1,49 @@
+"""Speedup and efficiency curves (Figure 16).
+
+The paper normalises by the **4-node** execution time (not 1-node),
+so :func:`speedup_curve` takes the baseline node count explicitly and
+scales the curve so the baseline point equals its node count — e.g.
+ideal linearity through (4, 4), (8, 8), (16, 16).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ReproError
+
+
+def speedup_curve(
+    times: Mapping[int, float],
+    baseline_nodes: int,
+) -> dict[int, float]:
+    """Node count → speedup, normalised like the paper's Figure 16.
+
+    ``speedup(n) = baseline_nodes * time(baseline_nodes) / time(n)``,
+    so the baseline point sits at ``baseline_nodes`` and an ideally
+    linear algorithm follows ``speedup(n) = n``.
+    """
+    if baseline_nodes not in times:
+        raise ReproError(
+            f"baseline node count {baseline_nodes} missing from the sweep"
+        )
+    baseline_time = times[baseline_nodes]
+    if baseline_time <= 0:
+        raise ReproError("baseline time must be positive")
+    curve: dict[int, float] = {}
+    for nodes, elapsed in sorted(times.items()):
+        if elapsed <= 0:
+            raise ReproError(f"non-positive time at {nodes} nodes")
+        curve[nodes] = baseline_nodes * baseline_time / elapsed
+    return curve
+
+
+def efficiency_curve(
+    times: Mapping[int, float],
+    baseline_nodes: int,
+) -> dict[int, float]:
+    """Node count → parallel efficiency (speedup / node count)."""
+    return {
+        nodes: speedup / nodes
+        for nodes, speedup in speedup_curve(times, baseline_nodes).items()
+    }

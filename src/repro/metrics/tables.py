@@ -1,0 +1,51 @@
+"""Aligned text tables for the benchmark harness output.
+
+Every experiment prints its rows through :func:`format_table` so the
+bench output reads like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a right-aligned monospace table.
+
+    Floats are formatted with 4 significant decimals; everything else
+    through ``str``.  Column widths fit the widest cell.
+    """
+    if not headers:
+        raise ReproError("a table needs at least one column")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells for {len(headers)} columns"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered), 1)
+        if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

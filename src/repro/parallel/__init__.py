@@ -1,0 +1,46 @@
+"""The paper's contribution: six parallel generalized-rule miners.
+
+All six algorithms mine exactly the same large itemsets as sequential
+:func:`repro.core.cumulate` (the test suite asserts equality); they
+differ in where candidates live and what crosses the interconnect:
+
+* :class:`~repro.parallel.npgm.NPGM` — candidates replicated; fragments
+  and re-scans the database when they overflow a node's memory.
+* :class:`~repro.parallel.hpgm.HPGM` — candidates hash-partitioned
+  ignoring the hierarchy; every k-itemset of every extended transaction
+  is shipped to its owner.
+* :class:`~repro.parallel.hhpgm.HHPGM` — candidates partitioned by the
+  hash of their *root* itemset, so a candidate and all of its ancestor
+  candidates share a node and only lowest-large items travel.
+* :class:`~repro.parallel.hhpgm_tgd.HHPGMTreeGrain`,
+  :class:`~repro.parallel.hhpgm_pgd.HHPGMPathGrain`,
+  :class:`~repro.parallel.hhpgm_fgd.HHPGMFineGrain` — H-HPGM plus
+  duplication of frequent candidates into the cluster's free memory, at
+  tree / path / fine grain respectively.
+
+:func:`mine_parallel` is the one-call convenience entry point;
+:data:`ALGORITHMS` maps paper names to classes.
+"""
+
+from repro.parallel.base import ParallelMiner, ParallelRun
+from repro.parallel.hhpgm import HHPGM
+from repro.parallel.hhpgm_fgd import HHPGMFineGrain
+from repro.parallel.hhpgm_pgd import HHPGMPathGrain
+from repro.parallel.hhpgm_tgd import HHPGMTreeGrain
+from repro.parallel.hpgm import HPGM
+from repro.parallel.npgm import NPGM
+from repro.parallel.registry import ALGORITHMS, make_miner, mine_parallel
+
+__all__ = [
+    "ALGORITHMS",
+    "HHPGM",
+    "HHPGMFineGrain",
+    "HHPGMPathGrain",
+    "HHPGMTreeGrain",
+    "HPGM",
+    "NPGM",
+    "ParallelMiner",
+    "ParallelRun",
+    "make_miner",
+    "mine_parallel",
+]

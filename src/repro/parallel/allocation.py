@@ -1,0 +1,175 @@
+"""Candidate→node placement: itemset hashing and root-itemset hashing.
+
+Two placement schemes from the paper:
+
+* **HPGM** hashes the candidate itemset itself (Figure 3) — placement
+  ignores the hierarchy, so a candidate and its ancestor candidates
+  usually land on different nodes.
+* **H-HPGM** hashes the candidate's *root itemset* (Figure 5, line 6):
+  each item is replaced by the root of its tree, the resulting multiset
+  is hashed, and therefore every candidate sharing a root combination —
+  in particular a candidate and all of its ancestor candidates — lands
+  on one node.
+
+The hash must be identical on every node and across runs, so Python's
+randomized ``hash`` is out; :func:`stable_hash` is FNV-1a over the item
+ids' bytes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from itertools import combinations
+
+from repro.core.counting import feasible_sorted_multisets
+from repro.core.itemsets import Itemset
+from repro.taxonomy.hierarchy import Taxonomy
+
+RootKey = tuple[int, ...]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(items: Iterable[int]) -> int:
+    """Deterministic hash of a sequence of item ids.
+
+    FNV-1a over the ids' bytes, finished with a splitmix64-style
+    avalanche so the low bits disperse well (``% num_nodes`` reads
+    them); raw FNV-1a leaves consecutive inputs correlated in the low
+    bits, which skews candidate placement.  Identical across processes
+    and platforms (unlike built-in ``hash`` under hash randomisation):
+    every node must agree on every placement decision without
+    communicating.
+    """
+    value = _FNV_OFFSET
+    for item in items:
+        for _ in range(4):
+            value ^= item & 0xFF
+            value = (value * _FNV_PRIME) & _MASK
+            item >>= 8
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & _MASK
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & _MASK
+    value ^= value >> 33
+    return value
+
+
+def itemset_owner(itemset: Itemset, num_nodes: int) -> int:
+    """HPGM placement: hash of the itemset itself."""
+    return stable_hash(itemset) % num_nodes
+
+
+def root_key(itemset: Itemset, root_of: Mapping[int, int]) -> RootKey:
+    """The root itemset of a candidate, as a sorted multiset.
+
+    Multiplicity matters: a candidate with two items from tree 1 has
+    root key ``(1, 1)``, distinct from ``(1, 2)`` (the paper's Example 2
+    hashes ``{5, 10}`` — roots ``(1, 1)`` — separately from ``{5, 6}`` —
+    roots ``(1, 2)``).
+    """
+    return tuple(sorted(root_of[item] for item in itemset))
+
+
+def root_key_owner(key: RootKey, num_nodes: int) -> int:
+    """H-HPGM placement: hash of the root itemset."""
+    return stable_hash(key) % num_nodes
+
+
+def build_root_table(taxonomy: Taxonomy) -> dict[int, int]:
+    """Item → root-of-its-tree lookup table."""
+    return {item: taxonomy.root_of(item) for item in taxonomy.items}
+
+
+def group_by_root_key(
+    candidates: Iterable[Itemset],
+    root_of: Mapping[int, int],
+) -> dict[RootKey, list[Itemset]]:
+    """Bucket candidates by their root itemset."""
+    groups: dict[RootKey, list[Itemset]] = {}
+    for candidate in candidates:
+        groups.setdefault(root_key(candidate, root_of), []).append(candidate)
+    return groups
+
+
+def feasible_root_keys(
+    transaction_roots: Counter[int],
+    k: int,
+) -> list[RootKey]:
+    """Root multisets of size ``k`` realisable by this transaction.
+
+    ``transaction_roots`` counts how many transaction items fall in each
+    tree; a key is feasible when no root is used more often than the
+    transaction supplies items for it.  Feasible keys drive routing: the
+    items of every feasible key's trees form the fragment t″ sent to the
+    key's owner.
+    """
+    return feasible_sorted_multisets(transaction_roots, k)
+
+
+def partition_candidates_by_itemset(
+    candidates: Iterable[Itemset],
+    num_nodes: int,
+) -> list[list[Itemset]]:
+    """HPGM's partitioning: node → its candidate list."""
+    partitions: list[list[Itemset]] = [[] for _ in range(num_nodes)]
+    for candidate in candidates:
+        partitions[itemset_owner(candidate, num_nodes)].append(candidate)
+    return partitions
+
+
+def partition_candidates_by_root(
+    candidates: Iterable[Itemset],
+    root_of: Mapping[int, int],
+    num_nodes: int,
+) -> tuple[list[list[Itemset]], dict[RootKey, int]]:
+    """H-HPGM's partitioning.
+
+    Returns the per-node candidate lists and the root-key → owner map
+    (which routing consults on the sending side).
+    """
+    partitions: list[list[Itemset]] = [[] for _ in range(num_nodes)]
+    owners: dict[RootKey, int] = {}
+    for key, group in group_by_root_key(candidates, root_of).items():
+        owner = root_key_owner(key, num_nodes)
+        owners[key] = owner
+        partitions[owner].extend(group)
+    return partitions, owners
+
+
+def ancestor_closure(
+    candidate: Itemset,
+    candidate_set: frozenset[Itemset] | set[Itemset],
+    chains: Mapping[int, tuple[int, ...]],
+) -> set[Itemset]:
+    """All ancestor candidates of ``candidate`` (itself excluded).
+
+    ``chains`` maps an item to its ancestors-or-self tuple.  Used by the
+    PGD/FGD duplicate selectors, which copy a frequent itemset *"and
+    their all ancestor itemsets"*.
+    """
+    closure: set[Itemset] = set()
+    options = [chains.get(item, (item,)) for item in candidate]
+    stack: list[tuple[int, list[int]]] = [(0, [])]
+    while stack:
+        depth, chosen = stack.pop()
+        if depth == len(options):
+            variant = tuple(sorted(set(chosen)))
+            if (
+                len(variant) == len(candidate)
+                and variant != candidate
+                and variant in candidate_set
+            ):
+                closure.add(variant)
+            continue
+        for item in options[depth]:
+            stack.append((depth + 1, chosen + [item]))
+    return closure
+
+
+def candidate_pairs_from(items: tuple[int, ...], k: int) -> Iterable[Itemset]:
+    """All sorted k-subsets of an already sorted item tuple."""
+    return combinations(items, k)

@@ -1,0 +1,174 @@
+"""Shared skeleton of every parallel miner.
+
+All six algorithms share the Apriori pass structure (Section 3):
+
+* **Pass 1** is embarrassingly parallel and identical everywhere: each
+  node counts items-plus-ancestors over its local partition and the
+  coordinator reduces (the paper's evaluation starts at pass 2, where
+  the algorithms diverge).
+* **Pass k ≥ 2** differs per algorithm only in candidate placement and
+  in what crosses the interconnect; subclasses implement
+  :meth:`ParallelMiner._run_pass`.
+
+Candidate generation is performed redundantly on every node from the
+broadcast ``L_{k-1}`` (as in the paper); since it is deterministic the
+simulator computes it once and charges no communication for it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cluster.machine import Cluster
+from repro.cluster.stats import PassStats, RunStats
+from repro.core.candidates import generate_candidates
+from repro.core.itemsets import Itemset, minimum_count
+from repro.core.result import MiningResult, PassResult
+from repro.errors import MiningError
+from repro.parallel.allocation import build_root_table
+from repro.taxonomy.hierarchy import Taxonomy
+from repro.taxonomy.ops import AncestorIndex
+
+
+@dataclass(frozen=True)
+class ParallelRun:
+    """Outcome of a parallel mining run: the answer plus the telemetry."""
+
+    result: MiningResult
+    stats: RunStats
+
+    @property
+    def algorithm(self) -> str:
+        return self.stats.algorithm
+
+
+class ParallelMiner(ABC):
+    """Base class: pass loop, pass-1 counting, result assembly.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated machine, already loaded with partitions.
+    taxonomy:
+        Classification hierarchy over the items.
+    """
+
+    name = "abstract"
+
+    def __init__(self, cluster: Cluster, taxonomy: Taxonomy):
+        self.cluster = cluster
+        self.taxonomy = taxonomy
+        self.root_of = build_root_table(taxonomy)
+        self._full_index = AncestorIndex(taxonomy)
+        # Per-run state, populated by mine().
+        self._item_counts: dict[int, int] = {}
+        self._large_items: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def mine(self, min_support: float, max_k: int | None = None) -> ParallelRun:
+        """Run the full pass loop and return result + statistics.
+
+        Parameters
+        ----------
+        min_support:
+            Fractional minimum support in (0, 1].
+        max_k:
+            Optional cap on itemset size.  The paper's evaluation
+            reports pass 2 (``max_k=2``); without a cap the loop runs
+            until no large itemsets remain.
+        """
+        num_transactions = self.cluster.num_transactions
+        if num_transactions == 0:
+            raise MiningError("cannot mine an empty cluster")
+        threshold = minimum_count(min_support, num_transactions)
+
+        result = MiningResult(
+            min_support=min_support, num_transactions=num_transactions
+        )
+        run = RunStats(algorithm=self.name, num_nodes=self.cluster.num_nodes)
+
+        large_1, pass1_stats = self._pass_one(threshold)
+        result.passes.append(
+            PassResult(k=1, num_candidates=pass1_stats.num_candidates, large=large_1)
+        )
+        run.passes.append(pass1_stats)
+        self._large_items = {itemset[0] for itemset in large_1}
+        self._after_pass_one()
+
+        previous: dict[Itemset, int] = large_1
+        k = 2
+        while previous and (max_k is None or k <= max_k):
+            candidates = generate_candidates(previous.keys(), k, self.taxonomy)
+            if not candidates:
+                break
+            large_k, pass_stats = self._run_pass(k, candidates, threshold)
+            result.passes.append(
+                PassResult(k=k, num_candidates=len(candidates), large=large_k)
+            )
+            run.passes.append(pass_stats)
+            previous = large_k
+            k += 1
+
+        return ParallelRun(result=result, stats=run)
+
+    # ------------------------------------------------------------------
+    # Pass 1 (shared by every algorithm)
+    # ------------------------------------------------------------------
+    def _pass_one(self, threshold: int) -> tuple[dict[Itemset, int], PassStats]:
+        """Local item+ancestor counting with a coordinator reduce."""
+        self.cluster.begin_pass()
+        total: dict[int, int] = {}
+        reduced = 0
+        for node in self.cluster.nodes:
+            stats = node.stats
+            local: dict[int, int] = {}
+            for transaction in node.disk.scan(stats):
+                stats.extend_items += len(transaction)
+                extended = self._full_index.extend(transaction)
+                stats.probes += len(extended)
+                stats.increments += len(extended)
+                for item in extended:
+                    local[item] = local.get(item, 0) + 1
+            # Pass-1 counters are chargeable like NPGM's candidates:
+            # they can always be fragmented across repeated scans, so at
+            # most one budget's worth is resident at a time.
+            budget = self.cluster.config.memory_per_node
+            node.charge_candidates(
+                len(local) if budget is None else min(len(local), budget)
+            )
+            reduced += len(local)
+            for item, count in local.items():
+                total[item] = total.get(item, 0) + count
+
+        self._item_counts = total
+        large_1 = {
+            (item,): count for item, count in total.items() if count >= threshold
+        }
+        pass_stats = self.cluster.finish_pass(
+            k=1,
+            num_candidates=len(total),
+            num_large=len(large_1),
+            reduced_counts=reduced,
+        )
+        return large_1, pass_stats
+
+    def _after_pass_one(self) -> None:
+        """Hook for per-run precomputation that needs ``L1`` (optional)."""
+
+    # ------------------------------------------------------------------
+    # Pass k >= 2 (algorithm-specific)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _run_pass(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        threshold: int,
+    ) -> tuple[dict[Itemset, int], PassStats]:
+        """Count one pass; return the large k-itemsets and the pass stats."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(nodes={self.cluster.num_nodes})"

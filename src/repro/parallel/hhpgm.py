@@ -1,0 +1,228 @@
+"""H-HPGM — Hierarchical Hash Partitioned mining (§3.3).
+
+The paper's key idea: partition candidates by the hash of their **root
+itemset**.  A candidate and every one of its ancestor candidates share
+the same root combination, so they land on the same node — counting a
+k-itemset "and all its ancestor candidates" (Figure 5, lines 12/16) is
+then entirely local.  On the wire, only the transaction's *lowest
+large* items travel (3 items instead of HPGM's 18 in the running
+example), once per destination node.
+
+Per pass:
+
+1. rewrite each local transaction to its lowest-large form t′
+   (Figure 5, line 8);
+2. find the root combinations t′ can realise, keep those that own at
+   least one (non-duplicated) candidate, and send each owning node the
+   fragment t″ of items in that combination's trees (lines 9–14);
+3. the owner generates k-itemsets from t″ and counts each together with
+   its ancestor candidates, once per transaction (lines 12/16);
+4. per-node large determination, small coordinator reduce (lines 19–22).
+
+The duplication variants (TGD/PGD/FGD) subclass this and override
+:meth:`HHPGM._select_duplicates`; duplicated candidates are removed
+from the partitions, counted locally on every node against the full t′
+(Figures 7/9/11, line 8.1), and reduced at the coordinator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cluster.stats import PassStats
+from repro.core.candidates import candidate_item_universe
+from repro.core.counting import RootKeyedClosureCounter, build_closure_table
+from repro.core.itemsets import Itemset
+from repro.parallel.allocation import (
+    feasible_root_keys,
+    partition_candidates_by_root,
+    root_key,
+)
+from repro.parallel.base import ParallelMiner
+from repro.taxonomy.ops import closest_large_ancestors, replace_with_closest_large
+
+
+class HHPGM(ParallelMiner):
+    """Root-itemset hash partitioning; no duplication."""
+
+    name = "H-HPGM"
+
+    def _after_pass_one(self) -> None:
+        # Lowest-large rewrite table (Figure 5, line 8); L1 is fixed for
+        # the whole run, so the table is too.
+        self._replacement = closest_large_ancestors(self.taxonomy, self._large_items)
+
+    def _select_duplicates(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        owner_of: dict[Itemset, int],
+        partition_sizes: list[int],
+        chains: dict[int, tuple[int, ...]],
+    ) -> set[Itemset]:
+        """Hook for the skew-handling subclasses; plain H-HPGM copies nothing."""
+        return set()
+
+    def _run_pass(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        threshold: int,
+    ) -> tuple[dict[Itemset, int], PassStats]:
+        cluster = self.cluster
+        num_nodes = cluster.num_nodes
+        network = cluster.network
+        node_stats = cluster.begin_pass()
+        root_of = self.root_of
+
+        universe = candidate_item_universe(candidates)
+        chains = build_closure_table(self._full_index, self._large_items, universe)
+        partitions, owners = partition_candidates_by_root(
+            candidates, root_of, num_nodes
+        )
+        owner_of = {
+            candidate: owners[root_key(candidate, root_of)]
+            for candidate in candidates
+        }
+
+        duplicated = self._select_duplicates(
+            k,
+            candidates,
+            owner_of,
+            [len(partition) for partition in partitions],
+            chains,
+        )
+        if duplicated:
+            partitions = [
+                [c for c in partition if c not in duplicated]
+                for partition in partitions
+            ]
+        active_keys = {
+            root_key(candidate, root_of)
+            for partition in partitions
+            for candidate in partition
+        }
+
+        # An item needs shipping to a node only when some candidate still
+        # RESIDENT there can use it as a witness — i.e. the item's
+        # ancestor chain meets that partition's item universe.  Items
+        # whose hot candidates were all duplicated are counted locally
+        # and stop travelling ("support counting for frequent candidates
+        # can be locally processed, which further reduces the
+        # communication overhead", §5).  Every node derives this filter
+        # from the broadcast L_{k-1}, so no coordination is needed.
+        useful_for: list[set[int]] = []
+        for partition in partitions:
+            partition_universe = {item for c in partition for item in c}
+            useful_for.append(
+                {
+                    item
+                    for item in self._large_items
+                    if any(
+                        link in partition_universe
+                        for link in chains.get(item, (item,))
+                    )
+                }
+            )
+
+        part_counters = [
+            RootKeyedClosureCounter(partition, k, chains, root_of)
+            for partition in partitions
+        ]
+        dup_counters = (
+            [
+                RootKeyedClosureCounter(duplicated, k, chains, root_of)
+                for _ in range(num_nodes)
+            ]
+            if duplicated
+            else None
+        )
+        for node, partition in zip(cluster.nodes, partitions):
+            node.charge_candidates(len(partition) + len(duplicated))
+
+        replacement = self._replacement
+
+        # Scan phase: rewrite, count duplicates locally, route fragments.
+        for node in cluster.nodes:
+            me = node.node_id
+            stats = node.stats
+            counter = part_counters[me]
+            dup_counter = dup_counters[me] if dup_counters is not None else None
+            for transaction in node.disk.scan(stats):
+                stats.extend_items += len(transaction)
+                rewritten = replace_with_closest_large(transaction, replacement)
+                if len(rewritten) < k:
+                    continue
+                if dup_counter is not None:
+                    dup_counter.add_transaction(rewritten)
+                transaction_roots = Counter(root_of[item] for item in rewritten)
+                destination_roots: dict[int, set[int]] = {}
+                for key in feasible_root_keys(transaction_roots, k):
+                    if key in active_keys:
+                        destination_roots.setdefault(owners[key], set()).update(key)
+                for dest, roots in destination_roots.items():
+                    useful = useful_for[dest]
+                    fragment = tuple(
+                        item
+                        for item in rewritten
+                        if root_of[item] in roots and item in useful
+                    )
+                    if len(fragment) < k:
+                        continue
+                    if dest == me:
+                        counter.add_transaction(fragment)
+                    else:
+                        network.send(me, dest, fragment, stats, node_stats[dest])
+
+        # Receive phase: count routed fragments against the local partition.
+        for node in cluster.nodes:
+            counter = part_counters[node.node_id]
+            for payload in network.drain(node.node_id):
+                counter.add_transaction(payload)
+
+        # Fold counter telemetry into the node stats.
+        for node in cluster.nodes:
+            stats = node.stats
+            counter = part_counters[node.node_id]
+            stats.probes += counter.probes
+            stats.itemsets_generated += counter.generated
+            stats.increments += sum(counter.counts.values())
+            if dup_counters is not None:
+                dup_counter = dup_counters[node.node_id]
+                stats.probes += dup_counter.probes
+                stats.itemsets_generated += dup_counter.generated
+                stats.increments += sum(dup_counter.counts.values())
+
+        # Large determination: local for partitions, reduced for duplicates.
+        large: dict[Itemset, int] = {}
+        reduced = 0
+        for counter in part_counters:
+            local_large = {
+                itemset: count
+                for itemset, count in counter.counts.items()
+                if count >= threshold
+            }
+            reduced += len(local_large)
+            large.update(local_large)
+        if dup_counters is not None:
+            aggregated: dict[Itemset, int] = {}
+            for dup_counter in dup_counters:
+                for itemset, count in dup_counter.counts.items():
+                    aggregated[itemset] = aggregated.get(itemset, 0) + count
+            reduced += len(duplicated) * num_nodes
+            large.update(
+                {
+                    itemset: count
+                    for itemset, count in aggregated.items()
+                    if count >= threshold
+                }
+            )
+
+        pass_stats = cluster.finish_pass(
+            k=k,
+            num_candidates=len(candidates),
+            num_large=len(large),
+            reduced_counts=reduced,
+            duplicated_candidates=len(duplicated),
+        )
+        return large, pass_stats

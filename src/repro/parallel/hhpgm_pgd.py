@@ -1,0 +1,41 @@
+"""H-HPGM-PGD — Path Grain Duplicate (§3.4.2).
+
+Duplicates at path grain: the *lowest-level* large candidates (itemsets
+of large items with no large descendants) are ranked by frequency, and
+each chosen one is copied together with **all of its ancestor
+candidates** (Example 4 copies ``{8,10}`` plus ``{1,3} {1,8} {3,4}
+{3,10} {4,8}``).  Smaller groups than TGD's trees, so free memory is
+usable even when tight — but the choice is driven by leaf frequency
+only, which can copy useless closures when an interior item is hot and
+its descendants are not (the weakness FGD removes).
+"""
+
+from __future__ import annotations
+
+from repro.core.itemsets import Itemset
+from repro.parallel.duplication import lowest_large_items, select_path_grain
+from repro.parallel.hhpgm import HHPGM
+
+
+class HHPGMPathGrain(HHPGM):
+    """H-HPGM with leaf-itemset + ancestor-path duplication."""
+
+    name = "H-HPGM-PGD"
+
+    def _select_duplicates(
+        self,
+        k: int,
+        candidates: list[Itemset],
+        owner_of: dict[Itemset, int],
+        partition_sizes: list[int],
+        chains: dict[int, tuple[int, ...]],
+    ) -> set[Itemset]:
+        return select_path_grain(
+            candidates=candidates,
+            owner_of=owner_of,
+            item_counts=self._item_counts,
+            chains=chains,
+            lowest_items=lowest_large_items(self._large_items, self.taxonomy),
+            partition_sizes=partition_sizes,
+            memory=self.cluster.config.memory_per_node,
+        )

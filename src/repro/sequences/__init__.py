@@ -1,0 +1,49 @@
+"""Generalized sequential-pattern mining — the paper's stated follow-on.
+
+The conclusion (§5) points at the next system: *"In [SA96], generalized
+sequential pattern mining with classification hierarchy is discussed …
+In [SK98], we present the parallelization of mining sequential
+patterns.  Extension of our parallel algorithms to the mining of
+generalized sequential patterns is interesting study for future work."*
+
+This subpackage builds that extension:
+
+* :mod:`~repro.sequences.model` — customer sequences (ordered lists of
+  itemsets), taxonomy-aware containment, :class:`SequenceDatabase`.
+* :mod:`~repro.sequences.generate` — synthetic customer-sequence
+  generator in the Quest style.
+* :mod:`~repro.sequences.gsp` — GSP [SA96] with classification
+  hierarchy: candidate join/prune over sequences, ancestor-extended
+  counting, the sequential analogue of Cumulate.
+* :mod:`~repro.sequences.parallel` — NPSPM / SPSPM / HPSPM [SK98] on
+  the same cluster simulator: replicated, simply-partitioned and
+  hash-partitioned candidate sequences.
+
+All parallel variants return exactly the sequential GSP's answer
+(tested), mirroring the association-rule family's correctness spine.
+"""
+
+from repro.sequences.generate import SequenceGeneratorParams, generate_sequence_dataset
+from repro.sequences.gsp import gsp
+from repro.sequences.model import (
+    Sequence,
+    SequenceDatabase,
+    canonical_sequence,
+    sequence_contains,
+)
+from repro.sequences.parallel import (
+    SEQUENCE_ALGORITHMS,
+    mine_sequences_parallel,
+)
+
+__all__ = [
+    "SEQUENCE_ALGORITHMS",
+    "Sequence",
+    "SequenceDatabase",
+    "SequenceGeneratorParams",
+    "canonical_sequence",
+    "generate_sequence_dataset",
+    "gsp",
+    "mine_sequences_parallel",
+    "sequence_contains",
+]

@@ -1,0 +1,162 @@
+"""Synthetic customer-sequence generation (Quest sequential flavour).
+
+Follows the recipe of the sequential-pattern papers: a pool of
+*potentially large sequences* (short sequences of small itemsets over
+the taxonomy's leaves) with exponential weights and per-pattern
+corruption; each customer's data sequence is assembled by interleaving
+drawn patterns until the target element count is reached.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.datagen.generator import _poisson
+from repro.errors import DataGenerationError
+from repro.sequences.model import Sequence, SequenceDatabase
+from repro.taxonomy.generate import generate_taxonomy
+from repro.taxonomy.hierarchy import Taxonomy
+
+
+@dataclass(frozen=True)
+class SequenceGeneratorParams:
+    """Knobs of the customer-sequence generator.
+
+    Attributes
+    ----------
+    num_customers:
+        Number of data sequences.
+    avg_elements:
+        Mean number of transactions (elements) per customer.
+    avg_element_size:
+        Mean items per transaction.
+    num_patterns / avg_pattern_elements / avg_pattern_element_size:
+        The potentially-large-sequence pool and its shape.
+    num_items / num_roots / fanout:
+        Classification hierarchy shape (as in the association presets).
+    corruption_mean:
+        Probability of dropping each pattern item during insertion.
+    pattern_weight_exponent:
+        Skew knob, as in :class:`repro.datagen.params.GeneratorParams`.
+    seed:
+        RNG seed; the dataset is a pure function of the params.
+    """
+
+    num_customers: int = 1_000
+    avg_elements: float = 4.0
+    avg_element_size: float = 2.5
+    num_patterns: int = 100
+    avg_pattern_elements: float = 3.0
+    avg_pattern_element_size: float = 1.5
+    num_items: int = 400
+    num_roots: int = 10
+    fanout: float = 4.0
+    corruption_mean: float = 0.25
+    pattern_weight_exponent: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_customers <= 0:
+            raise DataGenerationError("num_customers must be positive")
+        if self.avg_elements < 1 or self.avg_element_size < 1:
+            raise DataGenerationError("sequence shape means must be >= 1")
+        if self.num_patterns <= 0:
+            raise DataGenerationError("num_patterns must be positive")
+        if not 0 <= self.corruption_mean < 1:
+            raise DataGenerationError("corruption_mean must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class SequencePattern:
+    elements: Sequence
+    weight: float
+
+
+@dataclass(frozen=True)
+class SyntheticSequenceDataset:
+    params: SequenceGeneratorParams
+    taxonomy: Taxonomy
+    database: SequenceDatabase
+    patterns: tuple[SequencePattern, ...]
+
+
+def _draw_pattern(rng: random.Random, params: SequenceGeneratorParams, leaves) -> Sequence:
+    num_elements = max(1, _poisson(rng, params.avg_pattern_elements))
+    elements = []
+    for _ in range(num_elements):
+        size = max(1, _poisson(rng, params.avg_pattern_element_size))
+        size = min(size, len(leaves))
+        elements.append(tuple(sorted(rng.sample(leaves, size))))
+    return tuple(elements)
+
+
+def generate_sequence_dataset(
+    params: SequenceGeneratorParams,
+) -> SyntheticSequenceDataset:
+    """Generate taxonomy, pattern pool and customer sequences."""
+    rng = random.Random(params.seed)
+    taxonomy = generate_taxonomy(
+        num_items=params.num_items,
+        num_roots=params.num_roots,
+        fanout=params.fanout,
+        seed=rng.randrange(2**31),
+    )
+    leaves = list(taxonomy.leaves)
+
+    raw_weights = [
+        rng.expovariate(1.0) ** params.pattern_weight_exponent
+        for _ in range(params.num_patterns)
+    ]
+    total = sum(raw_weights)
+    patterns = tuple(
+        SequencePattern(
+            elements=_draw_pattern(rng, params, leaves),
+            weight=weight / total,
+        )
+        for weight in raw_weights
+    )
+    cumulative = []
+    running = 0.0
+    for pattern in patterns:
+        running += pattern.weight
+        cumulative.append(running)
+
+    customers: list[list[list[int]]] = []
+    for _ in range(params.num_customers):
+        target_elements = max(1, _poisson(rng, params.avg_elements))
+        elements: list[set[int]] = [set() for _ in range(target_elements)]
+        filled = 0
+        attempts = 0
+        while filled < target_elements and attempts < 8 * target_elements:
+            attempts += 1
+            pattern = patterns[
+                bisect_right(cumulative, rng.random() * cumulative[-1])
+            ]
+            offset = rng.randrange(target_elements)
+            for position, pattern_element in enumerate(pattern.elements):
+                slot = offset + position
+                if slot >= target_elements:
+                    break
+                for item in pattern_element:
+                    if rng.random() >= params.corruption_mean:
+                        elements[slot].add(item)
+            filled = sum(1 for element in elements if element)
+        # Pad still-empty elements with single random leaf purchases.
+        for element in elements:
+            if not element:
+                element.add(rng.choice(leaves))
+            # Top up to the target element size on average.
+            while len(element) < max(
+                1, _poisson(rng, params.avg_element_size)
+            ) and rng.random() < 0.5:
+                element.add(rng.choice(leaves))
+        customers.append([sorted(element) for element in elements])
+
+    return SyntheticSequenceDataset(
+        params=params,
+        taxonomy=taxonomy,
+        database=SequenceDatabase(customers),
+        patterns=patterns,
+    )

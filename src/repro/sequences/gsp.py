@@ -1,0 +1,345 @@
+"""GSP with classification hierarchy ([SA96]) — sequential counterpart
+of Cumulate.
+
+Pass structure mirrors Apriori: pass 1 finds the large items (ancestors
+included); pass k generates candidate k-sequences (k = total items)
+from the large (k-1)-sequences by the GSP join, prunes candidates with
+an infrequent contiguous subsequence, and counts candidates against
+ancestor-extended data sequences.  As in Cumulate, pass-2 candidates
+whose single element pairs an item with its own ancestor are dropped
+(their support equals the descendant element's).
+
+Counting enumerates the distinct k-subsequences of each (extended,
+universe-filtered) data sequence and probes the candidate table — the
+same kernel the parallel HPSPM routes over the wire, so sequential and
+parallel runs count identically by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.itemsets import minimum_count
+from repro.errors import MiningError
+from repro.sequences.model import (
+    Element,
+    Sequence,
+    SequenceDatabase,
+    extend_sequence,
+    sequence_length,
+)
+from repro.taxonomy.hierarchy import Taxonomy
+from repro.taxonomy.ops import AncestorIndex
+
+
+@dataclass(frozen=True)
+class SequencePassResult:
+    """One GSP pass: k (items per sequence), candidates, large sequences."""
+
+    k: int
+    num_candidates: int
+    large: dict[Sequence, int]
+
+    @property
+    def num_large(self) -> int:
+        return len(self.large)
+
+
+@dataclass(frozen=True)
+class SequenceMiningResult:
+    """Full outcome of a sequential-pattern mining run."""
+
+    min_support: float
+    num_sequences: int
+    passes: list[SequencePassResult] = field(default_factory=list)
+
+    def large_sequences(self, k: int | None = None) -> dict[Sequence, int]:
+        if k is not None:
+            for pass_result in self.passes:
+                if pass_result.k == k:
+                    return dict(pass_result.large)
+            return {}
+        merged: dict[Sequence, int] = {}
+        for pass_result in self.passes:
+            merged.update(pass_result.large)
+        return merged
+
+    @property
+    def total_large(self) -> int:
+        return sum(p.num_large for p in self.passes)
+
+    @property
+    def max_k(self) -> int:
+        sizes = [p.k for p in self.passes if p.large]
+        return max(sizes, default=0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SequenceMiningResult):
+            return NotImplemented
+        return (
+            self.min_support == other.min_support
+            and self.num_sequences == other.num_sequences
+            and self.large_sequences() == other.large_sequences()
+        )
+
+    def __repr__(self) -> str:
+        per_pass = ", ".join(f"|L{p.k}|={p.num_large}" for p in self.passes)
+        return (
+            f"SequenceMiningResult(min_support={self.min_support}, "
+            f"n={self.num_sequences}, {per_pass})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Candidate generation
+# ----------------------------------------------------------------------
+def _element_has_ancestor_pair(element: Element, taxonomy: Taxonomy) -> bool:
+    members = set(element)
+    for item in element:
+        if item in taxonomy and members.intersection(taxonomy.ancestors(item)):
+            return True
+    return False
+
+
+def candidate_2_sequences(
+    large_items: list[int],
+    taxonomy: Taxonomy | None = None,
+) -> list[Sequence]:
+    """All candidate 2-sequences from the large items ([SA96] pass 2).
+
+    ``⟨{x}, {y}⟩`` for every ordered pair (repeats allowed — buying the
+    same item twice is a pattern) and ``⟨{x, y}⟩`` for every unordered
+    pair that does not pair an item with its own ancestor.
+    """
+    items = sorted(large_items)
+    candidates: list[Sequence] = []
+    for x in items:
+        for y in items:
+            candidates.append(((x,), (y,)))
+    for x, y in combinations(items, 2):
+        element = (x, y)
+        if taxonomy is not None and _element_has_ancestor_pair(element, taxonomy):
+            continue
+        candidates.append((element,))
+    return candidates
+
+
+def drop_first_item(sequence: Sequence) -> Sequence:
+    """The sequence minus the first item of its first element."""
+    head = sequence[0][1:]
+    if head:
+        return (head,) + sequence[1:]
+    return sequence[1:]
+
+
+def drop_last_item(sequence: Sequence) -> Sequence:
+    """The sequence minus the last item of its last element."""
+    tail = sequence[-1][:-1]
+    if tail:
+        return sequence[:-1] + (tail,)
+    return sequence[:-1]
+
+
+def gsp_join(large_prev: set[Sequence], k: int) -> list[Sequence]:
+    """The GSP join: merge sequences overlapping on k-2 items.
+
+    ``s1`` joins ``s2`` when dropping s1's first item equals dropping
+    s2's last item; the join appends s2's last item to s1 — as a new
+    singleton element if it formed one in s2, otherwise into s1's last
+    element.
+    """
+    by_head: dict[Sequence, list[Sequence]] = {}
+    for sequence in large_prev:
+        by_head.setdefault(drop_first_item(sequence), []).append(sequence)
+
+    candidates: set[Sequence] = set()
+    for s2 in large_prev:
+        overlap = drop_last_item(s2)
+        last_item = s2[-1][-1]
+        last_was_singleton = len(s2[-1]) == 1
+        for s1 in by_head.get(overlap, ()):
+            if last_was_singleton:
+                merged = s1 + ((last_item,),)
+            else:
+                if last_item <= s1[-1][-1]:
+                    # Elements are sorted sets: the appended item must
+                    # extend the last element strictly at its tail.
+                    continue
+                merged = s1[:-1] + (s1[-1] + (last_item,),)
+            if sequence_length(merged) == k:
+                candidates.add(merged)
+    return sorted(candidates)
+
+
+def contiguous_subsequences(sequence: Sequence) -> list[Sequence]:
+    """Drop-one-item variants used by the GSP prune.
+
+    An item may be dropped from the first element, the last element, or
+    any element of size >= 2 (dropping a middle singleton would create
+    a non-contiguous subsequence, whose support can legitimately be
+    higher).
+    """
+    variants: list[Sequence] = []
+    last = len(sequence) - 1
+    for position, element in enumerate(sequence):
+        if len(element) == 1 and position not in (0, last):
+            continue
+        for drop in range(len(element)):
+            reduced = element[:drop] + element[drop + 1 :]
+            if reduced:
+                variants.append(
+                    sequence[:position] + (reduced,) + sequence[position + 1 :]
+                )
+            else:
+                variants.append(sequence[:position] + sequence[position + 1 :])
+    return variants
+
+
+def generate_candidate_sequences(
+    large_prev: dict[Sequence, int] | set[Sequence],
+    k: int,
+    taxonomy: Taxonomy | None = None,
+) -> list[Sequence]:
+    """Join + contiguous-subsequence prune ([SA96])."""
+    if k < 3:
+        raise MiningError("generate_candidate_sequences handles k >= 3; use candidate_2_sequences")
+    large_set = set(large_prev)
+    joined = gsp_join(large_set, k)
+    pruned = [
+        candidate
+        for candidate in joined
+        if all(
+            subsequence in large_set
+            for subsequence in contiguous_subsequences(candidate)
+        )
+    ]
+    return pruned
+
+
+# ----------------------------------------------------------------------
+# Counting
+# ----------------------------------------------------------------------
+def k_subsequences(data_sequence: Sequence, k: int) -> set[Sequence]:
+    """All distinct k-item subsequences of a data sequence.
+
+    Chooses a subset of items from each element (order of elements
+    preserved, empty picks dropped), k items in total.  Distinct item
+    placements collapsing to the same sequence are deduplicated.
+    """
+    found: set[Sequence] = set()
+
+    def recurse(position: int, remaining: int, chosen: tuple[Element, ...]) -> None:
+        if remaining == 0:
+            found.add(chosen)
+            return
+        if position == len(data_sequence):
+            return
+        element = data_sequence[position]
+        # Skip this element entirely…
+        recurse(position + 1, remaining, chosen)
+        # …or take 1..remaining of its items.
+        for take in range(1, min(len(element), remaining) + 1):
+            for subset in combinations(element, take):
+                recurse(position + 1, remaining - take, chosen + (subset,))
+
+    recurse(0, k, ())
+    return found
+
+
+class SequenceSupportCounter:
+    """Counts candidate k-sequences via subsequence enumeration."""
+
+    def __init__(self, candidates: list[Sequence], k: int):
+        self.k = k
+        self.counts: dict[Sequence, int] = {c: 0 for c in candidates}
+        self.probes = 0
+        self.generated = 0
+        self.universe: set[int] = {
+            item for c in self.counts for element in c for item in element
+        }
+
+    def add_sequence(self, extended: Sequence) -> int:
+        """Count one extended, universe-filtered data sequence."""
+        if not self.counts:
+            return 0
+        hits = 0
+        counts = self.counts
+        for subsequence in k_subsequences(extended, self.k):
+            self.generated += 1
+            self.probes += 1
+            if subsequence in counts:
+                counts[subsequence] += 1
+                hits += 1
+        return hits
+
+
+# ----------------------------------------------------------------------
+# The sequential miner
+# ----------------------------------------------------------------------
+def gsp(
+    database: SequenceDatabase,
+    taxonomy: Taxonomy,
+    min_support: float,
+    max_k: int | None = None,
+) -> SequenceMiningResult:
+    """Mine all large generalized sequences of ``database``.
+
+    Parameters mirror :func:`repro.core.cumulate.cumulate`; ``k``
+    counts items across a sequence's elements, per [SA96].
+    """
+    num_sequences = len(database)
+    if num_sequences == 0:
+        raise MiningError("cannot mine an empty sequence database")
+    threshold = minimum_count(min_support, num_sequences)
+    result = SequenceMiningResult(
+        min_support=min_support, num_sequences=num_sequences
+    )
+
+    index = AncestorIndex(taxonomy)
+    item_counts: dict[int, int] = {}
+    for data_sequence in database:
+        seen: set[int] = set()
+        for element in data_sequence:
+            seen.update(index.extend(element))
+        for item in seen:
+            item_counts[item] = item_counts.get(item, 0) + 1
+    large_1 = {
+        ((item,),): count
+        for item, count in item_counts.items()
+        if count >= threshold
+    }
+    result.passes.append(
+        SequencePassResult(k=1, num_candidates=len(item_counts), large=large_1)
+    )
+
+    previous: dict[Sequence, int] = large_1
+    k = 2
+    while previous and (max_k is None or k <= max_k):
+        if k == 2:
+            candidates = candidate_2_sequences(
+                [sequence[0][0] for sequence in previous], taxonomy
+            )
+        else:
+            candidates = generate_candidate_sequences(previous, k, taxonomy)
+        if not candidates:
+            break
+        counter = SequenceSupportCounter(candidates, k)
+        for data_sequence in database:
+            counter.add_sequence(
+                extend_sequence(data_sequence, index, counter.universe)
+            )
+        large_k = {
+            sequence: count
+            for sequence, count in counter.counts.items()
+            if count >= threshold
+        }
+        result.passes.append(
+            SequencePassResult(
+                k=k, num_candidates=len(candidates), large=large_k
+            )
+        )
+        previous = large_k
+        k += 1
+
+    return result

@@ -1,0 +1,158 @@
+"""Customer sequences and taxonomy-aware sequence containment.
+
+A *sequence* is an ordered tuple of non-empty itemsets ("elements");
+a *data sequence* is one customer's purchase history.  Following
+[SA96], a sequence ``s`` is contained in a data sequence ``d`` when
+the elements of ``s`` can be embedded, in order, into distinct
+elements of ``d`` — with the hierarchy, an element of ``d`` is first
+extended with the ancestors of its items.
+
+Greedy earliest-match embedding is exact here: without sliding-window
+or gap constraints, if ``s[0] ⊆ d[i]`` then matching it at the first
+such ``i`` never forecloses an embedding of the remainder.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import MiningError
+from repro.taxonomy.hierarchy import Taxonomy
+from repro.taxonomy.ops import AncestorIndex
+
+Element = tuple[int, ...]
+Sequence = tuple[Element, ...]
+
+
+def canonical_sequence(elements: Iterable[Iterable[int]]) -> Sequence:
+    """Normalise into a canonical sequence: sorted, deduplicated, non-empty elements.
+
+    Empty elements are rejected rather than dropped — an empty element
+    in caller data is a bug, not a request.
+    """
+    sequence = []
+    for element in elements:
+        canonical = tuple(sorted(set(element)))
+        if not canonical:
+            raise MiningError("sequence elements must be non-empty")
+        sequence.append(canonical)
+    return tuple(sequence)
+
+
+def sequence_length(sequence: Sequence) -> int:
+    """The k in "k-sequence": total number of items across elements."""
+    return sum(len(element) for element in sequence)
+
+
+def sequence_contains(
+    data_sequence: Sequence,
+    pattern: Sequence,
+    taxonomy: Taxonomy | None = None,
+) -> bool:
+    """True when ``pattern`` is embedded in ``data_sequence`` ([SA96]).
+
+    With a taxonomy, each data element is extended with its items'
+    ancestors before the subset tests (generalized containment).
+    """
+    if not pattern:
+        return True
+    cursor = 0
+    for element in data_sequence:
+        extended = set(element)
+        if taxonomy is not None:
+            for item in element:
+                if item in taxonomy:
+                    extended.update(taxonomy.ancestors(item))
+        if set(pattern[cursor]) <= extended:
+            cursor += 1
+            if cursor == len(pattern):
+                return True
+    return False
+
+
+class SequenceDatabase:
+    """Immutable ordered collection of customer data sequences."""
+
+    __slots__ = ("_sequences",)
+
+    def __init__(self, sequences: Iterable[Iterable[Iterable[int]]]):
+        self._sequences: tuple[Sequence, ...] = tuple(
+            canonical_sequence(sequence) for sequence in sequences
+        )
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index: int) -> Sequence:
+        return self._sequences[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SequenceDatabase):
+            return NotImplemented
+        return self._sequences == other._sequences
+
+    def __hash__(self) -> int:
+        return hash(self._sequences)
+
+    @property
+    def sequences(self) -> tuple[Sequence, ...]:
+        return self._sequences
+
+    def item_universe(self) -> set[int]:
+        """Every item occurring in any element of any sequence."""
+        universe: set[int] = set()
+        for sequence in self._sequences:
+            for element in sequence:
+                universe.update(element)
+        return universe
+
+    def total_items(self) -> int:
+        """Total item volume (the disks' read size)."""
+        return sum(sequence_length(sequence) for sequence in self._sequences)
+
+    def support_count(
+        self, pattern: Sequence, taxonomy: Taxonomy | None = None
+    ) -> int:
+        """Brute-force oracle: data sequences containing ``pattern``."""
+        return sum(
+            1
+            for data_sequence in self._sequences
+            if sequence_contains(data_sequence, pattern, taxonomy)
+        )
+
+    def split(self, num_parts: int) -> list["SequenceDatabase"]:
+        """Round-robin split over ``num_parts`` (cluster loading)."""
+        if num_parts <= 0:
+            raise MiningError(f"num_parts must be positive, got {num_parts}")
+        buckets: list[list[Sequence]] = [[] for _ in range(num_parts)]
+        for index, sequence in enumerate(self._sequences):
+            buckets[index % num_parts].append(sequence)
+        return [SequenceDatabase(bucket) for bucket in buckets]
+
+    def __repr__(self) -> str:
+        return f"SequenceDatabase(customers={len(self._sequences)})"
+
+
+def extend_sequence(
+    data_sequence: Sequence,
+    index: AncestorIndex,
+    universe: set[int] | None = None,
+) -> Sequence:
+    """Element-wise ancestor extension of a data sequence.
+
+    ``universe`` restricts the retained items (original and ancestors
+    alike) to those any candidate references — the sequential analogue
+    of Cumulate's pruned extension.  Elements emptied by the filter are
+    dropped (they can never match a candidate element).
+    """
+    extended: list[Element] = []
+    for element in data_sequence:
+        merged = index.extend(element)
+        if universe is not None:
+            merged = tuple(item for item in merged if item in universe)
+        if merged:
+            extended.append(merged)
+    return tuple(extended)

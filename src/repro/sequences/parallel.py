@@ -1,0 +1,443 @@
+"""Parallel sequential-pattern mining: NPSPM / SPSPM / HPSPM ([SK98]).
+
+The authors' sequential-pattern parallelization, transplanted onto the
+same cluster simulator as the association-rule family:
+
+* **NPSPM** (Non-Partitioned) — candidate sequences replicated; local
+  counting; fragmenting re-scans under memory pressure (NPGM's shape).
+* **SPSPM** (Simply-Partitioned) — candidates split round-robin; every
+  customer sequence broadcast to every node (SPA's shape).
+* **HPSPM** (Hash-Partitioned) — candidates placed by hash; each node
+  enumerates its local customers' k-subsequences and ships each to the
+  owner of its hash; only subsequences travel, each to one node (HPA /
+  HPGM's shape).
+
+All three return exactly :func:`repro.sequences.gsp.gsp`'s answer.
+
+Wire format: a sequence is flattened with an element separator
+(``_SEPARATOR``), so payload sizes count real shipped volume.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.cluster.stats import PassStats, RunStats
+from repro.core.itemsets import minimum_count
+from repro.errors import MiningError
+from repro.parallel.allocation import stable_hash
+from repro.sequences.gsp import (
+    SequenceMiningResult,
+    SequencePassResult,
+    SequenceSupportCounter,
+    candidate_2_sequences,
+    generate_candidate_sequences,
+    k_subsequences,
+)
+from repro.sequences.model import Sequence, SequenceDatabase, extend_sequence
+from repro.taxonomy.hierarchy import Taxonomy
+from repro.taxonomy.ops import AncestorIndex
+
+#: Element separator on the wire (item ids are non-negative).
+_SEPARATOR = -1
+
+
+def encode_sequence(sequence: Sequence) -> tuple[int, ...]:
+    """Flatten a sequence for the wire, separating elements."""
+    flat: list[int] = []
+    for position, element in enumerate(sequence):
+        if position:
+            flat.append(_SEPARATOR)
+        flat.extend(element)
+    return tuple(flat)
+
+
+def decode_sequence(payload: tuple[int, ...]) -> Sequence:
+    """Inverse of :func:`encode_sequence`."""
+    elements: list[tuple[int, ...]] = []
+    current: list[int] = []
+    for token in payload:
+        if token == _SEPARATOR:
+            elements.append(tuple(current))
+            current = []
+        else:
+            current.append(token)
+    elements.append(tuple(current))
+    return tuple(elements)
+
+
+def sequence_owner(sequence: Sequence, num_nodes: int) -> int:
+    """Deterministic placement of a candidate sequence."""
+    return stable_hash(encode_sequence(sequence)) % num_nodes
+
+
+@dataclass(frozen=True)
+class SequenceParallelRun:
+    result: SequenceMiningResult
+    stats: RunStats
+
+    @property
+    def algorithm(self) -> str:
+        return self.stats.algorithm
+
+
+class SequenceParallelMiner(ABC):
+    """Shared pass loop of the [SK98] family."""
+
+    name = "abstract-seq"
+
+    def __init__(self, cluster: Cluster, taxonomy: Taxonomy, partitions):
+        self.cluster = cluster
+        self.taxonomy = taxonomy
+        self.partitions: list[SequenceDatabase] = partitions
+        self._index = AncestorIndex(taxonomy)
+
+    @property
+    def num_sequences(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def mine(
+        self, min_support: float, max_k: int | None = None
+    ) -> SequenceParallelRun:
+        num_sequences = self.num_sequences
+        if num_sequences == 0:
+            raise MiningError("cannot mine an empty cluster")
+        threshold = minimum_count(min_support, num_sequences)
+
+        result = SequenceMiningResult(
+            min_support=min_support, num_sequences=num_sequences
+        )
+        run = RunStats(algorithm=self.name, num_nodes=self.cluster.num_nodes)
+
+        large_1, pass1_stats = self._pass_one(threshold)
+        result.passes.append(
+            SequencePassResult(
+                k=1, num_candidates=pass1_stats.num_candidates, large=large_1
+            )
+        )
+        run.passes.append(pass1_stats)
+
+        previous: dict[Sequence, int] = large_1
+        k = 2
+        while previous and (max_k is None or k <= max_k):
+            if k == 2:
+                candidates = candidate_2_sequences(
+                    [sequence[0][0] for sequence in previous], self.taxonomy
+                )
+            else:
+                candidates = generate_candidate_sequences(
+                    previous, k, self.taxonomy
+                )
+            if not candidates:
+                break
+            large_k, pass_stats = self._run_pass(k, candidates, threshold)
+            result.passes.append(
+                SequencePassResult(
+                    k=k, num_candidates=len(candidates), large=large_k
+                )
+            )
+            run.passes.append(pass_stats)
+            previous = large_k
+            k += 1
+
+        return SequenceParallelRun(result=result, stats=run)
+
+    def _scan_partition(self, node):
+        """Iterate one node's customers, charging the read volume."""
+        partition = self.partitions[node.node_id]
+        node.stats.io_scans += 1
+        node.stats.io_items += partition.total_items()
+        return iter(partition)
+
+    def _pass_one(self, threshold: int) -> tuple[dict[Sequence, int], PassStats]:
+        self.cluster.begin_pass()
+        total: dict[int, int] = {}
+        reduced = 0
+        budget = self.cluster.config.memory_per_node
+        for node in self.cluster.nodes:
+            stats = node.stats
+            local: dict[int, int] = {}
+            for data_sequence in self._scan_partition(node):
+                seen: set[int] = set()
+                for element in data_sequence:
+                    stats.extend_items += len(element)
+                    seen.update(self._index.extend(element))
+                stats.probes += len(seen)
+                stats.increments += len(seen)
+                for item in seen:
+                    local[item] = local.get(item, 0) + 1
+            node.charge_candidates(
+                len(local) if budget is None else min(len(local), budget)
+            )
+            reduced += len(local)
+            for item, count in local.items():
+                total[item] = total.get(item, 0) + count
+
+        large_1 = {
+            ((item,),): count
+            for item, count in total.items()
+            if count >= threshold
+        }
+        pass_stats = self.cluster.finish_pass(
+            k=1,
+            num_candidates=len(total),
+            num_large=len(large_1),
+            reduced_counts=reduced,
+        )
+        return large_1, pass_stats
+
+    @abstractmethod
+    def _run_pass(
+        self, k: int, candidates: list[Sequence], threshold: int
+    ) -> tuple[dict[Sequence, int], PassStats]:
+        """Count one pass; return the large k-sequences and pass stats."""
+
+
+class NPSPM(SequenceParallelMiner):
+    """Non-partitioned: replicated candidates, fragmenting re-scans."""
+
+    name = "NPSPM"
+
+    def _run_pass(self, k, candidates, threshold):
+        cluster = self.cluster
+        cluster.begin_pass()
+        memory = cluster.config.memory_per_node
+        fragments = (
+            1 if memory is None else max(1, math.ceil(len(candidates) / memory))
+        )
+
+        total: dict[Sequence, int] = {}
+        for node in cluster.nodes:
+            stats = node.stats
+            counter = SequenceSupportCounter(candidates, k)
+            for data_sequence in self._scan_partition(node):
+                stats.extend_items += sum(len(e) for e in data_sequence)
+                counter.add_sequence(
+                    extend_sequence(data_sequence, self._index, counter.universe)
+                )
+            stats.io_items *= fragments
+            stats.io_scans = fragments
+            stats.extend_items *= fragments
+            stats.itemsets_generated = counter.generated * fragments
+            stats.probes = counter.probes * fragments
+            stats.increments = sum(counter.counts.values())
+            node.charge_candidates(
+                len(candidates) if memory is None else min(len(candidates), memory)
+            )
+            for sequence, count in counter.counts.items():
+                if count:
+                    total[sequence] = total.get(sequence, 0) + count
+
+        large = {s: c for s, c in total.items() if c >= threshold}
+        pass_stats = cluster.finish_pass(
+            k=k,
+            num_candidates=len(candidates),
+            num_large=len(large),
+            reduced_counts=len(candidates) * cluster.num_nodes,
+            fragments=fragments,
+        )
+        return large, pass_stats
+
+
+class SPSPM(SequenceParallelMiner):
+    """Simply-partitioned: round-robin candidates, full broadcast."""
+
+    name = "SPSPM"
+
+    def _run_pass(self, k, candidates, threshold):
+        cluster = self.cluster
+        num_nodes = cluster.num_nodes
+        network = cluster.network
+        node_stats = cluster.begin_pass()
+
+        partitions = [candidates[n::num_nodes] for n in range(num_nodes)]
+        counters = [SequenceSupportCounter(p, k) for p in partitions]
+        for node, partition in zip(cluster.nodes, partitions):
+            node.charge_candidates(len(partition))
+        universe = {i for c in candidates for e in c for i in e}
+
+        for node in cluster.nodes:
+            me = node.node_id
+            stats = node.stats
+            counter = counters[me]
+            for data_sequence in self._scan_partition(node):
+                stats.extend_items += sum(len(e) for e in data_sequence)
+                extended = extend_sequence(data_sequence, self._index, universe)
+                counter.add_sequence(extended)
+                if not extended:
+                    continue
+                payload = encode_sequence(extended)
+                for dest in range(num_nodes):
+                    if dest != me:
+                        network.send(me, dest, payload, stats, node_stats[dest])
+
+        for node in cluster.nodes:
+            counter = counters[node.node_id]
+            for payload in network.drain(node.node_id):
+                counter.add_sequence(decode_sequence(payload))
+
+        return self._finish(k, candidates, threshold, counters)
+
+    def _finish(self, k, candidates, threshold, counters):
+        cluster = self.cluster
+        large: dict[Sequence, int] = {}
+        reduced = 0
+        for node, counter in zip(cluster.nodes, counters):
+            stats = node.stats
+            stats.probes += counter.probes
+            stats.itemsets_generated += counter.generated
+            stats.increments += sum(counter.counts.values())
+            local_large = {
+                s: c for s, c in counter.counts.items() if c >= threshold
+            }
+            reduced += len(local_large)
+            large.update(local_large)
+        pass_stats = cluster.finish_pass(
+            k=k,
+            num_candidates=len(candidates),
+            num_large=len(large),
+            reduced_counts=reduced,
+        )
+        return large, pass_stats
+
+
+class HPSPM(SequenceParallelMiner):
+    """Hash-partitioned: subsequences routed to their hash owner."""
+
+    name = "HPSPM"
+
+    def _run_pass(self, k, candidates, threshold):
+        cluster = self.cluster
+        num_nodes = cluster.num_nodes
+        network = cluster.network
+        node_stats = cluster.begin_pass()
+
+        partitions: list[list[Sequence]] = [[] for _ in range(num_nodes)]
+        for candidate in candidates:
+            partitions[sequence_owner(candidate, num_nodes)].append(candidate)
+        counts: list[dict[Sequence, int]] = [
+            dict.fromkeys(partition, 0) for partition in partitions
+        ]
+        for node, partition in zip(cluster.nodes, partitions):
+            node.charge_candidates(len(partition))
+        universe = {i for c in candidates for e in c for i in e}
+
+        for node in cluster.nodes:
+            me = node.node_id
+            stats = node.stats
+            my_counts = counts[me]
+            for data_sequence in self._scan_partition(node):
+                stats.extend_items += sum(len(e) for e in data_sequence)
+                extended = extend_sequence(data_sequence, self._index, universe)
+                batches: dict[int, list[int]] = {}
+                for subsequence in k_subsequences(extended, k):
+                    stats.itemsets_generated += 1
+                    dest = sequence_owner(subsequence, num_nodes)
+                    if dest == me:
+                        stats.probes += 1
+                        if subsequence in my_counts:
+                            my_counts[subsequence] += 1
+                            stats.increments += 1
+                    else:
+                        encoded = encode_sequence(subsequence)
+                        batch = batches.setdefault(dest, [])
+                        if batch:
+                            batch.append(_SEPARATOR)
+                            batch.append(_SEPARATOR)
+                        batch.extend(encoded)
+                for dest, flat in batches.items():
+                    network.send(me, dest, tuple(flat), stats, node_stats[dest])
+
+        for node in cluster.nodes:
+            me = node.node_id
+            stats = node.stats
+            my_counts = counts[me]
+            for payload in network.drain(me):
+                for subsequence in _split_batch(payload):
+                    stats.probes += 1
+                    if subsequence in my_counts:
+                        my_counts[subsequence] += 1
+                        stats.increments += 1
+
+        large: dict[Sequence, int] = {}
+        reduced = 0
+        for per_node in counts:
+            local_large = {
+                s: c for s, c in per_node.items() if c >= threshold
+            }
+            reduced += len(local_large)
+            large.update(local_large)
+        pass_stats = cluster.finish_pass(
+            k=k,
+            num_candidates=len(candidates),
+            num_large=len(large),
+            reduced_counts=reduced,
+        )
+        return large, pass_stats
+
+
+def _split_batch(payload: tuple[int, ...]):
+    """Split a batch of encoded subsequences (double-separator framed)."""
+    start = 0
+    length = len(payload)
+    position = 0
+    while position < length:
+        if (
+            payload[position] == _SEPARATOR
+            and position + 1 < length
+            and payload[position + 1] == _SEPARATOR
+        ):
+            yield decode_sequence(payload[start:position])
+            start = position + 2
+            position += 2
+        else:
+            position += 1
+    if start < length:
+        yield decode_sequence(payload[start:length])
+
+
+#: Name → class, in [SK98]'s order.
+SEQUENCE_ALGORITHMS: dict[str, type[SequenceParallelMiner]] = {
+    "NPSPM": NPSPM,
+    "SPSPM": SPSPM,
+    "HPSPM": HPSPM,
+}
+
+
+def mine_sequences_parallel(
+    database: SequenceDatabase,
+    taxonomy: Taxonomy,
+    min_support: float,
+    algorithm: str = "HPSPM",
+    config: ClusterConfig | None = None,
+    max_k: int | None = None,
+) -> SequenceParallelRun:
+    """One-call entry point for the sequential-pattern family.
+
+    The cluster's disks hold the customer partitions; ``config``
+    defaults to the 16-node preset.
+    """
+    config = config if config is not None else ClusterConfig.sp2_like()
+    try:
+        miner_class = SEQUENCE_ALGORITHMS[algorithm.upper()]
+    except KeyError:
+        known = ", ".join(SEQUENCE_ALGORITHMS)
+        raise MiningError(
+            f"unknown sequence algorithm {algorithm!r}; known: {known}"
+        ) from None
+    partitions = database.split(config.num_nodes)
+    # The cluster's transaction disks are unused by the sequence miners
+    # (they scan the sequence partitions), but the machine still
+    # provides network, memory accounting and pass pricing.
+    from repro.datagen.corpus import TransactionDatabase
+
+    placeholder = [
+        TransactionDatabase([]) for _ in range(config.num_nodes)
+    ]
+    cluster = Cluster(config, placeholder)
+    miner = miner_class(cluster, taxonomy, partitions)
+    return miner.mine(min_support, max_k=max_k)

@@ -1,0 +1,37 @@
+"""Classification-hierarchy (taxonomy) substrate.
+
+The paper (Section 2) models the classification hierarchy as a forest of
+*is-a* trees over the item universe.  This subpackage provides:
+
+* :class:`~repro.taxonomy.hierarchy.Taxonomy` — an immutable, fully
+  precomputed view of the forest (parents, ancestors, roots, depths).
+* :mod:`~repro.taxonomy.builder` — validated construction from edge lists
+  and parent mappings.
+* :mod:`~repro.taxonomy.generate` — random taxonomies matching the
+  synthetic-data parameters of the paper (number of roots, fanout, levels).
+* :mod:`~repro.taxonomy.ops` — the transaction-level operations every
+  mining pass needs: ancestor extension (Cumulate), closest-large-ancestor
+  replacement (H-HPGM family), and pruning the hierarchy to the items that
+  actually appear in candidates.
+"""
+
+from repro.taxonomy.builder import taxonomy_from_edges, taxonomy_from_parents
+from repro.taxonomy.generate import generate_taxonomy
+from repro.taxonomy.hierarchy import Taxonomy
+from repro.taxonomy.ops import (
+    AncestorIndex,
+    closest_large_ancestors,
+    extend_transaction,
+    replace_with_closest_large,
+)
+
+__all__ = [
+    "AncestorIndex",
+    "Taxonomy",
+    "closest_large_ancestors",
+    "extend_transaction",
+    "generate_taxonomy",
+    "replace_with_closest_large",
+    "taxonomy_from_edges",
+    "taxonomy_from_parents",
+]

@@ -1,0 +1,74 @@
+"""Validated construction of :class:`~repro.taxonomy.hierarchy.Taxonomy`.
+
+Two entry points:
+
+* :func:`taxonomy_from_parents` — from an item → parent mapping.
+* :func:`taxonomy_from_edges` — from ``(parent, child)`` edge pairs plus an
+  optional set of extra isolated items.
+
+Both reject multi-parent items, unknown references, self-loops and cycles,
+which keeps the :class:`Taxonomy` constructor's assumptions honest.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.hierarchy import Item, Taxonomy
+
+
+def taxonomy_from_parents(parents: Mapping[Item, Item | None]) -> Taxonomy:
+    """Build a taxonomy from an item → parent mapping.
+
+    Parameters
+    ----------
+    parents:
+        Every item of the universe mapped to its parent, ``None`` for
+        roots.  Parents must themselves appear as keys.
+
+    Raises
+    ------
+    TaxonomyError
+        On self-loops; the :class:`Taxonomy` constructor additionally
+        raises on unknown parents and cycles.
+    """
+    for item, parent in parents.items():
+        if parent == item:
+            raise TaxonomyError(f"item {item} is its own parent")
+    return Taxonomy(parents)
+
+
+def taxonomy_from_edges(
+    edges: Iterable[tuple[Item, Item]],
+    isolated: Iterable[Item] = (),
+) -> Taxonomy:
+    """Build a taxonomy from ``(parent, child)`` edges.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(parent, child)`` pairs.  Each child may appear at
+        most once (a forest, not a DAG).
+    isolated:
+        Items that participate in no edge but still belong to the
+        universe (single-item trees).
+
+    Raises
+    ------
+    TaxonomyError
+        When a child has two distinct parents or an edge is a self-loop.
+    """
+    parents: dict[Item, Item | None] = {}
+    for parent, child in edges:
+        if parent == child:
+            raise TaxonomyError(f"self-loop on item {parent}")
+        if child in parents and parents[child] is not None and parents[child] != parent:
+            raise TaxonomyError(
+                f"item {child} has two parents: {parents[child]} and {parent}"
+            )
+        parents[child] = parent
+        parents.setdefault(parent, None)
+    for item in isolated:
+        parents.setdefault(item, None)
+    return Taxonomy(parents)

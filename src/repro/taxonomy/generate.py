@@ -1,0 +1,92 @@
+"""Random taxonomy generation matching the paper's dataset parameters.
+
+The synthetic datasets of Table 5 (R30F5, R30F3, R30F10) are described by
+three structural knobs: *number of items*, *number of roots* and *fanout*.
+The resulting *number of levels* (5–6 for fanout 5, 6–7 for fanout 3, 3–4
+for fanout 10 at 30 000 items) is an emergent property of filling the item
+budget breadth-first, which is exactly how this generator works:
+
+1. Roots get the first ``num_roots`` ids.
+2. Repeatedly pop the next unexpanded node (FIFO) and give it a number of
+   children drawn around ``fanout`` until the item budget is exhausted.
+
+Because expansion is breadth-first, item ids are level-ordered: every
+ancestor has a smaller id than all of its descendants.  Nothing in the
+library relies on that, but it makes examples and debugging output easy
+to read.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.errors import DataGenerationError
+from repro.taxonomy.hierarchy import Item, Taxonomy
+
+
+def generate_taxonomy(
+    num_items: int,
+    num_roots: int,
+    fanout: float,
+    seed: int | None = None,
+    jitter: float = 0.5,
+) -> Taxonomy:
+    """Generate a random classification hierarchy.
+
+    Parameters
+    ----------
+    num_items:
+        Total number of items (all levels included).
+    num_roots:
+        Number of trees in the forest; the paper uses 30.
+    fanout:
+        Average number of children per internal node (paper: 3, 5, 10).
+    seed:
+        RNG seed; the same seed always yields the same forest.
+    jitter:
+        Relative spread of the per-node child count.  Each expanded node
+        receives ``uniform(fanout * (1 - jitter), fanout * (1 + jitter))``
+        children (rounded, at least one), so trees are irregular like the
+        original generator's rather than perfect ``fanout``-ary trees.
+
+    Returns
+    -------
+    Taxonomy
+        Forest with ids ``0 .. num_items - 1`` in BFS (level) order.
+
+    Raises
+    ------
+    DataGenerationError
+        When the parameters are inconsistent (e.g. more roots than items).
+    """
+    if num_items <= 0:
+        raise DataGenerationError(f"num_items must be positive, got {num_items}")
+    if num_roots <= 0:
+        raise DataGenerationError(f"num_roots must be positive, got {num_roots}")
+    if num_roots > num_items:
+        raise DataGenerationError(
+            f"num_roots ({num_roots}) exceeds num_items ({num_items})"
+        )
+    if fanout < 1:
+        raise DataGenerationError(f"fanout must be >= 1, got {fanout}")
+    if not 0 <= jitter < 1:
+        raise DataGenerationError(f"jitter must be in [0, 1), got {jitter}")
+
+    rng = random.Random(seed)
+    parents: dict[Item, Item | None] = {item: None for item in range(num_roots)}
+    frontier: deque[Item] = deque(range(num_roots))
+    next_id = num_roots
+    low = fanout * (1.0 - jitter)
+    high = fanout * (1.0 + jitter)
+
+    while next_id < num_items:
+        node = frontier.popleft()
+        want = max(1, round(rng.uniform(low, high)))
+        take = min(want, num_items - next_id)
+        for _ in range(take):
+            parents[next_id] = node
+            frontier.append(next_id)
+            next_id += 1
+
+    return Taxonomy(parents)

@@ -1,0 +1,235 @@
+"""The :class:`Taxonomy` class — an immutable classification hierarchy.
+
+A taxonomy is a forest: every item has at most one parent, edges encode
+*is-a* relationships, and the relation is acyclic (Section 2 of the paper).
+The class precomputes everything the mining algorithms query in inner
+loops — ancestor tuples, root assignment, depth — so lookups are plain
+dictionary reads.
+
+Construction should normally go through :mod:`repro.taxonomy.builder`,
+which validates the parent relation; the constructor here assumes a clean
+relation and only performs cheap structural checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import CycleError, UnknownItemError
+
+Item = int
+
+
+class Taxonomy:
+    """Immutable forest of *is-a* relationships over integer item ids.
+
+    Parameters
+    ----------
+    parents:
+        Mapping from every item in the universe to its parent item, or to
+        ``None`` for roots.  Every item of the universe must appear as a
+        key; parents must themselves be keys.
+
+    Notes
+    -----
+    The item universe is exactly ``parents.keys()``.  Items are opaque
+    integer ids; nothing requires them to be contiguous, although the
+    synthetic generator produces BFS-ordered contiguous ids (so an
+    ancestor's id is always smaller than its descendants').
+    """
+
+    __slots__ = (
+        "_parent",
+        "_children",
+        "_ancestors",
+        "_root",
+        "_depth",
+        "_roots",
+        "_leaves",
+        "_max_depth",
+    )
+
+    def __init__(self, parents: Mapping[Item, Item | None]):
+        self._parent: dict[Item, Item | None] = dict(parents)
+        for item, parent in self._parent.items():
+            if parent is not None and parent not in self._parent:
+                raise UnknownItemError(
+                    f"item {item} names parent {parent}, which is not in the universe"
+                )
+
+        self._children: dict[Item, tuple[Item, ...]] = {}
+        kids: dict[Item, list[Item]] = {item: [] for item in self._parent}
+        for item, parent in self._parent.items():
+            if parent is not None:
+                kids[parent].append(item)
+        for item, child_list in kids.items():
+            self._children[item] = tuple(sorted(child_list))
+
+        self._ancestors: dict[Item, tuple[Item, ...]] = {}
+        self._root: dict[Item, Item] = {}
+        self._depth: dict[Item, int] = {}
+        for item in self._parent:
+            self._resolve(item)
+
+        self._roots: tuple[Item, ...] = tuple(
+            sorted(i for i, p in self._parent.items() if p is None)
+        )
+        self._leaves: tuple[Item, ...] = tuple(
+            sorted(i for i, c in self._children.items() if not c)
+        )
+        self._max_depth: int = max(self._depth.values(), default=0)
+
+    def _resolve(self, item: Item) -> None:
+        """Fill the ancestor/root/depth caches for ``item`` iteratively."""
+        if item in self._ancestors:
+            return
+        chain: list[Item] = []
+        cursor: Item | None = item
+        seen: set[Item] = set()
+        while cursor is not None and cursor not in self._ancestors:
+            if cursor in seen:
+                raise CycleError(f"cycle through item {cursor}")
+            seen.add(cursor)
+            chain.append(cursor)
+            cursor = self._parent[cursor]
+        # ``cursor`` is now None (we walked to a root) or already resolved.
+        if cursor is None:
+            base_ancestors: tuple[Item, ...] = ()
+            base_root: Item | None = None
+            base_depth = -1
+        else:
+            base_ancestors = (cursor,) + self._ancestors[cursor]
+            base_root = self._root[cursor]
+            base_depth = self._depth[cursor]
+        for node in reversed(chain):
+            self._ancestors[node] = base_ancestors
+            self._root[node] = base_root if base_root is not None else node
+            if base_root is None:
+                base_root = node
+            base_depth += 1
+            self._depth[node] = base_depth
+            base_ancestors = (node,) + base_ancestors
+
+    # ------------------------------------------------------------------
+    # Universe
+    # ------------------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._parent)
+
+    @property
+    def items(self) -> Iterable[Item]:
+        """All item ids in the universe (unordered view)."""
+        return self._parent.keys()
+
+    @property
+    def roots(self) -> tuple[Item, ...]:
+        """Items with no parent, sorted ascending."""
+        return self._roots
+
+    @property
+    def leaves(self) -> tuple[Item, ...]:
+        """Items with no children, sorted ascending."""
+        return self._leaves
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest item (roots have depth 0)."""
+        return self._max_depth
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def parent(self, item: Item) -> Item | None:
+        """Parent of ``item`` or ``None`` for roots."""
+        try:
+            return self._parent[item]
+        except KeyError:
+            raise UnknownItemError(f"unknown item {item}") from None
+
+    def children(self, item: Item) -> tuple[Item, ...]:
+        """Direct children of ``item``, sorted ascending."""
+        try:
+            return self._children[item]
+        except KeyError:
+            raise UnknownItemError(f"unknown item {item}") from None
+
+    def ancestors(self, item: Item) -> tuple[Item, ...]:
+        """All proper ancestors of ``item``, nearest first (parent, …, root)."""
+        try:
+            return self._ancestors[item]
+        except KeyError:
+            raise UnknownItemError(f"unknown item {item}") from None
+
+    def ancestors_or_self(self, item: Item) -> tuple[Item, ...]:
+        """``item`` followed by its proper ancestors, nearest first."""
+        return (item,) + self.ancestors(item)
+
+    def root_of(self, item: Item) -> Item:
+        """The root of the tree containing ``item`` (itself if a root)."""
+        try:
+            return self._root[item]
+        except KeyError:
+            raise UnknownItemError(f"unknown item {item}") from None
+
+    def depth(self, item: Item) -> int:
+        """Distance from ``item`` to its root (roots have depth 0)."""
+        try:
+            return self._depth[item]
+        except KeyError:
+            raise UnknownItemError(f"unknown item {item}") from None
+
+    def is_root(self, item: Item) -> bool:
+        """True when ``item`` has no parent."""
+        return self.parent(item) is None
+
+    def is_leaf(self, item: Item) -> bool:
+        """True when ``item`` has no children."""
+        return not self.children(item)
+
+    def is_ancestor(self, candidate: Item, item: Item) -> bool:
+        """True when ``candidate`` is a *proper* ancestor of ``item``."""
+        return candidate in self.ancestors(item)
+
+    def subtree(self, root: Item) -> tuple[Item, ...]:
+        """Every item of the tree rooted at ``root`` (including it), BFS order."""
+        if root not in self._parent:
+            raise UnknownItemError(f"unknown item {root}")
+        found: list[Item] = [root]
+        frontier = [root]
+        while frontier:
+            nxt: list[Item] = []
+            for node in frontier:
+                nxt.extend(self._children[node])
+            found.extend(nxt)
+            frontier = nxt
+        return tuple(found)
+
+    def descendants(self, item: Item) -> tuple[Item, ...]:
+        """Every proper descendant of ``item``, BFS order."""
+        return self.subtree(item)[1:]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def parent_map(self) -> dict[Item, Item | None]:
+        """A copy of the underlying item → parent mapping."""
+        return dict(self._parent)
+
+    def tree_sizes(self) -> dict[Item, int]:
+        """Number of items in each root's tree, keyed by root id."""
+        sizes: dict[Item, int] = {root: 0 for root in self._roots}
+        for item in self._parent:
+            sizes[self._root[item]] += 1
+        return sizes
+
+    def __repr__(self) -> str:
+        return (
+            f"Taxonomy(items={len(self._parent)}, roots={len(self._roots)}, "
+            f"leaves={len(self._leaves)}, max_depth={self._max_depth})"
+        )

@@ -1,0 +1,50 @@
+"""Taxonomy on-disk format.
+
+One line per item: ``<item> <parent>`` with ``-1`` for roots — the
+format ``repro-mine generate`` writes and anything downstream can read
+back.  Order-independent; blank lines ignored.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import TransactionFormatError
+from repro.taxonomy.builder import taxonomy_from_parents
+from repro.taxonomy.hierarchy import Taxonomy
+
+
+def save_taxonomy(taxonomy: Taxonomy, path: str | Path) -> None:
+    """Write the parent relation, items ascending, roots as ``-1``."""
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        for item, parent in sorted(taxonomy.parent_map().items()):
+            handle.write(f"{item} {-1 if parent is None else parent}\n")
+
+
+def load_taxonomy(path: str | Path) -> Taxonomy:
+    """Read the format written by :func:`save_taxonomy` (validated)."""
+    path = Path(path)
+    parents: dict[int, int | None] = {}
+    with path.open("r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            tokens = line.split()
+            if len(tokens) != 2:
+                raise TransactionFormatError(
+                    f"{path}:{line_number}: expected '<item> <parent>'"
+                )
+            try:
+                item, parent = int(tokens[0]), int(tokens[1])
+            except ValueError as exc:
+                raise TransactionFormatError(
+                    f"{path}:{line_number}: non-integer id"
+                ) from exc
+            if item in parents:
+                raise TransactionFormatError(
+                    f"{path}:{line_number}: duplicate item {item}"
+                )
+            parents[item] = None if parent == -1 else parent
+    return taxonomy_from_parents(parents)

@@ -1,0 +1,129 @@
+"""Transaction-level taxonomy operations used in mining inner loops.
+
+Three operations from the paper:
+
+* **Ancestor extension** (Cumulate, step 2): add to a transaction every
+  ancestor of its items — optionally only the ancestors that still occur
+  in some candidate, the "delete any ancestors in T that are not present
+  in the candidates" optimization.
+* **Closest-large-ancestor replacement** (H-HPGM, line 8): replace each
+  item with its nearest *large* ancestor (or itself if large), dropping
+  items that have no large ancestor-or-self.
+* **:class:`AncestorIndex`** — a precomputed, prunable item → ancestors
+  table so the per-transaction work is dictionary lookups only.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Set
+
+from repro.taxonomy.hierarchy import Item, Taxonomy
+
+
+class AncestorIndex:
+    """Precomputed item → relevant-ancestors table.
+
+    Cumulate prunes the hierarchy each pass: ancestors that appear in no
+    candidate need not be added to transactions.  ``AncestorIndex`` bakes
+    that pruning into a flat dictionary so extension is one lookup per
+    item.
+
+    Parameters
+    ----------
+    taxonomy:
+        The full classification hierarchy.
+    keep:
+        When given, only ancestors in this set are retained (the items
+        themselves are always kept by :meth:`extend`).  ``None`` keeps
+        every ancestor.
+    """
+
+    __slots__ = ("_ancestors",)
+
+    def __init__(self, taxonomy: Taxonomy, keep: Set[Item] | None = None):
+        self._ancestors: dict[Item, tuple[Item, ...]] = {}
+        for item in taxonomy.items:
+            ancestors = taxonomy.ancestors(item)
+            if keep is not None:
+                ancestors = tuple(a for a in ancestors if a in keep)
+            self._ancestors[item] = ancestors
+
+    def ancestors(self, item: Item) -> tuple[Item, ...]:
+        """Retained ancestors of ``item``, nearest first; () if unknown."""
+        return self._ancestors.get(item, ())
+
+    def extend(self, transaction: Iterable[Item]) -> tuple[Item, ...]:
+        """Return the sorted, deduplicated ancestor extension of a transaction.
+
+        Items not present in the taxonomy are passed through unchanged
+        (they simply have no ancestors), matching the paper's treatment of
+        items outside the hierarchy.
+        """
+        extended: set[Item] = set()
+        for item in transaction:
+            extended.add(item)
+            extended.update(self._ancestors.get(item, ()))
+        return tuple(sorted(extended))
+
+
+def extend_transaction(
+    taxonomy: Taxonomy,
+    transaction: Iterable[Item],
+    keep: Set[Item] | None = None,
+) -> tuple[Item, ...]:
+    """One-shot ancestor extension (see :class:`AncestorIndex` for loops).
+
+    Returns the sorted union of the transaction's items and their
+    ancestors, restricted to ``keep`` when given.
+    """
+    extended: set[Item] = set()
+    for item in transaction:
+        extended.add(item)
+        if item in taxonomy:
+            for ancestor in taxonomy.ancestors(item):
+                if keep is None or ancestor in keep:
+                    extended.add(ancestor)
+    return tuple(sorted(extended))
+
+
+def closest_large_ancestors(
+    taxonomy: Taxonomy,
+    large_items: Collection[Item],
+) -> dict[Item, Item | None]:
+    """Map every item to its nearest large ancestor-or-self.
+
+    This is the replacement table for H-HPGM's transaction rewrite
+    (Figure 5, line 8): a large item maps to itself; a small item maps to
+    the closest-to-the-bottom large ancestor; items with no large
+    ancestor map to ``None`` and are dropped from transactions.
+    """
+    large = set(large_items)
+    table: dict[Item, Item | None] = {}
+    for item in taxonomy.items:
+        if item in large:
+            table[item] = item
+            continue
+        replacement: Item | None = None
+        for ancestor in taxonomy.ancestors(item):
+            if ancestor in large:
+                replacement = ancestor
+                break
+        table[item] = replacement
+    return table
+
+
+def replace_with_closest_large(
+    transaction: Iterable[Item],
+    table: dict[Item, Item | None],
+) -> tuple[Item, ...]:
+    """Apply a closest-large-ancestor table to one transaction.
+
+    Returns the sorted, deduplicated rewrite; items mapping to ``None``
+    (no large ancestor) and items absent from the table are dropped.
+    """
+    rewritten = {
+        table[item]
+        for item in transaction
+        if table.get(item) is not None
+    }
+    return tuple(sorted(rewritten))  # type: ignore[arg-type]

@@ -1,0 +1,120 @@
+"""Tests for the repro-mine command-line interface."""
+
+import pytest
+
+from repro import cli
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale():
+    original = common.DEFAULT_NUM_TRANSACTIONS
+    common.DEFAULT_NUM_TRANSACTIONS = 400
+    common._cached_dataset.cache_clear()
+    yield
+    common.DEFAULT_NUM_TRANSACTIONS = original
+    common._cached_dataset.cache_clear()
+
+
+class TestGenerate:
+    def test_writes_transactions_and_taxonomy(self, tmp_path, capsys):
+        out = tmp_path / "data" / "r30f5"
+        code = cli.main(
+            ["generate", "--dataset", "R30F5", "--transactions", "50",
+             "--out", str(out)]
+        )
+        assert code == 0
+        transactions = (out.with_suffix(".txt")).read_text().strip().splitlines()
+        assert len(transactions) == 50
+        taxonomy_lines = (out.with_suffix(".taxonomy")).read_text().splitlines()
+        assert len(taxonomy_lines) == 1500
+        roots = [line for line in taxonomy_lines if line.endswith(" -1")]
+        assert len(roots) == 30
+        assert "wrote 50 transactions" in capsys.readouterr().out
+
+
+class TestMine:
+    def test_sequential_cumulate(self, capsys):
+        code = cli.main(
+            ["mine", "--algorithm", "cumulate", "--min-support", "0.1",
+             "--max-k", "2", "--rules", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MiningResult" in out
+        assert "rules at confidence" in out
+
+    def test_parallel_algorithm(self, capsys):
+        code = cli.main(
+            ["mine", "--algorithm", "H-HPGM-FGD", "--min-support", "0.1",
+             "--max-k", "2", "--nodes", "4", "--rules", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass 2" in out
+        assert "dup=" in out
+
+    def test_save_result_roundtrip(self, tmp_path, capsys):
+        from repro.core.io import load_result
+
+        out = tmp_path / "r.json"
+        code = cli.main(
+            ["mine", "--algorithm", "cumulate", "--min-support", "0.15",
+             "--max-k", "2", "--rules", "0", "--save-result", str(out)]
+        )
+        assert code == 0
+        loaded = load_result(out)
+        assert loaded.total_large > 0
+
+    def test_unknown_algorithm_fails(self):
+        from repro.errors import MiningError
+
+        with pytest.raises(MiningError):
+            cli.main(["mine", "--algorithm", "bogus", "--max-k", "2"])
+
+
+class TestExperimentCommand:
+    def test_table6_runs(self, capsys, monkeypatch):
+        from repro.experiments import table6
+
+        monkeypatch.setattr(
+            table6, "run",
+            lambda **kw: table6.Table6Result(dataset="R30F5", min_support=0.01, rows=()),
+        )
+        code = cli.main(["experiment", "table6"])
+        assert code == 0
+        assert "Table 6" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["experiment", "fig99"])
+
+
+class TestSequences:
+    def test_sequential_gsp(self, capsys):
+        code = cli.main(
+            ["sequences", "--customers", "60", "--min-support", "0.2",
+             "--algorithm", "gsp", "--patterns", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SequenceMiningResult" in out
+        assert "2-sequences" in out
+
+    def test_parallel_hpspm(self, capsys):
+        code = cli.main(
+            ["sequences", "--customers", "60", "--min-support", "0.2",
+             "--algorithm", "HPSPM", "--nodes", "3", "--patterns", "0"]
+        )
+        assert code == 0
+        assert "pass 2" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            cli.main(["generate"])

@@ -1,0 +1,81 @@
+"""Unit tests for repro.cluster.config and repro.cluster.cost."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cost import CostModel
+from repro.cluster.stats import NodeStats
+from repro.errors import ClusterError
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        config = ClusterConfig()
+        assert config.num_nodes == 16
+        assert config.total_memory == 16 * 4096
+
+    def test_unbounded_memory(self):
+        config = ClusterConfig(memory_per_node=None)
+        assert config.total_memory is None
+
+    def test_with_nodes(self):
+        config = ClusterConfig(num_nodes=16).with_nodes(4)
+        assert config.num_nodes == 4
+        assert config.memory_per_node == ClusterConfig().memory_per_node
+
+    def test_with_memory(self):
+        assert ClusterConfig().with_memory(77).memory_per_node == 77
+
+    def test_sp2_preset(self):
+        config = ClusterConfig.sp2_like(num_nodes=8)
+        assert config.num_nodes == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"memory_per_node": 0},
+            {"item_bytes": 0},
+            {"candidate_bytes": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ClusterError):
+            ClusterConfig(**kwargs)
+
+
+class TestCostModel:
+    def test_node_time_linear(self):
+        cost = CostModel()
+        empty = CostModel().node_time(NodeStats())
+        assert empty == 0.0
+        stats = NodeStats(io_items=1000, probes=1000)
+        assert cost.node_time(stats) == pytest.approx(
+            1000 * cost.io_item + 1000 * cost.probe
+        )
+
+    def test_communication_priced_on_both_sides(self):
+        cost = CostModel()
+        sender = NodeStats(bytes_sent=1000, messages_sent=2)
+        receiver = NodeStats(bytes_received=1000, messages_received=2)
+        assert cost.node_time(sender) > 0
+        assert cost.node_time(receiver) > 0
+
+    def test_coordinator_time(self):
+        cost = CostModel()
+        assert cost.coordinator_time(0, 0) == 0.0
+        assert cost.coordinator_time(100, 10) == pytest.approx(
+            100 * cost.reduce_candidate + 10 * cost.broadcast_itemset
+        )
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ClusterError):
+            CostModel(probe=-1.0)
+
+    def test_node_stats_merge(self):
+        merged = NodeStats(probes=3, io_items=1).merged_with(
+            NodeStats(probes=4, bytes_sent=7)
+        )
+        assert merged.probes == 7
+        assert merged.io_items == 1
+        assert merged.bytes_sent == 7

@@ -1,0 +1,77 @@
+"""Unit tests for repro.cluster.network."""
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.cluster.stats import NodeStats
+from repro.errors import RoutingError
+
+
+class TestNetwork:
+    def test_send_and_drain(self):
+        network = Network(num_nodes=3)
+        network.send(0, 1, (5, 6, 7))
+        network.send(2, 1, (8,))
+        assert network.pending(1) == 2
+        assert network.drain(1) == [(5, 6, 7), (8,)]
+        assert network.pending(1) == 0
+
+    def test_drain_preserves_fifo(self):
+        network = Network(num_nodes=2)
+        for i in range(5):
+            network.send(0, 1, (i,))
+        assert network.drain(1) == [(0,), (1,), (2,), (3,), (4,)]
+
+    def test_byte_accounting(self):
+        network = Network(num_nodes=2, item_bytes=4, header_bytes=8)
+        src, dst = NodeStats(), NodeStats()
+        network.send(0, 1, (1, 2, 3), src, dst)
+        assert src.bytes_sent == 8 + 3 * 4
+        assert dst.bytes_received == 8 + 3 * 4
+        assert src.messages_sent == 1
+        assert dst.messages_received == 1
+
+    def test_message_bytes(self):
+        network = Network(num_nodes=2, item_bytes=2, header_bytes=10)
+        assert network.message_bytes((1, 2)) == 14
+
+    def test_traffic_matrix(self):
+        network = Network(num_nodes=3)
+        network.send(0, 1, (1,))
+        network.send(0, 1, (2,))
+        network.send(1, 2, (3,))
+        matrix = network.traffic_matrix()
+        assert matrix[(0, 1)] == 2 * network.message_bytes((1,))
+        assert matrix[(1, 2)] == network.message_bytes((3,))
+        assert network.total_traffic() == sum(matrix.values())
+
+    def test_self_send_rejected(self):
+        network = Network(num_nodes=2)
+        with pytest.raises(RoutingError):
+            network.send(1, 1, (1,))
+
+    def test_out_of_range_rejected(self):
+        network = Network(num_nodes=2)
+        with pytest.raises(RoutingError):
+            network.send(0, 5, (1,))
+        with pytest.raises(RoutingError):
+            network.drain(-1)
+
+    def test_total_pending(self):
+        network = Network(num_nodes=3)
+        network.send(0, 1, (1,))
+        network.send(0, 2, (1,))
+        assert network.total_pending() == 2
+
+    def test_reset_traffic_requires_empty_mailboxes(self):
+        network = Network(num_nodes=2)
+        network.send(0, 1, (1,))
+        with pytest.raises(RoutingError):
+            network.reset_traffic()
+        network.drain(1)
+        network.reset_traffic()
+        assert network.total_traffic() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(RoutingError):
+            Network(num_nodes=0)

@@ -1,0 +1,73 @@
+"""Tests for the simulator's event tracing."""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.cluster.trace import SimulationTrace, TraceEvent
+from repro.parallel.registry import make_miner
+
+
+class TestSimulationTrace:
+    def test_record_and_query(self):
+        trace = SimulationTrace()
+        trace.record("send", src=0, dst=1, bytes=12)
+        trace.record("send", src=1, dst=0, bytes=20)
+        trace.record("pass-end", k=2)
+        assert trace.count("send") == 2
+        assert len(trace.of_kind("send")) == 2
+        assert trace.kinds() == {"send": 2, "pass-end": 1}
+
+    def test_limit_keeps_counts(self):
+        trace = SimulationTrace(limit=3)
+        for _ in range(10):
+            trace.record("send")
+        assert len(trace.events) == 3
+        assert trace.count("send") == 10
+        assert trace.truncated
+
+    def test_clear(self):
+        trace = SimulationTrace()
+        trace.record("send")
+        trace.clear()
+        assert trace.events == []
+        assert trace.count("send") == 0
+        assert not trace.truncated
+
+    def test_event_str(self):
+        event = TraceEvent(kind="send", detail={"src": 0, "dst": 1})
+        assert str(event) == "[send] src=0 dst=1"
+
+
+class TestTracedRun:
+    def test_trace_matches_stats(self, small_dataset, paper_taxonomy):
+        cluster = Cluster.from_database(
+            ClusterConfig(num_nodes=3, memory_per_node=None),
+            small_dataset.database,
+        )
+        trace = SimulationTrace()
+        cluster.attach_trace(trace)
+        run = make_miner("H-HPGM", cluster, small_dataset.taxonomy).mine(
+            0.1, max_k=2
+        )
+
+        # One begin/end pair per pass.
+        assert trace.count("pass-begin") == len(run.stats.passes)
+        assert trace.count("pass-end") == len(run.stats.passes)
+
+        # Traced sends reconcile exactly with the byte counters.
+        pass2 = run.stats.pass_stats(2)
+        sends = trace.of_kind("send")
+        assert trace.count("send") == sum(n.messages_sent for n in run.stats.passes[0].nodes) + sum(
+            n.messages_sent for n in pass2.nodes
+        )
+        traced_bytes = sum(event.detail["bytes"] for event in sends)
+        stats_bytes = sum(
+            n.bytes_sent for p in run.stats.passes for n in p.nodes
+        )
+        assert traced_bytes == stats_bytes
+
+    def test_untraced_cluster_records_nothing(self, small_dataset):
+        cluster = Cluster.from_database(
+            ClusterConfig(num_nodes=2), small_dataset.database
+        )
+        assert cluster.trace is None
+        assert cluster.network.trace is None

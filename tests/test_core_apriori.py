@@ -1,0 +1,61 @@
+"""Unit tests for repro.core.apriori (flat baseline)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.apriori import apriori
+from repro.core.itemsets import minimum_count
+from repro.datagen.corpus import TransactionDatabase
+
+
+@pytest.fixture
+def market_basket():
+    # The canonical Apriori textbook example.
+    return TransactionDatabase(
+        [
+            (1, 3, 4),
+            (2, 3, 5),
+            (1, 2, 3, 5),
+            (2, 5),
+        ]
+    )
+
+
+class TestApriori:
+    def test_textbook_example(self, market_basket):
+        result = apriori(market_basket, min_support=0.5)
+        assert result.large_itemsets(1) == {(1,): 2, (2,): 3, (3,): 3, (5,): 3}
+        assert result.large_itemsets(2) == {
+            (1, 3): 2,
+            (2, 3): 2,
+            (2, 5): 3,
+            (3, 5): 2,
+        }
+        assert result.large_itemsets(3) == {(2, 3, 5): 2}
+        assert result.large_itemsets(4) == {}
+
+    def test_matches_bruteforce(self, small_dataset):
+        database = small_dataset.database
+        result = apriori(database, 0.05, max_k=2)
+        threshold = minimum_count(0.05, len(database))
+        universe = sorted(database.item_universe())
+        expected = {}
+        for pair in combinations(universe, 2):
+            support = sum(1 for t in database if set(pair) <= set(t))
+            if support >= threshold:
+                expected[pair] = support
+        assert result.large_itemsets(2) == expected
+
+    def test_no_large_items(self):
+        database = TransactionDatabase([(1,), (2,), (3,)])
+        result = apriori(database, min_support=0.9)
+        assert result.total_large == 0
+
+    def test_hashtree_agrees(self, market_basket):
+        assert apriori(market_basket, 0.5) == apriori(
+            market_basket, 0.5, strategy="hashtree"
+        )
+
+    def test_result_repr(self, market_basket):
+        assert "|L1|=4" in repr(apriori(market_basket, 0.5))

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.candidates."""
+
+import pytest
+
+from repro.core.candidates import (
+    apriori_gen,
+    candidate_item_universe,
+    filter_ancestor_pairs,
+    generate_candidates,
+    referenced_ancestors,
+)
+from repro.errors import MiningError
+
+
+class TestAprioriGen:
+    def test_classic_join(self):
+        large = [(1,), (2,), (3,)]
+        assert apriori_gen(large, 2) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_prune_removes_unsupported_subsets(self):
+        # {1,2},{1,3} join to {1,2,3}, but {2,3} is not large -> pruned.
+        large = [(1, 2), (1, 3)]
+        assert apriori_gen(large, 3) == []
+
+    def test_three_itemset_generation(self):
+        large = [(1, 2), (1, 3), (2, 3)]
+        assert apriori_gen(large, 3) == [(1, 2, 3)]
+
+    def test_four_itemsets(self):
+        large = [(1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4)]
+        assert apriori_gen(large, 4) == [(1, 2, 3, 4)]
+
+    def test_four_itemsets_pruned(self):
+        # Missing (2,3,4): the join result (1,2,3,4) must be pruned.
+        large = [(1, 2, 3), (1, 2, 4), (1, 3, 4)]
+        assert apriori_gen(large, 4) == []
+
+    def test_empty_input(self):
+        assert apriori_gen([], 2) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(MiningError):
+            apriori_gen([(1,)], 1)
+
+    def test_wrong_itemset_size_rejected(self):
+        with pytest.raises(MiningError):
+            apriori_gen([(1, 2)], 2)
+
+    def test_output_sorted_and_unique(self):
+        large = [(i,) for i in range(10)]
+        out = apriori_gen(large, 2)
+        assert out == sorted(set(out))
+        assert len(out) == 45
+
+
+class TestAncestorFilter:
+    def test_pairs_with_ancestors_removed(self, paper_taxonomy):
+        candidates = [(4, 10), (1, 10), (9, 10), (10, 15)]
+        kept = filter_ancestor_pairs(candidates, paper_taxonomy)
+        assert kept == [(9, 10), (10, 15)]
+
+    def test_generate_candidates_applies_filter_at_k2(self, paper_taxonomy):
+        large = [(1,), (4,), (10,), (15,)]
+        candidates = generate_candidates(large, 2, paper_taxonomy)
+        assert (1, 4) not in candidates
+        assert (4, 10) not in candidates
+        assert (1, 10) not in candidates
+        assert (10, 15) in candidates
+        assert (1, 15) in candidates
+
+    def test_no_taxonomy_keeps_all(self):
+        large = [(1,), (2,)]
+        assert generate_candidates(large, 2, None) == [(1, 2)]
+
+    def test_k3_not_filtered_explicitly(self, paper_taxonomy):
+        # For k > 2 the subset prune handles ancestor pairs; the
+        # explicit filter only applies at pass 2.
+        large = [(9, 10), (9, 11), (10, 11)]
+        assert generate_candidates(large, 3, paper_taxonomy) == [(9, 10, 11)]
+
+
+class TestUniverseHelpers:
+    def test_candidate_item_universe(self):
+        assert candidate_item_universe([(1, 2), (2, 3)]) == {1, 2, 3}
+
+    def test_referenced_ancestors(self, paper_taxonomy):
+        # 4 and 6 are interior; 10 and 15 are leaves; 99 is unknown.
+        ancestors = referenced_ancestors([(4, 15), (6, 10), (10, 99)], paper_taxonomy)
+        assert ancestors == {4, 6}

@@ -1,0 +1,126 @@
+"""Unit + oracle tests for repro.core.cumulate (the reference algorithm)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core.cumulate import cumulate
+from repro.core.itemsets import (
+    has_ancestor_pair,
+    itemset_support,
+    minimum_count,
+)
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+from repro.taxonomy.builder import taxonomy_from_parents
+
+
+def oracle_large_itemsets(database, taxonomy, min_support, k):
+    """Brute force: all non-ancestor-pair k-itemsets meeting min support."""
+    threshold = minimum_count(min_support, len(database))
+    universe = set()
+    for transaction in database:
+        for item in transaction:
+            universe.add(item)
+            if item in taxonomy:
+                universe.update(taxonomy.ancestors(item))
+    expected = {}
+    for itemset in combinations(sorted(universe), k):
+        if has_ancestor_pair(itemset, taxonomy):
+            continue
+        support = itemset_support(database, itemset, taxonomy)
+        if support >= threshold:
+            expected[itemset] = support
+    return expected
+
+
+class TestCumulateSmall:
+    def test_pass1_counts_ancestors(self, paper_taxonomy, tiny_database):
+        result = cumulate(tiny_database, paper_taxonomy, min_support=0.5, max_k=1)
+        large1 = result.large_itemsets(1)
+        # Root 1 covers transactions 0-3 and 4 (via 13): support 5/6.
+        assert large1[(1,)] == 5
+        assert large1[(4,)] == 4
+
+    def test_matches_oracle_each_pass(self, paper_taxonomy, tiny_database):
+        result = cumulate(tiny_database, paper_taxonomy, min_support=0.3)
+        for k in range(1, result.max_k + 1):
+            assert result.large_itemsets(k) == oracle_large_itemsets(
+                tiny_database, paper_taxonomy, 0.3, k
+            )
+
+    def test_no_ancestor_pairs_in_output(self, paper_taxonomy, tiny_database):
+        result = cumulate(tiny_database, paper_taxonomy, min_support=0.2)
+        for itemset in result.large_itemsets():
+            assert not has_ancestor_pair(itemset, paper_taxonomy)
+
+    def test_max_k_cap(self, paper_taxonomy, tiny_database):
+        result = cumulate(tiny_database, paper_taxonomy, min_support=0.2, max_k=2)
+        assert result.max_k <= 2
+
+    def test_support_accessors(self, paper_taxonomy, tiny_database):
+        result = cumulate(tiny_database, paper_taxonomy, min_support=0.5)
+        assert result.support_count((1,)) == 5
+        assert result.support((1,)) == 5 / 6
+        with pytest.raises(MiningError):
+            result.support_count((99,))
+
+    def test_full_support_threshold(self, paper_taxonomy):
+        database = TransactionDatabase([(10,), (10,), (10, 15)])
+        result = cumulate(database, paper_taxonomy, min_support=1.0)
+        assert set(result.large_itemsets(1)) == {(10,), (4,), (1,)}
+
+    def test_empty_database(self, paper_taxonomy):
+        with pytest.raises(MiningError):
+            cumulate(TransactionDatabase([]), paper_taxonomy, 0.5)
+
+
+class TestCumulateSynthetic:
+    def test_matches_oracle_pass2(self, small_dataset):
+        result = cumulate(
+            small_dataset.database, small_dataset.taxonomy, 0.05, max_k=2
+        )
+        assert result.large_itemsets(2) == oracle_large_itemsets(
+            small_dataset.database, small_dataset.taxonomy, 0.05, 2
+        )
+
+    def test_hashtree_strategy_agrees(self, small_dataset):
+        dict_result = cumulate(
+            small_dataset.database, small_dataset.taxonomy, 0.08, max_k=3
+        )
+        tree_result = cumulate(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.08,
+            strategy="hashtree",
+            max_k=3,
+        )
+        assert dict_result == tree_result
+
+    def test_monotone_in_support(self, small_dataset):
+        loose = cumulate(small_dataset.database, small_dataset.taxonomy, 0.05, max_k=2)
+        tight = cumulate(small_dataset.database, small_dataset.taxonomy, 0.10, max_k=2)
+        assert set(tight.large_itemsets()) <= set(loose.large_itemsets())
+
+    def test_subset_closure(self, small_dataset):
+        # Every subset of a large itemset is large (support monotone).
+        result = cumulate(small_dataset.database, small_dataset.taxonomy, 0.08)
+        all_large = set(result.large_itemsets())
+        for itemset in all_large:
+            if len(itemset) < 2:
+                continue
+            for drop in range(len(itemset)):
+                subset = itemset[:drop] + itemset[drop + 1 :]
+                assert subset in all_large
+
+
+class TestFlatTaxonomyEquivalence:
+    def test_cumulate_equals_apriori_without_hierarchy(self, small_dataset):
+        from repro.core.apriori import apriori
+
+        flat = taxonomy_from_parents(
+            {item: None for item in small_dataset.taxonomy.items}
+        )
+        hierarchical = cumulate(small_dataset.database, flat, 0.05, max_k=3)
+        plain = apriori(small_dataset.database, 0.05, max_k=3)
+        assert hierarchical.large_itemsets() == plain.large_itemsets()

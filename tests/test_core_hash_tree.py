@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.hash_tree."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core.hash_tree import HashTree
+from repro.errors import MiningError
+
+
+class TestBasics:
+    def test_insert_and_len(self):
+        tree = HashTree(k=2)
+        tree.insert((1, 2))
+        tree.insert((1, 3))
+        assert len(tree) == 2
+
+    def test_iter_returns_all(self):
+        tree = HashTree(k=2)
+        itemsets = [(1, 2), (3, 4), (5, 6)]
+        for itemset in itemsets:
+            tree.insert(itemset)
+        assert sorted(tree) == itemsets
+
+    def test_wrong_size_rejected(self):
+        tree = HashTree(k=2)
+        with pytest.raises(MiningError):
+            tree.insert((1, 2, 3))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"k": 0}, {"k": 2, "leaf_capacity": 0}, {"k": 2, "num_branches": 1}],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(MiningError):
+            HashTree(**kwargs)
+
+
+class TestContainment:
+    def test_simple(self):
+        tree = HashTree(k=2)
+        tree.insert((1, 2))
+        tree.insert((2, 3))
+        tree.insert((4, 5))
+        assert sorted(tree.contained_in((1, 2, 3))) == [(1, 2), (2, 3)]
+
+    def test_short_transaction(self):
+        tree = HashTree(k=3)
+        tree.insert((1, 2, 3))
+        assert tree.contained_in((1, 2)) == []
+
+    def test_probe_counter_increases(self):
+        tree = HashTree(k=2)
+        tree.insert((1, 2))
+        before = tree.probes
+        tree.contained_in((1, 2, 3))
+        assert tree.probes > before
+
+    def test_exhaustive_against_bruteforce(self):
+        # Random candidates/transactions; the tree must find exactly
+        # the contained subsets, even across leaf splits.
+        rng = random.Random(0)
+        for trial in range(20):
+            k = rng.choice([2, 3])
+            tree = HashTree(k=k, leaf_capacity=4, num_branches=7)
+            universe = range(40)
+            candidates = set()
+            while len(candidates) < 60:
+                candidates.add(tuple(sorted(rng.sample(universe, k))))
+            for candidate in candidates:
+                tree.insert(candidate)
+            transaction = tuple(sorted(rng.sample(universe, rng.randint(k, 15))))
+            expected = sorted(
+                c for c in combinations(transaction, k) if c in candidates
+            )
+            assert sorted(tree.contained_in(transaction)) == expected, (
+                trial,
+                transaction,
+            )
+
+    def test_colliding_hash_buckets(self):
+        # All items congruent mod num_branches: forces deep splits.
+        tree = HashTree(k=2, leaf_capacity=2, num_branches=4)
+        itemsets = [(4 * i, 4 * i + 4) for i in range(10)]
+        for itemset in itemsets:
+            tree.insert(itemset)
+        transaction = tuple(sorted({x for pair in itemsets for x in pair}))
+        assert sorted(tree.contained_in(transaction)) == sorted(itemsets)
+
+    def test_duplicates_enumerated_once(self):
+        tree = HashTree(k=2, leaf_capacity=1)
+        for itemset in [(1, 2), (1, 3), (1, 4), (2, 3)]:
+            tree.insert(itemset)
+        found = tree.contained_in((1, 2, 3, 4))
+        assert len(found) == len(set(found)) == 4

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.itemsets."""
+
+import pytest
+
+from repro.core.itemsets import (
+    canonical,
+    has_ancestor_pair,
+    itemset_support,
+    minimum_count,
+    support_fraction,
+    transaction_contains,
+)
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+
+
+class TestCanonical:
+    def test_sorting(self):
+        assert canonical([3, 1, 2]) == (1, 2, 3)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MiningError):
+            canonical([1, 1])
+
+    def test_empty(self):
+        assert canonical([]) == ()
+
+
+class TestHasAncestorPair:
+    def test_direct_parent(self, paper_taxonomy):
+        assert has_ancestor_pair((4, 10), paper_taxonomy)
+
+    def test_transitive(self, paper_taxonomy):
+        assert has_ancestor_pair((1, 10), paper_taxonomy)
+
+    def test_siblings(self, paper_taxonomy):
+        assert not has_ancestor_pair((9, 10), paper_taxonomy)
+
+    def test_cross_tree(self, paper_taxonomy):
+        assert not has_ancestor_pair((10, 15), paper_taxonomy)
+
+    def test_unknown_items_ignored(self, paper_taxonomy):
+        assert not has_ancestor_pair((99, 100), paper_taxonomy)
+
+
+class TestContainment:
+    def test_direct(self, paper_taxonomy):
+        assert transaction_contains((10, 15), (10,), paper_taxonomy)
+
+    def test_via_ancestor(self, paper_taxonomy):
+        # Section 2: t contains X if X is an ancestor of some item of t.
+        assert transaction_contains((10,), (4,), paper_taxonomy)
+        assert transaction_contains((10,), (1,), paper_taxonomy)
+
+    def test_mixed_levels(self, paper_taxonomy):
+        assert transaction_contains((10, 14), (4, 6), paper_taxonomy)
+
+    def test_absent(self, paper_taxonomy):
+        assert not transaction_contains((10,), (15,), paper_taxonomy)
+
+    def test_descendant_not_implied(self, paper_taxonomy):
+        # Having the ancestor does NOT imply containing the descendant.
+        assert not transaction_contains((4,), (10,), paper_taxonomy)
+
+    def test_empty_itemset_always_contained(self, paper_taxonomy):
+        assert transaction_contains((10,), (), paper_taxonomy)
+
+
+class TestOracleSupport:
+    def test_counts(self, paper_taxonomy, tiny_database):
+        # Item 10 appears in transactions 0, 2, 3.
+        assert itemset_support(tiny_database, (10,), paper_taxonomy) == 3
+        # Ancestor 4 of {9, 10, 11}: transactions 0, 1, 2, 3.
+        assert itemset_support(tiny_database, (4,), paper_taxonomy) == 4
+        # Root 1 covers {4, 5} subtrees: transactions 0, 1, 2, 3, 4.
+        assert itemset_support(tiny_database, (1,), paper_taxonomy) == 5
+
+    def test_pair_across_levels(self, paper_taxonomy, tiny_database):
+        # {5, 6}: 5 covers {12, 13}; 6 covers {14, 15}.
+        # Transactions containing both: (10,12,14) and (13,14).
+        assert itemset_support(tiny_database, (5, 6), paper_taxonomy) == 2
+
+
+class TestThresholds:
+    def test_support_fraction(self):
+        assert support_fraction(3, 6) == 0.5
+        with pytest.raises(MiningError):
+            support_fraction(1, 0)
+
+    def test_minimum_count_basic(self):
+        assert minimum_count(0.5, 10) == 5
+        assert minimum_count(0.51, 10) == 6
+
+    def test_minimum_count_float_drift(self):
+        # 0.003 * 1000 is 3.0000000000000004 in IEEE 754.
+        assert minimum_count(0.003, 1000) == 3
+
+    def test_minimum_count_at_least_one(self):
+        assert minimum_count(0.0001, 10) == 1
+
+    def test_minimum_count_full_support(self):
+        assert minimum_count(1.0, 7) == 7
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.1])
+    def test_minimum_count_invalid(self, bad):
+        with pytest.raises(MiningError):
+            minimum_count(bad, 10)

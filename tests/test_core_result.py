@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.result containers."""
+
+import pytest
+
+from repro.core.result import MiningResult, PassResult, Rule
+from repro.errors import MiningError
+
+
+def _result():
+    result = MiningResult(min_support=0.2, num_transactions=10)
+    result.passes.append(PassResult(k=1, num_candidates=5, large={(1,): 6, (2,): 4}))
+    result.passes.append(PassResult(k=2, num_candidates=3, large={(1, 2): 3}))
+    return result
+
+
+class TestPassResult:
+    def test_num_large(self):
+        assert PassResult(k=1, num_candidates=9, large={(1,): 2}).num_large == 1
+
+
+class TestMiningResult:
+    def test_large_itemsets_by_k(self):
+        result = _result()
+        assert result.large_itemsets(1) == {(1,): 6, (2,): 4}
+        assert result.large_itemsets(2) == {(1, 2): 3}
+        assert result.large_itemsets(3) == {}
+
+    def test_large_itemsets_merged(self):
+        merged = _result().large_itemsets()
+        assert set(merged) == {(1,), (2,), (1, 2)}
+
+    def test_merged_returns_copy(self):
+        result = _result()
+        result.large_itemsets()[(9,)] = 1
+        assert (9,) not in result.large_itemsets()
+
+    def test_support_accessors(self):
+        result = _result()
+        assert result.support_count((1, 2)) == 3
+        assert result.support((1, 2)) == pytest.approx(0.3)
+        with pytest.raises(MiningError):
+            result.support_count((3,))
+        with pytest.raises(MiningError):
+            result.support_count((1, 2, 3))
+
+    def test_max_k_ignores_empty_passes(self):
+        result = _result()
+        result.passes.append(PassResult(k=3, num_candidates=1, large={}))
+        assert result.max_k == 2
+
+    def test_total_large(self):
+        assert _result().total_large == 3
+
+    def test_equality_ignores_pass_structure(self):
+        a = _result()
+        b = MiningResult(min_support=0.2, num_transactions=10)
+        b.passes.append(
+            PassResult(
+                k=1, num_candidates=99, large={(1,): 6, (2,): 4}
+            )
+        )
+        b.passes.append(PassResult(k=2, num_candidates=99, large={(1, 2): 3}))
+        assert a == b
+
+    def test_inequality_on_counts(self):
+        a = _result()
+        b = _result()
+        b.passes[1].large[(1, 2)] = 4
+        assert a != b
+
+    def test_inequality_on_metadata(self):
+        a = _result()
+        b = MiningResult(min_support=0.3, num_transactions=10, passes=a.passes)
+        assert a != b
+
+    def test_eq_other_type(self):
+        assert _result().__eq__(42) is NotImplemented
+
+
+class TestRule:
+    def test_str(self):
+        rule = Rule(antecedent=(1, 2), consequent=(3,), support=0.25, confidence=0.8)
+        text = str(rule)
+        assert "{1, 2} => {3}" in text
+        assert "0.2500" in text
+        assert "0.8000" in text

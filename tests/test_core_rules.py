@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.rules."""
+
+import pytest
+
+from repro.core.cumulate import cumulate
+from repro.core.result import MiningResult, PassResult, Rule
+from repro.core.rules import generate_rules, interesting_rules
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+
+
+def _result(n, large_by_k):
+    result = MiningResult(min_support=0.1, num_transactions=n)
+    for k, large in large_by_k.items():
+        result.passes.append(PassResult(k=k, num_candidates=len(large), large=large))
+    return result
+
+
+class TestGenerateRules:
+    def test_confidence_computation(self):
+        result = _result(10, {1: {(1,): 8, (2,): 4}, 2: {(1, 2): 4}})
+        rules = generate_rules(result, min_confidence=0.5)
+        by_key = {(r.antecedent, r.consequent): r for r in rules}
+        # {1} => {2}: 4/8 = 0.5 (kept at threshold); {2} => {1}: 4/4 = 1.
+        assert by_key[((1,), (2,))].confidence == 0.5
+        assert by_key[((2,), (1,))].confidence == 1.0
+        assert by_key[((2,), (1,))].support == 0.4
+
+    def test_threshold_excludes(self):
+        result = _result(10, {1: {(1,): 8, (2,): 4}, 2: {(1, 2): 4}})
+        rules = generate_rules(result, min_confidence=0.6)
+        assert [(r.antecedent, r.consequent) for r in rules] == [((2,), (1,))]
+
+    def test_multi_item_antecedents(self):
+        result = _result(
+            10,
+            {
+                1: {(1,): 6, (2,): 6, (3,): 6},
+                2: {(1, 2): 5, (1, 3): 5, (2, 3): 5},
+                3: {(1, 2, 3): 5},
+            },
+        )
+        rules = generate_rules(result, min_confidence=0.99)
+        keys = {(r.antecedent, r.consequent) for r in rules}
+        assert ((1, 2), (3,)) in keys  # 5/5
+        assert ((1,), (2, 3)) not in keys  # 5/6
+
+    def test_ancestor_consequent_suppressed(self, paper_taxonomy):
+        # {10} => {4} holds with confidence 1 by construction — redundant.
+        result = _result(10, {1: {(10,): 5, (4,): 6}, 2: {(4, 10): 5}})
+        with_taxonomy = generate_rules(result, 0.5, paper_taxonomy)
+        without = generate_rules(result, 0.5)
+        keys_with = {(r.antecedent, r.consequent) for r in with_taxonomy}
+        keys_without = {(r.antecedent, r.consequent) for r in without}
+        assert ((10,), (4,)) not in keys_with
+        assert ((10,), (4,)) in keys_without
+        # The inverse direction is informative and stays.
+        assert ((4,), (10,)) in keys_with
+
+    def test_sorted_by_confidence_then_support(self):
+        result = _result(
+            10, {1: {(1,): 10, (2,): 5, (3,): 4}, 2: {(1, 2): 5, (1, 3): 4}}
+        )
+        rules = generate_rules(result, min_confidence=0.3)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5])
+    def test_invalid_confidence(self, bad):
+        with pytest.raises(MiningError):
+            generate_rules(_result(10, {}), bad)
+
+    def test_rule_str(self):
+        rule = Rule(antecedent=(1,), consequent=(2,), support=0.5, confidence=0.75)
+        assert "{1} => {2}" in str(rule)
+
+    def test_end_to_end_on_mined_data(self, paper_taxonomy, tiny_database):
+        result = cumulate(tiny_database, paper_taxonomy, min_support=0.3)
+        rules = generate_rules(result, 0.6, paper_taxonomy)
+        assert rules, "expected at least one rule"
+        for rule in rules:
+            assert set(rule.antecedent).isdisjoint(rule.consequent)
+            assert 0 < rule.support <= 1
+            assert 0.6 <= rule.confidence <= 1
+
+
+class TestInterestingRules:
+    def test_redundant_specialisation_pruned(self, paper_taxonomy):
+        # Ancestor rule {4} => {15} with support 0.4; descendant 10 has
+        # half of 4's support, so the expected support of {10} => {15}
+        # is 0.2.  An actual support of exactly 0.2 is NOT R-interesting.
+        result = _result(
+            10,
+            {
+                1: {(4,): 8, (10,): 4, (15,): 6},
+                2: {(4, 15): 4, (10, 15): 2},
+            },
+        )
+        rules = generate_rules(result, min_confidence=0.3, taxonomy=paper_taxonomy)
+        kept = interesting_rules(rules, result, paper_taxonomy, min_interest=1.1)
+        keys = {(r.antecedent, r.consequent) for r in kept}
+        assert ((4,), (15,)) in keys
+        assert ((10,), (15,)) not in keys
+
+    def test_surprising_specialisation_kept(self, paper_taxonomy):
+        # Here {10} => {15} has FULL overlap (support 4 with item
+        # support 4): far above the expected 2 -> interesting.
+        result = _result(
+            10,
+            {
+                1: {(4,): 8, (10,): 4, (15,): 6},
+                2: {(4, 15): 4, (10, 15): 4},
+            },
+        )
+        rules = generate_rules(result, min_confidence=0.3, taxonomy=paper_taxonomy)
+        kept = interesting_rules(rules, result, paper_taxonomy, min_interest=1.1)
+        keys = {(r.antecedent, r.consequent) for r in kept}
+        assert ((10,), (15,)) in keys
+
+    def test_rules_without_ancestors_kept(self, paper_taxonomy):
+        result = _result(10, {1: {(7,): 5, (15,): 5}, 2: {(7, 15): 4}})
+        rules = generate_rules(result, 0.5, paper_taxonomy)
+        kept = interesting_rules(rules, result, paper_taxonomy)
+        assert len(kept) == len(rules)
+
+    def test_invalid_interest(self, paper_taxonomy):
+        with pytest.raises(MiningError):
+            interesting_rules([], _result(10, {}), paper_taxonomy, min_interest=0)

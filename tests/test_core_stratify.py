@@ -1,0 +1,109 @@
+"""Tests for repro.core.stratify (SA95's top-down alternative)."""
+
+import pytest
+
+from repro.core.cumulate import cumulate
+from repro.core.stratify import StratifyTelemetry, stratify, _parent_itemsets
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+
+
+class TestParentItemsets:
+    def test_single_replacements(self, paper_taxonomy):
+        parents = _parent_itemsets((10, 15), paper_taxonomy)
+        assert set(parents) == {(4, 15), (6, 10)}
+
+    def test_root_items_have_no_replacement(self, paper_taxonomy):
+        assert _parent_itemsets((1, 2), paper_taxonomy) == []
+
+    def test_collapsing_replacement_skipped(self, paper_taxonomy):
+        # Replacing 10 by its parent 4 would collide with the existing
+        # 4, so only 4 -> 1 remains.
+        assert _parent_itemsets((4, 10), paper_taxonomy) == [(1, 10)]
+
+
+class TestStratifyCorrectness:
+    def test_equals_cumulate_tiny(self, paper_taxonomy, tiny_database):
+        expected = cumulate(tiny_database, paper_taxonomy, 0.3)
+        assert stratify(tiny_database, paper_taxonomy, 0.3) == expected
+
+    @pytest.mark.parametrize("wave_depths", [1, 2, 5])
+    def test_equals_cumulate_synthetic(self, small_dataset, wave_depths):
+        expected = cumulate(small_dataset.database, small_dataset.taxonomy, 0.08)
+        got = stratify(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.08,
+            wave_depths=wave_depths,
+        )
+        assert got == expected
+
+    def test_equals_cumulate_skewed(self, skewed_dataset):
+        expected = cumulate(
+            skewed_dataset.database, skewed_dataset.taxonomy, 0.05, max_k=3
+        )
+        got = stratify(
+            skewed_dataset.database, skewed_dataset.taxonomy, 0.05, max_k=3
+        )
+        assert got == expected
+
+    def test_invalid_wave_depths(self, paper_taxonomy, tiny_database):
+        with pytest.raises(MiningError):
+            stratify(tiny_database, paper_taxonomy, 0.3, wave_depths=0)
+
+    def test_empty_database(self, paper_taxonomy):
+        with pytest.raises(MiningError):
+            stratify(TransactionDatabase([]), paper_taxonomy, 0.3)
+
+
+class TestStratifyTelemetry:
+    def test_pruning_saves_probes(self, small_dataset):
+        # At a high threshold many top-level candidates are small, so
+        # stratify must prune some descendants without counting them.
+        telemetry = StratifyTelemetry()
+        stratify(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.15,
+            max_k=2,
+            wave_depths=1,
+            telemetry=telemetry,
+        )
+        assert telemetry.pruned_uncounted > 0
+
+    def test_scans_increase_with_finer_waves(self, small_dataset):
+        fine = StratifyTelemetry()
+        coarse = StratifyTelemetry()
+        stratify(
+            small_dataset.database, small_dataset.taxonomy, 0.10,
+            max_k=2, wave_depths=1, telemetry=fine,
+        )
+        stratify(
+            small_dataset.database, small_dataset.taxonomy, 0.10,
+            max_k=2, wave_depths=10, telemetry=coarse,
+        )
+        assert sum(fine.scans_per_pass) >= sum(coarse.scans_per_pass)
+        assert fine.probes <= coarse.probes
+
+    def test_probes_not_more_than_unpruned_counting(self, small_dataset):
+        # Stratify's whole point: the pruning makes counting cheaper
+        # than probing every candidate with the same (hash-tree)
+        # counting kernel.
+        from repro.core.counting import SupportCounter
+        from repro.core.candidates import generate_candidates, candidate_item_universe
+        from repro.taxonomy.ops import AncestorIndex
+
+        # A high threshold makes most top-level candidates small, so the
+        # descendant pruning dominates the per-scan overhead.
+        database, taxonomy = small_dataset.database, small_dataset.taxonomy
+        telemetry = StratifyTelemetry()
+        result = stratify(
+            database, taxonomy, 0.25, max_k=2, wave_depths=1, telemetry=telemetry
+        )
+        large1 = result.large_itemsets(1)
+        candidates = generate_candidates(large1.keys(), 2, taxonomy)
+        index = AncestorIndex(taxonomy, keep=candidate_item_universe(candidates))
+        reference = SupportCounter(candidates, 2, strategy="hashtree")
+        for transaction in database:
+            reference.add_transaction(index.extend(transaction))
+        assert telemetry.probes <= reference.probes

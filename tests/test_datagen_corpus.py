@@ -1,0 +1,68 @@
+"""Unit tests for repro.datagen.corpus."""
+
+import pytest
+
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import DataGenerationError
+
+
+class TestTransactionDatabase:
+    def test_normalisation(self):
+        db = TransactionDatabase([(3, 1, 2, 2), [5, 5]])
+        assert db[0] == (1, 2, 3)
+        assert db[1] == (5,)
+
+    def test_len_iter(self):
+        db = TransactionDatabase([(1,), (2,), ()])
+        assert len(db) == 3
+        assert list(db) == [(1,), (2,), ()]
+
+    def test_equality_and_hash(self):
+        a = TransactionDatabase([(1, 2)])
+        b = TransactionDatabase([(2, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TransactionDatabase([(1, 3)])
+
+    def test_item_universe(self):
+        db = TransactionDatabase([(1, 2), (2, 3)])
+        assert db.item_universe() == {1, 2, 3}
+
+    def test_total_items_and_average(self):
+        db = TransactionDatabase([(1, 2), (3,), ()])
+        assert db.total_items() == 3
+        assert db.average_size() == 1.0
+
+    def test_average_of_empty(self):
+        assert TransactionDatabase([]).average_size() == 0.0
+
+    def test_slice(self):
+        db = TransactionDatabase([(i,) for i in range(10)])
+        part = db.slice(2, 5)
+        assert list(part) == [(2,), (3,), (4,)]
+
+    def test_split_even(self):
+        db = TransactionDatabase([(i,) for i in range(10)])
+        parts = db.split(5)
+        assert [len(p) for p in parts] == [2, 2, 2, 2, 2]
+
+    def test_split_remainder_goes_first(self):
+        db = TransactionDatabase([(i,) for i in range(7)])
+        parts = db.split(3)
+        assert [len(p) for p in parts] == [3, 2, 2]
+        assert sum(len(p) for p in parts) == 7
+
+    def test_split_more_parts_than_transactions(self):
+        db = TransactionDatabase([(1,)])
+        parts = db.split(3)
+        assert [len(p) for p in parts] == [1, 0, 0]
+
+    def test_split_invalid(self):
+        with pytest.raises(DataGenerationError):
+            TransactionDatabase([]).split(0)
+
+    def test_from_sequence(self):
+        assert TransactionDatabase.from_sequence([(1,)]) == TransactionDatabase([(1,)])
+
+    def test_repr(self):
+        assert "n=2" in repr(TransactionDatabase([(1,), (2,)]))

@@ -1,0 +1,118 @@
+"""Unit tests for repro.datagen.generator."""
+
+import random
+
+from repro.datagen.generator import (
+    generate_dataset,
+    generate_patterns,
+    generate_transactions,
+    _poisson,
+)
+from repro.datagen.params import GeneratorParams
+
+
+def _params(**overrides):
+    defaults = dict(
+        num_transactions=200,
+        num_items=120,
+        num_roots=5,
+        fanout=3.0,
+        num_patterns=30,
+        avg_transaction_size=6.0,
+        avg_pattern_size=3.0,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return GeneratorParams(**defaults)
+
+
+class TestPoisson:
+    def test_mean_close(self):
+        rng = random.Random(0)
+        draws = [_poisson(rng, 10.0) for _ in range(5000)]
+        mean = sum(draws) / len(draws)
+        assert 9.5 < mean < 10.5
+
+    def test_nonnegative(self):
+        rng = random.Random(1)
+        assert all(_poisson(rng, 0.5) >= 0 for _ in range(100))
+
+
+class TestPatterns:
+    def test_pool_size(self, small_dataset):
+        assert len(small_dataset.patterns) == small_dataset.params.num_patterns
+
+    def test_weights_normalised(self, small_dataset):
+        total = sum(p.weight for p in small_dataset.patterns)
+        assert abs(total - 1.0) < 1e-9
+
+    def test_corruption_in_unit_interval(self, small_dataset):
+        assert all(0 <= p.corruption <= 1 for p in small_dataset.patterns)
+
+    def test_pattern_items_are_leaves_by_default(self, small_dataset):
+        leaves = set(small_dataset.taxonomy.leaves)
+        for pattern in small_dataset.patterns:
+            assert set(pattern.items) <= leaves
+
+    def test_interior_items_when_enabled(self):
+        params = _params(interior_item_prob=0.8, seed=3)
+        dataset = generate_dataset(params)
+        leaves = set(dataset.taxonomy.leaves)
+        interior_used = any(
+            any(item not in leaves for item in pattern.items)
+            for pattern in dataset.patterns
+        )
+        assert interior_used
+
+    def test_patterns_sorted_tuples(self, small_dataset):
+        for pattern in small_dataset.patterns:
+            assert tuple(sorted(set(pattern.items))) == pattern.items
+
+
+class TestTransactions:
+    def test_count(self, small_dataset):
+        assert len(small_dataset.database) == small_dataset.params.num_transactions
+
+    def test_items_within_universe(self, small_dataset):
+        universe = set(small_dataset.taxonomy.items)
+        assert small_dataset.database.item_universe() <= universe
+
+    def test_average_size_in_ballpark(self):
+        params = _params(num_transactions=2000, avg_transaction_size=8.0, seed=5)
+        dataset = generate_dataset(params)
+        avg = dataset.database.average_size()
+        assert 4.0 < avg < 12.0
+
+    def test_deterministic(self):
+        first = generate_dataset(_params(seed=9))
+        second = generate_dataset(_params(seed=9))
+        assert first.database == second.database
+        assert first.patterns == second.patterns
+
+    def test_seed_changes_output(self):
+        first = generate_dataset(_params(seed=9))
+        second = generate_dataset(_params(seed=10))
+        assert first.database != second.database
+
+    def test_transactions_reuse_pattern_pool(self, small_dataset):
+        rng = random.Random(123)
+        regenerated = generate_transactions(
+            small_dataset.params,
+            small_dataset.taxonomy,
+            small_dataset.patterns,
+            rng,
+        )
+        assert len(regenerated) == small_dataset.params.num_transactions
+
+    def test_skew_exponent_concentrates_weights(self):
+        taxonomy = generate_dataset(_params()).taxonomy
+        flat = generate_patterns(_params(), taxonomy, random.Random(0))
+        skewed = generate_patterns(
+            _params(pattern_weight_exponent=3.0), taxonomy, random.Random(0)
+        )
+        top_flat = max(p.weight for p in flat)
+        top_skewed = max(p.weight for p in skewed)
+        assert top_skewed > top_flat
+
+    def test_dataset_name(self, small_dataset):
+        assert small_dataset.name == "R6F3"

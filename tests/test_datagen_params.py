@@ -1,0 +1,94 @@
+"""Unit tests for repro.datagen.params."""
+
+import pytest
+
+from repro.datagen.params import DATASET_PRESETS, GeneratorParams, preset
+from repro.errors import DataGenerationError
+
+
+class TestGeneratorParams:
+    def test_defaults_valid(self):
+        params = GeneratorParams()
+        assert params.num_transactions > 0
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_transactions", 0),
+            ("avg_transaction_size", 0.5),
+            ("avg_pattern_size", 0.0),
+            ("num_patterns", 0),
+            ("num_roots", 0),
+            ("fanout", 0.9),
+            ("interior_item_prob", 1.5),
+            ("pattern_weight_exponent", 0.0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(DataGenerationError):
+            GeneratorParams(**{field: value})
+
+    def test_items_must_exceed_roots(self):
+        with pytest.raises(DataGenerationError):
+            GeneratorParams(num_items=30, num_roots=30)
+
+    def test_frozen(self):
+        params = GeneratorParams()
+        with pytest.raises(AttributeError):
+            params.num_transactions = 5  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert hash(GeneratorParams()) == hash(GeneratorParams())
+
+
+class TestScaling:
+    def test_linear_scale(self):
+        scaled = GeneratorParams(num_transactions=1000, num_items=10_000).scaled(0.5)
+        assert scaled.num_transactions == 500
+        assert scaled.num_items == 5000
+
+    def test_structure_preserved(self):
+        base = GeneratorParams(num_roots=30, fanout=5.0)
+        scaled = base.scaled(0.01)
+        assert scaled.num_roots == 30
+        assert scaled.fanout == 5.0
+        assert scaled.avg_transaction_size == base.avg_transaction_size
+
+    def test_item_floor_keeps_three_levels(self):
+        scaled = GeneratorParams(num_items=30_000, num_roots=30, fanout=5.0).scaled(
+            1e-6
+        )
+        # At least roots * (1 + F + F^2) + 1 items survive.
+        assert scaled.num_items >= 30 * 31 + 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(DataGenerationError):
+            GeneratorParams().scaled(0)
+
+
+class TestPresets:
+    def test_table5_values(self):
+        r30f5 = DATASET_PRESETS["R30F5"]
+        assert r30f5.num_transactions == 3_200_000
+        assert r30f5.num_items == 30_000
+        assert r30f5.num_roots == 30
+        assert r30f5.fanout == 5.0
+        assert r30f5.avg_transaction_size == 10.0
+        assert r30f5.avg_pattern_size == 5.0
+        assert r30f5.num_patterns == 10_000
+        assert DATASET_PRESETS["R30F3"].fanout == 3.0
+        assert DATASET_PRESETS["R30F10"].fanout == 10.0
+
+    def test_lookup_case_insensitive(self):
+        assert preset("r30f5") == DATASET_PRESETS["R30F5"]
+
+    def test_scaled_lookup(self):
+        scaled = preset("R30F5", scale=0.001)
+        assert scaled.num_transactions == 3200
+
+    def test_seed_override(self):
+        assert preset("R30F5", seed=99).seed == 99
+
+    def test_unknown_preset(self):
+        with pytest.raises(DataGenerationError):
+            preset("R99F9")

@@ -1,0 +1,75 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+The heavier examples are exercised through their ``main()`` with their
+own (already modest) workloads; quickstart is fully checked.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_agrees(self, capsys):
+        module = _load("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Large itemsets" in out
+        assert "identical" in out
+        # The hierarchy-spanning rule from the SA95 example must appear.
+        assert "Outerwear" in out
+
+
+class TestClusterSpeedup:
+    def test_runs(self, capsys):
+        module = _load("cluster_speedup")
+        module.main()
+        out = capsys.readouterr().out
+        assert "speedup" in out.lower()
+        assert "ideal" in out
+
+
+class TestFlatVsHierarchical:
+    def test_runs(self, capsys):
+        module = _load("flat_vs_hierarchical")
+        module.main()
+        out = capsys.readouterr().out
+        assert "multiplies the candidate space" in out
+        assert "span category levels" in out
+
+
+@pytest.mark.slow
+class TestHeavyExamples:
+    def test_sequential_patterns(self, capsys):
+        module = _load("sequential_patterns")
+        module.main()
+        out = capsys.readouterr().out
+        assert "HPSPM" in out
+        assert "interior hierarchy levels" in out
+
+    def test_retail_hierarchy(self, capsys):
+        module = _load("retail_hierarchy")
+        module.main()
+        out = capsys.readouterr().out
+        assert "R-interesting" in out
+
+    def test_skew_load_balancing(self, capsys):
+        module = _load("skew_load_balancing")
+        module.main()
+        out = capsys.readouterr().out
+        assert "H-HPGM-FGD" in out
+        assert "probe cv" in out

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness, at miniature scale.
+
+The experiments default to the scaled paper setup (8 000 transactions);
+these tests override the knobs to stay fast while checking the plumbing
+and the headline *shapes* (who wins) end to end.
+"""
+
+import pytest
+
+from repro.experiments import common, fig13, fig14, fig15, fig16, table6
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_scale():
+    """Shrink the cached experiment datasets for the whole module."""
+    original = common.DEFAULT_NUM_TRANSACTIONS
+    common.DEFAULT_NUM_TRANSACTIONS = 800
+    common._cached_dataset.cache_clear()
+    yield
+    common.DEFAULT_NUM_TRANSACTIONS = original
+    common._cached_dataset.cache_clear()
+
+
+MINSUP = 0.05
+
+
+class TestCommon:
+    def test_params_structure(self):
+        params = common.experiment_params("R30F3")
+        assert params.num_roots == 30
+        assert params.fanout == 3.0
+        assert params.avg_transaction_size == 10.0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataGenerationError):
+            common.experiment_params("R7F7")
+
+    def test_dataset_cached(self):
+        first = common.experiment_dataset("R30F5")
+        second = common.experiment_dataset("R30F5")
+        assert first is second
+
+    def test_run_algorithm_pass2_default(self):
+        dataset = common.experiment_dataset("R30F5")
+        run = common.run_algorithm(dataset, "H-HPGM", MINSUP, num_nodes=4)
+        assert max(p.k for p in run.stats.passes) <= 2
+
+
+class TestTable6:
+    def test_shape(self):
+        result = table6.run(
+            min_support=MINSUP, node_counts=(2, 4), memory_per_node=None
+        )
+        assert [row.num_nodes for row in result.rows] == [2, 4]
+        for row in result.rows:
+            # The paper's headline: H-HPGM communicates far less.
+            assert row.ratio > 2.0
+        text = result.to_table()
+        assert "Table 6" in text
+        assert "H-HPGM" in text
+
+
+class TestFig13:
+    def test_hhpgm_communicates_far_less(self):
+        # At this miniature scale the byte volume — the paper's causal
+        # mechanism — is asserted directly; the execution-time win is
+        # asserted at the full scaled setup by benchmarks/bench_fig13.py
+        # (with only 800 transactions HPGM's volume is too small to
+        # dominate the cost model, a pure scale artifact).
+        result = fig13.run(
+            datasets=("R30F5",),
+            min_supports=(0.08, MINSUP),
+            num_nodes=4,
+            memory_per_node=None,
+        )
+        by_key = {(p.algorithm, p.min_support): p for p in result.points}
+        for min_support in (0.08, MINSUP):
+            hpgm = by_key[("HPGM", min_support)]
+            hhpgm = by_key[("H-HPGM", min_support)]
+            assert hhpgm.bytes_received * 3 < hpgm.bytes_received
+            assert hhpgm.elapsed < hpgm.elapsed * 1.5
+        assert "Figure 13" in result.to_table()
+
+    def test_time_grows_as_support_falls(self):
+        result = fig13.run(
+            datasets=("R30F5",),
+            min_supports=(0.08, 0.04),
+            num_nodes=4,
+            memory_per_node=None,
+        )
+        series = dict(result.series("R30F5", "H-HPGM"))
+        assert series[0.04] > series[0.08]
+
+
+class TestFig14:
+    def test_npgm_collapses_under_memory_pressure(self):
+        result = fig14.run(
+            datasets=("R30F5",),
+            min_supports=(MINSUP,),
+            num_nodes=4,
+            memory_per_node=400,
+            algorithms=("NPGM", "H-HPGM", "H-HPGM-FGD"),
+        )
+        npgm = result.point("R30F5", MINSUP, "NPGM")
+        hhpgm = result.point("R30F5", MINSUP, "H-HPGM")
+        assert npgm.fragments > 1
+        assert npgm.elapsed > hhpgm.elapsed
+        assert "Figure 14" in result.to_table()
+
+    def test_fgd_duplicates_and_stays_competitive(self):
+        # At this miniature, low-skew scale duplication has little load
+        # to balance; the claim "FGD <= H-HPGM" is asserted under the
+        # skewed regime in test_parallel_behavior.  Here we check that
+        # duplication happens and costs at most a modest constant.
+        result = fig14.run(
+            datasets=("R30F5",),
+            min_supports=(MINSUP,),
+            num_nodes=4,
+            memory_per_node=8000,
+            algorithms=("H-HPGM", "H-HPGM-FGD"),
+        )
+        fgd = result.point("R30F5", MINSUP, "H-HPGM-FGD")
+        base = result.point("R30F5", MINSUP, "H-HPGM")
+        assert fgd.duplicated > 0
+        assert fgd.elapsed <= base.elapsed * 1.5
+
+
+class TestFig15:
+    def test_distribution_shape(self):
+        result = fig15.run(
+            min_support=MINSUP,
+            num_nodes=4,
+            memory_per_node=None,
+            algorithms=("H-HPGM", "H-HPGM-FGD"),
+        )
+        assert len(result.series) == 2
+        for series in result.series:
+            assert len(series.probes_per_node) == 4
+        fgd = result.series[1]
+        assert fgd.algorithm == "H-HPGM-FGD"
+        # Full duplication -> every node counts only its own partition.
+        assert fgd.balance.cv < 0.2
+        text = result.to_table()
+        assert "Figure 15" in text and "balance" in text
+        chart = result.to_chart()
+        assert "probes per node" in chart and "#" in chart
+
+
+class TestFig16:
+    def test_speedup_normalised_at_baseline(self):
+        result = fig16.run(
+            min_supports=(MINSUP,),
+            node_counts=(2, 4),
+            memory_per_node=None,
+            algorithms=("H-HPGM-FGD",),
+        )
+        curve = result.curves[0]
+        assert curve.speedups[2] == pytest.approx(2.0)
+        assert curve.speedups[4] > 2.0
+        assert "Figure 16" in result.to_table()
+        chart = result.to_chart()
+        assert "ideal" in chart and "speedup" in chart

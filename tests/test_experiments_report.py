@@ -1,0 +1,67 @@
+"""Plumbing tests for repro.experiments.report (fast, stubbed runs)."""
+
+import pytest
+
+from repro.experiments import report
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    """Replace every experiment's run() with a cheap stub."""
+
+    class _Stub:
+        def __init__(self, name):
+            self._name = name
+
+        def to_table(self):
+            return f"{self._name} TABLE"
+
+    calls = {}
+
+    def make_run(name):
+        def run(**kwargs):
+            calls[name] = kwargs
+            return _Stub(name)
+
+        return run
+
+    for name in ("table6", "fig13", "fig14", "fig15", "fig16"):
+        module = getattr(report, name)
+        monkeypatch.setattr(module, "run", make_run(name))
+    return calls
+
+
+class TestBuildReport:
+    def test_contains_every_section(self, stubbed):
+        text = report.build_report(quick=True)
+        for heading in (
+            "Table 6",
+            "Figure 13",
+            "Figure 14",
+            "Figure 15",
+            "Figure 16",
+            "Fidelity notes",
+        ):
+            assert heading in text
+        for name in ("table6", "fig13", "fig14", "fig15", "fig16"):
+            assert f"{name} TABLE" in text
+
+    def test_quick_restricts_grids(self, stubbed):
+        report.build_report(quick=True)
+        assert stubbed["fig13"]["datasets"] == ("R30F5",)
+        assert len(stubbed["fig13"]["min_supports"]) == 3
+        assert stubbed["fig16"]["node_counts"] == (4, 8, 16)
+
+    def test_full_uses_all_datasets(self, stubbed):
+        report.build_report(quick=False)
+        assert stubbed["fig14"]["datasets"] == ("R30F5", "R30F3", "R30F10")
+
+    def test_main_writes_file(self, stubbed, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        report.main(["--quick", str(target)])
+        assert "Fidelity notes" in target.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_main_prints_without_path(self, stubbed, capsys):
+        report.main(["--quick"])
+        assert "Table 6" in capsys.readouterr().out

@@ -1,0 +1,149 @@
+"""Tests for the flat [SK96] family: NPA, SPA, HPA, HPA-ELD."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.core.apriori import apriori
+from repro.errors import MiningError
+from repro.flat import FLAT_ALGORITHMS, make_flat_miner, mine_flat_parallel
+
+ALL_FLAT = tuple(FLAT_ALGORITHMS)
+
+
+class TestEquality:
+    @pytest.mark.parametrize("name", ALL_FLAT)
+    def test_matches_sequential_apriori(self, name, small_dataset):
+        expected = apriori(small_dataset.database, 0.05, max_k=3)
+        run = mine_flat_parallel(
+            small_dataset.database,
+            0.05,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=4, memory_per_node=None),
+            max_k=3,
+        )
+        assert run.result == expected
+
+    @pytest.mark.parametrize("name", ALL_FLAT)
+    def test_bounded_memory(self, name, small_dataset):
+        expected = apriori(small_dataset.database, 0.05, max_k=2)
+        run = mine_flat_parallel(
+            small_dataset.database,
+            0.05,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=3, memory_per_node=100),
+            max_k=2,
+        )
+        assert run.result == expected
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 7])
+    def test_node_count_invariance(self, num_nodes, small_dataset):
+        expected = apriori(small_dataset.database, 0.08, max_k=2)
+        run = mine_flat_parallel(
+            small_dataset.database,
+            0.08,
+            algorithm="HPA-ELD",
+            config=ClusterConfig(num_nodes=num_nodes, memory_per_node=300),
+            max_k=2,
+        )
+        assert run.result == expected
+
+
+class TestCommunicationShape:
+    def _pass2(self, dataset, name, memory=None, num_nodes=4):
+        run = mine_flat_parallel(
+            dataset.database,
+            0.05,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=num_nodes, memory_per_node=memory),
+            max_k=2,
+        )
+        return run.stats.pass_stats(2)
+
+    def test_npa_sends_nothing(self, small_dataset):
+        assert self._pass2(small_dataset, "NPA").total_bytes_received == 0
+
+    def test_spa_enumeration_scales_with_nodes(self, small_dataset):
+        # SPA's real cost ([SK96]): every node enumerates every
+        # transaction's subsets, so cluster-wide generation grows
+        # linearly with the node count, whereas HPA enumerates each
+        # transaction once regardless.
+        spa = self._pass2(small_dataset, "SPA")
+        hpa = self._pass2(small_dataset, "HPA")
+        spa_generated = sum(n.itemsets_generated for n in spa.nodes)
+        hpa_generated = sum(n.itemsets_generated for n in hpa.nodes)
+        assert spa_generated > 3 * hpa_generated
+
+    def test_hpa_cheaper_than_spa_broadcast_at_scale(self, small_dataset):
+        # With enough nodes the (N-1)-fold transaction broadcast costs
+        # more wire than HPA's single-destination itemset shipping.
+        spa = self._pass2(small_dataset, "SPA", num_nodes=16)
+        hpa = self._pass2(small_dataset, "HPA", num_nodes=16)
+        assert hpa.total_bytes_received < spa.total_bytes_received
+
+    def test_eld_reduces_hpa_communication(self, skewed_dataset):
+        hpa = self._pass2(skewed_dataset, "HPA", memory=3000)
+        eld = self._pass2(skewed_dataset, "HPA-ELD", memory=3000)
+        assert eld.duplicated_candidates > 0
+        assert eld.total_bytes_received < hpa.total_bytes_received
+
+    def test_eld_without_free_memory_degenerates_to_hpa(self, small_dataset):
+        hpa = self._pass2(small_dataset, "HPA", memory=1)
+        eld = self._pass2(small_dataset, "HPA-ELD", memory=1)
+        assert eld.duplicated_candidates == 0
+        assert eld.total_bytes_received == hpa.total_bytes_received
+
+    def test_npa_fragments_under_pressure(self, small_dataset):
+        stats = self._pass2(small_dataset, "NPA", memory=50)
+        assert stats.fragments > 1
+
+    def test_hpgm_matches_hpa_on_flat_taxonomy(self, small_dataset):
+        # With a flat (parent-less) hierarchy HPGM and HPA count the
+        # same itemsets; their results must agree.
+        from repro.parallel.registry import mine_parallel
+        from repro.taxonomy.builder import taxonomy_from_parents
+
+        flat_taxonomy = taxonomy_from_parents(
+            {item: None for item in small_dataset.taxonomy.items}
+        )
+        hpa = mine_flat_parallel(
+            small_dataset.database,
+            0.08,
+            algorithm="HPA",
+            config=ClusterConfig(num_nodes=3, memory_per_node=None),
+            max_k=2,
+        )
+        hpgm = mine_parallel(
+            small_dataset.database,
+            flat_taxonomy,
+            0.08,
+            algorithm="HPGM",
+            config=ClusterConfig(num_nodes=3, memory_per_node=None),
+            max_k=2,
+        )
+        assert hpa.result == hpgm.result
+
+
+class TestRegistry:
+    def test_case_insensitive(self, small_dataset):
+        run = mine_flat_parallel(
+            small_dataset.database, 0.2, algorithm="hpa-eld",
+            config=ClusterConfig(num_nodes=2), max_k=2,
+        )
+        assert run.algorithm == "HPA-ELD"
+
+    def test_unknown_rejected(self, small_dataset):
+        cluster = Cluster.from_database(
+            ClusterConfig(num_nodes=2), small_dataset.database
+        )
+        with pytest.raises(MiningError):
+            make_flat_miner("bogus", cluster)
+
+    def test_empty_cluster_rejected(self):
+        from repro.datagen.corpus import TransactionDatabase
+
+        cluster = Cluster(
+            ClusterConfig(num_nodes=1), [TransactionDatabase([])]
+        )
+        with pytest.raises(MiningError):
+            make_flat_miner("NPA", cluster).mine(0.5)

@@ -1,0 +1,121 @@
+"""Tests for taxonomy I/O, result serialization and dataset stats."""
+
+import pytest
+
+from repro.core.cumulate import cumulate
+from repro.core.io import load_result, result_from_dict, result_to_dict, save_result
+from repro.datagen.stats import describe_dataset
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import DataGenerationError, TransactionFormatError
+from repro.taxonomy.io import load_taxonomy, save_taxonomy
+
+
+class TestTaxonomyIo:
+    def test_roundtrip(self, paper_taxonomy, tmp_path):
+        path = tmp_path / "t.taxonomy"
+        save_taxonomy(paper_taxonomy, path)
+        loaded = load_taxonomy(path)
+        assert loaded.parent_map() == paper_taxonomy.parent_map()
+
+    def test_roots_encoded_as_minus_one(self, paper_taxonomy, tmp_path):
+        path = tmp_path / "t.taxonomy"
+        save_taxonomy(paper_taxonomy, path)
+        roots = [
+            line for line in path.read_text().splitlines() if line.endswith(" -1")
+        ]
+        assert len(roots) == len(paper_taxonomy.roots)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.taxonomy"
+        path.write_text("0 -1\n\n1 0\n")
+        loaded = load_taxonomy(path)
+        assert loaded.parent(1) == 0
+
+    @pytest.mark.parametrize(
+        "content", ["0\n", "0 -1 9\n", "a b\n", "0 -1\n0 -1\n"]
+    )
+    def test_malformed_rejected(self, content, tmp_path):
+        path = tmp_path / "bad.taxonomy"
+        path.write_text(content)
+        with pytest.raises(TransactionFormatError):
+            load_taxonomy(path)
+
+    def test_synthetic_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "s.taxonomy"
+        save_taxonomy(small_dataset.taxonomy, path)
+        assert load_taxonomy(path).parent_map() == small_dataset.taxonomy.parent_map()
+
+
+class TestResultIo:
+    def test_roundtrip(self, paper_taxonomy, tiny_database, tmp_path):
+        result = cumulate(tiny_database, paper_taxonomy, 0.3)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded == result
+        assert [p.k for p in loaded.passes] == [p.k for p in result.passes]
+        assert loaded.passes[1].num_candidates == result.passes[1].num_candidates
+
+    def test_dict_roundtrip(self, paper_taxonomy, tiny_database):
+        result = cumulate(tiny_database, paper_taxonomy, 0.5)
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(TransactionFormatError):
+            result_from_dict({"format": "something-else"})
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(TransactionFormatError):
+            result_from_dict(
+                {"format": "repro-mining-result-v1", "min_support": 0.1}
+            )
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TransactionFormatError):
+            load_result(path)
+
+
+class TestDatasetStats:
+    def test_basic_numbers(self, paper_taxonomy):
+        database = TransactionDatabase([(10, 15), (10,), (9, 10)])
+        stats = describe_dataset(database, paper_taxonomy)
+        assert stats.num_transactions == 3
+        assert stats.distinct_items == 3
+        assert stats.top1_item_share == pytest.approx(3 / 5)
+        assert 0 <= stats.top10_item_share <= 1.0001
+
+    def test_flat_distribution_low_cv(self, paper_taxonomy):
+        database = TransactionDatabase([(9,), (10,), (11,), (12,)])
+        stats = describe_dataset(database, paper_taxonomy)
+        assert stats.item_frequency_cv == 0.0
+
+    def test_skew_increases_with_weight_exponent(self):
+        from repro.datagen.generator import generate_dataset
+        from repro.datagen.params import GeneratorParams
+
+        def stats_for(exponent):
+            params = GeneratorParams(
+                num_transactions=800, num_items=200, num_roots=8, fanout=3.0,
+                num_patterns=40, avg_transaction_size=6.0, avg_pattern_size=3.0,
+                pattern_weight_exponent=exponent, seed=3,
+            )
+            dataset = generate_dataset(params)
+            return describe_dataset(dataset.database, dataset.taxonomy)
+
+        assert stats_for(3.0).top10_item_share > stats_for(1.0).top10_item_share
+
+    def test_silent_trees_counted_as_skew(self, paper_taxonomy):
+        # Only tree 1 has volume: the per-tree cv must be positive.
+        database = TransactionDatabase([(9, 10), (12,)])
+        stats = describe_dataset(database, paper_taxonomy)
+        assert stats.tree_volume_cv > 0
+
+    def test_empty_database_rejected(self, paper_taxonomy):
+        with pytest.raises(DataGenerationError):
+            describe_dataset(TransactionDatabase([]), paper_taxonomy)
+
+    def test_str_form(self, paper_taxonomy):
+        database = TransactionDatabase([(10,)])
+        assert "top1=" in str(describe_dataset(database, paper_taxonomy))

@@ -1,0 +1,93 @@
+"""Unit tests for repro.metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.balance import (
+    balance_summary,
+    coefficient_of_variation,
+    max_mean_ratio,
+)
+from repro.metrics.speedup import efficiency_curve, speedup_curve
+from repro.metrics.tables import format_table
+
+
+class TestBalance:
+    def test_flat_distribution(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+        assert max_mean_ratio([5, 5, 5]) == 1.0
+
+    def test_skewed_distribution(self):
+        values = [1, 1, 1, 9]
+        assert coefficient_of_variation(values) > 1.0
+        assert max_mean_ratio(values) == 3.0
+
+    def test_all_zero(self):
+        assert coefficient_of_variation([0, 0]) == 0.0
+        assert max_mean_ratio([0, 0]) == 1.0
+
+    def test_summary(self):
+        summary = balance_summary([2, 4, 6])
+        assert summary.minimum == 2
+        assert summary.maximum == 6
+        assert summary.mean == 4
+        assert summary.max_mean == pytest.approx(1.5)
+        assert "max/mean" in str(summary)
+
+    @pytest.mark.parametrize("bad", [[], [-1, 2]])
+    def test_invalid_inputs(self, bad):
+        with pytest.raises(ReproError):
+            balance_summary(bad)
+
+
+class TestSpeedup:
+    def test_paper_normalisation(self):
+        # Ideal scaling from a 4-node baseline: time halves as nodes double.
+        times = {4: 8.0, 8: 4.0, 16: 2.0}
+        curve = speedup_curve(times, baseline_nodes=4)
+        assert curve == {4: 4.0, 8: 8.0, 16: 16.0}
+
+    def test_sublinear(self):
+        times = {4: 8.0, 8: 6.0}
+        curve = speedup_curve(times, baseline_nodes=4)
+        assert curve[8] == pytest.approx(16 / 3)
+        assert curve[8] < 8
+
+    def test_efficiency(self):
+        times = {4: 8.0, 8: 4.0}
+        assert efficiency_curve(times, 4) == {4: 1.0, 8: 1.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(ReproError):
+            speedup_curve({8: 1.0}, baseline_nodes=4)
+
+    @pytest.mark.parametrize("times", [{4: 0.0, 8: 1.0}, {4: 1.0, 8: 0.0}])
+    def test_non_positive_times(self, times):
+        with pytest.raises(ReproError):
+            speedup_curve(times, baseline_nodes=4)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2.5], [10, 0.123456]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_float_formatting(self):
+        assert "0.1235" in format_table(["x"], [[0.123456]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [])

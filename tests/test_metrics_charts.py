@@ -1,0 +1,79 @@
+"""Tests for repro.metrics.charts."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.charts import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart(
+            {"a": [(1, 1), (2, 2), (3, 3)], "b": [(1, 3), (2, 2), (3, 1)]},
+            title="T",
+            x_label="nodes",
+            y_label="speedup",
+        )
+        assert chart.startswith("T\n")
+        assert "*" in chart and "o" in chart
+        assert "*=a" in chart and "o=b" in chart
+        assert "nodes" in chart and "speedup" in chart
+
+    def test_overlapping_points_marked_plus(self):
+        chart = line_chart({"a": [(1, 1), (2, 2)], "b": [(2, 2), (3, 1)]})
+        assert "+" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = line_chart({"a": [(10, 5), (20, 50)]})
+        assert "50" in chart
+        assert "10" in chart and "20" in chart
+
+    def test_y_from_zero_default(self):
+        chart = line_chart({"a": [(0, 10), (1, 20)]})
+        assert "\n 0|" in chart or " 0|" in chart  # bottom gridline label
+
+    def test_single_point(self):
+        chart = line_chart({"a": [(5, 5)]})
+        assert "*" in chart
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"series": {}},
+            {"series": {"a": []}},
+            {"series": {"a": [(1, 1)]}, "width": 4},
+            {"series": {chr(65 + i): [(1, 1)] for i in range(9)}},
+        ],
+    )
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(ReproError):
+            line_chart(**kwargs)
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart({"a": [(1, 7), (2, 7)]}, y_from_zero=False)
+        assert "*" in chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart({"n0": 10, "n1": 5, "n2": 0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 0
+
+    def test_small_nonzero_still_visible(self):
+        chart = bar_chart({"a": 1000, "b": 1}, width=10)
+        assert chart.splitlines()[1].count("#") == 1
+
+    def test_title(self):
+        assert bar_chart({"a": 1}, title="probes").startswith("probes\n")
+
+    def test_all_zero(self):
+        chart = bar_chart({"a": 0, "b": 0})
+        assert "#" not in chart
+
+    @pytest.mark.parametrize("values", [{}, {"a": -1}])
+    def test_invalid(self, values):
+        with pytest.raises(ReproError):
+            bar_chart(values)

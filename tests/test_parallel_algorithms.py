@@ -1,0 +1,184 @@
+"""Integration tests: every parallel algorithm computes Cumulate's answer.
+
+This is the load-bearing correctness property of the reproduction: the
+six algorithms differ in placement, communication and skew handling but
+must produce bit-identical large itemsets (§3: they all implement the
+same count-support semantics).
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.core.cumulate import cumulate
+from repro.errors import MiningError
+from repro.parallel.registry import ALGORITHMS, make_miner, mine_parallel
+
+ALL_NAMES = tuple(ALGORITHMS)
+
+
+@pytest.fixture(scope="module")
+def reference(request):
+    cache = {}
+
+    def get(dataset, min_support, max_k=None):
+        key = (id(dataset), min_support, max_k)
+        if key not in cache:
+            cache[key] = cumulate(
+                dataset.database, dataset.taxonomy, min_support, max_k=max_k
+            )
+        return cache[key]
+
+    return get
+
+
+class TestEquality:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_full_run_matches_cumulate(self, name, small_dataset, reference):
+        run = mine_parallel(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.08,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=4, memory_per_node=None),
+        )
+        assert run.result == reference(small_dataset, 0.08)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_bounded_memory_matches_cumulate(self, name, small_dataset, reference):
+        run = mine_parallel(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.08,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=4, memory_per_node=80),
+        )
+        assert run.result == reference(small_dataset, 0.08)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_single_node_cluster(self, name, small_dataset, reference):
+        run = mine_parallel(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.10,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=1, memory_per_node=None),
+            max_k=3,
+        )
+        assert run.result == reference(small_dataset, 0.10, 3)
+
+    @pytest.mark.parametrize("num_nodes", [2, 3, 7, 16])
+    def test_node_count_invariance(self, num_nodes, small_dataset, reference):
+        run = mine_parallel(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.10,
+            algorithm="H-HPGM-FGD",
+            config=ClusterConfig(num_nodes=num_nodes, memory_per_node=500),
+            max_k=3,
+        )
+        assert run.result == reference(small_dataset, 0.10, 3)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_skewed_data_matches_cumulate(self, name, skewed_dataset, reference):
+        run = mine_parallel(
+            skewed_dataset.database,
+            skewed_dataset.taxonomy,
+            0.05,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=5, memory_per_node=300),
+            max_k=2,
+        )
+        assert run.result == reference(skewed_dataset, 0.05, 2)
+
+    def test_paper_taxonomy_tiny_database(
+        self, paper_taxonomy, tiny_database, reference
+    ):
+        expected = cumulate(tiny_database, paper_taxonomy, 0.3)
+        for name in ALL_NAMES:
+            run = mine_parallel(
+                tiny_database,
+                paper_taxonomy,
+                0.3,
+                algorithm=name,
+                config=ClusterConfig(num_nodes=3, memory_per_node=None),
+            )
+            assert run.result == expected, name
+
+
+class TestRunMechanics:
+    def test_registry_rejects_unknown(self, small_dataset):
+        with pytest.raises(MiningError):
+            mine_parallel(
+                small_dataset.database, small_dataset.taxonomy, 0.1, algorithm="nope"
+            )
+
+    def test_registry_case_insensitive(self, small_dataset):
+        run = mine_parallel(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.2,
+            algorithm="h-hpgm",
+            config=ClusterConfig(num_nodes=2),
+            max_k=2,
+        )
+        assert run.algorithm == "H-HPGM"
+
+    def test_empty_cluster_rejected(self, paper_taxonomy):
+        from repro.datagen.corpus import TransactionDatabase
+
+        config = ClusterConfig(num_nodes=2)
+        cluster = Cluster(
+            config, [TransactionDatabase([]), TransactionDatabase([])]
+        )
+        miner = make_miner("NPGM", cluster, paper_taxonomy)
+        with pytest.raises(MiningError):
+            miner.mine(0.5)
+
+    def test_run_stats_structure(self, small_dataset):
+        run = mine_parallel(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.1,
+            algorithm="H-HPGM",
+            config=ClusterConfig(num_nodes=4),
+            max_k=2,
+        )
+        assert run.stats.num_nodes == 4
+        assert [p.k for p in run.stats.passes][:2] == [1, 2]
+        pass2 = run.stats.pass_stats(2)
+        assert len(pass2.nodes) == 4
+        assert pass2.elapsed > 0
+        assert run.stats.total_elapsed >= pass2.elapsed
+        with pytest.raises(KeyError):
+            run.stats.pass_stats(99)
+
+    def test_max_k_caps_passes(self, small_dataset):
+        run = mine_parallel(
+            small_dataset.database,
+            small_dataset.taxonomy,
+            0.08,
+            algorithm="NPGM",
+            config=ClusterConfig(num_nodes=2),
+            max_k=2,
+        )
+        assert max(p.k for p in run.stats.passes) == 2
+
+    def test_deterministic_across_runs(self, small_dataset):
+        runs = [
+            mine_parallel(
+                small_dataset.database,
+                small_dataset.taxonomy,
+                0.1,
+                algorithm="H-HPGM-FGD",
+                config=ClusterConfig(num_nodes=4, memory_per_node=400),
+                max_k=2,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].result == runs[1].result
+        first = runs[0].stats.pass_stats(2)
+        second = runs[1].stats.pass_stats(2)
+        assert first.probe_distribution() == second.probe_distribution()
+        assert first.total_bytes_received == second.total_bytes_received
+        assert first.elapsed == second.elapsed

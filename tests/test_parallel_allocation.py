@@ -1,0 +1,144 @@
+"""Unit tests for repro.parallel.allocation."""
+
+from collections import Counter
+
+from repro.parallel.allocation import (
+    ancestor_closure,
+    build_root_table,
+    feasible_root_keys,
+    group_by_root_key,
+    itemset_owner,
+    partition_candidates_by_itemset,
+    partition_candidates_by_root,
+    root_key,
+    root_key_owner,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash((1, 2, 3)) == stable_hash((1, 2, 3))
+
+    def test_order_sensitive(self):
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_spreads_owners(self):
+        owners = Counter(itemset_owner((i, i + 1), 8) for i in range(1000))
+        assert len(owners) == 8
+        assert max(owners.values()) < 2.0 * min(owners.values())
+
+    def test_large_item_ids(self):
+        assert 0 <= itemset_owner((10**9, 2 * 10**9), 16) < 16
+
+
+class TestRootKeys:
+    def test_root_key_with_multiplicity(self, paper_taxonomy):
+        root_of = build_root_table(paper_taxonomy)
+        # Example 2: {5, 10} both live under root 1 -> key (1, 1).
+        assert root_key((5, 10), root_of) == (1, 1)
+        assert root_key((5, 6), root_of) == (1, 2)
+        assert root_key((6, 10), root_of) == (1, 2)
+        assert root_key((7, 8), root_of) == (3, 3)
+
+    def test_ancestor_candidates_share_key(self, paper_taxonomy):
+        # The paper's core invariant: a candidate and all of its
+        # ancestor candidates have the same root key.
+        root_of = build_root_table(paper_taxonomy)
+        assert root_key((8, 10), root_of) == root_key((3, 4), root_of)
+        assert root_key((8, 10), root_of) == root_key((1, 3), root_of)
+
+    def test_group_by_root_key(self, paper_taxonomy):
+        root_of = build_root_table(paper_taxonomy)
+        groups = group_by_root_key([(5, 10), (9, 10), (5, 6)], root_of)
+        assert set(groups[(1, 1)]) == {(5, 10), (9, 10)}
+        assert groups[(1, 2)] == [(5, 6)]
+
+
+class TestPartitioning:
+    def test_itemset_partition_total(self):
+        candidates = [(i, i + 1) for i in range(100)]
+        partitions = partition_candidates_by_itemset(candidates, 4)
+        assert sum(len(p) for p in partitions) == 100
+        assert sorted(c for p in partitions for c in p) == candidates
+
+    def test_root_partition_keeps_hierarchies_together(self, paper_taxonomy):
+        root_of = build_root_table(paper_taxonomy)
+        candidates = [(8, 10), (3, 4), (1, 3), (1, 8), (3, 10), (4, 8)]
+        partitions, owners = partition_candidates_by_root(candidates, root_of, 5)
+        # All share root key (1, 3) -> exactly one non-empty partition.
+        non_empty = [p for p in partitions if p]
+        assert len(non_empty) == 1
+        assert set(non_empty[0]) == set(candidates)
+        assert owners[(1, 3)] == root_key_owner((1, 3), 5)
+
+    def test_owner_map_consistent(self, paper_taxonomy):
+        root_of = build_root_table(paper_taxonomy)
+        candidates = [(5, 10), (5, 6), (7, 8)]
+        partitions, owners = partition_candidates_by_root(candidates, root_of, 3)
+        for candidate in candidates:
+            owner = owners[root_key(candidate, root_of)]
+            assert candidate in partitions[owner]
+
+
+class TestFeasibleRootKeys:
+    def test_singleton_roots(self):
+        keys = feasible_root_keys(Counter({1: 1, 2: 1}), 2)
+        assert keys == [(1, 2)]
+
+    def test_multiplicity_allows_repeats(self):
+        keys = feasible_root_keys(Counter({1: 2, 2: 1}), 2)
+        assert keys == [(1, 1), (1, 2)]
+
+    def test_example2_transaction(self, paper_taxonomy):
+        # t' = {5, 6, 10}: roots 1, 2, 1 -> keys (1,1) and (1,2).
+        root_of = build_root_table(paper_taxonomy)
+        roots = Counter(root_of[i] for i in (5, 6, 10))
+        assert feasible_root_keys(roots, 2) == [(1, 1), (1, 2)]
+
+    def test_k_larger_than_supply(self):
+        assert feasible_root_keys(Counter({1: 1}), 2) == []
+
+    def test_k3(self):
+        keys = feasible_root_keys(Counter({1: 2, 2: 1}), 3)
+        assert keys == [(1, 1, 2)]
+
+    def test_empty_transaction(self):
+        assert feasible_root_keys(Counter(), 2) == []
+
+
+class TestAncestorClosure:
+    def test_paper_example4_closure(self, paper_taxonomy):
+        # Example 4: the ancestors of {8, 10} among the candidates are
+        # {1,3} {1,8} {3,4} {3,10} {4,8}.
+        chains = {
+            8: (8, 3),
+            10: (10, 4, 1),
+        }
+        candidate_set = {
+            (8, 10),
+            (1, 3),
+            (1, 8),
+            (3, 4),
+            (3, 10),
+            (4, 8),
+            (7, 8),  # unrelated
+        }
+        closure = ancestor_closure((8, 10), candidate_set, chains)
+        assert closure == {(1, 3), (1, 8), (3, 4), (3, 10), (4, 8)}
+
+    def test_closure_excludes_self(self):
+        closure = ancestor_closure((1, 2), {(1, 2)}, {1: (1,), 2: (2,)})
+        assert closure == set()
+
+    def test_missing_candidates_not_invented(self):
+        chains = {8: (8, 3), 10: (10, 4)}
+        closure = ancestor_closure((8, 10), {(8, 10), (3, 4)}, chains)
+        assert closure == {(3, 4)}
+
+    def test_collapsing_variants_skipped(self):
+        # Both items share ancestor 1: the (1, 1) variant collapses to a
+        # 1-itemset and must not appear.
+        chains = {2: (2, 1), 3: (3, 1)}
+        closure = ancestor_closure((2, 3), {(1, 2), (1, 3)}, chains)
+        assert closure == {(1, 2), (1, 3)}

@@ -1,0 +1,165 @@
+"""Behavioural tests: the paper's qualitative claims, asserted.
+
+Each test pins one comparison from Section 3/4: communication ordering
+(H-HPGM ≪ HPGM, Example 2 vs Example 1), NPGM's fragment blow-up,
+duplication reducing both communication and the hottest node's load,
+and TGD's all-or-nothing coarseness.
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.datagen.corpus import TransactionDatabase
+from repro.parallel.registry import make_miner, mine_parallel
+
+
+def _pass2(dataset, name, num_nodes=4, memory=None, min_support=0.05):
+    run = mine_parallel(
+        dataset.database,
+        dataset.taxonomy,
+        min_support,
+        algorithm=name,
+        config=ClusterConfig(num_nodes=num_nodes, memory_per_node=memory),
+        max_k=2,
+    )
+    return run.stats.pass_stats(2)
+
+
+class TestCommunicationOrdering:
+    def test_npgm_sends_nothing(self, small_dataset):
+        stats = _pass2(small_dataset, "NPGM")
+        assert stats.total_bytes_received == 0
+
+    def test_hhpgm_beats_hpgm(self, small_dataset):
+        hpgm = _pass2(small_dataset, "HPGM")
+        hhpgm = _pass2(small_dataset, "H-HPGM")
+        # Table 6: an order of magnitude, at least a factor 3 here.
+        assert hhpgm.total_bytes_received * 3 < hpgm.total_bytes_received
+
+    def test_full_duplication_eliminates_communication(self, small_dataset):
+        # Unbounded memory: every variant duplicates all candidates and
+        # counts entirely locally, like NPGM.
+        for name in ("H-HPGM-TGD", "H-HPGM-PGD", "H-HPGM-FGD"):
+            stats = _pass2(small_dataset, name, memory=None)
+            assert stats.duplicated_candidates == stats.num_candidates
+            assert stats.total_bytes_received == 0, name
+
+    def test_duplication_never_increases_communication(self, skewed_dataset):
+        base = _pass2(skewed_dataset, "H-HPGM", num_nodes=5, memory=2000)
+        for name in ("H-HPGM-TGD", "H-HPGM-PGD", "H-HPGM-FGD"):
+            dup = _pass2(skewed_dataset, name, num_nodes=5, memory=2000)
+            assert dup.total_bytes_received <= base.total_bytes_received, name
+
+
+class TestNpgmFragmentation:
+    def test_fragments_multiply_io(self, small_dataset):
+        roomy = _pass2(small_dataset, "NPGM", memory=None)
+        tight = _pass2(small_dataset, "NPGM", memory=60)
+        assert roomy.fragments == 1
+        assert tight.fragments > 1
+        roomy_io = sum(n.io_items for n in roomy.nodes)
+        tight_io = sum(n.io_items for n in tight.nodes)
+        assert tight_io == roomy_io * tight.fragments
+        assert tight.elapsed > roomy.elapsed
+
+    def test_fragment_count_is_ceiling(self, small_dataset):
+        stats = _pass2(small_dataset, "NPGM", memory=60)
+        import math
+
+        assert stats.fragments == math.ceil(stats.num_candidates / 60)
+
+    def test_counts_unaffected_by_fragmentation(self, small_dataset):
+        roomy = mine_parallel(
+            small_dataset.database, small_dataset.taxonomy, 0.05,
+            algorithm="NPGM",
+            config=ClusterConfig(num_nodes=4, memory_per_node=None), max_k=2,
+        )
+        tight = mine_parallel(
+            small_dataset.database, small_dataset.taxonomy, 0.05,
+            algorithm="NPGM",
+            config=ClusterConfig(num_nodes=4, memory_per_node=60), max_k=2,
+        )
+        assert roomy.result == tight.result
+
+
+class TestSkewHandling:
+    def test_fgd_flattens_hot_node(self, skewed_dataset):
+        base = _pass2(skewed_dataset, "H-HPGM", num_nodes=5, memory=3000)
+        fgd = _pass2(skewed_dataset, "H-HPGM-FGD", num_nodes=5, memory=3000)
+        assert fgd.duplicated_candidates > 0
+        assert max(fgd.probe_distribution()) <= max(base.probe_distribution())
+
+    def test_fgd_not_slower_than_hhpgm(self, skewed_dataset):
+        base = _pass2(skewed_dataset, "H-HPGM", num_nodes=5, memory=3000)
+        fgd = _pass2(skewed_dataset, "H-HPGM-FGD", num_nodes=5, memory=3000)
+        assert fgd.elapsed <= base.elapsed * 1.05
+
+    def test_tgd_cannot_duplicate_without_free_space(self, small_dataset):
+        # Memory barely above the biggest partition: whole trees never
+        # fit, TGD degenerates to H-HPGM (Figure 14's small-support end).
+        base = _pass2(small_dataset, "H-HPGM", num_nodes=4, memory=700)
+        tgd = _pass2(small_dataset, "H-HPGM-TGD", num_nodes=4, memory=700)
+        if tgd.duplicated_candidates == 0:
+            assert tgd.total_bytes_received == base.total_bytes_received
+            assert tgd.elapsed == base.elapsed
+
+    def test_duplicates_respect_memory_budget(self, small_dataset):
+        for name in ("H-HPGM-TGD", "H-HPGM-PGD", "H-HPGM-FGD"):
+            stats = _pass2(small_dataset, name, num_nodes=4, memory=900)
+            for node_stats in stats.nodes:
+                assert node_stats.candidates_stored <= 900, name
+
+
+class TestMemoryAccounting:
+    def test_partitions_cover_all_candidates(self, small_dataset):
+        stats = _pass2(small_dataset, "H-HPGM", num_nodes=4)
+        stored = sum(n.candidates_stored for n in stats.nodes)
+        assert stored == stats.num_candidates
+
+    def test_duplicates_stored_everywhere(self, small_dataset):
+        stats = _pass2(small_dataset, "H-HPGM-FGD", num_nodes=4, memory=1500)
+        dup = stats.duplicated_candidates
+        stored = sum(n.candidates_stored for n in stats.nodes)
+        assert stored == (stats.num_candidates - dup) + 4 * dup
+
+
+class TestExample2Routing:
+    """Pin the paper's Example 2 end to end on the running-example tree."""
+
+    def _cluster_run(self, paper_taxonomy, transactions, num_nodes=3):
+        # Craft a database whose large-1 items are exactly the paper's:
+        # every item of PAPER_LARGE_ITEMS (or a descendant) must clear
+        # the support threshold.
+        database = TransactionDatabase(transactions)
+        config = ClusterConfig(num_nodes=num_nodes, memory_per_node=None)
+        cluster = Cluster(config, database.split(num_nodes))
+        miner = make_miner("H-HPGM", cluster, paper_taxonomy)
+        return miner.mine(1 / len(database), max_k=2), cluster
+
+    def test_rewrite_travels_not_all_ancestors(self, paper_taxonomy):
+        # One transaction {10, 12, 14} on a 3-node cluster: H-HPGM
+        # forwards at most the 3 rewritten items per destination,
+        # whereas HPGM would ship k-itemsets over the 6-item extension.
+        transactions = [(10, 12, 14)] * 6
+        run, cluster = self._cluster_run(paper_taxonomy, transactions)
+        pass2 = run.stats.pass_stats(2)
+        for node_stats in pass2.nodes:
+            # Each remote message carries at most |t'| = 3 items.
+            if node_stats.messages_sent:
+                payload = (
+                    node_stats.bytes_sent
+                    - node_stats.messages_sent
+                    * cluster.config.message_header_bytes
+                )
+                assert payload <= 3 * 4 * node_stats.messages_sent
+
+    def test_large_itemsets_match_example_semantics(
+        self, paper_taxonomy, tiny_database
+    ):
+        run, _ = self._cluster_run(paper_taxonomy, list(tiny_database))
+        large2 = run.result.large_itemsets(2)
+        # Transaction {10,12,14} contributes to {5,6}, {6,10}, and their
+        # ancestors {1,2},{1,6},{2,5},{2,10},{4,6} (Example 2).
+        for itemset in [(5, 6), (6, 10), (1, 2), (1, 6), (2, 5), (2, 10), (4, 6)]:
+            assert itemset in large2, itemset

@@ -1,0 +1,138 @@
+"""White-box tests of H-HPGM internals: routing, keyed counting, memory.
+
+These pin the mechanics the integration tests can't see: which items
+travel where (Example 2's routing), the keyed counter's no-cross-key
+guarantee, and the strict-memory behaviour of every algorithm.
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.core.counting import RootKeyedClosureCounter, build_closure_table
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MemoryBudgetError
+from repro.parallel.allocation import build_root_table
+from repro.parallel.registry import make_miner
+from repro.taxonomy.ops import AncestorIndex
+
+from tests.conftest import PAPER_LARGE_ITEMS
+
+
+class TestRootKeyedCounter:
+    def _make(self, paper_taxonomy, candidates):
+        root_of = build_root_table(paper_taxonomy)
+        index = AncestorIndex(paper_taxonomy)
+        universe = {i for c in candidates for i in c}
+        chains = build_closure_table(index, PAPER_LARGE_ITEMS, universe)
+        return RootKeyedClosureCounter(candidates, 2, chains, root_of)
+
+    def test_example2_owned_key_counting(self, paper_taxonomy):
+        # Node owning key (1, 2) holds {5,6},{6,10} and the ancestor
+        # candidates {1,2},{1,6},{2,5},{2,10},{4,6}.  Fragment {5,6,10}
+        # must increment all seven, once.
+        candidates = [(5, 6), (6, 10), (1, 2), (1, 6), (2, 5), (2, 10), (4, 6)]
+        counter = self._make(paper_taxonomy, candidates)
+        hits = counter.add_transaction((5, 6, 10))
+        assert hits == 7
+        assert all(v == 1 for v in counter.counts.values())
+
+    def test_cross_key_subsets_not_enumerated(self, paper_taxonomy):
+        # Counter owns only key (1, 2); items 5 and 10 are both in tree
+        # 1, so the (1,1)-shaped pair {5,10} must never be generated.
+        candidates = [(5, 6)]
+        counter = self._make(paper_taxonomy, candidates)
+        counter.add_transaction((5, 10))  # no tree-2 item at all
+        assert counter.generated == 0
+        assert counter.probes == 0
+
+    def test_same_tree_key(self, paper_taxonomy):
+        # Key (1, 1): pairs within tree 1 only.
+        candidates = [(5, 10), (9, 10)]
+        counter = self._make(paper_taxonomy, candidates)
+        hits = counter.add_transaction((5, 9, 10))
+        assert counter.counts == {(5, 10): 1, (9, 10): 1}
+        assert hits == 2
+
+    def test_ancestor_extension_within_key(self, paper_taxonomy):
+        # Candidate {4, 6} (roots 1, 2): fragment {6, 10} must count it
+        # via 10's ancestor 4.
+        candidates = [(4, 6)]
+        counter = self._make(paper_taxonomy, candidates)
+        counter.add_transaction((6, 10))
+        assert counter.counts[(4, 6)] == 1
+
+    def test_per_key_item_filter_bounds_enumeration(self, paper_taxonomy):
+        # Only candidate is {7, 15} (roots 2, 3): items from tree 1 in
+        # the fragment contribute nothing and must not be enumerated.
+        candidates = [(7, 15)]
+        counter = self._make(paper_taxonomy, candidates)
+        counter.add_transaction((5, 7, 9, 10, 15))
+        assert counter.counts[(7, 15)] == 1
+        assert counter.generated == 1
+
+    def test_counts_equal_unkeyed_closure_kernel(self, paper_taxonomy):
+        # The keyed kernel must agree with the plain closure kernel on
+        # any fragment, for the candidates it owns.
+        from repro.core.counting import AncestorClosureCounter
+
+        candidates = [(5, 6), (6, 10), (5, 10), (1, 2), (4, 6), (2, 10)]
+        keyed = self._make(paper_taxonomy, candidates)
+        root_of = build_root_table(paper_taxonomy)
+        index = AncestorIndex(paper_taxonomy)
+        universe = {i for c in candidates for i in c}
+        chains = build_closure_table(index, PAPER_LARGE_ITEMS, universe)
+        plain = AncestorClosureCounter(candidates, 2, chains)
+        for fragment in [(5, 6, 10), (5, 10), (6, 10), (9, 10, 15), (5,)]:
+            keyed.add_transaction(fragment)
+            plain.add_transaction(fragment)
+        assert keyed.counts == plain.counts
+
+    def test_empty_counter(self, paper_taxonomy):
+        counter = self._make(paper_taxonomy, [])
+        assert counter.add_transaction((5, 6, 10)) == 0
+
+
+class TestStrictMemory:
+    @pytest.mark.parametrize("name", ["NPGM", "H-HPGM", "H-HPGM-FGD"])
+    def test_within_budget_passes(self, name, paper_taxonomy, tiny_database):
+        config = ClusterConfig(
+            num_nodes=2, memory_per_node=10_000, strict_memory=True
+        )
+        cluster = Cluster.from_database(config, tiny_database)
+        run = make_miner(name, cluster, paper_taxonomy).mine(0.3, max_k=2)
+        assert run.result.total_large > 0
+
+    def test_hhpgm_overflow_raises_under_strict(self, paper_taxonomy):
+        # A single hot root pair forces one partition to exceed a
+        # 1-slot budget.
+        database = TransactionDatabase([(10, 15)] * 4 + [(9, 15)] * 4)
+        config = ClusterConfig(num_nodes=2, memory_per_node=1, strict_memory=True)
+        cluster = Cluster.from_database(config, database)
+        with pytest.raises(MemoryBudgetError):
+            make_miner("H-HPGM", cluster, paper_taxonomy).mine(0.3, max_k=2)
+
+    def test_npgm_fragments_instead_of_raising(self, paper_taxonomy):
+        # NPGM's answer to overflow is fragmentation, never an error.
+        database = TransactionDatabase([(10, 15), (9, 15), (10, 12)] * 4)
+        config = ClusterConfig(num_nodes=2, memory_per_node=2, strict_memory=True)
+        cluster = Cluster.from_database(config, database)
+        run = make_miner("NPGM", cluster, paper_taxonomy).mine(0.2, max_k=2)
+        assert run.stats.pass_stats(2).fragments > 1
+
+
+class TestRoutingFilter:
+    def test_useless_items_not_shipped(self, paper_taxonomy):
+        # All candidates live in trees 1/2; tree-3 items (7, 8) should
+        # never travel even though they are large.
+        database = TransactionDatabase(
+            [(10, 14), (9, 14), (12, 15), (7, 8), (7, 8), (10, 15)] * 2
+        )
+        config = ClusterConfig(num_nodes=3, memory_per_node=None)
+        cluster = Cluster.from_database(config, database)
+        miner = make_miner("H-HPGM", cluster, paper_taxonomy)
+        run = miner.mine(0.4, max_k=2)
+        # Whatever was counted, the answer matches Cumulate.
+        from repro.core.cumulate import cumulate
+
+        assert run.result == cumulate(database, paper_taxonomy, 0.4, max_k=2)

@@ -1,0 +1,89 @@
+"""Tests for repro.sequences.generate."""
+
+import pytest
+
+from repro.errors import DataGenerationError
+from repro.sequences.generate import (
+    SequenceGeneratorParams,
+    generate_sequence_dataset,
+)
+
+
+def _params(**overrides):
+    defaults = dict(
+        num_customers=100,
+        num_items=80,
+        num_roots=4,
+        fanout=3.0,
+        num_patterns=20,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return SequenceGeneratorParams(**defaults)
+
+
+class TestParams:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("num_customers", 0),
+            ("avg_elements", 0.5),
+            ("avg_element_size", 0.0),
+            ("num_patterns", 0),
+            ("corruption_mean", 1.0),
+        ],
+    )
+    def test_invalid(self, field, value):
+        with pytest.raises(DataGenerationError):
+            _params(**{field: value})
+
+
+class TestGeneration:
+    def test_customer_count(self):
+        dataset = generate_sequence_dataset(_params())
+        assert len(dataset.database) == 100
+
+    def test_deterministic(self):
+        first = generate_sequence_dataset(_params(seed=7))
+        second = generate_sequence_dataset(_params(seed=7))
+        assert first.database == second.database
+
+    def test_seed_changes_output(self):
+        first = generate_sequence_dataset(_params(seed=7))
+        second = generate_sequence_dataset(_params(seed=8))
+        assert first.database != second.database
+
+    def test_items_are_taxonomy_leaves(self):
+        dataset = generate_sequence_dataset(_params())
+        leaves = set(dataset.taxonomy.leaves)
+        assert dataset.database.item_universe() <= leaves
+
+    def test_elements_non_empty_and_sorted(self):
+        dataset = generate_sequence_dataset(_params())
+        for sequence in dataset.database:
+            assert sequence  # at least one element
+            for element in sequence:
+                assert element
+                assert element == tuple(sorted(set(element)))
+
+    def test_pattern_weights_normalised(self):
+        dataset = generate_sequence_dataset(_params())
+        assert abs(sum(p.weight for p in dataset.patterns) - 1.0) < 1e-9
+
+    def test_average_elements_in_ballpark(self):
+        dataset = generate_sequence_dataset(
+            _params(num_customers=400, avg_elements=4.0)
+        )
+        avg = sum(len(s) for s in dataset.database) / len(dataset.database)
+        assert 2.0 < avg < 6.0
+
+    def test_patterns_actually_occur(self):
+        # At least one pool pattern should be contained by several
+        # customers (that is the generator's whole purpose).
+        dataset = generate_sequence_dataset(_params(num_customers=300))
+        hits = max(
+            dataset.database.support_count(pattern.elements)
+            for pattern in dataset.patterns
+            if len(pattern.elements) <= 2
+        )
+        assert hits >= 3

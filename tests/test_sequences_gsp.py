@@ -1,0 +1,183 @@
+"""Tests for repro.sequences.gsp (generalized GSP)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.sequences.generate import SequenceGeneratorParams, generate_sequence_dataset
+from repro.sequences.gsp import (
+    candidate_2_sequences,
+    contiguous_subsequences,
+    drop_first_item,
+    drop_last_item,
+    generate_candidate_sequences,
+    gsp,
+    gsp_join,
+    k_subsequences,
+)
+from repro.sequences.model import SequenceDatabase
+
+
+@pytest.fixture(scope="module")
+def sequence_dataset():
+    return generate_sequence_dataset(
+        SequenceGeneratorParams(
+            num_customers=200,
+            num_items=120,
+            num_roots=5,
+            fanout=3.0,
+            num_patterns=30,
+            seed=11,
+        )
+    )
+
+
+class TestDropHelpers:
+    def test_drop_first(self):
+        assert drop_first_item(((1, 2), (3,))) == ((2,), (3,))
+        assert drop_first_item(((1,), (3,))) == ((3,),)
+
+    def test_drop_last(self):
+        assert drop_last_item(((1,), (2, 3))) == ((1,), (2,))
+        assert drop_last_item(((1,), (3,))) == ((1,),)
+
+
+class TestCandidate2:
+    def test_shapes(self, paper_taxonomy):
+        candidates = candidate_2_sequences([10, 15], paper_taxonomy)
+        assert ((10,), (10,)) in candidates  # repeat purchases allowed
+        assert ((10,), (15,)) in candidates
+        assert ((15,), (10,)) in candidates
+        assert ((10, 15),) in candidates
+        assert len(candidates) == 5
+
+    def test_ancestor_pair_element_dropped(self, paper_taxonomy):
+        candidates = candidate_2_sequences([4, 10], paper_taxonomy)
+        assert ((4, 10),) not in candidates
+        # But the cross-element pattern "4 then 10" is meaningful.
+        assert ((4,), (10,)) in candidates
+
+
+class TestJoinAndPrune:
+    def test_join_appends_new_element(self):
+        large = {((1,), (2,)), ((2,), (3,))}
+        assert ((1,), (2,), (3,)) in gsp_join(large, 3)
+
+    def test_join_extends_last_element(self):
+        large = {((1,), (2,)), ((2, 3),)}
+        assert ((1,), (2, 3)) in gsp_join(large, 3)
+
+    def test_join_single_element_growth(self):
+        large = {((1, 2),), ((2, 3),)}
+        assert ((1, 2, 3),) in gsp_join(large, 3)
+
+    def test_contiguous_subsequences(self):
+        # ⟨{1},{2,3},{4}⟩: drop from first, last, or the size-2 middle.
+        subs = contiguous_subsequences(((1,), (2, 3), (4,)))
+        assert ((2, 3), (4,)) in subs       # dropped 1
+        assert ((1,), (3,), (4,)) in subs   # dropped 2
+        assert ((1,), (2,), (4,)) in subs   # dropped 3
+        assert ((1,), (2, 3)) in subs       # dropped 4
+        assert len(subs) == 4
+
+    def test_middle_singleton_not_dropped(self):
+        subs = contiguous_subsequences(((1,), (2,), (3,)))
+        assert ((1,), (3,)) not in subs
+
+    def test_prune_requires_contiguous_support(self):
+        # ⟨{1},{2},{3}⟩ requires both ⟨{2},{3}⟩ and ⟨{1},{2}⟩ large.
+        large = {((1,), (2,)), ((2,), (3,))}
+        assert generate_candidate_sequences(large, 3) == [((1,), (2,), (3,))]
+        without = {((1,), (2,))}
+        assert generate_candidate_sequences(without, 3) == []
+
+    def test_k_below_3_rejected(self):
+        with pytest.raises(MiningError):
+            generate_candidate_sequences(set(), 2)
+
+
+class TestKSubsequences:
+    def test_enumeration(self):
+        subs = k_subsequences(((1, 2), (3,)), 2)
+        assert subs == {
+            ((1, 2),),
+            ((1,), (3,)),
+            ((2,), (3,)),
+        }
+
+    def test_deduplication(self):
+        # Item 1 occurs twice; ⟨{1}⟩-shaped picks collapse.
+        subs = k_subsequences(((1,), (1,)), 1)
+        assert subs == {((1,),)}
+
+    def test_k_larger_than_sequence(self):
+        assert k_subsequences(((1,),), 2) == set()
+
+
+class TestGspOracle:
+    def test_matches_bruteforce(self, paper_taxonomy):
+        database = SequenceDatabase(
+            [
+                [[10], [15]],
+                [[10], [14]],
+                [[9], [15]],
+                [[15], [10]],
+                [[12, 14]],
+            ]
+        )
+        result = gsp(database, paper_taxonomy, min_support=0.4)
+        # Verify every reported sequence against the containment oracle,
+        # and completeness for 2-sequences over the large items.
+        for sequence, count in result.large_sequences().items():
+            assert database.support_count(sequence, paper_taxonomy) == count
+            assert count >= 2
+        large_items = [s[0][0] for s in result.large_sequences(1)]
+        for x in large_items:
+            for y in large_items:
+                support = database.support_count(((x,), (y,)), paper_taxonomy)
+                if support >= 2:
+                    assert ((x,), (y,)) in result.large_sequences(2)
+        for x, y in combinations(sorted(large_items), 2):
+            element_support = database.support_count(((x, y),), paper_taxonomy)
+            in_result = ((x, y),) in result.large_sequences(2)
+            from repro.core.itemsets import has_ancestor_pair
+
+            if has_ancestor_pair((x, y), paper_taxonomy):
+                assert not in_result
+            elif element_support >= 2:
+                assert in_result
+
+    def test_hierarchy_level_patterns_found(self, paper_taxonomy):
+        # Customers buy different leaves of tree 1 then tree 2: only the
+        # generalized pattern ⟨{1},{2}⟩ is frequent.
+        database = SequenceDatabase(
+            [
+                [[9], [14]],
+                [[10], [15]],
+                [[11], [14]],
+                [[12], [15]],
+            ]
+        )
+        result = gsp(database, paper_taxonomy, min_support=0.9)
+        assert ((1,), (2,)) in result.large_sequences(2)
+        assert ((9,), (14,)) not in result.large_sequences(2)
+
+    def test_synthetic_oracle_spotcheck(self, sequence_dataset):
+        result = gsp(
+            sequence_dataset.database,
+            sequence_dataset.taxonomy,
+            min_support=0.05,
+            max_k=3,
+        )
+        assert result.total_large > 0
+        sample = list(result.large_sequences().items())[:25]
+        for sequence, count in sample:
+            oracle = sequence_dataset.database.support_count(
+                sequence, sequence_dataset.taxonomy
+            )
+            assert oracle == count
+
+    def test_empty_database(self, paper_taxonomy):
+        with pytest.raises(MiningError):
+            gsp(SequenceDatabase([]), paper_taxonomy, 0.5)

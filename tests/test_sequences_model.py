@@ -1,0 +1,109 @@
+"""Tests for repro.sequences.model."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.sequences.model import (
+    SequenceDatabase,
+    canonical_sequence,
+    extend_sequence,
+    sequence_contains,
+    sequence_length,
+)
+from repro.taxonomy.ops import AncestorIndex
+
+
+class TestCanonicalSequence:
+    def test_normalisation(self):
+        assert canonical_sequence([[3, 1, 1], [2]]) == ((1, 3), (2,))
+
+    def test_empty_sequence_ok(self):
+        assert canonical_sequence([]) == ()
+
+    def test_empty_element_rejected(self):
+        with pytest.raises(MiningError):
+            canonical_sequence([[1], []])
+
+    def test_sequence_length(self):
+        assert sequence_length(((1, 3), (2,))) == 3
+        assert sequence_length(()) == 0
+
+
+class TestContainment:
+    def test_plain_subsequence(self):
+        data = ((1, 2), (3,), (4, 5))
+        assert sequence_contains(data, ((1,), (4,)))
+        assert sequence_contains(data, ((2,), (3,), (5,)))
+        assert not sequence_contains(data, ((3,), (1,)))  # order matters
+
+    def test_element_subset(self):
+        data = ((1, 2, 3),)
+        assert sequence_contains(data, ((1, 3),))
+        assert not sequence_contains(data, ((1, 4),))
+
+    def test_distinct_elements_required(self):
+        # ⟨{1},{1}⟩ needs item 1 in two different elements.
+        assert not sequence_contains(((1,),), ((1,), (1,)))
+        assert sequence_contains(((1,), (1,)), ((1,), (1,)))
+
+    def test_empty_pattern_always_contained(self):
+        assert sequence_contains(((1,),), ())
+
+    def test_taxonomy_containment(self, paper_taxonomy):
+        # 10's ancestors are 4 and 1.
+        data = ((10,), (15,))
+        assert sequence_contains(data, ((4,), (15,)), paper_taxonomy)
+        assert sequence_contains(data, ((1,), (6,)), paper_taxonomy)
+        assert not sequence_contains(data, ((3,), (15,)), paper_taxonomy)
+
+    def test_taxonomy_within_element(self, paper_taxonomy):
+        data = ((10, 15),)
+        assert sequence_contains(data, ((4, 6),), paper_taxonomy)
+
+
+class TestSequenceDatabase:
+    def test_container_basics(self):
+        db = SequenceDatabase([[[1], [2]], [[3]]])
+        assert len(db) == 2
+        assert db[0] == ((1,), (2,))
+        assert db.item_universe() == {1, 2, 3}
+        assert db.total_items() == 3
+
+    def test_equality(self):
+        assert SequenceDatabase([[[2, 1]]]) == SequenceDatabase([[[1, 2]]])
+
+    def test_support_oracle(self, paper_taxonomy):
+        db = SequenceDatabase(
+            [
+                [[10], [15]],
+                [[9], [14]],
+                [[15], [10]],
+            ]
+        )
+        # ⟨{4},{6}⟩: customers 0 (10 then 15) and 1 (9 then 14).
+        assert db.support_count(((4,), (6,)), paper_taxonomy) == 2
+        assert db.support_count(((10,),)) == 2
+
+    def test_split_round_robin(self):
+        db = SequenceDatabase([[[i]] for i in range(5)])
+        parts = db.split(2)
+        assert [len(p) for p in parts] == [3, 2]
+        assert parts[0][0] == ((0,),)
+
+    def test_split_invalid(self):
+        with pytest.raises(MiningError):
+            SequenceDatabase([]).split(0)
+
+
+class TestExtendSequence:
+    def test_elementwise_extension(self, paper_taxonomy):
+        index = AncestorIndex(paper_taxonomy)
+        extended = extend_sequence(((10,), (15,)), index)
+        assert extended == ((1, 4, 10), (2, 6, 15))
+
+    def test_universe_filter_drops_items_and_empty_elements(self, paper_taxonomy):
+        index = AncestorIndex(paper_taxonomy)
+        extended = extend_sequence(((10,), (15,)), index, universe={4, 6})
+        assert extended == ((4,), (6,))
+        extended = extend_sequence(((10,), (15,)), index, universe={6})
+        assert extended == ((6,),)

@@ -1,0 +1,149 @@
+"""Tests for the parallel sequence miners (NPSPM / SPSPM / HPSPM)."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.errors import MiningError
+from repro.sequences.generate import SequenceGeneratorParams, generate_sequence_dataset
+from repro.sequences.gsp import gsp
+from repro.sequences.model import SequenceDatabase
+from repro.sequences.parallel import (
+    SEQUENCE_ALGORITHMS,
+    decode_sequence,
+    encode_sequence,
+    mine_sequences_parallel,
+)
+
+ALL_SEQ = tuple(SEQUENCE_ALGORITHMS)
+
+
+@pytest.fixture(scope="module")
+def sequence_dataset():
+    return generate_sequence_dataset(
+        SequenceGeneratorParams(
+            num_customers=150,
+            num_items=100,
+            num_roots=5,
+            fanout=3.0,
+            num_patterns=25,
+            seed=4,
+        )
+    )
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "sequence",
+        [
+            ((1,),),
+            ((1, 2), (3,)),
+            ((5,), (5,), (5,)),
+            ((1, 2, 3), (4, 5), (6,)),
+        ],
+    )
+    def test_roundtrip(self, sequence):
+        assert decode_sequence(encode_sequence(sequence)) == sequence
+
+
+class TestEquality:
+    @pytest.mark.parametrize("name", ALL_SEQ)
+    def test_matches_sequential_gsp(self, name, sequence_dataset):
+        expected = gsp(
+            sequence_dataset.database, sequence_dataset.taxonomy, 0.05, max_k=3
+        )
+        run = mine_sequences_parallel(
+            sequence_dataset.database,
+            sequence_dataset.taxonomy,
+            0.05,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=4, memory_per_node=None),
+            max_k=3,
+        )
+        assert run.result == expected
+
+    @pytest.mark.parametrize("name", ALL_SEQ)
+    def test_bounded_memory(self, name, sequence_dataset):
+        expected = gsp(
+            sequence_dataset.database, sequence_dataset.taxonomy, 0.08, max_k=2
+        )
+        run = mine_sequences_parallel(
+            sequence_dataset.database,
+            sequence_dataset.taxonomy,
+            0.08,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=3, memory_per_node=200),
+            max_k=2,
+        )
+        assert run.result == expected
+
+    def test_paper_taxonomy_handmade(self, paper_taxonomy):
+        database = SequenceDatabase(
+            [
+                [[10], [15]],
+                [[9], [14]],
+                [[11], [15]],
+                [[12], [14]],
+                [[7], [8]],
+            ]
+        )
+        expected = gsp(database, paper_taxonomy, 0.6)
+        for name in ALL_SEQ:
+            run = mine_sequences_parallel(
+                database,
+                paper_taxonomy,
+                0.6,
+                algorithm=name,
+                config=ClusterConfig(num_nodes=3, memory_per_node=None),
+            )
+            assert run.result == expected, name
+
+
+class TestCommunicationShape:
+    def _pass2(self, dataset, name, num_nodes=4, memory=None):
+        run = mine_sequences_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            0.05,
+            algorithm=name,
+            config=ClusterConfig(num_nodes=num_nodes, memory_per_node=memory),
+            max_k=2,
+        )
+        return run.stats.pass_stats(2)
+
+    def test_npspm_sends_nothing(self, sequence_dataset):
+        assert self._pass2(sequence_dataset, "NPSPM").total_bytes_received == 0
+
+    def test_spspm_broadcast_scales_with_nodes(self, sequence_dataset):
+        four = self._pass2(sequence_dataset, "SPSPM", num_nodes=4)
+        eight = self._pass2(sequence_dataset, "SPSPM", num_nodes=8)
+        assert eight.total_bytes_received > four.total_bytes_received
+
+    def test_npspm_fragments_under_pressure(self, sequence_dataset):
+        stats = self._pass2(sequence_dataset, "NPSPM", memory=100)
+        assert stats.fragments > 1
+
+    def test_hpspm_routes_each_subsequence_once(self, sequence_dataset):
+        # Cluster-wide probes equal cluster-wide generated subsequences:
+        # every k-subsequence is probed at exactly one node.
+        stats = self._pass2(sequence_dataset, "HPSPM")
+        generated = sum(n.itemsets_generated for n in stats.nodes)
+        probes = sum(n.probes for n in stats.nodes)
+        assert probes == generated
+
+
+class TestRegistry:
+    def test_unknown_algorithm(self, sequence_dataset):
+        with pytest.raises(MiningError):
+            mine_sequences_parallel(
+                sequence_dataset.database,
+                sequence_dataset.taxonomy,
+                0.1,
+                algorithm="nope",
+            )
+
+    def test_empty_database(self, paper_taxonomy):
+        with pytest.raises(MiningError):
+            mine_sequences_parallel(
+                SequenceDatabase([]), paper_taxonomy, 0.5,
+                config=ClusterConfig(num_nodes=2),
+            )

@@ -1,0 +1,50 @@
+"""Unit tests for repro.taxonomy.builder."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.builder import taxonomy_from_edges, taxonomy_from_parents
+
+
+class TestFromParents:
+    def test_basic(self):
+        taxonomy = taxonomy_from_parents({0: None, 1: 0, 2: 0})
+        assert taxonomy.roots == (0,)
+        assert taxonomy.children(0) == (1, 2)
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_parents({0: 0})
+
+
+class TestFromEdges:
+    def test_basic(self):
+        taxonomy = taxonomy_from_edges([(0, 1), (0, 2), (2, 3)])
+        assert taxonomy.roots == (0,)
+        assert taxonomy.ancestors(3) == (2, 0)
+
+    def test_isolated_items(self):
+        taxonomy = taxonomy_from_edges([(0, 1)], isolated=[5, 6])
+        assert set(taxonomy.roots) == {0, 5, 6}
+        assert taxonomy.is_leaf(5)
+
+    def test_isolated_already_in_edges_is_noop(self):
+        taxonomy = taxonomy_from_edges([(0, 1)], isolated=[1])
+        assert taxonomy.parent(1) == 0
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_edges([(0, 2), (1, 2)])
+
+    def test_same_edge_twice_is_ok(self):
+        taxonomy = taxonomy_from_edges([(0, 1), (0, 1)])
+        assert taxonomy.parent(1) == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TaxonomyError):
+            taxonomy_from_edges([(3, 3)])
+
+    def test_forest(self):
+        taxonomy = taxonomy_from_edges([(0, 1), (2, 3)])
+        assert set(taxonomy.roots) == {0, 2}
+        assert taxonomy.root_of(3) == 2

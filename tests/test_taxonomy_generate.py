@@ -1,0 +1,65 @@
+"""Unit tests for repro.taxonomy.generate."""
+
+import pytest
+
+from repro.errors import DataGenerationError
+from repro.taxonomy.generate import generate_taxonomy
+
+
+class TestGenerateTaxonomy:
+    def test_item_count_exact(self):
+        taxonomy = generate_taxonomy(num_items=500, num_roots=10, fanout=4, seed=1)
+        assert len(taxonomy) == 500
+
+    def test_roots_get_first_ids(self):
+        taxonomy = generate_taxonomy(num_items=100, num_roots=7, fanout=3, seed=2)
+        assert taxonomy.roots == tuple(range(7))
+
+    def test_bfs_order_ancestors_have_smaller_ids(self):
+        taxonomy = generate_taxonomy(num_items=300, num_roots=5, fanout=5, seed=3)
+        for item in taxonomy.items:
+            for ancestor in taxonomy.ancestors(item):
+                assert ancestor < item
+
+    def test_deterministic(self):
+        first = generate_taxonomy(num_items=200, num_roots=4, fanout=3, seed=42)
+        second = generate_taxonomy(num_items=200, num_roots=4, fanout=3, seed=42)
+        assert first.parent_map() == second.parent_map()
+
+    def test_different_seeds_differ(self):
+        first = generate_taxonomy(num_items=200, num_roots=4, fanout=3, seed=1)
+        second = generate_taxonomy(num_items=200, num_roots=4, fanout=3, seed=2)
+        assert first.parent_map() != second.parent_map()
+
+    def test_depth_grows_with_smaller_fanout(self):
+        # Table 5: fanout 3 yields more levels than fanout 10 at the
+        # same item count.
+        narrow = generate_taxonomy(num_items=2000, num_roots=30, fanout=3, seed=5)
+        wide = generate_taxonomy(num_items=2000, num_roots=30, fanout=10, seed=5)
+        assert narrow.max_depth > wide.max_depth
+
+    def test_all_roots_equal_items(self):
+        taxonomy = generate_taxonomy(num_items=5, num_roots=5, fanout=3, seed=0)
+        assert len(taxonomy.roots) == 5
+        assert taxonomy.max_depth == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_items": 0, "num_roots": 1, "fanout": 2},
+            {"num_items": 10, "num_roots": 0, "fanout": 2},
+            {"num_items": 10, "num_roots": 11, "fanout": 2},
+            {"num_items": 10, "num_roots": 2, "fanout": 0.5},
+            {"num_items": 10, "num_roots": 2, "fanout": 2, "jitter": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(DataGenerationError):
+            generate_taxonomy(seed=0, **kwargs)
+
+    def test_zero_jitter_regular_tree(self):
+        taxonomy = generate_taxonomy(
+            num_items=1 + 3 + 9, num_roots=1, fanout=3, seed=0, jitter=0.0
+        )
+        interior = [i for i in taxonomy.items if not taxonomy.is_leaf(i)]
+        assert all(len(taxonomy.children(i)) == 3 for i in interior)

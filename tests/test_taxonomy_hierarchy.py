@@ -1,0 +1,132 @@
+"""Unit tests for repro.taxonomy.hierarchy."""
+
+import pytest
+
+from repro.errors import CycleError, UnknownItemError
+from repro.taxonomy.hierarchy import Taxonomy
+
+
+class TestConstruction:
+    def test_single_root(self):
+        taxonomy = Taxonomy({0: None})
+        assert taxonomy.roots == (0,)
+        assert taxonomy.leaves == (0,)
+        assert taxonomy.max_depth == 0
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(UnknownItemError):
+            Taxonomy({0: 99})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            Taxonomy({0: 1, 1: 2, 2: 0})
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            Taxonomy({0: 1, 1: 0})
+
+    def test_empty_taxonomy(self):
+        taxonomy = Taxonomy({})
+        assert len(taxonomy) == 0
+        assert taxonomy.roots == ()
+        assert taxonomy.max_depth == 0
+
+
+class TestPaperHierarchy:
+    def test_roots(self, paper_taxonomy):
+        assert paper_taxonomy.roots == (1, 2, 3)
+
+    def test_parent_child(self, paper_taxonomy):
+        assert paper_taxonomy.parent(4) == 1
+        assert paper_taxonomy.parent(1) is None
+        assert paper_taxonomy.children(4) == (9, 10, 11)
+        assert paper_taxonomy.children(15) == ()
+
+    def test_ancestors_nearest_first(self, paper_taxonomy):
+        assert paper_taxonomy.ancestors(10) == (4, 1)
+        assert paper_taxonomy.ancestors(12) == (5, 1)
+        assert paper_taxonomy.ancestors(14) == (6, 2)
+        assert paper_taxonomy.ancestors(8) == (3,)
+        assert paper_taxonomy.ancestors(1) == ()
+
+    def test_ancestors_or_self(self, paper_taxonomy):
+        assert paper_taxonomy.ancestors_or_self(10) == (10, 4, 1)
+
+    def test_root_of(self, paper_taxonomy):
+        assert paper_taxonomy.root_of(10) == 1
+        assert paper_taxonomy.root_of(15) == 2
+        assert paper_taxonomy.root_of(3) == 3
+
+    def test_depth(self, paper_taxonomy):
+        assert paper_taxonomy.depth(1) == 0
+        assert paper_taxonomy.depth(4) == 1
+        assert paper_taxonomy.depth(10) == 2
+        assert paper_taxonomy.max_depth == 2
+
+    def test_is_ancestor(self, paper_taxonomy):
+        assert paper_taxonomy.is_ancestor(1, 10)
+        assert paper_taxonomy.is_ancestor(4, 10)
+        assert not paper_taxonomy.is_ancestor(10, 10)  # proper ancestry
+        assert not paper_taxonomy.is_ancestor(2, 10)
+
+    def test_no_item_is_its_own_ancestor(self, paper_taxonomy):
+        # Section 2: "there is no item which is an ancestor of itself".
+        for item in paper_taxonomy.items:
+            assert item not in paper_taxonomy.ancestors(item)
+
+    def test_subtree_and_descendants(self, paper_taxonomy):
+        assert set(paper_taxonomy.subtree(4)) == {4, 9, 10, 11}
+        assert set(paper_taxonomy.descendants(1)) == {4, 5, 9, 10, 11, 12, 13}
+        assert paper_taxonomy.descendants(15) == ()
+
+    def test_leaves(self, paper_taxonomy):
+        assert set(paper_taxonomy.leaves) == {7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+    def test_is_root_is_leaf(self, paper_taxonomy):
+        assert paper_taxonomy.is_root(2)
+        assert not paper_taxonomy.is_root(6)
+        assert paper_taxonomy.is_leaf(14)
+        assert not paper_taxonomy.is_leaf(6)
+
+    def test_tree_sizes(self, paper_taxonomy):
+        sizes = paper_taxonomy.tree_sizes()
+        assert sizes == {1: 8, 2: 4, 3: 3}
+        assert sum(sizes.values()) == len(paper_taxonomy)
+
+    def test_contains_and_iter(self, paper_taxonomy):
+        assert 10 in paper_taxonomy
+        assert 99 not in paper_taxonomy
+        assert set(iter(paper_taxonomy)) == set(paper_taxonomy.items)
+
+    def test_unknown_item_queries_raise(self, paper_taxonomy):
+        for method in ("parent", "children", "ancestors", "root_of", "depth"):
+            with pytest.raises(UnknownItemError):
+                getattr(paper_taxonomy, method)(99)
+        with pytest.raises(UnknownItemError):
+            paper_taxonomy.subtree(99)
+
+    def test_parent_map_roundtrip(self, paper_taxonomy):
+        rebuilt = Taxonomy(paper_taxonomy.parent_map())
+        assert rebuilt.roots == paper_taxonomy.roots
+        assert all(
+            rebuilt.ancestors(i) == paper_taxonomy.ancestors(i)
+            for i in paper_taxonomy.items
+        )
+
+    def test_repr(self, paper_taxonomy):
+        text = repr(paper_taxonomy)
+        assert "items=15" in text
+        assert "roots=3" in text
+
+
+class TestDeepChain:
+    def test_long_chain_depths(self):
+        # 0 <- 1 <- 2 <- ... <- 500: exercises the iterative resolver
+        # (a recursive one would hit the recursion limit).
+        chain = {0: None}
+        chain.update({i: i - 1 for i in range(1, 501)})
+        taxonomy = Taxonomy(chain)
+        assert taxonomy.depth(500) == 500
+        assert taxonomy.ancestors(500)[0] == 499
+        assert taxonomy.ancestors(500)[-1] == 0
+        assert taxonomy.root_of(500) == 0

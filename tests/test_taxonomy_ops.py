@@ -1,0 +1,85 @@
+"""Unit tests for repro.taxonomy.ops."""
+
+from repro.taxonomy.ops import (
+    AncestorIndex,
+    closest_large_ancestors,
+    extend_transaction,
+    replace_with_closest_large,
+)
+
+from tests.conftest import PAPER_LARGE_ITEMS
+
+
+class TestExtendTransaction:
+    def test_example1_extension(self, paper_taxonomy):
+        # Example 1: t = {10, 12, 14} extends to {1, 2, 4, 5, 6, 10}
+        # once items absent from the candidates (12, 14) are dropped; the
+        # raw extension additionally keeps them.
+        extended = extend_transaction(paper_taxonomy, (10, 12, 14))
+        assert extended == (1, 2, 4, 5, 6, 10, 12, 14)
+
+    def test_extension_with_keep_filter(self, paper_taxonomy):
+        extended = extend_transaction(paper_taxonomy, (10, 12, 14), keep={4, 6})
+        assert extended == (4, 6, 10, 12, 14)
+
+    def test_unknown_items_pass_through(self, paper_taxonomy):
+        assert extend_transaction(paper_taxonomy, (99,)) == (99,)
+
+    def test_deduplication(self, paper_taxonomy):
+        # 9 and 10 share ancestors (4, 1); each appears once.
+        assert extend_transaction(paper_taxonomy, (9, 10)) == (1, 4, 9, 10)
+
+    def test_empty(self, paper_taxonomy):
+        assert extend_transaction(paper_taxonomy, ()) == ()
+
+
+class TestAncestorIndex:
+    def test_matches_one_shot_extension(self, paper_taxonomy):
+        index = AncestorIndex(paper_taxonomy)
+        for transaction in [(10, 12, 14), (7,), (), (9, 10, 15)]:
+            assert index.extend(transaction) == extend_transaction(
+                paper_taxonomy, transaction
+            )
+
+    def test_keep_filter(self, paper_taxonomy):
+        index = AncestorIndex(paper_taxonomy, keep={1, 6})
+        assert index.extend((10, 14)) == (1, 6, 10, 14)
+
+    def test_ancestors_accessor(self, paper_taxonomy):
+        index = AncestorIndex(paper_taxonomy)
+        assert index.ancestors(10) == (4, 1)
+        assert index.ancestors(99) == ()
+
+
+class TestClosestLargeAncestors:
+    def test_paper_example2_table(self, paper_taxonomy):
+        table = closest_large_ancestors(paper_taxonomy, PAPER_LARGE_ITEMS)
+        assert table[10] == 10  # large item maps to itself
+        assert table[12] == 5   # small leaf -> closest large ancestor
+        assert table[14] == 6
+        assert table[13] == 5
+        assert table[11] == 4
+
+    def test_item_with_no_large_ancestor(self, paper_taxonomy):
+        table = closest_large_ancestors(paper_taxonomy, {10})
+        assert table[7] is None
+        assert table[3] is None
+        assert table[10] == 10
+
+    def test_example2_rewrite(self, paper_taxonomy):
+        # Example 2: t = {10, 12, 14} rewrites to exactly {5, 6, 10}.
+        table = closest_large_ancestors(paper_taxonomy, PAPER_LARGE_ITEMS)
+        assert replace_with_closest_large((10, 12, 14), table) == (5, 6, 10)
+
+    def test_rewrite_deduplicates(self, paper_taxonomy):
+        table = closest_large_ancestors(paper_taxonomy, PAPER_LARGE_ITEMS)
+        # 12 and 13 both rewrite to 5.
+        assert replace_with_closest_large((12, 13), table) == (5,)
+
+    def test_rewrite_drops_unreplaceable(self, paper_taxonomy):
+        table = closest_large_ancestors(paper_taxonomy, {10})
+        assert replace_with_closest_large((7, 10), table) == (10,)
+
+    def test_rewrite_drops_unknown_items(self, paper_taxonomy):
+        table = closest_large_ancestors(paper_taxonomy, PAPER_LARGE_ITEMS)
+        assert replace_with_closest_large((99,), table) == ()
