@@ -1,0 +1,35 @@
+"""Static analysis for the reproduction's correctness invariants.
+
+The test suite can only spot-check the two claims everything rests on —
+all six parallel algorithms return itemsets identical to sequential
+Cumulate, and the shared-nothing simulator is bit-for-bit deterministic
+run-to-run.  This package enforces the *coding* invariants behind those
+claims at review time with an AST-based linter (stdlib ``ast`` only):
+
+* :mod:`repro.analysis.engine` — file discovery, suppression comments,
+  rule dispatch;
+* :mod:`repro.analysis.rules` — the rule set (RL001–RL006);
+* :mod:`repro.analysis.cli` — the ``repro-lint`` console entry point.
+
+The linter's static view is cross-checked at runtime by
+:mod:`repro.cluster.invariants`, which validates message conservation
+and candidate-memory accounting at every pass boundary when enabled.
+
+See ``docs/static_analysis.md`` for the rule catalogue and the
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import LintResult, lint_file, lint_paths
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "rule_catalog",
+]

@@ -1,0 +1,131 @@
+"""``repro-lint`` — the console entry point of :mod:`repro.analysis`.
+
+Usage::
+
+    repro-lint src/                      # human-readable report
+    repro-lint src/ --format json        # machine-readable (CI)
+    repro-lint src/ --select RL001,RL006 # only some rules
+    repro-lint --list-rules              # the rule catalogue
+
+Exit codes: 0 clean, 1 findings, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism & invariant static analysis for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="files or directories to lint (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run exclusively (e.g. RL001,RL006)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _parse_rule_list(raw: str | None, known: set[str]) -> set[str] | None:
+    if raw is None:
+        return None
+    rules = {piece.strip() for piece in raw.split(",") if piece.strip()}
+    unknown = rules - known
+    if unknown:
+        raise SystemExit(
+            f"repro-lint: unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return rules
+
+
+def _render_text(result: LintResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} in {result.files_checked} files "
+        f"({result.suppressed} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "version": 1,
+            "findings": [finding.to_json() for finding in result.findings],
+            "summary": {
+                "files_checked": result.files_checked,
+                "findings": len(result.findings),
+                "suppressed": result.suppressed,
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.name:<22} {rule.summary}")
+        return 0
+
+    known = {rule.rule_id for rule in ALL_RULES}
+    try:
+        select = _parse_rule_list(args.select, known)
+        ignore = _parse_rule_list(args.ignore, known)
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro-lint: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = lint_paths(paths, select=select, ignore=ignore)
+    output = _render_json(result) if args.format == "json" else _render_text(result)
+    print(output)
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

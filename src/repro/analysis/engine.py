@@ -1,0 +1,173 @@
+"""Lint engine: file discovery, rule dispatch, suppression comments.
+
+Suppression syntax (see ``docs/static_analysis.md``):
+
+* ``some_code()  # repro-lint: disable=RL001`` — suppresses the listed
+  rule(s) on that line; a justification after the rule list is
+  encouraged and ignored by the parser.
+* a comment-only line ``# repro-lint: disable=RL001 — why`` suppresses
+  the listed rules on the *next* line (for statements too long to
+  carry the comment).
+* ``# repro-lint: disable-file=RL003`` anywhere in the first 20 lines
+  suppresses the rule for the whole file.
+
+A file that does not parse yields a single ``RL000`` finding at the
+syntax-error location rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES, Rule
+
+_DISABLE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<file>-file)?\s*=\s*"
+    r"(?P<rules>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression comments of one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, lines: list[str]) -> "Suppressions":
+        supp = cls()
+        for lineno, text in enumerate(lines, start=1):
+            match = _DISABLE.search(text)
+            if not match:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if match.group("file"):
+                if lineno <= 20:
+                    supp.whole_file |= rules
+                continue
+            target = lineno
+            if text.lstrip().startswith("#"):
+                # Comment-only line: applies to the next code line, so a
+                # justification may span several comment lines.
+                target = lineno + 1
+                while target <= len(lines) and (
+                    not lines[target - 1].strip()
+                    or lines[target - 1].lstrip().startswith("#")
+                ):
+                    target += 1
+            supp.by_line.setdefault(target, set()).update(rules)
+        return supp
+
+    def allows(self, finding: Finding) -> bool:
+        """True when the finding survives (is NOT suppressed)."""
+        if finding.rule in self.whole_file:
+            return False
+        return finding.rule not in self.by_line.get(finding.line, set())
+
+
+@dataclass
+class LintResult:
+    """Outcome of linting a set of paths."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files and directories into a sorted, de-duplicated file list."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _select_rules(
+    rules: tuple[Rule, ...],
+    select: set[str] | None,
+    ignore: set[str] | None,
+) -> tuple[Rule, ...]:
+    chosen = rules
+    if select:
+        chosen = tuple(r for r in chosen if r.rule_id in select)
+    if ignore:
+        chosen = tuple(r for r in chosen if r.rule_id not in ignore)
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    rules: tuple[Rule, ...] = ALL_RULES,
+    display_path: str | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one in-memory source; returns (findings, suppressed count)."""
+    shown = display_path if display_path is not None else str(path)
+    try:
+        ctx = ModuleContext.build(path, source, display_path=shown)
+    except SyntaxError as error:
+        return (
+            [
+                Finding(
+                    path=shown,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    rule="RL000",
+                    message=f"file does not parse: {error.msg}",
+                )
+            ],
+            0,
+        )
+    suppressions = Suppressions.parse(ctx.lines)
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if suppressions.allows(finding):
+                kept.append(finding)
+            else:
+                suppressed += 1
+    kept.sort()
+    return kept, suppressed
+
+
+def lint_file(
+    path: Path,
+    rules: tuple[Rule, ...] = ALL_RULES,
+    display_path: str | None = None,
+) -> list[Finding]:
+    """Lint one file from disk (suppression-filtered findings)."""
+    source = path.read_text(encoding="utf-8")
+    findings, _ = lint_source(source, path, rules=rules, display_path=display_path)
+    return findings
+
+
+def lint_paths(
+    paths: list[Path],
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    rules: tuple[Rule, ...] = ALL_RULES,
+) -> LintResult:
+    """Lint files and directories; the CLI's workhorse."""
+    chosen = _select_rules(rules, select, ignore)
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings, suppressed = lint_source(source, file_path, rules=chosen)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+    result.findings.sort()
+    return result

@@ -1,0 +1,34 @@
+"""The unit of linter output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Orders by location first so reports read top-to-bottom per file;
+    ``rule`` breaks ties when several rules fire on one line.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The classic compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,34 @@
+"""Rule registry.
+
+``ALL_RULES`` lists one instance of every rule, in rule-id order; the
+engine and CLI consume the registry, never the classes directly, so new
+rules only need to be added here.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.determinism import (
+    FloatEqualityRule,
+    UnorderedIterationRule,
+    WallClockRule,
+)
+from repro.analysis.rules.hygiene import BroadExceptRule, MutableDefaultRule
+from repro.analysis.rules.protocol import SimulatorProtocolRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    UnorderedIterationRule(),
+    WallClockRule(),
+    FloatEqualityRule(),
+    MutableDefaultRule(),
+    BroadExceptRule(),
+    SimulatorProtocolRule(),
+)
+
+
+def rule_catalog() -> dict[str, Rule]:
+    """Rule id → rule instance."""
+    return {rule.rule_id: rule for rule in ALL_RULES}
+
+
+__all__ = ["ALL_RULES", "Rule", "rule_catalog"]

@@ -1,0 +1,313 @@
+"""Determinism rules: RL001 unordered iteration, RL002 wall-clock /
+unseeded randomness, RL003 float equality.
+
+These enforce the two claims the repository's tests can only
+spot-check: identical itemsets across all algorithms, and bit-for-bit
+reproducible simulator runs.  See ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: Packages where *any* unordered iteration is flagged: their iteration
+#: order reaches message routing, candidate allocation or result
+#: assembly (RL001's "order-critical" scope).
+ORDER_CRITICAL_PACKAGES = ("repro.parallel", "repro.cluster", "repro.core")
+
+#: Canonical callables that read the wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Modules whose float comparisons feed measured results.
+FLOAT_SENSITIVE_PACKAGES = ("repro.cluster.cost", "repro.metrics")
+
+
+def _describe_iterable(ctx: ModuleContext, node: ast.AST) -> str:
+    if ctx.is_dict_view(node):
+        assert isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+        target = dotted_name(node.func.value) or "<expr>"
+        return f"dict view `{target}.{node.func.attr}()`"
+    if isinstance(node, ast.Name):
+        return f"set `{node.id}`"
+    return "set expression"
+
+
+def _contains_network_send(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+            ):
+                return True
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    """RL001 — unordered ``dict``/``set`` iteration where order escapes.
+
+    Two triggers:
+
+    * in the order-critical packages (``repro.parallel``,
+      ``repro.cluster``, ``repro.core``) every ``for`` statement or
+      comprehension iterating a dict view or set must iterate
+      ``sorted(...)`` instead — iteration order there flows into
+      network sends, candidate allocation and result assembly;
+    * anywhere, a ``for`` loop over an unordered iterable whose body
+      performs a ``.send(...)`` call is flagged — message emission
+      order must be canonical.
+
+    Set comprehensions are exempt (their result is itself unordered),
+    as are iterables consumed by order-insensitive reducers
+    (``sorted``/``sum``/``min``/``max``/``len``/``any``/``all``/
+    ``set``/``frozenset``/``Counter``).  Dict views passed as plain
+    call arguments in the critical packages are also flagged: the
+    callee inherits the unordered iteration.
+    """
+
+    rule_id = "RL001"
+    name = "unordered-iteration"
+    summary = "dict/set iteration order must not reach sends, allocation or results"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        critical = ctx.in_packages(ORDER_CRITICAL_PACKAGES)
+        set_names = self._locally_bound_sets(ctx)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                findings.extend(self._check_for(ctx, node, critical, set_names))
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                findings.extend(
+                    self._check_comprehension(ctx, node, critical, set_names)
+                )
+            elif critical and isinstance(node, ast.Call):
+                findings.extend(self._check_call_args(ctx, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _locally_bound_sets(self, ctx: ModuleContext) -> set[str]:
+        """Names assigned from a syntactically evident set expression."""
+        names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if isinstance(target, ast.Name) and ctx.is_set_expr(value):
+                names.add(target.id)
+        return names
+
+    def _is_unordered_iter(
+        self, ctx: ModuleContext, node: ast.AST, set_names: set[str]
+    ) -> bool:
+        if ctx.is_unordered(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in set_names
+
+    def _check_for(
+        self,
+        ctx: ModuleContext,
+        node: ast.For,
+        critical: bool,
+        set_names: set[str],
+    ) -> list[Finding]:
+        if not self._is_unordered_iter(ctx, node.iter, set_names):
+            return []
+        sends = _contains_network_send(node.body)
+        if not critical and not sends:
+            return []
+        what = _describe_iterable(ctx, node.iter)
+        reason = (
+            "loop body sends messages; emission order must be canonical"
+            if sends
+            else "iteration order is not canonical in an order-critical module"
+        )
+        return [
+            self.finding(
+                ctx,
+                node.iter,
+                f"unordered iteration over {what}: {reason}; iterate sorted(...)",
+            )
+        ]
+
+    def _check_comprehension(
+        self,
+        ctx: ModuleContext,
+        node: ast.ListComp | ast.DictComp | ast.GeneratorExp,
+        critical: bool,
+        set_names: set[str],
+    ) -> list[Finding]:
+        if not critical or ctx.consumed_order_insensitively(node):
+            return []
+        findings = []
+        for generator in node.generators:
+            if self._is_unordered_iter(ctx, generator.iter, set_names):
+                what = _describe_iterable(ctx, generator.iter)
+                findings.append(
+                    self.finding(
+                        ctx,
+                        generator.iter,
+                        f"comprehension iterates unordered {what}; "
+                        "iterate sorted(...) so the result order is canonical",
+                    )
+                )
+        return findings
+
+    def _check_call_args(self, ctx: ModuleContext, node: ast.Call) -> list[Finding]:
+        """Dict views handed to an order-sensitive callee."""
+        findings = []
+        callee = dotted_name(node.func)
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if ctx.is_dict_view(arg) and not ctx.consumed_order_insensitively(arg):
+                what = _describe_iterable(ctx, arg)
+                findings.append(
+                    self.finding(
+                        ctx,
+                        arg,
+                        f"{what} passed to `{callee or '<callee>'}`, which "
+                        "inherits its unordered iteration; pass sorted(...)",
+                    )
+                )
+        return findings
+
+
+class WallClockRule(Rule):
+    """RL002 — wall-clock reads and unseeded randomness.
+
+    ``time.time``/``time.time_ns``, ``datetime.now``-family calls, the
+    module-level ``random.*`` functions (the global, unseeded RNG),
+    ``random.Random()`` constructed without a seed, and
+    ``random.SystemRandom`` are all banned everywhere in the library:
+    the simulator, generators and experiment pipeline must be pure
+    functions of their inputs.  Durations belong to
+    ``time.perf_counter``/``time.monotonic``; randomness to a
+    ``random.Random(seed)`` instance threaded through parameters.
+    """
+
+    rule_id = "RL002"
+    name = "wall-clock"
+    summary = "no wall-clock or unseeded randomness in deterministic code"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        aliases = self._import_aliases(ctx)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = self._canonical(node.func, aliases)
+            if canonical is None:
+                continue
+            if canonical in WALL_CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock call `{canonical}`; inject a clock or use "
+                        "time.perf_counter for durations",
+                    )
+                )
+            elif canonical.startswith("random."):
+                findings.extend(self._check_random(ctx, node, canonical))
+        return findings
+
+    @staticmethod
+    def _import_aliases(ctx: ModuleContext) -> dict[str, str]:
+        """Local name → canonical dotted name, from this file's imports."""
+        aliases: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return aliases
+
+    @staticmethod
+    def _canonical(func: ast.AST, aliases: dict[str, str]) -> str | None:
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head not in aliases:
+            return None
+        expanded = aliases[head]
+        return f"{expanded}.{rest}" if rest else expanded
+
+    def _check_random(
+        self, ctx: ModuleContext, node: ast.Call, canonical: str
+    ) -> list[Finding]:
+        symbol = canonical.split(".", 1)[1]
+        if symbol == "Random":
+            if node.args or node.keywords:
+                return []  # seeded — reproducible by construction
+            message = "`random.Random()` without a seed is nondeterministic"
+        elif symbol == "SystemRandom":
+            message = "`random.SystemRandom` is nondeterministic by design"
+        elif symbol[:1].islower():
+            message = (
+                f"module-level `{canonical}` uses the global unseeded RNG; "
+                "thread a seeded random.Random through parameters"
+            )
+        else:
+            return []
+        return [self.finding(ctx, node, message)]
+
+
+class FloatEqualityRule(Rule):
+    """RL003 — float equality in the cost model and metrics.
+
+    ``==``/``!=`` against a float literal silently depends on the exact
+    rounding of upstream arithmetic; use ``math.isclose`` or compare
+    against the integer counters the floats were derived from.  Scoped
+    to ``repro.cluster.cost`` and ``repro.metrics``, where comparisons
+    feed reported numbers.
+    """
+
+    rule_id = "RL003"
+    name = "float-equality"
+    summary = "no ==/!= against float literals in cost model or metrics"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        if not ctx.in_packages(FLOAT_SENSITIVE_PACKAGES):
+            return []
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "float equality comparison; use math.isclose or an "
+                        "integer-domain comparison",
+                    )
+                )
+        return findings

@@ -1,0 +1,114 @@
+"""Hygiene rules: RL004 mutable defaults, RL005 overbroad excepts.
+
+Both are classic Python footguns with a determinism angle here: a
+mutable default is cross-run shared state, and a swallowing ``except``
+can hide the very invariant violations the simulator is built to
+surface.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: Constructors whose results are shared mutable state when used as a
+#: parameter default.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+)
+
+_BROAD_EXCEPTIONS = frozenset(
+    {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """RL004 — mutable default arguments.
+
+    The default is evaluated once at definition time and shared by
+    every call — mutation leaks state across calls and across runs of
+    anything that reuses the function object.  Use ``None`` plus an
+    in-body fallback (the codebase's established idiom).
+    """
+
+    rule_id = "RL004"
+    name = "mutable-default"
+    summary = "no list/dict/set (or their constructors) as parameter defaults"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _is_mutable_default(default):
+                    label = (
+                        f"`{node.name}`"
+                        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        else "lambda"
+                    )
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in {label}; "
+                            "use None and fill in the body",
+                        )
+                    )
+        return findings
+
+
+class BroadExceptRule(Rule):
+    """RL005 — bare or overbroad ``except`` clauses.
+
+    A bare ``except:`` (or ``except Exception``/``BaseException``
+    without re-raising) swallows :class:`~repro.errors.ReproError`
+    subclasses — including the simulator's invariant violations — and
+    turns protocol bugs into silently wrong numbers.  Catch the
+    specific error, or re-raise.
+    """
+
+    rule_id = "RL005"
+    name = "broad-except"
+    summary = "no bare except; no except Exception without re-raise"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    self.finding(ctx, node, "bare `except:`; name the exception")
+                )
+                continue
+            caught = dotted_name(node.type)
+            if caught in _BROAD_EXCEPTIONS and not self._reraises(node):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"`except {caught}` without re-raise swallows "
+                        "invariant violations; catch the specific error",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))

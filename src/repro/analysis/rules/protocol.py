@@ -1,0 +1,89 @@
+"""RL006 — simulator-protocol checks for the shared-nothing model.
+
+The cluster simulator is honest only while two conventions hold:
+
+* every module that puts payloads on the wire (``network.send``) also
+  drains a mailbox (``network.drain``) — otherwise messages pile up
+  and ``finish_pass`` aborts at runtime, but only on paths a test
+  happens to execute;
+* inside a per-node scan loop (``for node in cluster.nodes``), code
+  must not reach into *another* node's state via ``...nodes[...]`` —
+  a read across ranks that a real shared-nothing machine cannot do
+  without a message (the lightweight race detector).
+
+This rule is the static half; :mod:`repro.cluster.invariants` is the
+matching runtime half (message conservation, memory accounting).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+
+def _is_network_call(node: ast.AST, method: str) -> bool:
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == method
+    ):
+        return False
+    receiver = dotted_name(node.func.value)
+    return receiver is not None and "network" in receiver.split(".")
+
+
+def _is_node_scan_loop(node: ast.For) -> bool:
+    dotted = dotted_name(node.iter)
+    return dotted is not None and dotted.split(".")[-1] == "nodes"
+
+
+class SimulatorProtocolRule(Rule):
+    """RL006 — unbalanced sends and cross-rank state access."""
+
+    rule_id = "RL006"
+    name = "simulator-protocol"
+    summary = "every Network.send needs a drain path; no cross-rank state reads"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        sends: list[ast.Call] = []
+        drains = 0
+        for node in ast.walk(ctx.tree):
+            if _is_network_call(node, "send"):
+                sends.append(node)
+            elif _is_network_call(node, "drain"):
+                drains += 1
+            elif isinstance(node, ast.For) and _is_node_scan_loop(node):
+                findings.extend(self._check_cross_rank(ctx, node))
+        if sends and drains == 0:
+            findings.append(
+                self.finding(
+                    ctx,
+                    sends[0],
+                    "module calls network.send but never network.drain; "
+                    "every send needs a receive path in the same pass",
+                )
+            )
+        return findings
+
+    def _check_cross_rank(self, ctx: ModuleContext, loop: ast.For) -> list[Finding]:
+        findings = []
+        for stmt in loop.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Subscript):
+                    continue
+                dotted = dotted_name(node.value)
+                if dotted is not None and dotted.split(".")[-1] == "nodes":
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "indexing into the node list inside a per-node "
+                            "scan loop reads another rank's state; a "
+                            "shared-nothing node only sees messages",
+                        )
+                    )
+        return findings

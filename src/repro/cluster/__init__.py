@@ -14,6 +14,9 @@ equivalent substrate as a deterministic simulator:
   checks.
 * :class:`~repro.cluster.machine.Cluster` — wires the above together
   and aggregates per-pass statistics.
+* :mod:`~repro.cluster.invariants` — optional pass-boundary runtime
+  checks (message conservation, stats/network cross-checks, memory
+  bound); the dynamic counterpart of the ``repro-lint`` static rules.
 * :class:`~repro.cluster.cost.CostModel` — converts counted work (I/O
   items, hash probes, bytes moved) into a simulated wall-clock time per
   pass: the bulk-synchronous maximum over nodes plus the coordinator's
@@ -31,6 +34,7 @@ paper measures (see DESIGN.md §2).
 from repro.cluster.config import ClusterConfig
 from repro.cluster.cost import CostModel
 from repro.cluster.disk import LocalDisk
+from repro.cluster.invariants import verify_pass_invariants
 from repro.cluster.machine import Cluster
 from repro.cluster.network import Network
 from repro.cluster.node import Node
@@ -49,4 +53,5 @@ __all__ = [
     "RunStats",
     "SimulationTrace",
     "TraceEvent",
+    "verify_pass_invariants",
 ]

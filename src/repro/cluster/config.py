@@ -44,6 +44,13 @@ class ClusterConfig:
         default) the overflow is recorded in the pass statistics, which
         matches the paper's reading (placement skew degrades, it does
         not abort).
+    check_invariants:
+        When True, every ``finish_pass`` runs the runtime invariant
+        checker (:mod:`repro.cluster.invariants`): message conservation,
+        statistics/network cross-checks, and the candidate-memory bound.
+        Off by default — the skew experiments deliberately record
+        memory overflow.  The ``REPRO_CHECK_INVARIANTS=1`` environment
+        variable enables checking regardless of this field.
     """
 
     num_nodes: int = 16
@@ -54,6 +61,7 @@ class ClusterConfig:
     count_bytes: int = 8
     cost: CostModel = field(default_factory=CostModel)
     strict_memory: bool = False
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:

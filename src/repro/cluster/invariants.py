@@ -1,0 +1,99 @@
+"""Runtime invariants of the shared-nothing simulator.
+
+The static pass (:mod:`repro.analysis`, rule RL006) checks the
+*protocol shape* at review time; this module checks the *accounting* at
+run time.  When enabled, :meth:`repro.cluster.machine.Cluster.finish_pass`
+verifies at every pass boundary:
+
+* **message conservation** — every payload enqueued by
+  ``Network.send`` was removed by exactly one ``Network.drain`` before
+  the pass ended (no lost or double-drained messages);
+* **statistics honesty** — the per-node ``messages_sent`` /
+  ``messages_received`` / byte counters, which every reported number is
+  derived from, sum to the network's own ground-truth tallies (catches
+  an algorithm forgetting to pass ``stats`` into ``send``);
+* **memory bound** — no node's ``candidates_stored`` exceeds
+  ``memory_per_node``.
+
+Enable via ``ClusterConfig(check_invariants=True)`` or the
+``REPRO_CHECK_INVARIANTS=1`` environment variable (handy for test
+subprocesses).  Leave off for the skew experiments that deliberately
+record candidate-memory overflow (the paper's non-strict reading).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.errors import InvariantViolationError
+
+_ENV_FLAG = "REPRO_CHECK_INVARIANTS"
+
+
+def invariants_enabled_by_env() -> bool:
+    """True when ``REPRO_CHECK_INVARIANTS`` requests checking."""
+    return os.environ.get(_ENV_FLAG, "").strip() not in {"", "0", "false", "no"}
+
+
+def verify_pass_invariants(
+    network: Network,
+    nodes: Iterable[Node],
+    memory_per_node: int | None,
+    k: int,
+) -> None:
+    """Raise :class:`InvariantViolationError` on any accounting breach.
+
+    Called by ``Cluster.finish_pass`` after the undelivered-message
+    check, so mailboxes are known to be empty; what remains is to prove
+    the tallies agree.
+    """
+    node_list = list(nodes)
+    failures: list[str] = []
+
+    if network.pass_sends != network.pass_drained:
+        failures.append(
+            f"message conservation: {network.pass_sends} sends but "
+            f"{network.pass_drained} drained payloads"
+        )
+
+    stats_sent = sum(node.stats.messages_sent for node in node_list)
+    stats_received = sum(node.stats.messages_received for node in node_list)
+    if stats_sent != network.pass_sends:
+        failures.append(
+            f"stats cross-check: nodes recorded {stats_sent} messages_sent, "
+            f"network performed {network.pass_sends} sends"
+        )
+    if stats_received != network.pass_sends:
+        failures.append(
+            f"stats cross-check: nodes recorded {stats_received} "
+            f"messages_received, network performed {network.pass_sends} sends"
+        )
+
+    stats_bytes_sent = sum(node.stats.bytes_sent for node in node_list)
+    stats_bytes_received = sum(node.stats.bytes_received for node in node_list)
+    if stats_bytes_sent != network.pass_send_bytes:
+        failures.append(
+            f"stats cross-check: nodes recorded {stats_bytes_sent} bytes_sent, "
+            f"network carried {network.pass_send_bytes} bytes"
+        )
+    if stats_bytes_received != network.pass_send_bytes:
+        failures.append(
+            f"stats cross-check: nodes recorded {stats_bytes_received} "
+            f"bytes_received, network carried {network.pass_send_bytes} bytes"
+        )
+
+    if memory_per_node is not None:
+        for node in node_list:
+            if node.stats.candidates_stored > memory_per_node:
+                failures.append(
+                    f"memory bound: node {node.node_id} holds "
+                    f"{node.stats.candidates_stored} candidates over the "
+                    f"{memory_per_node}-slot budget"
+                )
+
+    if failures:
+        detail = "; ".join(failures)
+        raise InvariantViolationError(f"pass {k} invariant violation: {detail}")

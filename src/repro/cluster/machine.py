@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.invariants import invariants_enabled_by_env, verify_pass_invariants
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.cluster.stats import NodeStats, PassStats
@@ -81,6 +82,7 @@ class Cluster:
         """Reset all node counters; returns them in node order."""
         if self.trace is not None:
             self.trace.record("pass-begin")
+        self.network.start_pass()
         return [node.begin_pass() for node in self.nodes]
 
     def finish_pass(
@@ -114,6 +116,13 @@ class Cluster:
         """
         if self.network.total_pending() != 0:
             raise ClusterError("finish_pass with undelivered messages")
+        if self.config.check_invariants or invariants_enabled_by_env():
+            verify_pass_invariants(
+                self.network,
+                self.nodes,
+                self.config.memory_per_node,
+                k,
+            )
         cost = self.config.cost
         node_times = [cost.node_time(node.stats) for node in self.nodes]
         coordinator = cost.coordinator_time(

@@ -45,6 +45,17 @@ class Network:
         self.trace = None
         self._mailboxes: list[deque[Payload]] = [deque() for _ in range(num_nodes)]
         self._traffic: dict[tuple[int, int], int] = {}
+        #: Ground-truth per-pass tallies for the invariant checker
+        #: (:mod:`repro.cluster.invariants`); reset by :meth:`start_pass`.
+        self.pass_sends = 0
+        self.pass_send_bytes = 0
+        self.pass_drained = 0
+
+    def start_pass(self) -> None:
+        """Zero the per-pass send/drain tallies (called at pass begin)."""
+        self.pass_sends = 0
+        self.pass_send_bytes = 0
+        self.pass_drained = 0
 
     def _check(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -76,6 +87,8 @@ class Network:
         size = self.message_bytes(payload)
         self._mailboxes[dst].append(payload)
         self._traffic[(src, dst)] = self._traffic.get((src, dst), 0) + size
+        self.pass_sends += 1
+        self.pass_send_bytes += size
         if self.trace is not None:
             self.trace.record("send", src=src, dst=dst, bytes=size, items=len(payload))
         if src_stats is not None:
@@ -91,6 +104,7 @@ class Network:
         mailbox = self._mailboxes[node]
         payloads = list(mailbox)
         mailbox.clear()
+        self.pass_drained += len(payloads)
         return payloads
 
     def pending(self, node: int) -> int:

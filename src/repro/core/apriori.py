@@ -37,7 +37,7 @@ def apriori(
         for item in transaction:
             item_counts[item] = item_counts.get(item, 0) + 1
     large_1 = {
-        (item,): count for item, count in item_counts.items() if count >= threshold
+        (item,): count for item, count in sorted(item_counts.items()) if count >= threshold
     }
     result.passes.append(
         PassResult(k=1, num_candidates=len(item_counts), large=large_1)
@@ -46,7 +46,7 @@ def apriori(
     previous: dict[Itemset, int] = large_1
     k = 2
     while previous and (max_k is None or k <= max_k):
-        candidates = apriori_gen(previous.keys(), k)
+        candidates = apriori_gen(sorted(previous), k)
         if not candidates:
             break
         counter = SupportCounter(candidates, k, strategy=strategy)
@@ -54,7 +54,7 @@ def apriori(
             counter.add_transaction(transaction)
         large_k = {
             itemset: count
-            for itemset, count in counter.counts.items()
+            for itemset, count in sorted(counter.counts.items())
             if count >= threshold
         }
         result.passes.append(

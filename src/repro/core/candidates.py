@@ -46,7 +46,8 @@ def apriori_gen(large_prev: Collection[Itemset], k: int) -> list[Itemset]:
     if k < 2:
         raise MiningError(f"apriori_gen needs k >= 2, got {k}")
     large_set = set(large_prev)
-    for itemset in large_set:
+    ordered = sorted(large_set)
+    for itemset in ordered:
         if len(itemset) != k - 1:
             raise MiningError(
                 f"expected ({k - 1})-itemsets, got {itemset!r}"
@@ -54,11 +55,11 @@ def apriori_gen(large_prev: Collection[Itemset], k: int) -> list[Itemset]:
 
     # Join: group by (k-2)-prefix; merge every ordered pair within a group.
     by_prefix: dict[Itemset, list[int]] = {}
-    for itemset in sorted(large_set):
+    for itemset in ordered:
         by_prefix.setdefault(itemset[:-1], []).append(itemset[-1])
 
     candidates: list[Itemset] = []
-    for prefix, tails in by_prefix.items():
+    for prefix, tails in sorted(by_prefix.items()):
         for a, b in combinations(tails, 2):
             candidate = prefix + (a, b)
             if _all_subsets_large(candidate, large_set, k):

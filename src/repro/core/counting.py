@@ -276,7 +276,7 @@ class RootKeyedClosureCounter:
         key_items = self._key_items
         root_counts = Counter({root: len(items) for root, items in by_root.items()})
         sorted_groups = {
-            root: sorted(items) for root, items in by_root.items()
+            root: sorted(items) for root, items in sorted(by_root.items())
         }
         for key in feasible_sorted_multisets(root_counts, self.k):
             members = key_items.get(key)
@@ -287,7 +287,7 @@ class RootKeyedClosureCounter:
                 combinations(
                     [i for i in sorted_groups[root] if i in members], count
                 )
-                for root, count in multiplicity.items()
+                for root, count in sorted(multiplicity.items())
             ]
             for chosen in product(*pools):
                 subset = tuple(sorted(item for part in chosen for item in part))

@@ -65,7 +65,7 @@ def cumulate(
     full_index = AncestorIndex(taxonomy)
     item_counts = count_items(database, full_index)
     large_1 = {
-        (item,): count for item, count in item_counts.items() if count >= threshold
+        (item,): count for item, count in sorted(item_counts.items()) if count >= threshold
     }
     result.passes.append(
         PassResult(k=1, num_candidates=len(item_counts), large=large_1)
@@ -74,7 +74,7 @@ def cumulate(
     previous: dict[Itemset, int] = large_1
     k = 2
     while previous and (max_k is None or k <= max_k):
-        candidates = generate_candidates(previous.keys(), k, taxonomy)
+        candidates = generate_candidates(sorted(previous), k, taxonomy)
         if not candidates:
             break
         # Optimization 2: extend transactions only with ancestors that
@@ -86,7 +86,7 @@ def cumulate(
             counter.add_transaction(index.extend(transaction))
         large_k = {
             itemset: count
-            for itemset, count in counter.counts.items()
+            for itemset, count in sorted(counter.counts.items())
             if count >= threshold
         }
         result.passes.append(

@@ -107,7 +107,7 @@ class HashTree:
             child.bucket.append(itemset)
         # A pathological split can leave a child still over capacity
         # (all items hash alike); recurse while depth allows.
-        for child in node.branches.values():
+        for _, child in sorted(node.branches.items()):
             assert child.bucket is not None
             if len(child.bucket) > self.leaf_capacity and child.depth < self.k:
                 self._split(child)
@@ -120,7 +120,7 @@ class HashTree:
                 yield from node.bucket
             else:
                 assert node.branches is not None
-                stack.extend(node.branches.values())
+                stack.extend(child for _, child in sorted(node.branches.items()))
 
     def contained_in(self, transaction: Iterable[int]) -> list[Itemset]:
         """All stored candidates contained in a sorted transaction."""

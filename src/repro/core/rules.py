@@ -73,7 +73,7 @@ def generate_rules(
     supports = result.large_itemsets()
     n = result.num_transactions
     rules: list[Rule] = []
-    for itemset, count in supports.items():
+    for itemset, count in sorted(supports.items()):
         if len(itemset) < 2:
             continue
         for antecedent in _proper_subsets(itemset):

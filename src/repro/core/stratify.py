@@ -120,7 +120,7 @@ def stratify(
     full_index = AncestorIndex(taxonomy)
     item_counts = count_items(database, full_index)
     large_1 = {
-        (item,): count for item, count in item_counts.items() if count >= threshold
+        (item,): count for item, count in sorted(item_counts.items()) if count >= threshold
     }
     result.passes.append(
         PassResult(k=1, num_candidates=len(item_counts), large=large_1)
@@ -129,7 +129,7 @@ def stratify(
     previous: dict[Itemset, int] = large_1
     k = 2
     while previous and (max_k is None or k <= max_k):
-        candidates = generate_candidates(previous.keys(), k, taxonomy)
+        candidates = generate_candidates(sorted(previous), k, taxonomy)
         if not candidates:
             break
         universe = candidate_item_universe(candidates)
@@ -144,7 +144,7 @@ def stratify(
         while next_depth <= max_depth:
             wave = [
                 c
-                for c in alive
+                for c in sorted(alive)
                 if next_depth <= depth[c] < next_depth + wave_depths
             ]
             next_depth += wave_depths
@@ -161,7 +161,7 @@ def stratify(
             if telemetry is not None:
                 telemetry.probes += counter.probes
             small_frontier: list[Itemset] = []
-            for itemset, count in counter.counts.items():
+            for itemset, count in sorted(counter.counts.items()):
                 alive.discard(itemset)
                 if count >= threshold:
                     large_k[itemset] = count

@@ -53,5 +53,15 @@ class RoutingError(ClusterError):
     """A message was addressed to a node id outside the cluster."""
 
 
+class InvariantViolationError(ClusterError):
+    """A simulator invariant failed at a pass boundary.
+
+    Raised only when invariant checking is enabled (see
+    :mod:`repro.cluster.invariants`): message conservation broke, the
+    per-node statistics disagree with the network's ground truth, or a
+    node's candidate residency exceeded its memory budget.
+    """
+
+
 class MiningError(ReproError):
     """Invalid mining parameters (e.g. minimum support outside (0, 1])."""

@@ -91,7 +91,7 @@ class HPA(FlatParallelMiner):
                             stats.increments += 1
                     else:
                         batches.setdefault(dest, []).extend(subset)
-                for dest, flat in batches.items():
+                for dest, flat in sorted(batches.items()):
                     network.send(me, dest, tuple(flat), stats, node_stats[dest])
 
         for node in cluster.nodes:

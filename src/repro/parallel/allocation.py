@@ -133,7 +133,7 @@ def partition_candidates_by_root(
     """
     partitions: list[list[Itemset]] = [[] for _ in range(num_nodes)]
     owners: dict[RootKey, int] = {}
-    for key, group in group_by_root_key(candidates, root_of).items():
+    for key, group in sorted(group_by_root_key(candidates, root_of).items()):
         owner = root_key_owner(key, num_nodes)
         owners[key] = owner
         partitions[owner].extend(group)

@@ -101,7 +101,7 @@ class ParallelMiner(ABC):
         previous: dict[Itemset, int] = large_1
         k = 2
         while previous and (max_k is None or k <= max_k):
-            candidates = generate_candidates(previous.keys(), k, self.taxonomy)
+            candidates = generate_candidates(sorted(previous), k, self.taxonomy)
             if not candidates:
                 break
             large_k, pass_stats = self._run_pass(k, candidates, threshold)
@@ -140,12 +140,12 @@ class ParallelMiner(ABC):
                 len(local) if budget is None else min(len(local), budget)
             )
             reduced += len(local)
-            for item, count in local.items():
+            for item, count in sorted(local.items()):
                 total[item] = total.get(item, 0) + count
 
         self._item_counts = total
         large_1 = {
-            (item,): count for item, count in total.items() if count >= threshold
+            (item,): count for item, count in sorted(total.items()) if count >= threshold
         }
         pass_stats = self.cluster.finish_pass(
             k=1,

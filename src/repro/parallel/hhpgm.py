@@ -129,9 +129,11 @@ class HHPGM(ParallelMiner):
             RootKeyedClosureCounter(partition, k, chains, root_of)
             for partition in partitions
         ]
+        # The duplicated set is materialised in sorted order so every node
+        # builds its replica counter with identical internal layout.
         dup_counters = (
             [
-                RootKeyedClosureCounter(duplicated, k, chains, root_of)
+                RootKeyedClosureCounter(sorted(duplicated), k, chains, root_of)
                 for _ in range(num_nodes)
             ]
             if duplicated
@@ -160,7 +162,7 @@ class HHPGM(ParallelMiner):
                 for key in feasible_root_keys(transaction_roots, k):
                     if key in active_keys:
                         destination_roots.setdefault(owners[key], set()).update(key)
-                for dest, roots in destination_roots.items():
+                for dest, roots in sorted(destination_roots.items()):
                     useful = useful_for[dest]
                     fragment = tuple(
                         item
@@ -199,7 +201,7 @@ class HHPGM(ParallelMiner):
         for counter in part_counters:
             local_large = {
                 itemset: count
-                for itemset, count in counter.counts.items()
+                for itemset, count in sorted(counter.counts.items())
                 if count >= threshold
             }
             reduced += len(local_large)
@@ -207,13 +209,13 @@ class HHPGM(ParallelMiner):
         if dup_counters is not None:
             aggregated: dict[Itemset, int] = {}
             for dup_counter in dup_counters:
-                for itemset, count in dup_counter.counts.items():
+                for itemset, count in sorted(dup_counter.counts.items()):
                     aggregated[itemset] = aggregated.get(itemset, 0) + count
             reduced += len(duplicated) * num_nodes
             large.update(
                 {
                     itemset: count
-                    for itemset, count in aggregated.items()
+                    for itemset, count in sorted(aggregated.items())
                     if count >= threshold
                 }
             )

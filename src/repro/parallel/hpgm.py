@@ -73,7 +73,7 @@ class HPGM(ParallelMiner):
                             stats.increments += 1
                     else:
                         batches.setdefault(dest, []).extend(subset)
-                for dest, flat in batches.items():
+                for dest, flat in sorted(batches.items()):
                     network.send(
                         me, dest, tuple(flat), stats, node_stats[dest]
                     )
@@ -96,7 +96,7 @@ class HPGM(ParallelMiner):
         for per_node in counts:
             local_large = {
                 itemset: count
-                for itemset, count in per_node.items()
+                for itemset, count in sorted(per_node.items())
                 if count >= threshold
             }
             reduced += len(local_large)

@@ -68,12 +68,12 @@ class NPGM(ParallelMiner):
             node.charge_candidates(
                 len(candidates) if memory is None else min(len(candidates), memory)
             )
-            for itemset, count in counter.counts.items():
+            for itemset, count in sorted(counter.counts.items()):
                 if count:
                     total[itemset] = total.get(itemset, 0) + count
 
         large = {
-            itemset: count for itemset, count in total.items() if count >= threshold
+            itemset: count for itemset, count in sorted(total.items()) if count >= threshold
         }
         pass_stats = cluster.finish_pass(
             k=k,

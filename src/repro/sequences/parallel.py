@@ -349,7 +349,7 @@ class HPSPM(SequenceParallelMiner):
                             batch.append(_SEPARATOR)
                             batch.append(_SEPARATOR)
                         batch.extend(encoded)
-                for dest, flat in batches.items():
+                for dest, flat in sorted(batches.items()):
                     network.send(me, dest, tuple(flat), stats, node_stats[dest])
 
         for node in cluster.nodes:

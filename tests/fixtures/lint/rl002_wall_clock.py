@@ -1,0 +1,27 @@
+"""RL002 fixture: wall-clock reads and unseeded randomness."""
+
+import random
+import time
+from datetime import datetime
+from random import random as uniform_draw
+
+
+def stamp():
+    started = time.time()  # expect: RL002
+    now = datetime.now()  # expect: RL002
+    return started, now
+
+
+def draw():
+    a = random.random()  # expect: RL002
+    b = random.randint(0, 10)  # expect: RL002
+    rng = random.Random()  # expect: RL002
+    c = uniform_draw()  # expect: RL002
+    return a, b, c, rng
+
+
+def clean():
+    elapsed = time.perf_counter()  # monotonic: allowed
+    tick = time.monotonic()  # monotonic: allowed
+    rng = random.Random(42)  # seeded: allowed
+    return elapsed, tick, rng.random()  # instance method: allowed

@@ -1,0 +1,29 @@
+"""RL004 fixture: mutable default arguments."""
+
+from collections import Counter
+
+
+def collect(values, bucket=[]):  # expect: RL004
+    bucket.extend(values)
+    return bucket
+
+
+def index(pairs, table={}):  # expect: RL004
+    table.update(pairs)
+    return table
+
+
+def tally(items, counts=Counter()):  # expect: RL004
+    counts.update(items)
+    return counts
+
+
+def keyword_only(*, seen=set()):  # expect: RL004
+    return seen
+
+
+def clean(values, bucket=None, name="x", limit=10):
+    if bucket is None:
+        bucket = []
+    bucket.extend(values)
+    return bucket, name, limit

@@ -1,0 +1,24 @@
+"""RL005 fixture: bare and overbroad except clauses."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:  # expect: RL005
+        return None
+
+
+def swallow_exception(work):
+    try:
+        return work()
+    except Exception:  # expect: RL005
+        return None
+
+
+def clean(work):
+    try:
+        return work()
+    except ValueError:
+        return None
+    except Exception:  # re-raised: allowed
+        raise

@@ -1,0 +1,26 @@
+"""RL006 fixture: unbalanced sends and cross-rank state access."""
+
+
+def broadcast_without_receive(cluster, network, payload):
+    for node in cluster.nodes:
+        for dest in range(cluster.num_nodes):
+            if dest != node.node_id:
+                network.send(node.node_id, dest, payload)  # expect: RL006
+    # No network.drain anywhere in this module: the send above is the
+    # module's one unbalanced-protocol finding.
+
+
+def peek_at_neighbour(cluster):
+    totals = []
+    for node in cluster.nodes:
+        neighbour = cluster.nodes[node.node_id - 1]  # expect: RL006
+        totals.append(neighbour.stats.probes)
+    return totals
+
+
+def clean(cluster):
+    for node in cluster.nodes:
+        yield node.stats.probes
+    ids = [node.node_id for node in cluster.nodes]
+    first = cluster.nodes[0]  # outside a scan loop: allowed
+    return ids, first

@@ -1,0 +1,207 @@
+"""The ``repro.analysis`` linter: rule fixtures, suppressions, CLI, and
+the self-check that the shipped tree is clean.
+
+Each fixture under ``tests/fixtures/lint/`` tags its violation lines
+with ``# expect: RLxxx`` trailing comments; the tests assert the rule
+fires on exactly those (rule, line) pairs — no misses, no extras.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, lint_file, lint_paths, rule_catalog
+from repro.analysis.cli import main as lint_main
+from repro.analysis.context import infer_module_name
+from repro.analysis.engine import Suppressions, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+_EXPECT = re.compile(r"#\s*expect:\s*([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
+
+
+def expected_findings(path: Path) -> set[tuple[str, int]]:
+    """(rule, line) pairs declared by a fixture's ``# expect:`` tags."""
+    expected: set[tuple[str, int]] = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for rule in match.group(1).split(","):
+                expected.add((rule.strip(), lineno))
+    return expected
+
+
+FIXTURE_FILES = sorted(FIXTURES.glob("rl*.py"))
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "fixture", FIXTURE_FILES, ids=[p.stem for p in FIXTURE_FILES]
+    )
+    def test_fixture_findings_match_expectations(self, fixture):
+        expected = expected_findings(fixture)
+        assert expected, f"{fixture.name} declares no `# expect:` tags"
+        actual = {(f.rule, f.line) for f in lint_file(fixture)}
+        assert actual == expected
+
+    def test_every_rule_has_a_fixture(self):
+        covered = {fixture.stem[:5].upper() for fixture in FIXTURE_FILES}
+        assert covered == {rule.rule_id for rule in ALL_RULES}
+
+    def test_findings_carry_file_and_position(self):
+        fixture = FIXTURES / "rl004_mutable_default.py"
+        findings = lint_file(fixture)
+        assert findings
+        for finding in findings:
+            assert finding.path.endswith("rl004_mutable_default.py")
+            assert finding.line > 0 and finding.column > 0
+            assert finding.rule == "RL004"
+
+
+class TestSuppressions:
+    def test_suppressed_fixture_is_clean(self):
+        assert lint_file(FIXTURES / "suppressed.py") == []
+
+    def test_suppressed_findings_are_counted(self):
+        source = (FIXTURES / "suppressed.py").read_text()
+        _, suppressed = lint_source(source, FIXTURES / "suppressed.py")
+        assert suppressed == 3
+
+    def test_unsuppressed_twin_fires(self):
+        source = (FIXTURES / "suppressed.py").read_text()
+        stripped = re.sub(r"#\s*repro-lint:\s*disable[^\n]*", "", source)
+        findings, _ = lint_source(stripped, FIXTURES / "suppressed.py")
+        assert {f.rule for f in findings} == {"RL001", "RL002", "RL003"}
+
+    def test_parse_forms(self):
+        supp = Suppressions.parse(
+            [
+                "x = 1  # repro-lint: disable=RL001",
+                "# repro-lint: disable=RL002, RL004 — justification",
+                "# continued justification",
+                "y = 2",
+                "# repro-lint: disable-file=RL005",
+            ]
+        )
+        assert supp.by_line[1] == {"RL001"}
+        assert supp.by_line[4] == {"RL002", "RL004"}
+        assert supp.whole_file == {"RL005"}
+
+
+class TestEngine:
+    def test_syntax_error_becomes_rl000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_file(bad)
+        assert [f.rule for f in findings] == ["RL000"]
+
+    def test_module_name_inference(self):
+        assert (
+            infer_module_name(Path("src/repro/parallel/hhpgm.py"))
+            == "repro.parallel.hhpgm"
+        )
+        assert infer_module_name(Path("src/repro/cluster/__init__.py")) == (
+            "repro.cluster"
+        )
+        assert infer_module_name(Path("elsewhere/tool.py")) == "tool"
+
+    def test_select_and_ignore(self):
+        fixture = FIXTURES / "rl002_wall_clock.py"
+        only = lint_paths([fixture], select={"RL002"})
+        assert {f.rule for f in only.findings} == {"RL002"}
+        none = lint_paths([fixture], ignore={"RL002"})
+        assert none.clean
+
+    def test_rule_catalog_is_complete(self):
+        catalog = rule_catalog()
+        assert sorted(catalog) == [f"RL00{i}" for i in range(1, 7)]
+        for rule in catalog.values():
+            assert rule.summary
+
+
+class TestSelfCheck:
+    """The acceptance gate: the shipped tree lints clean."""
+
+    def test_src_tree_is_clean(self):
+        result = lint_paths([SRC])
+        assert result.clean, "\n".join(f.render() for f in result.findings)
+        assert result.files_checked > 50
+
+    def test_suppression_budget(self):
+        """At most 3 inline suppressions in the tree, each justified.
+
+        The linter's own package is excluded: its docstrings document the
+        suppression syntax without being suppressions.
+        """
+        analysis_pkg = SRC / "repro" / "analysis"
+        justified = 0
+        for path in SRC.rglob("*.py"):
+            if analysis_pkg in path.parents:
+                continue
+            for line in path.read_text().splitlines():
+                if "repro-lint: disable" in line:
+                    justified += 1
+                    assert "—" in line or "because" in line.lower(), (
+                        f"unjustified suppression in {path}: {line.strip()}"
+                    )
+        assert justified <= 3
+
+
+class TestCli:
+    def test_text_output_and_exit_code(self, capsys):
+        code = lint_main([str(FIXTURES / "rl005_broad_except.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL005" in out and "rl005_broad_except.py" in out
+        assert re.search(r"rl005_broad_except\.py:\d+:\d+: RL005 ", out)
+
+    def test_json_output(self, capsys):
+        code = lint_main(
+            [str(FIXTURES / "rl003_float_equality.py"), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["version"] == 1
+        assert payload["summary"]["findings"] == len(payload["findings"])
+        for finding in payload["findings"]:
+            assert finding["rule"] == "RL003"
+            assert finding["line"] > 0
+
+    def test_clean_run_exits_zero(self, capsys):
+        code = lint_main([str(FIXTURES / "suppressed.py")])
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.rule_id in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert lint_main([str(FIXTURES), "--select", "RL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["no/such/dir"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_console_entry_point_runs(self):
+        """`python -m repro.analysis.cli` works as the script target."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.cli", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "RL001" in proc.stdout
