@@ -8,9 +8,10 @@ fall as nodes are added.
 from repro.experiments import table6
 
 
-def test_table6_received_volume(benchmark, record_result):
+def test_table6_received_volume(benchmark, record_result, record_json):
     result = benchmark.pedantic(table6.run, rounds=1, iterations=1)
     record_result("table6", result.to_table())
+    record_json("table6", result.to_json())
 
     ratios = [row.ratio for row in result.rows]
     # Order-of-magnitude gap at every node count.

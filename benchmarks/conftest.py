@@ -37,3 +37,24 @@ def record_result():
         print(text)
 
     return record
+
+
+@pytest.fixture
+def record_json():
+    """Persist an experiment's machine-readable result under results/.
+
+    Experiment results expose ``to_json()`` (sorted keys, embedded
+    ``RunStats.to_dict()`` records), so two runs at the same scale can
+    be diffed byte-for-byte — ``benchmarks/BENCH_baseline.json`` is the
+    committed reference at the default scale.
+    """
+
+    def record(name: str, json_text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(
+            json_text + ("" if json_text.endswith("\n") else "\n"),
+            encoding="utf-8",
+        )
+
+    return record

@@ -1,0 +1,148 @@
+"""RL007 — span discipline for the telemetry layer.
+
+A span opened with ``open_span`` must be closed on every path, or the
+span stack in :class:`repro.obs.telemetry.Telemetry` drifts and every
+later span nests under a phantom parent.  The safe idioms are the
+``span()``/``pass_span()``/``node_span()`` context managers (close in a
+``finally``); manual ``open_span`` is legitimate only when a matching
+close demonstrably runs.
+
+The rule flags, per function (and at module level):
+
+* an ``open_span`` call in a scope with no close call at all — the span
+  can never be closed locally, so it leaks unless some other function
+  cleans up (suppress with a justification when that is the design, as
+  ``Telemetry.begin_run``/``end_run`` do);
+* an ``open_span`` whose closes all sit inside conditional branches
+  (``if``/``elif``/``else``) — the fall-through path leaks the span.
+
+A "close call" is any call whose name mentions both ``close`` and
+``span`` (``close_span``, ``_close_node_span``, …), so helpers that
+close on the caller's behalf count.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+
+def _call_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def _is_open(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and _call_name(node) == "open_span"
+
+
+def _is_close(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _call_name(node).lower()
+    return "close" in name and "span" in name
+
+
+class SpanDisciplineRule(Rule):
+    """RL007 — ``open_span`` without a close on all paths."""
+
+    rule_id = "RL007"
+    name = "span-discipline"
+    summary = "every open_span needs an unconditional close path (or a context manager)"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for scope in self._scopes(ctx.tree):
+            findings.extend(self._check_scope(ctx, scope))
+        return findings
+
+    def _scopes(self, tree: ast.Module) -> list[list[ast.stmt]]:
+        """Module body plus every function body (nested included)."""
+        scopes: list[list[ast.stmt]] = [tree.body]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        return scopes
+
+    def _check_scope(
+        self, ctx: ModuleContext, body: list[ast.stmt]
+    ) -> list[Finding]:
+        opens: list[ast.Call] = []
+        closes: list[ast.Call] = []
+        conditional_closes: list[ast.Call] = []
+        for stmt in body:
+            for node in self._walk_scope(stmt):
+                if _is_open(node):
+                    opens.append(node)
+                elif _is_close(node):
+                    closes.append(node)
+        if not opens:
+            return []
+        if not closes:
+            return [
+                self.finding(
+                    ctx,
+                    call,
+                    "open_span without any close in this scope; close in "
+                    "a finally or use the span() context managers",
+                )
+                for call in opens
+            ]
+        conditional_opens: list[ast.Call] = []
+        for stmt in body:
+            for node in self._conditional_subtrees(stmt):
+                for inner in ast.walk(node):
+                    if _is_close(inner):
+                        conditional_closes.append(inner)
+                    elif _is_open(inner):
+                        conditional_opens.append(inner)
+        unconditional_opens = [
+            call
+            for call in opens
+            if not any(call is cond for cond in conditional_opens)
+        ]
+        unconditional_closes = [
+            close
+            for close in closes
+            if not any(close is cond for cond in conditional_closes)
+        ]
+        if unconditional_opens and not unconditional_closes:
+            # A conditional open may legitimately pair with a close on
+            # the same branch; an unconditional open cannot.
+            return [
+                self.finding(
+                    ctx,
+                    unconditional_opens[0],
+                    "every close for this open_span sits on a conditional "
+                    "branch; the fall-through path leaks the span",
+                )
+            ]
+        return []
+
+    def _walk_scope(self, stmt: ast.stmt):
+        """Walk one statement without descending into nested functions
+        (they are separate scopes)."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        stack = [stmt]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                stack.append(child)
+
+    def _conditional_subtrees(self, stmt: ast.stmt):
+        """All ``if`` statements in the scope (nested functions excluded)."""
+        for node in self._walk_scope(stmt):
+            if isinstance(node, ast.If):
+                yield node

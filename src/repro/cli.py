@@ -75,6 +75,17 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--save-result", default=None, help="write the mining result as JSON"
     )
+    mine.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the observability event stream (JSONL) to this path "
+        "(parallel algorithms only; inspect with repro-trace)",
+    )
+    mine.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics registry in Prometheus text format",
+    )
 
     exp = sub.add_parser("experiment", help="run one of the paper's experiments")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -120,8 +131,24 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     else:
         config = ClusterConfig(num_nodes=args.nodes, memory_per_node=args.memory)
         cluster = Cluster.from_database(config, dataset.database)
+        telemetry = None
+        if args.trace_out or args.metrics_out:
+            from repro.obs import EventSink, Telemetry
+
+            sink = EventSink(path=args.trace_out) if args.trace_out else None
+            telemetry = Telemetry(sink=sink)
+            cluster.attach_telemetry(telemetry)
         miner = make_miner(args.algorithm, cluster, dataset.taxonomy)
         run = miner.mine(args.min_support, max_k=args.max_k)
+        if telemetry is not None:
+            if telemetry.sink is not None:
+                telemetry.sink.close()
+                print(f"trace written to {args.trace_out}")
+            if args.metrics_out:
+                Path(args.metrics_out).write_text(
+                    telemetry.registry.to_prometheus(), encoding="utf-8"
+                )
+                print(f"metrics written to {args.metrics_out}")
         result = run.result
         print(result)
         for pass_stats in run.stats.passes:

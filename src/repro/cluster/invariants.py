@@ -43,12 +43,15 @@ def verify_pass_invariants(
     nodes: Iterable[Node],
     memory_per_node: int | None,
     k: int,
+    trace=None,
 ) -> None:
     """Raise :class:`InvariantViolationError` on any accounting breach.
 
     Called by ``Cluster.finish_pass`` after the undelivered-message
     check, so mailboxes are known to be empty; what remains is to prove
-    the tallies agree.
+    the tallies agree.  When a trace/telemetry hook is given, the
+    verdict is recorded as an ``invariants`` event (and thereby lands in
+    an attached observability sink) before any failure is raised.
     """
     node_list = list(nodes)
     failures: list[str] = []
@@ -94,6 +97,8 @@ def verify_pass_invariants(
                     f"{memory_per_node}-slot budget"
                 )
 
+    if trace is not None:
+        trace.record("invariants", k=k, ok=not failures, failures=len(failures))
     if failures:
         detail = "; ".join(failures)
         raise InvariantViolationError(f"pass {k} invariant violation: {detail}")

@@ -40,6 +40,9 @@ class Cluster:
             )
         self.config = config
         self.trace = None
+        #: Optional :class:`repro.obs.telemetry.Telemetry` (duck-typed;
+        #: this module never imports ``repro.obs``).
+        self.telemetry = None
         self.nodes: list[Node] = [
             Node(node_id, partition, config)
             for node_id, partition in enumerate(partitions)
@@ -70,10 +73,33 @@ class Cluster:
     def attach_trace(self, trace) -> None:
         """Attach a :class:`~repro.cluster.trace.SimulationTrace`.
 
-        Subsequent sends and pass boundaries are recorded on it.
+        Subsequent sends and pass boundaries are recorded on it.  When a
+        telemetry object is (or later gets) attached, the trace keeps
+        receiving every event through it — attach order does not matter.
         """
-        self.trace = trace
-        self.network.trace = trace
+        if self.telemetry is not None:
+            self.telemetry.attach_trace(trace)
+            return
+        self._set_trace_hook(trace)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.obs.telemetry.Telemetry`.
+
+        The telemetry becomes the cluster's trace hook (hot paths keep
+        their single ``is None`` check), adopts the cost model, and is
+        fed per-node statistics at every pass boundary.
+        """
+        telemetry.bind(self)
+        if self.trace is not None and self.trace is not telemetry:
+            telemetry.attach_trace(self.trace)
+        self.telemetry = telemetry
+        self._set_trace_hook(telemetry)
+
+    def _set_trace_hook(self, hook) -> None:
+        self.trace = hook
+        self.network.trace = hook
+        for node in self.nodes:
+            node.trace = hook
 
     # ------------------------------------------------------------------
     # Pass lifecycle
@@ -83,7 +109,10 @@ class Cluster:
         if self.trace is not None:
             self.trace.record("pass-begin")
         self.network.start_pass()
-        return [node.begin_pass() for node in self.nodes]
+        snapshots = [node.begin_pass() for node in self.nodes]
+        if self.telemetry is not None:
+            self.telemetry.on_begin_pass()
+        return snapshots
 
     def finish_pass(
         self,
@@ -122,6 +151,7 @@ class Cluster:
                 self.nodes,
                 self.config.memory_per_node,
                 k,
+                trace=self.trace,
             )
         cost = self.config.cost
         node_times = [cost.node_time(node.stats) for node in self.nodes]
@@ -139,6 +169,8 @@ class Cluster:
             duplicated_candidates=duplicated_candidates,
             fragments=fragments,
         )
+        if self.telemetry is not None:
+            self.telemetry.on_finish_pass(pass_stats, reduced_counts)
         if self.trace is not None:
             self.trace.record(
                 "pass-end",

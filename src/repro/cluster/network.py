@@ -105,6 +105,13 @@ class Network:
         payloads = list(mailbox)
         mailbox.clear()
         self.pass_drained += len(payloads)
+        if self.trace is not None and payloads:
+            self.trace.record(
+                "drain",
+                node=node,
+                messages=len(payloads),
+                items=sum(len(payload) for payload in payloads),
+            )
         return payloads
 
     def pending(self, node: int) -> int:

@@ -24,6 +24,8 @@ class Node:
         self.disk = LocalDisk(partition)
         self.config = config
         self.stats = NodeStats()
+        #: Optional trace/telemetry hook, set by ``Cluster`` attach calls.
+        self.trace = None
 
     def begin_pass(self) -> NodeStats:
         """Reset and return this node's counters for a new pass."""
@@ -48,6 +50,13 @@ class Node:
                 f"candidates exceed the {budget}-slot budget"
             )
         self.stats.candidates_stored += count
+        if self.trace is not None:
+            self.trace.record(
+                "charge",
+                node=self.node_id,
+                count=count,
+                resident=self.stats.candidates_stored,
+            )
 
     @property
     def free_slots(self) -> int | None:

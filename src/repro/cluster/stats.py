@@ -7,7 +7,14 @@ the cost-model times derived from all counters.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, fields
+
+from repro.errors import ClusterError
+
+#: Version tag of the JSON serialization shared by :meth:`RunStats.to_json`,
+#: the benchmark result files and the ``repro.obs`` event sink.
+STATS_SCHEMA = "repro.stats/v1"
 
 
 @dataclass
@@ -61,6 +68,17 @@ class NodeStats:
             )
         return merged
 
+    def to_dict(self) -> dict:
+        """Counters as a dict in declaration order (stable key order)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(NodeStats)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeStats":
+        known = {spec.name for spec in fields(cls)}
+        return cls(
+            **{key: value for key, value in sorted(data.items()) if key in known}
+        )
+
 
 @dataclass
 class PassStats:
@@ -99,6 +117,34 @@ class PassStats:
         """Per-node probe counts, node order (Figure 15's bars)."""
         return [n.probes for n in self.nodes]
 
+    def to_dict(self) -> dict:
+        """Pass statistics as a nested dict with stable key order."""
+        return {
+            "k": self.k,
+            "num_candidates": self.num_candidates,
+            "num_large": self.num_large,
+            "coordinator_time": self.coordinator_time,
+            "elapsed": self.elapsed,
+            "duplicated_candidates": self.duplicated_candidates,
+            "fragments": self.fragments,
+            "node_times": list(self.node_times),
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PassStats":
+        return cls(
+            k=data["k"],
+            num_candidates=data["num_candidates"],
+            num_large=data["num_large"],
+            nodes=[NodeStats.from_dict(node) for node in data.get("nodes", [])],
+            node_times=list(data.get("node_times", [])),
+            coordinator_time=data.get("coordinator_time", 0.0),
+            elapsed=data.get("elapsed", 0.0),
+            duplicated_candidates=data.get("duplicated_candidates", 0),
+            fragments=data.get("fragments", 1),
+        )
+
 
 @dataclass
 class RunStats:
@@ -121,3 +167,36 @@ class RunStats:
     @property
     def total_bytes_received(self) -> int:
         return sum(p.total_bytes_received for p in self.passes)
+
+    # ------------------------------------------------------------------
+    # Serialization — one format shared by the benchmark result files
+    # and the repro.obs event sink (``run-end`` events embed to_dict()).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": STATS_SCHEMA,
+            "algorithm": self.algorithm,
+            "num_nodes": self.num_nodes,
+            "passes": [pass_stats.to_dict() for pass_stats in self.passes],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Stable-key-order JSON; byte-identical for identical runs."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        schema = data.get("schema", STATS_SCHEMA)
+        if schema != STATS_SCHEMA:
+            raise ClusterError(
+                f"unsupported run-stats schema {schema!r} (expected {STATS_SCHEMA})"
+            )
+        return cls(
+            algorithm=data["algorithm"],
+            num_nodes=data["num_nodes"],
+            passes=[PassStats.from_dict(entry) for entry in data.get("passes", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunStats":
+        return cls.from_dict(json.loads(text))

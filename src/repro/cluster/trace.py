@@ -38,13 +38,14 @@ class SimulationTrace:
     """Append-only event log with small query helpers.
 
     ``limit`` bounds memory: beyond it, events are dropped and only the
-    per-kind counters keep growing (the drop is visible through
-    :attr:`truncated`).
+    per-kind counters keep growing.  The drop is never silent — the
+    exact number of lost events is kept in :attr:`dropped` and surfaced
+    by :meth:`__str__` (``truncated`` remains as the boolean view).
     """
 
     limit: int = 100_000
     events: list[TraceEvent] = field(default_factory=list)
-    truncated: bool = False
+    dropped: int = 0
     _counts: Counter = field(default_factory=Counter)
 
     def record(self, kind: str, **detail) -> None:
@@ -52,7 +53,12 @@ class SimulationTrace:
         if len(self.events) < self.limit:
             self.events.append(TraceEvent(kind=kind, detail=detail))
         else:
-            self.truncated = True
+            self.dropped += 1
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one event fell beyond ``limit``."""
+        return self.dropped > 0
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -64,7 +70,19 @@ class SimulationTrace:
     def kinds(self) -> dict[str, int]:
         return dict(self._counts)
 
+    @property
+    def total(self) -> int:
+        """Total events ever recorded (stored plus dropped)."""
+        return len(self.events) + self.dropped
+
+    def __str__(self) -> str:
+        rendered = " ".join(
+            f"{kind}={self._counts[kind]}" for kind in sorted(self._counts)
+        )
+        suffix = f" dropped={self.dropped}" if self.dropped else ""
+        return f"SimulationTrace({self.total} events: {rendered}{suffix})"
+
     def clear(self) -> None:
         self.events.clear()
         self._counts.clear()
-        self.truncated = False
+        self.dropped = 0

@@ -65,3 +65,8 @@ class InvariantViolationError(ClusterError):
 
 class MiningError(ReproError):
     """Invalid mining parameters (e.g. minimum support outside (0, 1])."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid telemetry usage: bad metric/label names, span misuse, or
+    a malformed event-sink stream (see :mod:`repro.obs`)."""

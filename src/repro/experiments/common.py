@@ -42,6 +42,7 @@ from repro.cluster.machine import Cluster
 from repro.datagen.generator import SyntheticDataset, generate_dataset
 from repro.datagen.params import GeneratorParams
 from repro.errors import DataGenerationError
+from repro.obs.telemetry import Telemetry
 from repro.parallel.base import ParallelRun
 from repro.parallel.registry import make_miner
 
@@ -126,13 +127,18 @@ def run_algorithm(
     num_nodes: int = DEFAULT_NUM_NODES,
     memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
     max_k: int | None = 2,
+    telemetry: Telemetry | None = None,
 ) -> ParallelRun:
     """Run one algorithm on a freshly built cluster.
 
     ``max_k`` defaults to 2 because the paper's evaluation reports
     pass 2 ("the results of the other passes are also very similar").
+    When no ``telemetry`` is given a fresh one is attached, so callers
+    can always read the run's metrics off ``ParallelRun.telemetry``
+    instead of reaching into raw counters.
     """
     config = ClusterConfig(num_nodes=num_nodes, memory_per_node=memory_per_node)
     cluster = Cluster.from_database(config, dataset.database)
+    cluster.attach_telemetry(telemetry if telemetry is not None else Telemetry())
     miner = make_miner(algorithm, cluster, dataset.taxonomy)
     return miner.mine(min_support, max_k=max_k)

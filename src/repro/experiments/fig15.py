@@ -102,7 +102,12 @@ def run(
     memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
     algorithms: tuple[str, ...] = ALGORITHMS,
 ) -> Fig15Result:
-    """Measure the per-node probe distribution of each algorithm."""
+    """Measure the per-node probe distribution of each algorithm.
+
+    The distribution is read from the telemetry registry
+    (``probe.count{k=2, node=n}``), the same series a live dashboard
+    would plot; the reconciliation tests pin it to the raw counters.
+    """
     data = experiment_dataset(dataset)
     series = []
     for algorithm in algorithms:
@@ -113,7 +118,11 @@ def run(
             num_nodes=num_nodes,
             memory_per_node=memory_per_node,
         )
-        probes = tuple(outcome.stats.pass_stats(2).probe_distribution())
+        registry = outcome.telemetry.registry
+        probes = tuple(
+            int(registry.value("probe.count", k=2, node=node))
+            for node in range(num_nodes)
+        )
         series.append(
             Fig15Series(
                 algorithm=algorithm,

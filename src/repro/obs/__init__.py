@@ -1,0 +1,37 @@
+"""``repro.obs`` — structured telemetry for the cluster simulator.
+
+Four pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.spans` — nestable spans over simulated time, charged
+  from the cost model;
+* :mod:`repro.obs.registry` — named counters / gauges / fixed-bucket
+  histograms with Prometheus-text and JSON exporters;
+* :mod:`repro.obs.sink` — the schema-versioned JSONL event stream;
+* :mod:`repro.obs.telemetry` — the facade a cluster attaches
+  (:meth:`repro.cluster.machine.Cluster.attach_telemetry`).
+
+The ``repro-trace`` CLI (:mod:`repro.obs.cli`) inspects sink files:
+per-node phase timelines, skew reports, top spans, Chrome traces.
+"""
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sink import EventSink, parse_events, read_events
+from repro.obs.spans import PHASES, SpanLog, SpanRecord, component_times
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+__all__ = [
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "PHASES",
+    "SpanLog",
+    "SpanRecord",
+    "Telemetry",
+    "component_times",
+    "parse_events",
+    "read_events",
+]

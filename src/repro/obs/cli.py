@@ -1,0 +1,387 @@
+"""``repro-trace`` — inspector for ``repro.obs`` JSONL sink files.
+
+Subcommands over a sink written by ``repro-mine mine --trace-out``:
+
+* ``summary``  — run header, per-pass table, event/span accounting;
+* ``timeline`` — per-node phase timelines for every pass, plus the
+  skew report (the bulk-synchronous view: a pass lasts as long as its
+  most loaded node);
+* ``skew``     — the balance report alone (min/max/mean/cv/max-mean
+  per pass);
+* ``top``      — the longest spans of the run;
+* ``chrome``   — export to the Chrome tracing JSON format (load in
+  ``chrome://tracing`` or Perfetto; one track per node).
+
+Everything is computed from the sink stream only — no simulator state
+is needed, so traces can be inspected long after (or far away from)
+the run that produced them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.metrics.balance import balance_summary
+from repro.obs.sink import read_events
+from repro.obs.spans import PHASES
+
+#: Timeline glyph per phase (legend order; ``.`` for anything else).
+_PHASE_GLYPHS = {
+    "scan": "#",
+    "extend": "=",
+    "probe": "+",
+    "comm": "~",
+    "reduce": "%",
+}
+_TIMELINE_WIDTH = 60
+
+
+@dataclass
+class Span:
+    """One reconstructed span (open/close pair or one-shot event)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+    delta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TraceFile:
+    """Everything the subcommands need, reconstructed from one sink."""
+
+    algorithm: str
+    nodes: int
+    spans: list[Span]
+    passes: list[dict]
+    events: list[dict]
+    spans_dropped: int = 0
+    events_dropped: int = 0
+
+    def pass_spans(self) -> list[Span]:
+        return [span for span in self.spans if span.name == "pass"]
+
+    def phase_spans(self, k: int) -> list[Span]:
+        """Derived phase spans of pass ``k``, in start order."""
+        chosen = [
+            span
+            for span in self.spans
+            if span.attrs.get("k") == k
+            and (span.name in PHASES or "region" in span.attrs)
+        ]
+        chosen.sort(key=lambda span: (span.start, span.span_id))
+        return chosen
+
+
+def load_trace(path: str | Path) -> TraceFile:
+    """Reconstruct spans and pass records from a sink file."""
+    events = read_events(path)
+    algorithm = "?"
+    nodes = 0
+    open_spans: dict[int, Span] = {}
+    spans: list[Span] = []
+    passes: list[dict] = []
+    spans_dropped = 0
+    events_dropped = 0
+    for event in events:
+        type_ = event["type"]
+        if type_ == "run-begin":
+            algorithm = event.get("algorithm", algorithm)
+            nodes = event.get("nodes", nodes)
+        elif type_ == "span-open":
+            open_spans[event["span"]] = Span(
+                span_id=event["span"],
+                parent_id=event.get("parent"),
+                name=event["name"],
+                start=event["t"],
+                end=event["t"],
+                attrs=event.get("attrs", {}),
+            )
+        elif type_ == "span-close":
+            span = open_spans.pop(event["span"], None)
+            if span is None:
+                raise ObservabilityError(
+                    f"span-close for unknown span {event['span']}"
+                )
+            span.end = event["t"]
+            span.delta = event.get("delta", {})
+            spans.append(span)
+        elif type_ == "span":
+            spans.append(
+                Span(
+                    span_id=event["span"],
+                    parent_id=event.get("parent"),
+                    name=event["name"],
+                    start=event["t"],
+                    end=event["t"] + event.get("dur", 0.0),
+                    attrs=event.get("attrs", {}),
+                    delta=event.get("delta", {}),
+                )
+            )
+        elif type_ == "pass":
+            passes.append(event)
+        elif type_ == "run-end":
+            spans_dropped = event.get("spans_dropped", 0)
+            events_dropped = event.get("events_dropped", 0)
+    spans.sort(key=lambda span: span.span_id)
+    return TraceFile(
+        algorithm=algorithm,
+        nodes=nodes,
+        spans=spans,
+        passes=passes,
+        events=events,
+        spans_dropped=spans_dropped,
+        events_dropped=events_dropped,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering helpers
+# ----------------------------------------------------------------------
+def _attr_suffix(attrs: dict) -> str:
+    return "".join(f" {key}={attrs[key]}" for key in sorted(attrs))
+
+
+def _render_bar(segments: list[tuple[float, float, str]], scale: float) -> str:
+    """Fill a fixed-width bar from (start, end, glyph) segments.
+
+    ``scale`` maps simulated seconds to the full bar width; later
+    segments win on cell collisions (they are drawn in start order, so
+    collisions only happen at sub-cell resolution).
+    """
+    cells = [" "] * _TIMELINE_WIDTH
+    if scale <= 0:
+        return "".join(cells)
+    for start, end, glyph in segments:
+        first = int(start / scale * _TIMELINE_WIDTH)
+        last = int(end / scale * _TIMELINE_WIDTH)
+        first = min(max(first, 0), _TIMELINE_WIDTH - 1)
+        last = min(max(last, first + 1), _TIMELINE_WIDTH)
+        for cell in range(first, last):
+            cells[cell] = glyph
+    return "".join(cells)
+
+
+def _pass_header(record: dict) -> str:
+    parts = [
+        f"pass {record['k']}",
+        f"|C|={record['candidates']}",
+        f"|L|={record['large']}",
+        f"elapsed={record['elapsed']:.6f}s",
+    ]
+    if record.get("duplicated"):
+        parts.append(f"dup={record['duplicated']}")
+    if record.get("fragments", 1) != 1:
+        parts.append(f"fragments={record['fragments']}")
+    return "  ".join(parts)
+
+
+def _skew_lines(trace: TraceFile) -> list[str]:
+    lines = []
+    for record in trace.passes:
+        node_seconds = record.get("node_seconds") or [0.0]
+        summary = balance_summary(node_seconds)
+        lines.append(
+            f"pass {record['k']}: node seconds "
+            f"min={summary.minimum:.6f} max={summary.maximum:.6f} "
+            f"mean={summary.mean:.6f} cv={summary.cv:.3f} "
+            f"max/mean={summary.max_mean:.3f}"
+        )
+    if trace.passes:
+        worst = max(
+            trace.passes,
+            key=lambda record: balance_summary(
+                record.get("node_seconds") or [0.0]
+            ).max_mean,
+        )
+        ratio = balance_summary(worst.get("node_seconds") or [0.0]).max_mean
+        lines.append(
+            f"worst pass: k={worst['k']} (max/mean={ratio:.3f}; a "
+            f"bulk-synchronous pass lasts as long as its most loaded node)"
+        )
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_summary(args: argparse.Namespace) -> int:
+    trace = load_trace(args.sink)
+    run_spans = [span for span in trace.spans if span.name == "run"]
+    total = run_spans[0].duration if run_spans else 0.0
+    print(f"algorithm: {trace.algorithm}   nodes: {trace.nodes}")
+    print(f"simulated time: {total:.6f}s over {len(trace.passes)} passes")
+    for record in trace.passes:
+        print(f"  {_pass_header(record)}")
+    kinds: dict[str, int] = {}
+    for event in trace.events:
+        kinds[event["type"]] = kinds.get(event["type"], 0) + 1
+    rendered = " ".join(f"{kind}={kinds[kind]}" for kind in sorted(kinds))
+    print(f"events: {len(trace.events)} ({rendered})")
+    print(
+        f"spans: {len(trace.spans)} closed, "
+        f"{trace.spans_dropped} dropped; events dropped: {trace.events_dropped}"
+    )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    trace = load_trace(args.sink)
+    print(f"algorithm: {trace.algorithm}   nodes: {trace.nodes}")
+    legend = "  ".join(
+        f"{_PHASE_GLYPHS[phase]}={phase}" for phase in PHASES
+    )
+    print(f"legend: {legend}")
+    pass_starts = {
+        span.attrs.get("k"): span.start for span in trace.pass_spans()
+    }
+    for record in trace.passes:
+        k = record["k"]
+        print(_pass_header(record))
+        start = pass_starts.get(k, 0.0)
+        elapsed = record["elapsed"] or max(
+            (span.end - start for span in trace.phase_spans(k)), default=0.0
+        )
+        per_node: dict[int, list[tuple[float, float, str]]] = {}
+        reduce_segments: list[tuple[float, float, str]] = []
+        for span in trace.phase_spans(k):
+            glyph = _PHASE_GLYPHS.get(span.name, ".")
+            segment = (span.start - start, span.end - start, glyph)
+            node = span.attrs.get("node")
+            if node is None:
+                reduce_segments.append(segment)
+            else:
+                per_node.setdefault(node, []).append(segment)
+        node_seconds = record.get("node_seconds", [])
+        for node in sorted(per_node):
+            bar = _render_bar(per_node[node], elapsed)
+            busy = (
+                node_seconds[node] if node < len(node_seconds) else 0.0
+            )
+            print(f"  node {node:>3} |{bar}| {busy:.6f}s")
+        if reduce_segments:
+            bar = _render_bar(reduce_segments, elapsed)
+            print(f"  coord    |{bar}| {record['coordinator']:.6f}s")
+    print()
+    for line in _skew_lines(trace):
+        print(line)
+    return 0
+
+
+def _cmd_skew(args: argparse.Namespace) -> int:
+    trace = load_trace(args.sink)
+    print(f"algorithm: {trace.algorithm}   nodes: {trace.nodes}")
+    for line in _skew_lines(trace):
+        print(line)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    trace = load_trace(args.sink)
+    ranked = sorted(
+        trace.spans, key=lambda span: (-span.duration, span.span_id)
+    )
+    for span in ranked[: args.count]:
+        print(
+            f"{span.duration:.6f}s  {span.name}#{span.span_id}"
+            f"{_attr_suffix(span.attrs)}"
+        )
+    return 0
+
+
+def _cmd_chrome(args: argparse.Namespace) -> int:
+    trace = load_trace(args.sink)
+    trace_events = []
+    for span in trace.spans:
+        node = span.attrs.get("node")
+        trace_events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 0,
+                # Track 0 is the run/pass/coordinator structure; node
+                # regions get one track each, offset by one.
+                "tid": 0 if node is None else int(node) + 1,
+                "args": {key: span.attrs[key] for key in sorted(span.attrs)},
+            }
+        )
+    document = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"algorithm": trace.algorithm, "nodes": trace.nodes},
+    }
+    text = json.dumps(document, sort_keys=True, indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(trace_events)} trace events to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Inspect repro.obs JSONL telemetry sinks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser("summary", help="run header and pass table")
+    summary.add_argument("sink", help="sink JSONL file")
+
+    timeline = sub.add_parser(
+        "timeline", help="per-node phase timelines and the skew report"
+    )
+    timeline.add_argument("sink", help="sink JSONL file")
+
+    skew = sub.add_parser("skew", help="per-pass load-balance report")
+    skew.add_argument("sink", help="sink JSONL file")
+
+    top = sub.add_parser("top", help="longest spans of the run")
+    top.add_argument("sink", help="sink JSONL file")
+    top.add_argument("-n", "--count", type=int, default=10)
+
+    chrome = sub.add_parser(
+        "chrome", help="export to Chrome tracing / Perfetto JSON"
+    )
+    chrome.add_argument("sink", help="sink JSONL file")
+    chrome.add_argument("--out", default=None, help="output path (default stdout)")
+
+    return parser
+
+
+_COMMANDS = {
+    "summary": _cmd_summary,
+    "timeline": _cmd_timeline,
+    "skew": _cmd_skew,
+    "top": _cmd_top,
+    "chrome": _cmd_chrome,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ObservabilityError as error:
+        print(f"repro-trace: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from repro.core.candidates import generate_candidates
 from repro.core.itemsets import Itemset, minimum_count
 from repro.core.result import MiningResult, PassResult
 from repro.errors import MiningError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.parallel.allocation import build_root_table
 from repro.taxonomy.hierarchy import Taxonomy
 from repro.taxonomy.ops import AncestorIndex
@@ -37,6 +38,7 @@ class ParallelRun:
 
     result: MiningResult
     stats: RunStats
+    telemetry: Telemetry | None = None
 
     @property
     def algorithm(self) -> str:
@@ -65,6 +67,16 @@ class ParallelMiner(ABC):
         self._item_counts: dict[int, int] = {}
         self._large_items: set[int] = set()
 
+    @property
+    def obs(self):
+        """The cluster's telemetry, or a shared no-op stand-in.
+
+        Miners instrument unconditionally through this handle; with no
+        telemetry attached every span call is a reusable null context.
+        """
+        telemetry = self.cluster.telemetry
+        return telemetry if telemetry is not None else NULL_TELEMETRY
+
     # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
@@ -89,8 +101,11 @@ class ParallelMiner(ABC):
             min_support=min_support, num_transactions=num_transactions
         )
         run = RunStats(algorithm=self.name, num_nodes=self.cluster.num_nodes)
+        obs = self.obs
+        obs.begin_run(self.name, self.cluster.num_nodes)
 
-        large_1, pass1_stats = self._pass_one(threshold)
+        with obs.pass_span(1):
+            large_1, pass1_stats = self._pass_one(threshold)
         result.passes.append(
             PassResult(k=1, num_candidates=pass1_stats.num_candidates, large=large_1)
         )
@@ -104,7 +119,8 @@ class ParallelMiner(ABC):
             candidates = generate_candidates(sorted(previous), k, self.taxonomy)
             if not candidates:
                 break
-            large_k, pass_stats = self._run_pass(k, candidates, threshold)
+            with obs.pass_span(k):
+                large_k, pass_stats = self._run_pass(k, candidates, threshold)
             result.passes.append(
                 PassResult(k=k, num_candidates=len(candidates), large=large_k)
             )
@@ -112,7 +128,10 @@ class ParallelMiner(ABC):
             previous = large_k
             k += 1
 
-        return ParallelRun(result=result, stats=run)
+        obs.end_run(run)
+        return ParallelRun(
+            result=result, stats=run, telemetry=self.cluster.telemetry
+        )
 
     # ------------------------------------------------------------------
     # Pass 1 (shared by every algorithm)
@@ -120,28 +139,30 @@ class ParallelMiner(ABC):
     def _pass_one(self, threshold: int) -> tuple[dict[Itemset, int], PassStats]:
         """Local item+ancestor counting with a coordinator reduce."""
         self.cluster.begin_pass()
+        obs = self.obs
         total: dict[int, int] = {}
         reduced = 0
         for node in self.cluster.nodes:
-            stats = node.stats
-            local: dict[int, int] = {}
-            for transaction in node.disk.scan(stats):
-                stats.extend_items += len(transaction)
-                extended = self._full_index.extend(transaction)
-                stats.probes += len(extended)
-                stats.increments += len(extended)
-                for item in extended:
-                    local[item] = local.get(item, 0) + 1
-            # Pass-1 counters are chargeable like NPGM's candidates:
-            # they can always be fragmented across repeated scans, so at
-            # most one budget's worth is resident at a time.
-            budget = self.cluster.config.memory_per_node
-            node.charge_candidates(
-                len(local) if budget is None else min(len(local), budget)
-            )
-            reduced += len(local)
-            for item, count in sorted(local.items()):
-                total[item] = total.get(item, 0) + count
+            with obs.node_span("scan", node):
+                stats = node.stats
+                local: dict[int, int] = {}
+                for transaction in node.disk.scan(stats):
+                    stats.extend_items += len(transaction)
+                    extended = self._full_index.extend(transaction)
+                    stats.probes += len(extended)
+                    stats.increments += len(extended)
+                    for item in extended:
+                        local[item] = local.get(item, 0) + 1
+                # Pass-1 counters are chargeable like NPGM's candidates:
+                # they can always be fragmented across repeated scans, so
+                # at most one budget's worth is resident at a time.
+                budget = self.cluster.config.memory_per_node
+                node.charge_candidates(
+                    len(local) if budget is None else min(len(local), budget)
+                )
+                reduced += len(local)
+                for item, count in sorted(local.items()):
+                    total[item] = total.get(item, 0) + count
 
         self._item_counts = total
         large_1 = {

@@ -146,54 +146,61 @@ class HHPGM(ParallelMiner):
 
         # Scan phase: rewrite, count duplicates locally, route fragments.
         for node in cluster.nodes:
-            me = node.node_id
-            stats = node.stats
-            counter = part_counters[me]
-            dup_counter = dup_counters[me] if dup_counters is not None else None
-            for transaction in node.disk.scan(stats):
-                stats.extend_items += len(transaction)
-                rewritten = replace_with_closest_large(transaction, replacement)
-                if len(rewritten) < k:
-                    continue
-                if dup_counter is not None:
-                    dup_counter.add_transaction(rewritten)
-                transaction_roots = Counter(root_of[item] for item in rewritten)
-                destination_roots: dict[int, set[int]] = {}
-                for key in feasible_root_keys(transaction_roots, k):
-                    if key in active_keys:
-                        destination_roots.setdefault(owners[key], set()).update(key)
-                for dest, roots in sorted(destination_roots.items()):
-                    useful = useful_for[dest]
-                    fragment = tuple(
-                        item
-                        for item in rewritten
-                        if root_of[item] in roots and item in useful
-                    )
-                    if len(fragment) < k:
+            with self.obs.node_span("scan", node):
+                me = node.node_id
+                stats = node.stats
+                counter = part_counters[me]
+                dup_counter = (
+                    dup_counters[me] if dup_counters is not None else None
+                )
+                for transaction in node.disk.scan(stats):
+                    stats.extend_items += len(transaction)
+                    rewritten = replace_with_closest_large(transaction, replacement)
+                    if len(rewritten) < k:
                         continue
-                    if dest == me:
-                        counter.add_transaction(fragment)
-                    else:
-                        network.send(me, dest, fragment, stats, node_stats[dest])
+                    if dup_counter is not None:
+                        dup_counter.add_transaction(rewritten)
+                    transaction_roots = Counter(root_of[item] for item in rewritten)
+                    destination_roots: dict[int, set[int]] = {}
+                    for key in feasible_root_keys(transaction_roots, k):
+                        if key in active_keys:
+                            destination_roots.setdefault(owners[key], set()).update(
+                                key
+                            )
+                    for dest, roots in sorted(destination_roots.items()):
+                        useful = useful_for[dest]
+                        fragment = tuple(
+                            item
+                            for item in rewritten
+                            if root_of[item] in roots and item in useful
+                        )
+                        if len(fragment) < k:
+                            continue
+                        if dest == me:
+                            counter.add_transaction(fragment)
+                        else:
+                            network.send(me, dest, fragment, stats, node_stats[dest])
 
         # Receive phase: count routed fragments against the local partition.
         for node in cluster.nodes:
-            counter = part_counters[node.node_id]
-            for payload in network.drain(node.node_id):
-                counter.add_transaction(payload)
+            with self.obs.node_span("deliver", node):
+                counter = part_counters[node.node_id]
+                for payload in network.drain(node.node_id):
+                    counter.add_transaction(payload)
 
         # Fold counter telemetry into the node stats.
         for node in cluster.nodes:
-            stats = node.stats
-            counter = part_counters[node.node_id]
-            stats.probes += counter.probes
-            stats.itemsets_generated += counter.generated
-            stats.increments += sum(counter.counts.values())
-            if dup_counters is not None:
-                dup_counter = dup_counters[node.node_id]
-                stats.probes += dup_counter.probes
-                stats.itemsets_generated += dup_counter.generated
-                stats.increments += sum(dup_counter.counts.values())
+            with self.obs.node_span("count", node):
+                stats = node.stats
+                counter = part_counters[node.node_id]
+                stats.probes += counter.probes
+                stats.itemsets_generated += counter.generated
+                stats.increments += sum(counter.counts.values())
+                if dup_counters is not None:
+                    dup_counter = dup_counters[node.node_id]
+                    stats.probes += dup_counter.probes
+                    stats.itemsets_generated += dup_counter.generated
+                    stats.increments += sum(dup_counter.counts.values())
 
         # Large determination: local for partitions, reduced for duplicates.
         large: dict[Itemset, int] = {}

@@ -29,11 +29,12 @@ class HHPGMFineGrain(HHPGM):
         partition_sizes: list[int],
         chains: dict[int, tuple[int, ...]],
     ) -> set[Itemset]:
-        return select_fine_grain(
-            candidates=candidates,
-            owner_of=owner_of,
-            item_counts=self._item_counts,
-            chains=chains,
-            partition_sizes=partition_sizes,
-            memory=self.cluster.config.memory_per_node,
-        )
+        with self.obs.span("duplicate-select", grain="fine", k=k):
+            return select_fine_grain(
+                candidates=candidates,
+                owner_of=owner_of,
+                item_counts=self._item_counts,
+                chains=chains,
+                partition_sizes=partition_sizes,
+                memory=self.cluster.config.memory_per_node,
+            )

@@ -30,12 +30,13 @@ class HHPGMPathGrain(HHPGM):
         partition_sizes: list[int],
         chains: dict[int, tuple[int, ...]],
     ) -> set[Itemset]:
-        return select_path_grain(
-            candidates=candidates,
-            owner_of=owner_of,
-            item_counts=self._item_counts,
-            chains=chains,
-            lowest_items=lowest_large_items(self._large_items, self.taxonomy),
-            partition_sizes=partition_sizes,
-            memory=self.cluster.config.memory_per_node,
-        )
+        with self.obs.span("duplicate-select", grain="path", k=k):
+            return select_path_grain(
+                candidates=candidates,
+                owner_of=owner_of,
+                item_counts=self._item_counts,
+                chains=chains,
+                lowest_items=lowest_large_items(self._large_items, self.taxonomy),
+                partition_sizes=partition_sizes,
+                memory=self.cluster.config.memory_per_node,
+            )

@@ -29,11 +29,12 @@ class HHPGMTreeGrain(HHPGM):
         partition_sizes: list[int],
         chains: dict[int, tuple[int, ...]],
     ) -> set[Itemset]:
-        return select_tree_grain(
-            candidates=candidates,
-            root_of=self.root_of,
-            owner_of=owner_of,
-            item_counts=self._item_counts,
-            partition_sizes=partition_sizes,
-            memory=self.cluster.config.memory_per_node,
-        )
+        with self.obs.span("duplicate-select", grain="tree", k=k):
+            return select_tree_grain(
+                candidates=candidates,
+                root_of=self.root_of,
+                owner_of=owner_of,
+                item_counts=self._item_counts,
+                partition_sizes=partition_sizes,
+                memory=self.cluster.config.memory_per_node,
+            )

@@ -53,43 +53,45 @@ class HPGM(ParallelMiner):
 
         # Scan phase: extend, enumerate k-itemsets, route by hash.
         for node in cluster.nodes:
-            me = node.node_id
-            stats = node.stats
-            my_counts = counts[me]
-            for transaction in node.disk.scan(stats):
-                stats.extend_items += len(transaction)
-                extended = index.extend(transaction)
-                relevant = tuple(item for item in extended if item in universe)
-                if len(relevant) < k:
-                    continue
-                batches: dict[int, list[int]] = {}
-                for subset in combinations(relevant, k):
-                    stats.itemsets_generated += 1
-                    dest = itemset_owner(subset, num_nodes)
-                    if dest == me:
+            with self.obs.node_span("scan", node):
+                me = node.node_id
+                stats = node.stats
+                my_counts = counts[me]
+                for transaction in node.disk.scan(stats):
+                    stats.extend_items += len(transaction)
+                    extended = index.extend(transaction)
+                    relevant = tuple(item for item in extended if item in universe)
+                    if len(relevant) < k:
+                        continue
+                    batches: dict[int, list[int]] = {}
+                    for subset in combinations(relevant, k):
+                        stats.itemsets_generated += 1
+                        dest = itemset_owner(subset, num_nodes)
+                        if dest == me:
+                            stats.probes += 1
+                            if subset in my_counts:
+                                my_counts[subset] += 1
+                                stats.increments += 1
+                        else:
+                            batches.setdefault(dest, []).extend(subset)
+                    for dest, flat in sorted(batches.items()):
+                        network.send(
+                            me, dest, tuple(flat), stats, node_stats[dest]
+                        )
+
+        # Receive phase: probe the local table for each shipped itemset.
+        for node in cluster.nodes:
+            with self.obs.node_span("probe", node):
+                me = node.node_id
+                stats = node.stats
+                my_counts = counts[me]
+                for payload in network.drain(me):
+                    for start in range(0, len(payload), k):
+                        subset = payload[start : start + k]
                         stats.probes += 1
                         if subset in my_counts:
                             my_counts[subset] += 1
                             stats.increments += 1
-                    else:
-                        batches.setdefault(dest, []).extend(subset)
-                for dest, flat in sorted(batches.items()):
-                    network.send(
-                        me, dest, tuple(flat), stats, node_stats[dest]
-                    )
-
-        # Receive phase: probe the local table for each shipped itemset.
-        for node in cluster.nodes:
-            me = node.node_id
-            stats = node.stats
-            my_counts = counts[me]
-            for payload in network.drain(me):
-                for start in range(0, len(payload), k):
-                    subset = payload[start : start + k]
-                    stats.probes += 1
-                    if subset in my_counts:
-                        my_counts[subset] += 1
-                        stats.increments += 1
 
         large: dict[Itemset, int] = {}
         reduced = 0

@@ -51,26 +51,27 @@ class NPGM(ParallelMiner):
 
         total: dict[Itemset, int] = {}
         for node in cluster.nodes:
-            stats = node.stats
-            counter = SupportCounter(candidates, k)
-            for transaction in node.disk.scan(stats):
-                stats.extend_items += len(transaction)
-                counter.add_transaction(index.extend(transaction))
+            with self.obs.node_span("scan", node, fragments=fragments):
+                stats = node.stats
+                counter = SupportCounter(candidates, k)
+                for transaction in node.disk.scan(stats):
+                    stats.extend_items += len(transaction)
+                    counter.add_transaction(index.extend(transaction))
 
-            # The fragment loop of Figure 2 repeats the scan, the
-            # extension and the subset enumeration once per fragment.
-            stats.io_items *= fragments
-            stats.io_scans = fragments
-            stats.extend_items *= fragments
-            stats.itemsets_generated = counter.generated * fragments
-            stats.probes = counter.probes * fragments
-            stats.increments = sum(counter.counts.values())
-            node.charge_candidates(
-                len(candidates) if memory is None else min(len(candidates), memory)
-            )
-            for itemset, count in sorted(counter.counts.items()):
-                if count:
-                    total[itemset] = total.get(itemset, 0) + count
+                # The fragment loop of Figure 2 repeats the scan, the
+                # extension and the subset enumeration once per fragment.
+                stats.io_items *= fragments
+                stats.io_scans = fragments
+                stats.extend_items *= fragments
+                stats.itemsets_generated = counter.generated * fragments
+                stats.probes = counter.probes * fragments
+                stats.increments = sum(counter.counts.values())
+                node.charge_candidates(
+                    len(candidates) if memory is None else min(len(candidates), memory)
+                )
+                for itemset, count in sorted(counter.counts.items()):
+                    if count:
+                        total[itemset] = total.get(itemset, 0) + count
 
         large = {
             itemset: count for itemset, count in sorted(total.items()) if count >= threshold

@@ -1,0 +1,34 @@
+"""RL007 fixture: spans opened without a guaranteed close."""
+
+
+def leaky(telemetry, work):
+    span = telemetry.open_span("scan")  # expect: RL007
+    work()
+    return span
+
+
+def conditional_close(telemetry, work, ok):
+    span = telemetry.open_span("scan")  # expect: RL007
+    work()
+    if ok:
+        telemetry.close_span(span)
+
+
+def clean_finally(telemetry, work):
+    span = telemetry.open_span("scan")
+    try:
+        work()
+    finally:
+        telemetry.close_span(span)
+
+
+def clean_helper(telemetry, work):
+    # A helper that closes on the caller's behalf counts as a close.
+    span = telemetry.open_span("tail")
+    work()
+    telemetry._close_node_span(span, 0, 0.0, {})
+
+
+def clean_context_manager(telemetry, work):
+    with telemetry.span("scan"):
+        work()

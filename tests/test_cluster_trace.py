@@ -23,6 +23,16 @@ class TestSimulationTrace:
         assert len(trace.events) == 3
         assert trace.count("send") == 10
         assert trace.truncated
+        assert trace.dropped == 7
+        assert trace.total == 10
+        rendered = str(trace)
+        assert "send=10" in rendered
+        assert "dropped=7" in rendered
+
+    def test_str_without_drops_has_no_suffix(self):
+        trace = SimulationTrace()
+        trace.record("send")
+        assert "dropped" not in str(trace)
 
     def test_clear(self):
         trace = SimulationTrace()
@@ -31,6 +41,7 @@ class TestSimulationTrace:
         assert trace.events == []
         assert trace.count("send") == 0
         assert not trace.truncated
+        assert trace.dropped == 0
 
     def test_event_str(self):
         event = TraceEvent(kind="send", detail={"src": 0, "dst": 1})

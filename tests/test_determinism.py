@@ -5,8 +5,11 @@ This is the end-to-end check behind lint rule RL001: if any dict/set
 hash order leaked into candidate allocation, message routing, or result
 assembly, the two subprocess transcripts below would diverge.  Each
 subprocess mines NPGM, HPGM and H-HPGM on a seeded synthetic corpus
-with tracing and runtime invariants on, then prints a JSON transcript
-of itemsets, trace events, and per-node message counts.
+with tracing, telemetry and runtime invariants on, then prints a JSON
+transcript of itemsets, trace events, per-node message counts, the
+full JSONL observability sink and the Prometheus metrics export —
+so the byte-determinism contract of ``repro.obs`` is enforced here
+too, not just documented.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.cluster import Cluster, ClusterConfig
 from repro.cluster.trace import SimulationTrace
 from repro.datagen.generator import generate_dataset
 from repro.datagen.params import GeneratorParams
+from repro.obs import EventSink, Telemetry
 from repro.parallel import make_miner
 
 params = GeneratorParams(
@@ -50,6 +54,9 @@ for name in ("NPGM", "HPGM", "H-HPGM"):
     )
     cluster = Cluster.from_database(config, dataset.database)
     trace = SimulationTrace()
+    sink = EventSink()
+    telemetry = Telemetry(sink=sink)
+    cluster.attach_telemetry(telemetry)
     cluster.attach_trace(trace)
     run = make_miner(name, cluster, dataset.taxonomy).mine(0.08, max_k=3)
     transcript[name] = {
@@ -63,6 +70,9 @@ for name in ("NPGM", "HPGM", "H-HPGM"):
             for passed in run.stats.passes
             for stats in passed.nodes
         ],
+        "sink": sink.lines,
+        "prometheus": telemetry.registry.to_prometheus(),
+        "run_stats_json": run.stats.to_json(),
     }
 
 json.dump(transcript, sys.stdout, sort_keys=False)
@@ -106,6 +116,13 @@ class TestHashSeedIndependence:
                 f"{name} trace recorded no sends"
             )
             assert sum(sent for sent, _ in record["messages_per_node"]) > 0
+        # The observability stream rode along in both subprocesses (the
+        # byte-equality above therefore covers sink + Prometheus text).
+        for name, record in transcript.items():
+            assert record["sink"][0].startswith('{"schema":"repro.obs"'), name
+            assert any('"type":"run-end"' in line for line in record["sink"])
+            assert "# TYPE repro_probe_count counter" in record["prometheus"]
+            assert '"schema": "repro.stats/v1"' in record["run_stats_json"]
 
     def test_algorithms_agree_on_itemsets(self):
         transcript = json.loads(run_mining("3"))

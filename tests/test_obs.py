@@ -1,0 +1,271 @@
+"""Unit tests for :mod:`repro.obs` — registry, sink, spans, CLI.
+
+The end-to-end properties (reconciliation with the simulator, byte
+determinism across hash seeds) live in ``test_obs_reconcile.py`` and
+``test_determinism.py``; this module pins the component contracts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.cluster.cost import CostModel
+from repro.cluster.stats import NodeStats, RunStats
+from repro.errors import ObservabilityError
+from repro.obs import (
+    EventSink,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    SpanLog,
+    SpanRecord,
+    Telemetry,
+    component_times,
+    parse_events,
+    read_events,
+)
+from repro.obs.cli import main as trace_main
+from repro.obs.spans import snapshot_delta, stats_snapshot
+from repro.parallel import make_miner
+
+
+class TestRegistry:
+    def test_counter_get_or_create_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("io.items", node=0).inc(5)
+        registry.counter("io.items", node=0).inc(2)
+        registry.counter("io.items", node=1).inc(1)
+        assert registry.value("io.items", node=0) == 7
+        assert registry.total("io.items") == 8
+        assert registry.series("io.items") == [
+            ({"node": "0"}, 7),
+            ({"node": "1"}, 1),
+        ]
+
+    def test_counter_rejects_negative_increment(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("io.items").inc(-1)
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("Bad-Name")
+        with pytest.raises(ObservabilityError):
+            registry.counter("fine", **{"bad label": 1})
+
+    def test_total_matches_label_supersets(self):
+        registry = MetricsRegistry()
+        registry.counter("probe.count", k=2, node=0).inc(10)
+        registry.counter("probe.count", k=2, node=1).inc(20)
+        registry.counter("probe.count", k=3, node=0).inc(40)
+        assert registry.total("probe.count", k=2) == 30
+        assert registry.total("probe.count", node=0) == 50
+        assert registry.total("probe.count") == 70
+
+    def test_histogram_buckets_fixed_per_name(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("net.message_bytes", buckets=(10.0, 100.0))
+        # A later registration with different buckets reuses the first shape.
+        second = registry.histogram(
+            "net.message_bytes", buckets=(1.0,), node=1
+        )
+        assert second.buckets == first.buckets
+        first.observe(5)
+        first.observe(50)
+        first.observe(5000)
+        assert first.cumulative() == [1, 2, 3]
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("net.bytes_sent", node=0).inc(12)
+        registry.gauge("mem.candidates", k=2, node=0).set(7)
+        registry.histogram("pass.node_seconds", buckets=(0.5, 2.0)).observe(1.0)
+        text = registry.to_prometheus()
+        assert '# TYPE repro_net_bytes_sent counter' in text
+        assert 'repro_net_bytes_sent{node="0"} 12' in text
+        assert 'repro_mem_candidates{k="2",node="0"} 7' in text
+        assert 'repro_pass_node_seconds_bucket{le="0.5"} 0' in text
+        assert 'repro_pass_node_seconds_bucket{le="+Inf"} 1' in text
+        assert 'repro_pass_node_seconds_sum 1' in text
+        assert 'repro_pass_node_seconds_count 1' in text
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.metric").inc()
+        registry.counter("a.metric").inc()
+        snapshot = registry.snapshot()
+        names = [row["name"] for row in snapshot["counters"]]
+        assert names == sorted(names)
+        json.dumps(snapshot)  # must be serializable as-is
+
+
+class TestEventSink:
+    def test_reserved_keys_rejected(self):
+        sink = EventSink()
+        with pytest.raises(ObservabilityError):
+            sink.emit("trace", seq=1)
+        with pytest.raises(ObservabilityError):
+            sink.emit("trace", type="x")
+
+    def test_in_memory_limit_counts_drops(self):
+        sink = EventSink(limit=2)
+        sink.emit("a")
+        sink.emit("b")  # meta line used one slot already
+        assert sink.dropped == 1
+        assert sink.emitted == 3
+
+    def test_file_backed_round_trip(self, tmp_path):
+        path = tmp_path / "sink.jsonl"
+        with EventSink(path=path) as sink:
+            sink.emit("trace", kind="send", detail={"src": 0, "dst": 1})
+        events = read_events(path)
+        assert events[0]["type"] == "meta"
+        assert events[1]["detail"] == {"dst": 1, "src": 0}
+        assert sink.lines == []  # nothing retained in memory
+
+    def test_parse_rejects_wrong_schema_version(self):
+        bad = ['{"schema":"repro.obs","seq":0,"type":"meta","v":99}']
+        with pytest.raises(ObservabilityError):
+            parse_events(bad)
+
+    def test_parse_rejects_missing_meta(self):
+        with pytest.raises(ObservabilityError):
+            parse_events(['{"seq":0,"type":"trace"}'])
+
+
+class TestSpans:
+    def test_component_times_sum_to_node_time(self):
+        cost = CostModel()
+        stats = NodeStats(
+            io_items=100,
+            io_scans=1,
+            extend_items=50,
+            itemsets_generated=20,
+            probes=30,
+            increments=10,
+            bytes_sent=64,
+            bytes_received=32,
+            messages_sent=2,
+            messages_received=1,
+        )
+        delta = snapshot_delta(stats_snapshot(NodeStats()), stats_snapshot(stats))
+        assert sum(component_times(delta, cost).values()) == pytest.approx(
+            cost.node_time(stats)
+        )
+
+    def test_span_log_limit_and_top(self):
+        log = SpanLog(limit=2)
+        for span_id, duration in ((1, 5.0), (2, 9.0), (3, 1.0)):
+            log.append(
+                SpanRecord(
+                    span_id=span_id,
+                    parent_id=None,
+                    name="scan",
+                    start=0.0,
+                    end=duration,
+                )
+            )
+        assert len(log.spans) == 2
+        assert log.dropped == 1
+        assert [span.span_id for span in log.top(1)] == [2]
+
+    def test_null_telemetry_is_reusable_nullcontext(self):
+        with NULL_TELEMETRY.span("anything"):
+            with NULL_TELEMETRY.pass_span(2):
+                with NULL_TELEMETRY.node_span("scan", object()):
+                    pass
+        NULL_TELEMETRY.begin_run("NPGM", 4)
+        NULL_TELEMETRY.end_run()
+
+
+class TestRunStatsJson:
+    def test_round_trip_preserves_everything(self, small_dataset):
+        config = ClusterConfig(num_nodes=4, memory_per_node=2_000)
+        cluster = Cluster.from_database(config, small_dataset.database)
+        miner = make_miner("H-HPGM", cluster, small_dataset.taxonomy)
+        run = miner.mine(0.05, max_k=2)
+        restored = RunStats.from_json(run.stats.to_json())
+        assert restored.algorithm == run.stats.algorithm
+        assert restored.num_nodes == run.stats.num_nodes
+        assert len(restored.passes) == len(run.stats.passes)
+        for original, copy in zip(run.stats.passes, restored.passes):
+            assert copy.k == original.k
+            assert copy.elapsed == original.elapsed
+            assert copy.node_times == original.node_times
+            assert [n.to_dict() for n in copy.nodes] == [
+                n.to_dict() for n in original.nodes
+            ]
+        # Stable key order: serializing twice is byte-identical.
+        assert restored.to_json() == run.stats.to_json()
+
+    def test_schema_mismatch_raises(self):
+        from repro.errors import ClusterError
+
+        payload = json.loads(RunStats(algorithm="NPGM", num_nodes=2).to_json())
+        payload["schema"] = "repro.stats/v999"
+        with pytest.raises(ClusterError):
+            RunStats.from_dict(payload)
+
+
+@pytest.fixture(scope="module")
+def mined_sink_path(tmp_path_factory, small_dataset):
+    """A real sink file from a 4-node H-HPGM run, for the CLI tests."""
+    path = tmp_path_factory.mktemp("obs") / "sink.jsonl"
+    config = ClusterConfig(num_nodes=4, memory_per_node=2_000)
+    cluster = Cluster.from_database(config, small_dataset.database)
+    telemetry = Telemetry(sink=EventSink(path=path))
+    cluster.attach_telemetry(telemetry)
+    make_miner("H-HPGM", cluster, small_dataset.taxonomy).mine(0.05, max_k=3)
+    telemetry.sink.close()
+    return path
+
+
+class TestTraceCli:
+    def test_summary(self, mined_sink_path, capsys):
+        assert trace_main(["summary", str(mined_sink_path)]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm: H-HPGM   nodes: 4" in out
+        assert "pass 2" in out
+
+    def test_timeline_renders_every_node_and_skew(self, mined_sink_path, capsys):
+        assert trace_main(["timeline", str(mined_sink_path)]) == 0
+        out = capsys.readouterr().out
+        for node in range(4):
+            assert f"node {node:>3} |" in out
+        assert "legend: #=scan" in out
+        assert "max/mean=" in out
+        assert "worst pass:" in out
+
+    def test_skew(self, mined_sink_path, capsys):
+        assert trace_main(["skew", str(mined_sink_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("node seconds") == 3  # one line per pass
+
+    def test_top(self, mined_sink_path, capsys):
+        assert trace_main(["top", str(mined_sink_path), "-n", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert "run#1" in lines[0]  # the run span is the longest
+
+    def test_chrome_export(self, mined_sink_path, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert (
+            trace_main(
+                ["chrome", str(mined_sink_path), "--out", str(out_path)]
+            )
+            == 0
+        )
+        document = json.loads(out_path.read_text())
+        events = document["traceEvents"]
+        assert events, "no trace events exported"
+        assert {event["ph"] for event in events} == {"X"}
+        assert {event["tid"] for event in events} >= {0, 1, 2, 3, 4}
+
+    def test_invalid_sink_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"seq":0,"type":"trace"}\n')
+        assert trace_main(["summary", str(bad)]) == 1
+        assert "repro-trace:" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Telemetry ↔ simulator reconciliation, for every algorithm.
+
+The observability layer must never disagree with the counters the
+figures are computed from.  For each of the six miners this module
+pins:
+
+* every ``STAT_METRICS`` registry total to the summed ``NodeStats`` of
+  the run (per pass and per node included);
+* ``net.link_bytes`` to the network's own traffic matrix;
+* the per-node ``phase.seconds`` sums to ``CostModel.node_time`` — the
+  span decomposition is exact, not approximate (and no ``tail`` spans
+  appear: the miners' region spans cover all counter movement);
+* the JSONL sink to its schema: parseable, ``seq``-ordered, and with
+  balanced span open/close events.
+
+:mod:`repro.cluster.invariants` is the runtime oracle underneath: the
+runs here execute with ``check_invariants=True``, so the NodeStats
+side is itself cross-checked against the network's ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.obs import EventSink, Telemetry, parse_events
+from repro.obs.telemetry import STAT_METRICS
+from repro.parallel import make_miner
+
+ALGORITHMS = (
+    "NPGM",
+    "HPGM",
+    "H-HPGM",
+    "H-HPGM-TGD",
+    "H-HPGM-PGD",
+    "H-HPGM-FGD",
+)
+
+NUM_NODES = 4
+MIN_SUPPORT = 0.05
+
+
+@pytest.fixture(scope="module", params=ALGORITHMS)
+def telemetry_run(request, small_dataset):
+    """One full mining run per algorithm with telemetry attached."""
+    config = ClusterConfig(
+        num_nodes=NUM_NODES, memory_per_node=2_000, check_invariants=True
+    )
+    cluster = Cluster.from_database(config, small_dataset.database)
+    telemetry = Telemetry(sink=EventSink())
+    cluster.attach_telemetry(telemetry)
+    miner = make_miner(request.param, cluster, small_dataset.taxonomy)
+    run = miner.mine(MIN_SUPPORT, max_k=3)
+    return run, cluster, telemetry
+
+
+class TestRegistryReconciliation:
+    def test_counters_match_node_stats(self, telemetry_run):
+        run, _, telemetry = telemetry_run
+        registry = telemetry.registry
+        for field_name, metric in STAT_METRICS:
+            ground_truth = sum(
+                getattr(stats, field_name)
+                for pass_stats in run.stats.passes
+                for stats in pass_stats.nodes
+            )
+            assert registry.total(metric) == ground_truth, metric
+
+    def test_counters_match_per_pass_and_node(self, telemetry_run):
+        run, _, telemetry = telemetry_run
+        registry = telemetry.registry
+        for pass_stats in run.stats.passes:
+            for node_id, stats in enumerate(pass_stats.nodes):
+                for field_name, metric in STAT_METRICS:
+                    assert registry.value(
+                        metric, k=pass_stats.k, node=node_id
+                    ) == getattr(stats, field_name), (metric, pass_stats.k, node_id)
+
+    def test_link_bytes_match_traffic_matrix(self, telemetry_run):
+        _, cluster, telemetry = telemetry_run
+        registry = telemetry.registry
+        assert registry.total("net.link_bytes") == cluster.network.total_traffic()
+        for (src, dst), size in sorted(cluster.network.traffic_matrix().items()):
+            assert registry.value("net.link_bytes", src=src, dst=dst) == size
+
+    def test_pass_gauges_match_run_stats(self, telemetry_run):
+        run, _, telemetry = telemetry_run
+        registry = telemetry.registry
+        for pass_stats in run.stats.passes:
+            assert registry.value(
+                "pass.elapsed_seconds", k=pass_stats.k
+            ) == pytest.approx(pass_stats.elapsed)
+        assert registry.value("run.passes") == len(run.stats.passes)
+
+
+class TestSpanAccounting:
+    def test_no_tail_spans(self, telemetry_run):
+        """The miners' region spans cover every counter movement."""
+        _, _, telemetry = telemetry_run
+        assert telemetry.spans.named("tail") == []
+
+    def test_phase_seconds_match_cost_model(self, telemetry_run):
+        run, cluster, telemetry = telemetry_run
+        registry = telemetry.registry
+        cost = cluster.config.cost
+        for pass_stats in run.stats.passes:
+            for node_id, stats in enumerate(pass_stats.nodes):
+                phase_total = sum(
+                    value
+                    for labels, value in registry.series("phase.seconds")
+                    if labels.get("k") == str(pass_stats.k)
+                    and labels.get("node") == str(node_id)
+                )
+                assert math.isclose(
+                    phase_total, cost.node_time(stats), rel_tol=1e-9, abs_tol=1e-12
+                ), (pass_stats.k, node_id)
+
+    def test_clock_equals_total_elapsed(self, telemetry_run):
+        run, _, telemetry = telemetry_run
+        assert telemetry.clock == pytest.approx(
+            sum(p.elapsed for p in run.stats.passes)
+        )
+
+    def test_run_span_covers_everything(self, telemetry_run):
+        _, _, telemetry = telemetry_run
+        runs = telemetry.spans.named("run")
+        assert len(runs) == 1
+        (run_span,) = runs
+        for span in telemetry.spans.spans:
+            assert span.start >= run_span.start - 1e-12
+            assert span.end <= run_span.end + 1e-12
+
+
+class TestSinkStream:
+    def test_sink_parses_and_is_seq_ordered(self, telemetry_run):
+        _, _, telemetry = telemetry_run
+        events = parse_events(telemetry.sink.lines)
+        assert [event["seq"] for event in events] == list(range(len(events)))
+
+    def test_span_events_balance(self, telemetry_run):
+        _, _, telemetry = telemetry_run
+        events = parse_events(telemetry.sink.lines)
+        opens = [e["span"] for e in events if e["type"] == "span-open"]
+        closes = [e["span"] for e in events if e["type"] == "span-close"]
+        assert sorted(opens) == sorted(closes)
+
+    def test_run_end_reports_no_drops(self, telemetry_run):
+        _, _, telemetry = telemetry_run
+        events = parse_events(telemetry.sink.lines)
+        (run_end,) = [e for e in events if e["type"] == "run-end"]
+        assert run_end["spans_dropped"] == 0
+        assert run_end["events_dropped"] == 0
+        assert run_end["run"]["schema"] == "repro.stats/v1"
