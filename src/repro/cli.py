@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Cluster
 from repro.core.cumulate import cumulate
+from repro.perf.config import CountingConfig
 from repro.core.rules import generate_rules
 from repro.core.io import save_result
 from repro.datagen.io import save_transactions_text
@@ -71,6 +72,20 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--nodes", type=int, default=common.DEFAULT_NUM_NODES)
     mine.add_argument("--memory", type=int, default=common.DEFAULT_MEMORY_PER_NODE)
     mine.add_argument("--max-k", type=int, default=None)
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="host processes for the per-node scans (>1 selects the "
+        "process executor; results are identical either way)",
+    )
+    mine.add_argument(
+        "--kernel",
+        choices=("fast", "naive"),
+        default="fast",
+        help="counting kernels: fast (candidate trie + dedup) or naive "
+        "(reference enumeration); identical results and statistics",
+    )
     mine.add_argument("--rules", type=int, default=10, help="rules to print (0 = none)")
     mine.add_argument(
         "--save-result", default=None, help="write the mining result as JSON"
@@ -123,13 +138,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
+    counting = CountingConfig(kernel=args.kernel, dedup=args.kernel == "fast")
     if args.algorithm.lower() == "cumulate":
         result = cumulate(
-            dataset.database, dataset.taxonomy, args.min_support, max_k=args.max_k
+            dataset.database,
+            dataset.taxonomy,
+            args.min_support,
+            max_k=args.max_k,
+            counting=counting,
         )
         print(result)
     else:
-        config = ClusterConfig(num_nodes=args.nodes, memory_per_node=args.memory)
+        config = ClusterConfig(
+            num_nodes=args.nodes,
+            memory_per_node=args.memory,
+            executor="process" if args.workers > 1 else "serial",
+            workers=args.workers,
+        )
         cluster = Cluster.from_database(config, dataset.database)
         telemetry = None
         if args.trace_out or args.metrics_out:
@@ -138,7 +163,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             sink = EventSink(path=args.trace_out) if args.trace_out else None
             telemetry = Telemetry(sink=sink)
             cluster.attach_telemetry(telemetry)
-        miner = make_miner(args.algorithm, cluster, dataset.taxonomy)
+        miner = make_miner(args.algorithm, cluster, dataset.taxonomy, counting=counting)
         run = miner.mine(args.min_support, max_k=args.max_k)
         if telemetry is not None:
             if telemetry.sink is not None:

@@ -51,6 +51,15 @@ class ClusterConfig:
         Off by default — the skew experiments deliberately record
         memory overflow.  The ``REPRO_CHECK_INVARIANTS=1`` environment
         variable enables checking regardless of this field.
+    executor:
+        How per-node scan work is executed on the *host*: ``"serial"``
+        (inline, the default) or ``"process"`` (a process pool mapping
+        simulated nodes onto host cores).  Purely a wall-clock choice —
+        results, statistics and telemetry are byte-identical (see
+        :mod:`repro.perf.executor`).
+    workers:
+        Host processes for the ``process`` executor; ``None`` means one
+        per available CPU.  Ignored by the serial executor.
     """
 
     num_nodes: int = 16
@@ -62,6 +71,8 @@ class ClusterConfig:
     cost: CostModel = field(default_factory=CostModel)
     strict_memory: bool = False
     check_invariants: bool = False
+    executor: str = "serial"
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -71,6 +82,12 @@ class ClusterConfig:
         for name in ("candidate_bytes", "item_bytes", "message_header_bytes", "count_bytes"):
             if getattr(self, name) <= 0:
                 raise ClusterError(f"{name} must be positive")
+        if self.executor not in ("serial", "process"):
+            raise ClusterError(
+                f"unknown executor {self.executor!r}; known: serial, process"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ClusterError("workers must be positive or None")
 
     @property
     def total_memory(self) -> int | None:

@@ -26,11 +26,37 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Collection, Iterable, Mapping
 from itertools import combinations, product
+from math import comb
 
 from repro.core.hash_tree import HashTree
 from repro.core.itemsets import Itemset
 from repro.errors import MiningError
 from repro.taxonomy.ops import AncestorIndex
+
+#: ``strategy="auto"`` crossover: when the candidates fill at least this
+#: fraction of the k-subset space over their own item universe, blind
+#: subset enumeration ("dict") probes mostly hits and wins; below it the
+#: hash tree's shared-prefix pruning skips most of the misses.
+AUTO_DENSITY_CROSSOVER = 1.0 / 64.0
+
+
+def choose_strategy(num_candidates: int, k: int, universe_size: int) -> str:
+    """Pick ``"dict"`` or ``"hashtree"`` from candidate density.
+
+    The dict strategy enumerates every k-subset of the (filtered)
+    transaction and probes a hash map — work independent of how many
+    candidates exist.  The hash tree only descends branches shared with
+    the transaction, so its work shrinks with candidate sparsity.  The
+    candidate *density* — ``|C| / C(|universe|, k)`` — is therefore the
+    deciding ratio: at least :data:`AUTO_DENSITY_CROSSOVER` picks
+    ``"dict"``, below it ``"hashtree"``.
+    """
+    if num_candidates == 0 or universe_size < k:
+        return "dict"
+    subset_space = comb(universe_size, k)
+    if num_candidates >= subset_space * AUTO_DENSITY_CROSSOVER:
+        return "dict"
+    return "hashtree"
 
 
 def count_items(
@@ -41,13 +67,22 @@ def count_items(
 
     Ancestors are deduplicated within a transaction (two siblings only
     count their shared parent once), matching the Section 2 containment
-    definition for 1-itemsets.
+    definition for 1-itemsets.  The per-item ancestor tuples are already
+    cached in the :class:`~repro.taxonomy.ops.AncestorIndex`; on top of
+    that the (dedup-preserving) extension of each *distinct* transaction
+    is computed once and bulk-added via :meth:`collections.Counter.update`
+    — synthetic corpora repeat transactions heavily, so pass 1 stops
+    re-deriving the same extension thousands of times.
     """
-    counts: dict[int, int] = {}
+    counts: Counter[int] = Counter()
+    extension_cache: dict[tuple[int, ...], tuple[int, ...]] = {}
     for transaction in transactions:
-        for item in index.extend(transaction):
-            counts[item] = counts.get(item, 0) + 1
-    return counts
+        extended = extension_cache.get(transaction)
+        if extended is None:
+            extended = index.extend(transaction)
+            extension_cache[transaction] = extended
+        counts.update(extended)
+    return dict(counts)
 
 
 class SupportCounter:
@@ -64,7 +99,8 @@ class SupportCounter:
         hash map (good when transactions are short after filtering).
         ``"hashtree"`` — classic Apriori hash tree traversal (good when
         candidates are sparse relative to the subset space).
-        ``"auto"`` — ``"dict"``.
+        ``"auto"`` — picked by :func:`choose_strategy` from the
+        candidate density over the candidates' own item universe.
     """
 
     def __init__(
@@ -82,12 +118,19 @@ class SupportCounter:
         self.probes = 0
         self.generated = 0
         self._universe = {item for c in self.counts for item in c}
-        self._strategy = "dict" if strategy == "auto" else strategy
+        if strategy == "auto":
+            strategy = choose_strategy(len(self.counts), k, len(self._universe))
+        self._strategy = strategy
         self._tree: HashTree | None = None
         if self._strategy == "hashtree":
             self._tree = HashTree(k)
             for candidate in self.counts:
                 self._tree.insert(candidate)
+
+    @property
+    def strategy(self) -> str:
+        """The resolved counting strategy (``"auto"`` never survives)."""
+        return self._strategy
 
     def add_transaction(self, transaction: tuple[int, ...]) -> int:
         """Count one extended, sorted transaction; returns hits."""
@@ -306,10 +349,15 @@ def feasible_sorted_multisets(
     """Sorted multisets of size ``k`` drawable from ``available`` counts.
 
     Shared by the sender's routing (which root combinations can this
-    transaction realise?) and the receiver's keyed enumeration.
+    transaction realise?) and the receiver's keyed enumeration.  The
+    per-value usage is maintained incrementally alongside the prefix —
+    an O(1) check instead of the O(k) ``prefix.count(value)`` rescan on
+    every extension attempt (this runs once per transaction in every
+    H-HPGM-family sender *and* receiver).
     """
     values = sorted(available)
     found: list[tuple[int, ...]] = []
+    used = dict.fromkeys(values, 0)
 
     def extend(prefix: list[int], start: int) -> None:
         if len(prefix) == k:
@@ -317,10 +365,12 @@ def feasible_sorted_multisets(
             return
         for index in range(start, len(values)):
             value = values[index]
-            if prefix.count(value) < available[value]:
+            if used[value] < available[value]:
+                used[value] += 1
                 prefix.append(value)
                 extend(prefix, index)
                 prefix.pop()
+                used[value] -= 1
 
     extend([], 0)
     return found

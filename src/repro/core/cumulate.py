@@ -16,6 +16,8 @@ algorithm against it.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.candidates import candidate_item_universe, generate_candidates
 from repro.core.counting import SupportCounter, count_items
 from repro.core.itemsets import Itemset, minimum_count
@@ -25,6 +27,9 @@ from repro.datagen.corpus import TransactionDatabase
 from repro.taxonomy.hierarchy import Taxonomy
 from repro.taxonomy.ops import AncestorIndex
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.perf.config import CountingConfig
+
 
 def cumulate(
     database: TransactionDatabase,
@@ -32,6 +37,7 @@ def cumulate(
     min_support: float,
     strategy: str = "auto",
     max_k: int | None = None,
+    counting: "CountingConfig | None" = None,
 ) -> MiningResult:
     """Find all large generalized itemsets of ``database``.
 
@@ -45,10 +51,15 @@ def cumulate(
         Fractional minimum support in (0, 1].
     strategy:
         Counting strategy passed to
-        :class:`~repro.core.counting.SupportCounter`.
+        :class:`~repro.core.counting.SupportCounter` (ignored when
+        ``counting`` is given).
     max_k:
         Optional cap on the itemset size (useful for pass-2-only
         experiments, which is what the paper's evaluation measures).
+    counting:
+        Optional :class:`~repro.perf.config.CountingConfig`: route
+        counting through the fast trie kernels with distinct-transaction
+        deduplication.  Results are identical either way.
 
     Returns
     -------
@@ -71,6 +82,14 @@ def cumulate(
         PassResult(k=1, num_candidates=len(item_counts), large=large_1)
     )
 
+    # Dedup once for the whole run: the distinct-transaction weights are
+    # pass-independent (dedup precedes extension and filtering).
+    weighted = None
+    if counting is not None and counting.fast and counting.dedup:
+        from repro.perf.preprocess import dedup_with_weights
+
+        weighted = dedup_with_weights(database)
+
     previous: dict[Itemset, int] = large_1
     k = 2
     while previous and (max_k is None or k <= max_k):
@@ -81,9 +100,16 @@ def cumulate(
         # some candidate still references.
         universe = candidate_item_universe(candidates)
         index = AncestorIndex(taxonomy, keep=universe)
-        counter = SupportCounter(candidates, k, strategy=strategy)
-        for transaction in database:
-            counter.add_transaction(index.extend(transaction))
+        if counting is not None:
+            counter = counting.support_counter(candidates, k)
+        else:
+            counter = SupportCounter(candidates, k, strategy=strategy)
+        if weighted is not None:
+            for transaction, weight in weighted:
+                counter.add_transaction(index.extend(transaction), weight=weight)
+        else:
+            for transaction in database:
+                counter.add_transaction(index.extend(transaction))
         large_k = {
             itemset: count
             for itemset, count in sorted(counter.counts.items())

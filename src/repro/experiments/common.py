@@ -45,6 +45,7 @@ from repro.errors import DataGenerationError
 from repro.obs.telemetry import Telemetry
 from repro.parallel.base import ParallelRun
 from repro.parallel.registry import make_miner
+from repro.perf.config import CountingConfig
 
 
 def _env_int(name: str, default: int) -> int:
@@ -128,6 +129,9 @@ def run_algorithm(
     memory_per_node: int | None = DEFAULT_MEMORY_PER_NODE,
     max_k: int | None = 2,
     telemetry: Telemetry | None = None,
+    counting: CountingConfig | None = None,
+    executor: str = "serial",
+    workers: int | None = None,
 ) -> ParallelRun:
     """Run one algorithm on a freshly built cluster.
 
@@ -135,10 +139,17 @@ def run_algorithm(
     pass 2 ("the results of the other passes are also very similar").
     When no ``telemetry`` is given a fresh one is attached, so callers
     can always read the run's metrics off ``ParallelRun.telemetry``
-    instead of reaching into raw counters.
+    instead of reaching into raw counters.  ``counting`` / ``executor``
+    / ``workers`` tune host wall-clock only; results and statistics are
+    independent of them.
     """
-    config = ClusterConfig(num_nodes=num_nodes, memory_per_node=memory_per_node)
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        memory_per_node=memory_per_node,
+        executor=executor,
+        workers=workers,
+    )
     cluster = Cluster.from_database(config, dataset.database)
     cluster.attach_telemetry(telemetry if telemetry is not None else Telemetry())
-    miner = make_miner(algorithm, cluster, dataset.taxonomy)
+    miner = make_miner(algorithm, cluster, dataset.taxonomy, counting=counting)
     return miner.mine(min_support, max_k=max_k)

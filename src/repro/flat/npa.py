@@ -37,7 +37,9 @@ class NPA(FlatParallelMiner):
         total: dict[Itemset, int] = {}
         for node in cluster.nodes:
             stats = node.stats
-            counter = SupportCounter(candidates, k)
+            # Pinned to "dict" so NPA's probe metrics stay independent
+            # of the "auto" density heuristic.
+            counter = SupportCounter(candidates, k, strategy="dict")
             for transaction in node.disk.scan(stats):
                 counter.add_transaction(transaction)
             stats.io_items *= fragments

@@ -28,6 +28,9 @@ from repro.core.result import MiningResult, PassResult
 from repro.errors import MiningError
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.parallel.allocation import build_root_table
+from repro.perf.config import CountingConfig, default_counting
+from repro.perf.executor import execute_per_node
+from repro.perf.workers import Pass1Task, apply_stats, pass1_scan
 from repro.taxonomy.hierarchy import Taxonomy
 from repro.taxonomy.ops import AncestorIndex
 
@@ -54,13 +57,25 @@ class ParallelMiner(ABC):
         The simulated machine, already loaded with partitions.
     taxonomy:
         Classification hierarchy over the items.
+    counting:
+        :class:`~repro.perf.config.CountingConfig` selecting the
+        counting kernels (fast trie vs naive enumeration) and the
+        distinct-transaction memoization.  Defaults to the process-wide
+        default (``REPRO_KERNEL`` / ``REPRO_DEDUP`` aware).  Never
+        changes results or statistics — only wall-clock time.
     """
 
     name = "abstract"
 
-    def __init__(self, cluster: Cluster, taxonomy: Taxonomy):
+    def __init__(
+        self,
+        cluster: Cluster,
+        taxonomy: Taxonomy,
+        counting: CountingConfig | None = None,
+    ):
         self.cluster = cluster
         self.taxonomy = taxonomy
+        self.counting = counting if counting is not None else default_counting()
         self.root_of = build_root_table(taxonomy)
         self._full_index = AncestorIndex(taxonomy)
         # Per-run state, populated by mine().
@@ -140,19 +155,18 @@ class ParallelMiner(ABC):
         """Local item+ancestor counting with a coordinator reduce."""
         self.cluster.begin_pass()
         obs = self.obs
+        counting = self.counting
+        tasks = [
+            Pass1Task(disk=node.disk, index=self._full_index, counting=counting)
+            for node in self.cluster.nodes
+        ]
+        results = execute_per_node(self.cluster.config, pass1_scan, tasks)
         total: dict[int, int] = {}
         reduced = 0
-        for node in self.cluster.nodes:
+        for node, scan in zip(self.cluster.nodes, results):
             with obs.node_span("scan", node):
-                stats = node.stats
-                local: dict[int, int] = {}
-                for transaction in node.disk.scan(stats):
-                    stats.extend_items += len(transaction)
-                    extended = self._full_index.extend(transaction)
-                    stats.probes += len(extended)
-                    stats.increments += len(extended)
-                    for item in extended:
-                        local[item] = local.get(item, 0) + 1
+                apply_stats(node.stats, scan.stats)
+                local = scan.counts
                 # Pass-1 counters are chargeable like NPGM's candidates:
                 # they can always be fragmented across repeated scans, so
                 # at most one budget's worth is resident at a time.

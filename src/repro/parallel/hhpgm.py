@@ -27,19 +27,18 @@ from the partitions, counted locally on every node against the full t′
 
 from __future__ import annotations
 
-from collections import Counter
-
 from repro.cluster.stats import PassStats
 from repro.core.candidates import candidate_item_universe
-from repro.core.counting import RootKeyedClosureCounter, build_closure_table
+from repro.core.counting import build_closure_table
 from repro.core.itemsets import Itemset
 from repro.parallel.allocation import (
-    feasible_root_keys,
     partition_candidates_by_root,
     root_key,
 )
 from repro.parallel.base import ParallelMiner
-from repro.taxonomy.ops import closest_large_ancestors, replace_with_closest_large
+from repro.perf.executor import execute_per_node
+from repro.perf.workers import HHPGMScanTask, apply_stats, hhpgm_scan
+from repro.taxonomy.ops import closest_large_ancestors
 
 
 class HHPGM(ParallelMiner):
@@ -97,11 +96,15 @@ class HHPGM(ParallelMiner):
                 [c for c in partition if c not in duplicated]
                 for partition in partitions
             ]
-        active_keys = {
-            root_key(candidate, root_of)
-            for partition in partitions
-            for candidate in partition
-        }
+            active_keys = {
+                root_key(candidate, root_of)
+                for partition in partitions
+                for candidate in partition
+            }
+        else:
+            # Without duplication every owned key keeps its candidates,
+            # so the owner map's keys ARE the active keys.
+            active_keys = set(owners)
 
         # An item needs shipping to a node only when some candidate still
         # RESIDENT there can use it as a witness — i.e. the item's
@@ -125,61 +128,51 @@ class HHPGM(ParallelMiner):
                 }
             )
 
+        counting = self.counting
         part_counters = [
-            RootKeyedClosureCounter(partition, k, chains, root_of)
+            counting.root_keyed_counter(partition, k, chains, root_of)
             for partition in partitions
         ]
-        # The duplicated set is materialised in sorted order so every node
-        # builds its replica counter with identical internal layout.
-        dup_counters = (
-            [
-                RootKeyedClosureCounter(sorted(duplicated), k, chains, root_of)
-                for _ in range(num_nodes)
-            ]
-            if duplicated
-            else None
-        )
         for node, partition in zip(cluster.nodes, partitions):
             node.charge_candidates(len(partition) + len(duplicated))
 
-        replacement = self._replacement
-
         # Scan phase: rewrite, count duplicates locally, route fragments.
-        for node in cluster.nodes:
+        # Each node's scan is a pure worker; local-fragment hits come
+        # back as counter state, remote fragments as an ordered send
+        # list replayed here so traces and receive charges match a
+        # serial run.  The duplicated set is materialised in sorted
+        # order so every node builds its replica counter with identical
+        # internal layout.
+        tasks = [
+            HHPGMScanTask(
+                disk=node.disk,
+                replacement=self._replacement,
+                root_of=root_of,
+                owners=owners,
+                active_keys=frozenset(active_keys),
+                useful_for=tuple(frozenset(useful) for useful in useful_for),
+                chains=chains,
+                partition=tuple(partitions[node.node_id]),
+                duplicated=tuple(sorted(duplicated)),
+                k=k,
+                me=node.node_id,
+                counting=counting,
+            )
+            for node in cluster.nodes
+        ]
+        results = execute_per_node(cluster.config, hhpgm_scan, tasks)
+        for node, scan in zip(cluster.nodes, results):
             with self.obs.node_span("scan", node):
                 me = node.node_id
                 stats = node.stats
+                apply_stats(stats, scan.stats)
                 counter = part_counters[me]
-                dup_counter = (
-                    dup_counters[me] if dup_counters is not None else None
-                )
-                for transaction in node.disk.scan(stats):
-                    stats.extend_items += len(transaction)
-                    rewritten = replace_with_closest_large(transaction, replacement)
-                    if len(rewritten) < k:
-                        continue
-                    if dup_counter is not None:
-                        dup_counter.add_transaction(rewritten)
-                    transaction_roots = Counter(root_of[item] for item in rewritten)
-                    destination_roots: dict[int, set[int]] = {}
-                    for key in feasible_root_keys(transaction_roots, k):
-                        if key in active_keys:
-                            destination_roots.setdefault(owners[key], set()).update(
-                                key
-                            )
-                    for dest, roots in sorted(destination_roots.items()):
-                        useful = useful_for[dest]
-                        fragment = tuple(
-                            item
-                            for item in rewritten
-                            if root_of[item] in roots and item in useful
-                        )
-                        if len(fragment) < k:
-                            continue
-                        if dest == me:
-                            counter.add_transaction(fragment)
-                        else:
-                            network.send(me, dest, fragment, stats, node_stats[dest])
+                counter.probes += scan.probes
+                counter.generated += scan.generated
+                for itemset, count in sorted(scan.counts.items()):
+                    counter.counts[itemset] += count
+                for dest, fragment in scan.sends:
+                    network.send(me, dest, fragment, stats, node_stats[dest])
 
         # Receive phase: count routed fragments against the local partition.
         for node in cluster.nodes:
@@ -189,18 +182,17 @@ class HHPGM(ParallelMiner):
                     counter.add_transaction(payload)
 
         # Fold counter telemetry into the node stats.
-        for node in cluster.nodes:
+        for node, scan in zip(cluster.nodes, results):
             with self.obs.node_span("count", node):
                 stats = node.stats
                 counter = part_counters[node.node_id]
                 stats.probes += counter.probes
                 stats.itemsets_generated += counter.generated
                 stats.increments += sum(counter.counts.values())
-                if dup_counters is not None:
-                    dup_counter = dup_counters[node.node_id]
-                    stats.probes += dup_counter.probes
-                    stats.itemsets_generated += dup_counter.generated
-                    stats.increments += sum(dup_counter.counts.values())
+                if duplicated:
+                    stats.probes += scan.dup_probes
+                    stats.itemsets_generated += scan.dup_generated
+                    stats.increments += sum(scan.dup_counts.values())
 
         # Large determination: local for partitions, reduced for duplicates.
         large: dict[Itemset, int] = {}
@@ -213,10 +205,10 @@ class HHPGM(ParallelMiner):
             }
             reduced += len(local_large)
             large.update(local_large)
-        if dup_counters is not None:
+        if duplicated:
             aggregated: dict[Itemset, int] = {}
-            for dup_counter in dup_counters:
-                for itemset, count in sorted(dup_counter.counts.items()):
+            for scan in results:
+                for itemset, count in sorted(scan.dup_counts.items()):
                     aggregated[itemset] = aggregated.get(itemset, 0) + count
             reduced += len(duplicated) * num_nodes
             large.update(

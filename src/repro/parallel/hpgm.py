@@ -16,15 +16,18 @@ the receiver probes its hash table once per itemset.
 
 from __future__ import annotations
 
-from itertools import combinations
-
 from repro.cluster.stats import PassStats
 from repro.core.candidates import candidate_item_universe
 from repro.core.itemsets import Itemset
-from repro.parallel.allocation import itemset_owner, partition_candidates_by_itemset
+from repro.parallel.allocation import (
+    pair_owner_matrix,
+    partition_candidates_by_itemset,
+)
 from repro.parallel.base import ParallelMiner
+from repro.perf.executor import execute_per_node
+from repro.perf.kernels import PairMaskFolder
+from repro.perf.workers import HPGMScanTask, apply_stats, hpgm_scan
 from repro.taxonomy.ops import AncestorIndex
-
 
 class HPGM(ParallelMiner):
     """Hierarchy-oblivious hash partitioning of the candidates."""
@@ -44,54 +47,122 @@ class HPGM(ParallelMiner):
 
         universe = candidate_item_universe(candidates)
         index = AncestorIndex(self.taxonomy, keep=universe)
-        partitions = partition_candidates_by_itemset(candidates, num_nodes)
+        # Placement is the same pure function everywhere, so the pair
+        # owner matrix is computed once per pass and shared by the
+        # partitioner and every node's scan worker.
+        pair_owners = (
+            pair_owner_matrix(universe, num_nodes)
+            if self.counting.fast and k == 2
+            else None
+        )
+        partitions = partition_candidates_by_itemset(
+            candidates, num_nodes, pair_owners
+        )
         counts: list[dict[Itemset, int]] = [
             dict.fromkeys(partition, 0) for partition in partitions
         ]
         for node, partition in zip(cluster.nodes, partitions):
             node.charge_candidates(len(partition))
 
-        # Scan phase: extend, enumerate k-itemsets, route by hash.
-        for node in cluster.nodes:
+        # Scan phase: extend, enumerate k-itemsets, route by hash.  Each
+        # node's scan is a pure worker; sends are replayed here in node
+        # order so traces and receive charges match a serial run.
+        tasks = [
+            HPGMScanTask(
+                disk=node.disk,
+                index=index,
+                universe=frozenset(universe),
+                owned=frozenset(partitions[node.node_id]),
+                k=k,
+                me=node.node_id,
+                num_nodes=num_nodes,
+                counting=self.counting,
+                pair_owners=pair_owners,
+            )
+            for node in cluster.nodes
+        ]
+        results = execute_per_node(cluster.config, hpgm_scan, tasks)
+        for node, scan in zip(cluster.nodes, results):
             with self.obs.node_span("scan", node):
                 me = node.node_id
                 stats = node.stats
+                apply_stats(stats, scan.stats)
                 my_counts = counts[me]
-                for transaction in node.disk.scan(stats):
-                    stats.extend_items += len(transaction)
-                    extended = index.extend(transaction)
-                    relevant = tuple(item for item in extended if item in universe)
-                    if len(relevant) < k:
-                        continue
-                    batches: dict[int, list[int]] = {}
-                    for subset in combinations(relevant, k):
-                        stats.itemsets_generated += 1
-                        dest = itemset_owner(subset, num_nodes)
-                        if dest == me:
-                            stats.probes += 1
-                            if subset in my_counts:
-                                my_counts[subset] += 1
-                                stats.increments += 1
-                        else:
-                            batches.setdefault(dest, []).extend(subset)
-                    for dest, flat in sorted(batches.items()):
-                        network.send(
-                            me, dest, tuple(flat), stats, node_stats[dest]
-                        )
+                for subset, hits in sorted(scan.hits.items()):
+                    my_counts[subset] += hits
+                for dest, payload in scan.sends:
+                    network.send(me, dest, payload, stats, node_stats[dest])
 
         # Receive phase: probe the local table for each shipped itemset.
+        # Payloads repeat heavily (one per (transaction, destination)),
+        # so the probe outcome per distinct payload is memoized — per
+        # node, since hits depend on the receiver's candidate partition.
         for node in cluster.nodes:
             with self.obs.node_span("probe", node):
                 me = node.node_id
                 stats = node.stats
                 my_counts = counts[me]
+                # Fast k == 2 probing works on whole-batch bitmasks: a
+                # batch is all pairs of one relevant set routed here, so
+                # any owned pair whose items both appear in the batch is
+                # in the batch — one mask per payload replaces the
+                # per-pair membership tests, and the count fold is
+                # deferred (see PairMaskFolder).
+                folder = (
+                    PairMaskFolder(my_counts)
+                    if self.counting.fast and k == 2 and my_counts
+                    else None
+                )
+                receive_memo: dict[tuple[int, ...], tuple] | None = (
+                    {} if self.counting.dedup else None
+                )
                 for payload in network.drain(me):
-                    for start in range(0, len(payload), k):
-                        subset = payload[start : start + k]
-                        stats.probes += 1
-                        if subset in my_counts:
-                            my_counts[subset] += 1
-                            stats.increments += 1
+                    entry = (
+                        receive_memo.get(payload)
+                        if receive_memo is not None
+                        else None
+                    )
+                    if folder is not None:
+                        if entry is None:
+                            bit_of = folder.bit_of
+                            mask = 0
+                            for item in payload:
+                                bit = bit_of.get(item)
+                                if bit:
+                                    mask |= bit
+                            entry = (len(payload) // 2, mask)
+                            if receive_memo is not None:
+                                receive_memo[payload] = entry
+                        probes, mask = entry
+                        stats.probes += probes
+                        if mask:
+                            folder.add_mask(mask)
+                        continue
+                    if entry is None:
+                        if k == 2:
+                            hit_subsets = [
+                                pair
+                                for pair in zip(payload[0::2], payload[1::2])
+                                if pair in my_counts
+                            ]
+                        else:
+                            hit_subsets = []
+                            for start in range(0, len(payload), k):
+                                subset = payload[start : start + k]
+                                if subset in my_counts:
+                                    hit_subsets.append(subset)
+                        entry = ((len(payload) + k - 1) // k, tuple(hit_subsets))
+                        if receive_memo is not None:
+                            receive_memo[payload] = entry
+                    probes, hit_subsets = entry
+                    stats.probes += probes
+                    stats.increments += len(hit_subsets)
+                    for subset in hit_subsets:
+                        my_counts[subset] += 1
+                if folder is not None:
+                    # The fold returns exactly the increments the naive
+                    # per-batch probe loop would have accumulated.
+                    stats.increments += folder.fold()
 
         large: dict[Itemset, int] = {}
         reduced = 0

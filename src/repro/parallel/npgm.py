@@ -22,9 +22,10 @@ import math
 
 from repro.cluster.stats import PassStats
 from repro.core.candidates import candidate_item_universe
-from repro.core.counting import SupportCounter
 from repro.core.itemsets import Itemset
 from repro.parallel.base import ParallelMiner
+from repro.perf.executor import execute_per_node
+from repro.perf.workers import NPGMScanTask, apply_stats, npgm_scan
 from repro.taxonomy.ops import AncestorIndex
 
 
@@ -49,29 +50,31 @@ class NPGM(ParallelMiner):
         universe = candidate_item_universe(candidates)
         index = AncestorIndex(self.taxonomy, keep=universe)
 
-        total: dict[Itemset, int] = {}
-        for node in cluster.nodes:
-            with self.obs.node_span("scan", node, fragments=fragments):
-                stats = node.stats
-                counter = SupportCounter(candidates, k)
-                for transaction in node.disk.scan(stats):
-                    stats.extend_items += len(transaction)
-                    counter.add_transaction(index.extend(transaction))
+        # The fragment loop of Figure 2 repeats the scan, the extension
+        # and the subset enumeration once per fragment; the worker counts
+        # one real scan and applies the multipliers.
+        tasks = [
+            NPGMScanTask(
+                disk=node.disk,
+                index=index,
+                candidates=tuple(candidates),
+                k=k,
+                fragments=fragments,
+                counting=self.counting,
+            )
+            for node in cluster.nodes
+        ]
+        results = execute_per_node(cluster.config, npgm_scan, tasks)
 
-                # The fragment loop of Figure 2 repeats the scan, the
-                # extension and the subset enumeration once per fragment.
-                stats.io_items *= fragments
-                stats.io_scans = fragments
-                stats.extend_items *= fragments
-                stats.itemsets_generated = counter.generated * fragments
-                stats.probes = counter.probes * fragments
-                stats.increments = sum(counter.counts.values())
+        total: dict[Itemset, int] = {}
+        for node, scan in zip(cluster.nodes, results):
+            with self.obs.node_span("scan", node, fragments=fragments):
+                apply_stats(node.stats, scan.stats)
                 node.charge_candidates(
                     len(candidates) if memory is None else min(len(candidates), memory)
                 )
-                for itemset, count in sorted(counter.counts.items()):
-                    if count:
-                        total[itemset] = total.get(itemset, 0) + count
+                for itemset, count in sorted(scan.counts.items()):
+                    total[itemset] = total.get(itemset, 0) + count
 
         large = {
             itemset: count for itemset, count in sorted(total.items()) if count >= threshold

@@ -13,6 +13,7 @@ from repro.parallel.hhpgm_pgd import HHPGMPathGrain
 from repro.parallel.hhpgm_tgd import HHPGMTreeGrain
 from repro.parallel.hpgm import HPGM
 from repro.parallel.npgm import NPGM
+from repro.perf.config import CountingConfig
 from repro.taxonomy.hierarchy import Taxonomy
 
 #: Paper name → miner class, in the paper's order of introduction.
@@ -30,6 +31,7 @@ def make_miner(
     algorithm: str,
     cluster: Cluster,
     taxonomy: Taxonomy,
+    counting: CountingConfig | None = None,
 ) -> ParallelMiner:
     """Instantiate a miner by its paper name (case-insensitive)."""
     try:
@@ -37,7 +39,7 @@ def make_miner(
     except KeyError:
         known = ", ".join(ALGORITHMS)
         raise MiningError(f"unknown algorithm {algorithm!r}; known: {known}") from None
-    return miner_class(cluster, taxonomy)
+    return miner_class(cluster, taxonomy, counting=counting)
 
 
 def mine_parallel(
@@ -47,6 +49,7 @@ def mine_parallel(
     algorithm: str = "H-HPGM-FGD",
     config: ClusterConfig | None = None,
     max_k: int | None = None,
+    counting: CountingConfig | None = None,
 ) -> ParallelRun:
     """Mine a database on a freshly built simulated cluster.
 
@@ -64,6 +67,9 @@ def mine_parallel(
         Cluster description; defaults to the 16-node SP-2-like preset.
     max_k:
         Optional cap on itemset size.
+    counting:
+        Optional :class:`~repro.perf.config.CountingConfig` selecting
+        the counting kernels (result-preserving; wall-clock only).
 
     Returns
     -------
@@ -73,5 +79,5 @@ def mine_parallel(
     """
     config = config if config is not None else ClusterConfig.sp2_like()
     cluster = Cluster.from_database(config, database)
-    miner = make_miner(algorithm, cluster, taxonomy)
+    miner = make_miner(algorithm, cluster, taxonomy, counting=counting)
     return miner.mine(min_support, max_k=max_k)

@@ -1,0 +1,307 @@
+"""``repro-bench`` — wall-clock benchmark trajectory for the miners.
+
+Where the cost model measures *simulated* seconds, this harness
+measures *host* seconds: how long the simulator itself takes to run a
+table6-style workload under each counting/executor configuration.  It
+pits three configurations against each other on identical inputs:
+
+* ``naive-serial`` — reference enumeration kernels, inline execution
+  (the pre-optimization baseline);
+* ``fast-serial`` — trie kernels + distinct-transaction dedup, inline;
+* ``fast-process`` — the same kernels on the process-pool executor.
+
+Every run's mining result and :class:`~repro.cluster.stats.RunStats`
+are hashed; the harness **fails (exit 1) if any configuration disagrees
+with the naive baseline** — the wall-clock trajectory is only valid
+evidence while the metric-preservation contract holds.  CI runs
+``repro-bench --quick`` on every push for exactly this reason.
+
+Results are written as schema-versioned JSON (``BENCH_<label>.json``);
+successive PRs commit refreshed files, so the repository history *is*
+the performance trajectory.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.datagen.generator import generate_dataset
+from repro.experiments import common
+from repro.parallel.registry import make_miner
+from repro.perf.config import CountingConfig
+from repro.perf.executor import effective_workers
+
+#: Version tag of the benchmark result files.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: (name, kernel, dedup, executor) — ``naive-serial`` must stay first:
+#: it is the digest baseline the other configurations are checked against.
+CONFIGURATIONS: tuple[tuple[str, str, bool, str], ...] = (
+    ("naive-serial", "naive", False, "serial"),
+    ("fast-serial", "fast", True, "serial"),
+    ("fast-process", "fast", True, "process"),
+)
+
+
+def run_digest(run) -> str:
+    """SHA-256 over the mining result and the full run statistics.
+
+    Two runs with equal digests produced identical large itemsets with
+    identical supports *and* identical per-node counters — the strong
+    form of the probe-preservation contract.
+    """
+    payload = {
+        "passes": [
+            {
+                "k": pass_result.k,
+                "num_candidates": pass_result.num_candidates,
+                "large": sorted(
+                    (list(itemset), count)
+                    for itemset, count in pass_result.large.items()
+                ),
+            }
+            for pass_result in run.result.passes
+        ],
+        "stats": run.stats.to_dict(),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def bench_one(
+    dataset,
+    algorithm: str,
+    num_nodes: int,
+    min_support: float,
+    kernel: str,
+    dedup: bool,
+    executor: str,
+    workers: int | None,
+    max_k: int | None,
+) -> dict:
+    """One timed mining run; returns the result entry for the JSON file."""
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        memory_per_node=common.DEFAULT_MEMORY_PER_NODE,
+        executor=executor,
+        workers=workers,
+    )
+    cluster = Cluster.from_database(config, dataset.database)
+    miner = make_miner(
+        algorithm,
+        cluster,
+        dataset.taxonomy,
+        counting=CountingConfig(kernel=kernel, dedup=dedup),
+    )
+    started = time.perf_counter()
+    run = miner.mine(min_support, max_k=max_k)
+    wall = time.perf_counter() - started
+    return {
+        "algorithm": algorithm,
+        "nodes": num_nodes,
+        "kernel": kernel,
+        "dedup": dedup,
+        "executor": executor,
+        "workers": effective_workers(workers) if executor == "process" else 1,
+        "wall_seconds": round(wall, 6),
+        "digest": run_digest(run),
+        "total_probes": sum(p.total_probes for p in run.stats.passes),
+        "total_bytes_received": run.stats.total_bytes_received,
+        "peak_candidates": max(
+            (
+                node.candidates_stored
+                for pass_stats in run.stats.passes
+                for node in pass_stats.nodes
+            ),
+            default=0,
+        ),
+        "passes": [
+            {
+                "k": pass_stats.k,
+                "num_candidates": pass_stats.num_candidates,
+                "num_large": pass_stats.num_large,
+                "probes": pass_stats.total_probes,
+                "elapsed_simulated": pass_stats.elapsed,
+            }
+            for pass_stats in run.stats.passes
+        ],
+    }
+
+
+def run_benchmark(
+    label: str,
+    quick: bool = False,
+    workers: int | None = None,
+    transactions: int | None = None,
+    min_support: float | None = None,
+    dataset_name: str = "R30F5",
+    node_counts: tuple[int, ...] | None = None,
+    algorithms: tuple[str, ...] = ("HPGM", "H-HPGM"),
+    max_k: int | None = 2,
+) -> dict:
+    """Run the full configuration matrix; returns the report dict.
+
+    ``quick`` shrinks the workload (one node count, fewer transactions)
+    for CI smoke runs; the full matrix mirrors the table6 sweep.
+    """
+    if node_counts is None:
+        node_counts = (8,) if quick else (8, 12, 16)
+    if transactions is None:
+        transactions = 2_000 if quick else common.DEFAULT_NUM_TRANSACTIONS
+    if min_support is None:
+        min_support = common.SKEW_POINT_MINSUP
+    dataset = generate_dataset(
+        common.experiment_params(dataset_name, transactions)
+    )
+
+    runs: list[dict] = []
+    identical = True
+    for algorithm in algorithms:
+        for num_nodes in node_counts:
+            baseline_digest: str | None = None
+            for name, kernel, dedup, executor in CONFIGURATIONS:
+                entry = bench_one(
+                    dataset,
+                    algorithm,
+                    num_nodes,
+                    min_support,
+                    kernel,
+                    dedup,
+                    executor,
+                    workers,
+                    max_k,
+                )
+                entry["configuration"] = name
+                if baseline_digest is None:
+                    baseline_digest = entry["digest"]
+                entry["matches_baseline"] = entry["digest"] == baseline_digest
+                identical = identical and entry["matches_baseline"]
+                runs.append(entry)
+                print(
+                    f"{algorithm:>10} nodes={num_nodes:<2} {name:<13} "
+                    f"{entry['wall_seconds']:9.3f}s  "
+                    f"{'ok' if entry['matches_baseline'] else 'RESULT MISMATCH'}",
+                    file=sys.stderr,
+                )
+
+    speedups: dict[str, dict[str, float]] = {}
+    by_key: dict[tuple[str, int], dict[str, float]] = {}
+    for entry in runs:
+        by_key.setdefault((entry["algorithm"], entry["nodes"]), {})[
+            entry["configuration"]
+        ] = entry["wall_seconds"]
+    for (algorithm, num_nodes), walls in sorted(by_key.items()):
+        base = walls.get("naive-serial")
+        if not base:
+            continue
+        speedups[f"{algorithm}/{num_nodes}"] = {
+            name: round(base / wall, 3)
+            for name, wall in sorted(walls.items())
+            if name != "naive-serial" and wall > 0
+        }
+    # Aggregate row: total naive wall over total configuration wall
+    # across the whole matrix — the headline trajectory number.
+    totals: dict[str, float] = {}
+    for entry in runs:
+        totals[entry["configuration"]] = (
+            totals.get(entry["configuration"], 0.0) + entry["wall_seconds"]
+        )
+    base = totals.get("naive-serial")
+    if base:
+        speedups["overall"] = {
+            name: round(base / wall, 3)
+            for name, wall in sorted(totals.items())
+            if name != "naive-serial" and wall > 0
+        }
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "workload": {
+            "dataset": dataset_name,
+            "transactions": transactions,
+            "min_support": min_support,
+            "max_k": max_k,
+            "node_counts": list(node_counts),
+            "algorithms": list(algorithms),
+            "memory_per_node": common.DEFAULT_MEMORY_PER_NODE,
+            "quick": quick,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            # fast-process can only beat fast-serial when real cores are
+            # available — read speedups against this.
+            "cpus": os.cpu_count() or 1,
+        },
+        "results_identical": identical,
+        "speedups": speedups,
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Wall-clock benchmark of the mining kernels and executors",
+    )
+    parser.add_argument(
+        "--label", default="local", help="written into BENCH_<label>.json"
+    )
+    parser.add_argument(
+        "--out",
+        default="benchmarks",
+        help="output directory for the result file (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (one node count, 2k transactions)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for the fast-process configuration "
+        "(default: one per CPU)",
+    )
+    parser.add_argument("--transactions", type=int, default=None)
+    parser.add_argument("--min-support", type=float, default=None)
+    parser.add_argument("--dataset", default="R30F5")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        label=args.label,
+        quick=args.quick,
+        workers=args.workers,
+        transactions=args.transactions,
+        min_support=args.min_support,
+        dataset_name=args.dataset,
+    )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{args.label}.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    for key, ratios in report["speedups"].items():
+        rendered = ", ".join(f"{name} {ratio:g}x" for name, ratio in ratios.items())
+        print(f"{key}: {rendered}", file=sys.stderr)
+    if not report["results_identical"]:
+        print("FAIL: configurations disagree with the naive baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,683 @@
+"""Prefix-indexed candidate-trie counting kernels.
+
+The probe-preservation contract
+-------------------------------
+``probes`` and ``generated`` are *semantic* quantities: the number of
+candidate lookups the paper's algorithms would perform is what Figure 15
+plots and what the cost model prices into every simulated second.  A
+faster kernel therefore may not probe less — it may only *work* less.
+The kernels here keep the contract by splitting the two concerns:
+
+* **metrics** are computed in closed form: the naive kernels enumerate
+  every k-subset of the (filtered, deduplicated) transaction and probe
+  each one, so their probe count is ``C(n, k)`` for an ``n``-item
+  relevant set — :func:`math.comb` yields the identical number without
+  enumerating anything;
+* **counts** are computed candidate-driven: a prefix trie over the
+  sorted candidates is intersected with the sorted transaction, and
+  only branches whose prefix is contained in the transaction are
+  descended.  A candidate is contained in the transaction exactly when
+  the naive kernel's enumeration would have hit it (see the per-class
+  notes), so the resulting ``counts`` are identical.
+
+Each fast counter also memoizes per distinct input: synthetic and real
+market-basket corpora repeat transactions heavily, and two transactions
+that filter to the same relevant set produce byte-identical outcomes —
+the memo replays the stored hit list and adds the closed-form metric
+increments at the stored weight.
+
+Equivalence against the naive kernels — ``counts``, ``probes``,
+``generated``, and return values, across all three counter classes —
+is pinned by the seeded property suite in ``tests/test_perf_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Collection, Mapping, Sequence
+from math import comb
+
+from repro.core.itemsets import Itemset
+from repro.errors import MiningError
+
+try:  # optional accelerator — the pure-Python mask path is always exact
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
+
+
+class CandidateTrie:
+    """Uniform-depth prefix trie over sorted candidate k-itemsets.
+
+    Interior levels map an item to its child dict; the final level maps
+    the last item to the candidate tuple itself.  :meth:`contained`
+    walks the trie against a sorted transaction, at every node iterating
+    whichever side is smaller — the node's children (candidate-driven)
+    or the transaction's remaining suffix (transaction-driven) — so the
+    work adapts to both sparse-candidate and short-transaction regimes.
+
+    k == 2 — the pass that carries nearly all candidates in practice —
+    skips the walk entirely and works on **bitmasks**: every item in the
+    candidate universe gets a bit, each first item keeps the mask of its
+    partners, and one ``&`` per present first item yields all hits; the
+    inner loop only runs over actual hits (``int.bit_count`` and the
+    low-bit trick keep everything in C).  Bit order is sorted item
+    order, so the result is deterministic.
+    """
+
+    __slots__ = ("k", "_root", "bit_of", "_item_at", "_partner_mask", "_firsts_mask")
+
+    def __init__(self, candidates: Collection[Itemset], k: int):
+        if k <= 0:
+            raise MiningError(f"k must be positive, got {k}")
+        self.k = k
+        root: dict = {}
+        if k == 2:
+            setdefault = root.setdefault
+            for candidate in candidates:
+                if len(candidate) != 2:
+                    raise MiningError(
+                        f"candidate {candidate!r} is not a {k}-itemset"
+                    )
+                setdefault(candidate[0], {})[candidate[1]] = candidate
+        else:
+            for candidate in candidates:
+                if len(candidate) != k:
+                    raise MiningError(
+                        f"candidate {candidate!r} is not a {k}-itemset"
+                    )
+                node = root
+                for item in candidate[:-1]:
+                    child = node.get(item)
+                    if child is None:
+                        child = {}
+                        node[item] = child
+                    node = child
+                node[candidate[-1]] = candidate
+        self._root = root
+        #: item → its single-bit mask (k == 2 only; shared with callers
+        #: that pre-build transaction masks, e.g. the root-keyed kernel).
+        self.bit_of: dict[int, int] = {}
+        self._item_at: list[int] = []
+        self._partner_mask: dict[int, int] = {}
+        self._firsts_mask = 0
+        if k == 2:
+            universe = sorted({item for candidate in candidates for item in candidate})
+            self._item_at = universe
+            bit_of = {item: 1 << index for index, item in enumerate(universe)}
+            self.bit_of = bit_of
+            for first, children in root.items():
+                mask = 0
+                for second in children:
+                    mask |= bit_of[second]
+                self._partner_mask[first] = mask
+                self._firsts_mask |= bit_of[first]
+
+    def hit_count_mask(self, mask: int) -> int:
+        """k == 2 only: how many candidates ``contained_mask`` would yield.
+
+        One ``&`` + ``bit_count`` per present first item — no per-hit
+        work, so callers can report hit totals without materializing
+        the hits.
+        """
+        total = 0
+        item_at = self._item_at
+        partner_mask = self._partner_mask
+        pending = mask & self._firsts_mask
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            total += (partner_mask[item_at[low.bit_length() - 1]] & mask).bit_count()
+        return total
+
+    def contained_mask(self, mask: int) -> list[Itemset]:
+        """k == 2 only: candidates whose both bits are set in ``mask``."""
+        out: list[Itemset] = []
+        item_at = self._item_at
+        partner_mask = self._partner_mask
+        append = out.append
+        pending = mask & self._firsts_mask
+        while pending:
+            low = pending & -pending
+            pending ^= low
+            first = item_at[low.bit_length() - 1]
+            hits = partner_mask[first] & mask
+            while hits:
+                lowest = hits & -hits
+                hits ^= lowest
+                append((first, item_at[lowest.bit_length() - 1]))
+        return out
+
+    def contained(self, items: Sequence[int]) -> list[Itemset]:
+        """Candidates fully contained in ``items`` (sorted, distinct).
+
+        Each contained candidate appears exactly once; order is a trie
+        walk order (bit order for k == 2), which callers must not rely
+        on (hits are folded into commutative count increments).
+        """
+        n = len(items)
+        k = self.k
+        if n < k:
+            return []
+        if k == 2:
+            bit_of = self.bit_of
+            mask = 0
+            for item in items:
+                bit = bit_of.get(item)
+                if bit:
+                    mask |= bit
+            return self.contained_mask(mask)
+        out: list[Itemset] = []
+        position = {item: index for index, item in enumerate(items)}
+
+        def descend(node: dict, start: int, depth: int) -> None:
+            # Positions past `limit` cannot leave enough items to finish
+            # a k-prefix.
+            limit = n - (k - depth) + 1
+            last = depth == k - 1
+            if len(node) <= limit - start:
+                # Candidate-driven: few branches, test each against the
+                # transaction's position table.
+                for item, child in node.items():
+                    index = position.get(item)
+                    if index is None or index < start or index >= limit:
+                        continue
+                    if last:
+                        out.append(child)
+                    else:
+                        descend(child, index + 1, depth + 1)
+            else:
+                # Transaction-driven: short suffix, test each item
+                # against the node's children.
+                for index in range(start, limit):
+                    child = node.get(items[index])
+                    if child is None:
+                        continue
+                    if last:
+                        out.append(child)
+                    else:
+                        descend(child, index + 1, depth + 1)
+
+        descend(self._root, 0, 0)
+        return out
+
+
+class _DeferredPairFold:
+    """Shared k == 2 deferred count folding for the fast counters.
+
+    Subclasses own ``_counts`` (candidate → count) and ``_trie``; this
+    base accumulates ``{extension_mask: weight}`` per call and folds
+    everything on the first :attr:`counts` read — through a weighted
+    bit-row co-occurrence product when numpy is available (float32 or
+    float64 chosen so integer arithmetic stays exact), or an exact
+    pure-Python mask loop otherwise.  Integer additions commute, so the
+    result is identical to folding per call.
+    """
+
+    def _init_fold(self, k: int) -> None:
+        self._pending: dict[int, int] = {}
+        self._cand_bits = None
+        if k == 2 and self._trie is not None and _np is not None:
+            bit_of = self._trie.bit_of
+            ordered = list(self._counts)
+            self._cand_bits = (
+                ordered,
+                _np.fromiter(
+                    (bit_of[c[0]].bit_length() - 1 for c in ordered),
+                    dtype=_np.intp,
+                    count=len(ordered),
+                ),
+                _np.fromiter(
+                    (bit_of[c[1]].bit_length() - 1 for c in ordered),
+                    dtype=_np.intp,
+                    count=len(ordered),
+                ),
+            )
+
+    @property
+    def counts(self) -> dict[Itemset, int]:
+        """Per-candidate supports; folds any deferred masks first."""
+        if self._pending:
+            self._flush()
+        return self._counts
+
+    def _flush(self) -> int:
+        """Fold all pending (mask, weight) pairs into the counts.
+
+        The numpy path unpacks the masks into weighted bit rows and
+        takes one co-occurrence product: entry ``(a, b)`` is the total
+        weight of masks containing both bits — exactly the increment
+        candidate ``(item_a, item_b)`` would have received per call.
+        Total weight bounds every entry and every partial sum, so
+        float32 (fast) is exact below 2**24 and float64 far beyond.
+
+        Returns the total weight applied (the sum of all increments),
+        summed in exact Python integers.
+        """
+        pending, self._pending = self._pending, {}
+        total = 0
+        if self._cand_bits is None or len(pending) < 16:
+            counts = self._counts
+            contained_mask = self._trie.contained_mask
+            for mask, weight in pending.items():
+                matched = contained_mask(mask)
+                total += weight * len(matched)
+                for candidate in matched:
+                    counts[candidate] += weight
+            return total
+        ordered, first_bits, second_bits = self._cand_bits
+        width = len(self._trie.bit_of)
+        nbytes = (width + 7) // 8
+        masks = list(pending)
+        mask_weights = list(pending.values())
+        dtype = _np.float32 if sum(mask_weights) < (1 << 24) else _np.float64
+        co = _np.zeros((width, width), dtype=dtype)
+        for start in range(0, len(masks), 8192):
+            stop = min(start + 8192, len(masks))
+            blob = b"".join(
+                mask.to_bytes(nbytes, "little") for mask in masks[start:stop]
+            )
+            rows = _np.unpackbits(
+                _np.frombuffer(blob, dtype=_np.uint8).reshape(stop - start, nbytes),
+                axis=1,
+                bitorder="little",
+            )[:, :width].astype(dtype)
+            weights = _np.asarray(mask_weights[start:stop], dtype=dtype)
+            co += rows.T @ (rows * weights[:, None])
+        counts = self._counts
+        for candidate, value in zip(ordered, co[first_bits, second_bits].tolist()):
+            if value:
+                increment = int(value)
+                counts[candidate] += increment
+                total += increment
+        return total
+
+
+class PairMaskFolder(_DeferredPairFold):
+    """Deferred pair counting straight into an *external* counts dict.
+
+    Wraps a ``{pair: count}`` table (mutated in place) for callers that
+    already know, per probe batch, the item mask to count against — like
+    HPGM's receive phase, where every owned pair whose two items both
+    appear in a shipped batch was necessarily part of that batch (the
+    sender enumerated **all** pairs of its relevant set bound for this
+    node), so one mask captures the batch's entire hit set.
+    """
+
+    def __init__(self, counts: dict[Itemset, int]):
+        self._counts = counts
+        self._trie = CandidateTrie(counts, 2)
+        self.bit_of = self._trie.bit_of
+        self._init_fold(2)
+
+    def add_mask(self, mask: int, weight: int = 1) -> None:
+        """Accumulate one batch occurrence; folded lazily."""
+        pending = self._pending
+        pending[mask] = pending.get(mask, 0) + weight
+
+    def fold(self) -> int:
+        """Flush pending masks into the wrapped counts dict.
+
+        Returns the total number of increments applied — what a naive
+        per-batch probe loop would have added to ``increments``.
+        """
+        if self._pending:
+            return self._flush()
+        return 0
+
+
+class FastSupportCounter(_DeferredPairFold):
+    """Drop-in for ``SupportCounter(strategy="dict")``, metric-identical.
+
+    The naive dict kernel filters the transaction to the candidate item
+    universe, enumerates all ``C(n, k)`` subsets and probes each; a
+    candidate hits exactly when it is a subset of the relevant set.  So
+    ``generated`` and ``probes`` are both ``C(n, k)`` (closed form) and
+    the hit set is the trie intersection — no enumeration needed.  For
+    k == 2 the folding is deferred (see :class:`_DeferredPairFold`).
+    """
+
+    def __init__(
+        self,
+        candidates: Collection[Itemset],
+        k: int,
+        memoize: bool = True,
+    ):
+        if k <= 0:
+            raise MiningError(f"k must be positive, got {k}")
+        self.k = k
+        self._counts: dict[Itemset, int] = {c: 0 for c in candidates}
+        self.probes = 0
+        self.generated = 0
+        self._universe = {item for c in self._counts for item in c}
+        self._trie = CandidateTrie(self._counts, k) if self._counts else None
+        self._memo: dict[tuple[int, ...], tuple] | None = {} if memoize else None
+        self._init_fold(k)
+
+    def add_transaction(self, transaction: tuple[int, ...], weight: int = 1) -> int:
+        """Count one extended, sorted transaction ``weight`` times.
+
+        Returns the per-occurrence hit count (what the naive kernel
+        returns from a single call).
+        """
+        universe = self._universe
+        relevant = tuple(item for item in transaction if item in universe)
+        if len(relevant) < self.k:
+            return 0
+        memo = self._memo
+        entry = memo.get(relevant) if memo is not None else None
+        if self.k == 2:
+            if entry is None:
+                # Every relevant item is in the trie's bit space: the
+                # universe IS the set of candidate items.
+                bit_of = self._trie.bit_of
+                mask = 0
+                for item in relevant:
+                    mask |= bit_of[item]
+                entry = (
+                    comb(len(relevant), 2),
+                    mask,
+                    self._trie.hit_count_mask(mask),
+                )
+                if memo is not None:
+                    memo[relevant] = entry
+            subsets, mask, hits = entry
+            self.generated += subsets * weight
+            self.probes += subsets * weight
+            if mask:
+                pending = self._pending
+                pending[mask] = pending.get(mask, 0) + weight
+            return hits
+        if entry is None:
+            subsets = comb(len(relevant), self.k)
+            matched = tuple(self._trie.contained(relevant)) if self._trie else ()
+            entry = (subsets, matched)
+            if memo is not None:
+                memo[relevant] = entry
+        subsets, matched = entry
+        self.generated += subsets * weight
+        self.probes += subsets * weight
+        counts = self._counts
+        for candidate in matched:
+            counts[candidate] += weight
+        return len(matched)
+
+
+class FastAncestorClosureCounter:
+    """Drop-in for :class:`~repro.core.counting.AncestorClosureCounter`.
+
+    The naive kernel extends the fragment with its candidate-referenced
+    ancestors (universe-filtered) and enumerates the k-subsets of the
+    extension; a candidate hits exactly when it is a subset of the
+    extension, and ``probes == generated == C(|extension|, k)``.
+    """
+
+    def __init__(
+        self,
+        candidates: Collection[Itemset],
+        k: int,
+        ancestor_table: Mapping[int, tuple[int, ...]],
+        memoize: bool = True,
+    ):
+        if k <= 0:
+            raise MiningError(f"k must be positive, got {k}")
+        self.k = k
+        self.counts: dict[Itemset, int] = {c: 0 for c in candidates}
+        self.probes = 0
+        self.generated = 0
+        self._table = ancestor_table
+        self._universe = {item for c in self.counts for item in c}
+        self._trie = CandidateTrie(self.counts, k) if self.counts else None
+        # item → its universe-filtered chain, filled lazily: items repeat
+        # across transactions far more often than they first appear.
+        self._kept: dict[int, tuple[int, ...]] = {}
+        self._memo: dict[tuple[int, ...], tuple[int, tuple[Itemset, ...]]] | None = (
+            {} if memoize else None
+        )
+
+    def _kept_chain(self, item: int) -> tuple[int, ...]:
+        kept = self._kept.get(item)
+        if kept is None:
+            universe = self._universe
+            chain = self._table.get(item, (item,))
+            kept = tuple(link for link in chain if link in universe)
+            self._kept[item] = kept
+        return kept
+
+    def _extend(self, transaction: tuple[int, ...]) -> set[int]:
+        extended: set[int] = set()
+        for item in transaction:
+            extended.update(self._kept_chain(item))
+        return extended
+
+    def add_transaction(self, transaction: tuple[int, ...], weight: int = 1) -> int:
+        """Count one lowest-large, sorted fragment ``weight`` times."""
+        if not self.counts or len(transaction) < self.k:
+            return 0
+        memo = self._memo
+        entry = memo.get(transaction) if memo is not None else None
+        if entry is None:
+            extended = self._extend(transaction)
+            if len(extended) < self.k:
+                entry = (0, ())
+            else:
+                entry = (
+                    comb(len(extended), self.k),
+                    tuple(self._trie.contained(sorted(extended))),
+                )
+            if memo is not None:
+                memo[transaction] = entry
+        subsets, matched = entry
+        if subsets == 0 and not matched:
+            return 0
+        self.generated += subsets * weight
+        self.probes += subsets * weight
+        counts = self.counts
+        for candidate in matched:
+            counts[candidate] += weight
+        return len(matched)
+
+
+class FastRootKeyedClosureCounter(_DeferredPairFold):
+    """Drop-in for :class:`~repro.core.counting.RootKeyedClosureCounter`.
+
+    The naive kernel groups the (universe-filtered) ancestor extension
+    by root and, per owned root key, takes the cross product of per-root
+    combinations.  Two facts make the fast path exact:
+
+    * a candidate hits exactly when it is a subset of the full extension
+      ``E`` — its root key is then automatically feasible (every chain
+      link shares its item's root, so each of the candidate's per-root
+      item counts is covered by ``E``'s per-root groups) and it is
+      enumerated precisely once, under its own key;
+    * the naive enumeration volume per key is the product of
+      ``C(|pool_root|, multiplicity)`` over the key's roots, with pools
+      filtered to the key's member items — a pure counting expression.
+
+    For k == 2 the per-fragment count fold is **deferred**: each call
+    only bumps a ``{extension_mask: weight}`` accumulator (the per-call
+    return value is a popcount sum, no hit list is materialized), and
+    the first read of :attr:`counts` folds all pending masks at once —
+    through a weighted bit-row co-occurrence product when numpy is
+    available, or an exact pure-Python mask loop otherwise.  Either way
+    the fold is a sum of integer increments, so the result is identical
+    to folding per call.
+    """
+
+    def __init__(
+        self,
+        candidates: Collection[Itemset],
+        k: int,
+        ancestor_table: Mapping[int, tuple[int, ...]],
+        root_of: Mapping[int, int],
+        memoize: bool = True,
+    ):
+        if k <= 0:
+            raise MiningError(f"k must be positive, got {k}")
+        self.k = k
+        self._counts: dict[Itemset, int] = {c: 0 for c in candidates}
+        self.probes = 0
+        self.generated = 0
+        self._table = ancestor_table
+        self._root_of = root_of
+        self._universe = {item for c in self._counts for item in c}
+        self._trie = CandidateTrie(self._counts, k) if self._counts else None
+        # key → bitmask of its candidates' items, in the trie's bit
+        # space (k == 2 only — the whole k == 2 analysis runs on masks
+        # and never consults ``_key_items``).
+        self._key_items: dict[tuple[int, ...], set[int]] = {}
+        self._members_mask: dict[tuple[int, int], int] = {}
+        if k == 2:
+            if self._trie is not None:
+                bit_of = self._trie.bit_of
+                members_mask = self._members_mask
+                for candidate in self._counts:
+                    first, second = root_of[candidate[0]], root_of[candidate[1]]
+                    key = (first, second) if first <= second else (second, first)
+                    members_mask[key] = (
+                        members_mask.get(key, 0)
+                        | bit_of[candidate[0]]
+                        | bit_of[candidate[1]]
+                    )
+        else:
+            for candidate in self._counts:
+                key = tuple(sorted(root_of[item] for item in candidate))
+                self._key_items.setdefault(key, set()).update(candidate)
+        # item → (its root, its universe-filtered chain), filled lazily:
+        # items repeat across fragments far more often than they first
+        # appear.  The k == 2 variant stores the chain as a bitmask.
+        self._kept: dict[int, tuple[int, tuple[int, ...]]] = {}
+        self._kept_mask: dict[int, tuple[int, int]] = {}
+        self._memo: dict[tuple[int, ...], tuple] | None = {} if memoize else None
+        self._init_fold(k)
+
+    def _analyze_pairs(
+        self, fragment: tuple[int, ...]
+    ) -> tuple[int, int, int]:
+        """k == 2 analysis, entirely on bitmasks.
+
+        The naive volume for key ``(r, r)`` is ``C(|pool|, 2)`` and for
+        ``(r1, r2)`` is ``|pool_1| * |pool_2|``, pools being each root's
+        extension group intersected with the key's candidate members —
+        one ``&`` + ``bit_count`` per owned key.  Returns ``(volume,
+        extension_mask, hit_count)``; the hits themselves are folded
+        lazily from the mask (see :meth:`_flush`).
+        """
+        kept_cache = self._kept_mask
+        bit_of = self._trie.bit_of
+        by_root: dict[int, int] = {}
+        for item in fragment:
+            entry = kept_cache.get(item)
+            if entry is None:
+                mask = 0
+                for link in self._table.get(item, (item,)):
+                    bit = bit_of.get(link)
+                    if bit:
+                        mask |= bit
+                entry = (self._root_of[item], mask)
+                kept_cache[item] = entry
+            root, mask = entry
+            if mask:
+                by_root[root] = by_root.get(root, 0) | mask
+        if not by_root:
+            return (0, 0, 0)
+
+        members_mask = self._members_mask
+        subsets = 0
+        roots = sorted(by_root)
+        for index, first in enumerate(roots):
+            group = by_root[first]
+            members = members_mask.get((first, first))
+            if members is not None and group.bit_count() >= 2:
+                pool = (group & members).bit_count()
+                subsets += pool * (pool - 1) // 2
+            for second in roots[index + 1 :]:
+                members = members_mask.get((first, second))
+                if members is not None:
+                    pool = (group & members).bit_count()
+                    if pool:
+                        subsets += pool * (by_root[second] & members).bit_count()
+
+        extension_mask = 0
+        for group in by_root.values():
+            extension_mask |= group
+        return (subsets, extension_mask, self._trie.hit_count_mask(extension_mask))
+
+    def _analyze(self, fragment: tuple[int, ...]) -> tuple[int, tuple[Itemset, ...]]:
+        kept_cache = self._kept
+        by_root: dict[int, set[int]] = {}
+        for item in fragment:
+            entry = kept_cache.get(item)
+            if entry is None:
+                chain = self._table.get(item, (item,))
+                entry = (
+                    self._root_of[item],
+                    tuple(link for link in chain if link in self._universe),
+                )
+                kept_cache[item] = entry
+            root, kept = entry
+            if kept:
+                group = by_root.get(root)
+                if group is None:
+                    by_root[root] = set(kept)
+                else:
+                    group.update(kept)
+        if not by_root:
+            return (0, ())
+
+        key_items = self._key_items
+        subsets = 0
+        from repro.core.counting import feasible_sorted_multisets
+
+        root_counts = Counter(
+            {root: len(items) for root, items in by_root.items()}
+        )
+        for key in feasible_sorted_multisets(root_counts, self.k):
+            members = key_items.get(key)
+            if members is None:
+                continue
+            volume = 1
+            for root, count in sorted(Counter(key).items()):
+                pool = len(by_root[root] & members)
+                volume *= comb(pool, count)
+                if volume == 0:
+                    break
+            subsets += volume
+
+        extension: set[int] = set()
+        for group in by_root.values():
+            extension.update(group)
+        matched = (
+            tuple(self._trie.contained(sorted(extension))) if self._trie else ()
+        )
+        return (subsets, matched)
+
+    def add_transaction(self, fragment: tuple[int, ...], weight: int = 1) -> int:
+        """Count one routed, sorted, lowest-large fragment ``weight`` times."""
+        if not self._counts or len(fragment) < self.k:
+            return 0
+        memo = self._memo
+        entry = memo.get(fragment) if memo is not None else None
+        if self.k == 2:
+            if entry is None:
+                entry = self._analyze_pairs(fragment)
+                if memo is not None:
+                    memo[fragment] = entry
+            subsets, mask, hits = entry
+            self.generated += subsets * weight
+            self.probes += subsets * weight
+            if mask:
+                pending = self._pending
+                pending[mask] = pending.get(mask, 0) + weight
+            return hits
+        if entry is None:
+            entry = self._analyze(fragment)
+            if memo is not None:
+                memo[fragment] = entry
+        subsets, matched = entry
+        self.generated += subsets * weight
+        self.probes += subsets * weight
+        counts = self._counts
+        for candidate in matched:
+            counts[candidate] += weight
+        return len(matched)

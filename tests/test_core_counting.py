@@ -1,12 +1,17 @@
 """Unit tests for repro.core.counting."""
 
+import random
+from collections import Counter
+
 import pytest
 
 from repro.core.counting import (
     AncestorClosureCounter,
     SupportCounter,
     build_closure_table,
+    choose_strategy,
     count_items,
+    feasible_sorted_multisets,
 )
 from repro.errors import MiningError
 from repro.taxonomy.ops import AncestorIndex
@@ -147,3 +152,89 @@ class TestBuildClosureTable:
         index = AncestorIndex(paper_taxonomy)
         table = build_closure_table(index, [10], {1})
         assert table[10] == (10, 1)
+
+
+class TestChooseStrategy:
+    """Pin the ``strategy="auto"`` density crossover.
+
+    k=2 candidates made of n disjoint pairs span a 2n-item universe, so
+    their density is n / C(2n, 2) = 1 / (2n - 1): n = 32 sits exactly at
+    the 1/64 crossover (dict), n = 33 falls just below it (hashtree).
+    """
+
+    def test_crossover_at_one_sixty_fourth(self):
+        at_crossover = [(2 * i, 2 * i + 1) for i in range(32)]
+        below_crossover = [(2 * i, 2 * i + 1) for i in range(33)]
+        assert choose_strategy(32, 2, 64) == "dict"
+        assert choose_strategy(33, 2, 66) == "hashtree"
+        assert SupportCounter(at_crossover, 2, strategy="auto").strategy == "dict"
+        assert (
+            SupportCounter(below_crossover, 2, strategy="auto").strategy
+            == "hashtree"
+        )
+
+    def test_degenerate_inputs_pick_dict(self):
+        assert choose_strategy(0, 2, 100) == "dict"
+        assert choose_strategy(5, 3, 2) == "dict"
+        assert SupportCounter([], 2, strategy="auto").strategy == "dict"
+
+    def test_dense_candidates_pick_dict(self):
+        from itertools import combinations
+
+        dense = list(combinations(range(10), 2))  # the full subset space
+        assert SupportCounter(dense, 2, strategy="auto").strategy == "dict"
+
+    def test_auto_strategies_count_identically(self):
+        sparse = [(2 * i, 2 * i + 1) for i in range(40)]
+        auto = SupportCounter(sparse, 2, strategy="auto")
+        reference = SupportCounter(sparse, 2, strategy="dict")
+        assert auto.strategy == "hashtree"
+        transaction = tuple(range(0, 20))
+        assert auto.add_transaction(transaction) == reference.add_transaction(
+            transaction
+        )
+        assert auto.counts == reference.counts
+
+
+def _reference_feasible_sorted_multisets(available: Counter, k: int):
+    """The pre-optimization implementation: O(k) ``prefix.count(value)``
+    rescan on every extension attempt.  Kept verbatim as the oracle for
+    the incremental-usage rewrite."""
+    values = sorted(available)
+    found = []
+
+    def extend(prefix, start):
+        if len(prefix) == k:
+            found.append(tuple(prefix))
+            return
+        for index in range(start, len(values)):
+            value = values[index]
+            if prefix.count(value) < available[value]:
+                prefix.append(value)
+                extend(prefix, index)
+                prefix.pop()
+
+    extend([], 0)
+    return found
+
+
+class TestFeasibleSortedMultisets:
+    def test_basic_multiset_enumeration(self):
+        available = Counter({1: 2, 2: 1})
+        assert feasible_sorted_multisets(available, 2) == [(1, 1), (1, 2)]
+
+    def test_matches_reference_on_random_counters(self):
+        rng = random.Random(42)
+        for trial in range(60):
+            size = rng.randint(0, 6)
+            available = Counter(
+                {rng.randint(1, 8): rng.randint(1, 3) for _ in range(size)}
+            )
+            for k in (1, 2, 3, 4):
+                assert feasible_sorted_multisets(available, k) == (
+                    _reference_feasible_sorted_multisets(available, k)
+                ), (dict(available), k, trial)
+
+    def test_empty_and_oversized(self):
+        assert feasible_sorted_multisets(Counter(), 2) == []
+        assert feasible_sorted_multisets(Counter({1: 1}), 3) == []

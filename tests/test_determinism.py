@@ -34,6 +34,7 @@ from repro.datagen.generator import generate_dataset
 from repro.datagen.params import GeneratorParams
 from repro.obs import EventSink, Telemetry
 from repro.parallel import make_miner
+from repro.perf.config import CountingConfig
 
 params = GeneratorParams(
     num_transactions=160,
@@ -48,9 +49,23 @@ params = GeneratorParams(
 dataset = generate_dataset(params)
 
 transcript = {}
-for name in ("NPGM", "HPGM", "H-HPGM"):
+# The last two legs re-run H-HPGM with the reference (naive) kernels and
+# on the process-pool executor: both must be byte-identical to the
+# default fast/serial leg, trace and sink included.
+legs = (
+    ("NPGM", "fast", "serial"),
+    ("HPGM", "fast", "serial"),
+    ("H-HPGM", "fast", "serial"),
+    ("H-HPGM/naive", "naive", "serial"),
+    ("H-HPGM/process", "fast", "process"),
+)
+for name, kernel, executor in legs:
     config = ClusterConfig(
-        num_nodes=4, memory_per_node=None, check_invariants=True
+        num_nodes=4,
+        memory_per_node=None,
+        check_invariants=True,
+        executor=executor,
+        workers=2 if executor == "process" else None,
     )
     cluster = Cluster.from_database(config, dataset.database)
     trace = SimulationTrace()
@@ -58,7 +73,9 @@ for name in ("NPGM", "HPGM", "H-HPGM"):
     telemetry = Telemetry(sink=sink)
     cluster.attach_telemetry(telemetry)
     cluster.attach_trace(trace)
-    run = make_miner(name, cluster, dataset.taxonomy).mine(0.08, max_k=3)
+    counting = CountingConfig.naive() if kernel == "naive" else CountingConfig()
+    miner = make_miner(name.split("/")[0], cluster, dataset.taxonomy, counting=counting)
+    run = miner.mine(0.08, max_k=3)
     transcript[name] = {
         "itemsets": [
             [list(itemset), count]
@@ -104,7 +121,17 @@ class TestHashSeedIndependence:
         assert first == second, "mining transcript depends on PYTHONHASHSEED"
 
         transcript = json.loads(first)
-        assert set(transcript) == {"NPGM", "HPGM", "H-HPGM"}
+        assert set(transcript) == {
+            "NPGM",
+            "HPGM",
+            "H-HPGM",
+            "H-HPGM/naive",
+            "H-HPGM/process",
+        }
+        # Kernel and executor choices are invisible in every observable
+        # byte: traces, sink JSONL, Prometheus text, stats JSON.
+        assert transcript["H-HPGM"] == transcript["H-HPGM/naive"]
+        assert transcript["H-HPGM"] == transcript["H-HPGM/process"]
         for name, record in transcript.items():
             assert record["itemsets"], f"{name} found no itemsets"
             assert any("[pass-end]" in line for line in record["trace"])
@@ -131,3 +158,5 @@ class TestHashSeedIndependence:
             for name, r in transcript.items()
         }
         assert canonical["NPGM"] == canonical["HPGM"] == canonical["H-HPGM"]
+        assert canonical["H-HPGM"] == canonical["H-HPGM/naive"]
+        assert canonical["H-HPGM"] == canonical["H-HPGM/process"]

@@ -1,0 +1,82 @@
+"""Smoke tests for the ``repro-bench`` trajectory harness.
+
+A tiny in-process run of the full configuration matrix must produce a
+schema-versioned report whose configurations all match the naive
+baseline digest, and the CLI must write ``BENCH_<label>.json`` and
+exit 0 on agreement.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import bench
+
+TINY = dict(
+    quick=True,
+    workers=2,
+    transactions=300,
+    min_support=0.02,
+    node_counts=(4,),
+    algorithms=("H-HPGM",),
+)
+
+
+class TestRunBenchmark:
+    def test_report_shape_and_agreement(self):
+        report = bench.run_benchmark("unit", **TINY)
+        assert report["schema"] == bench.BENCH_SCHEMA
+        assert report["label"] == "unit"
+        assert report["results_identical"] is True
+
+        names = [entry["configuration"] for entry in report["runs"]]
+        assert names == [name for name, *_ in bench.CONFIGURATIONS]
+        baseline = report["runs"][0]
+        assert baseline["configuration"] == "naive-serial"
+        for entry in report["runs"]:
+            assert entry["digest"] == baseline["digest"]
+            assert entry["matches_baseline"] is True
+            assert entry["wall_seconds"] > 0
+            assert entry["passes"], entry["configuration"]
+
+        # Probes are semantic: every configuration reports the same.
+        probe_counts = {entry["total_probes"] for entry in report["runs"]}
+        assert len(probe_counts) == 1
+
+        speedups = report["speedups"]["H-HPGM/4"]
+        assert set(speedups) == {"fast-serial", "fast-process"}
+        assert all(value > 0 for value in speedups.values())
+        overall = report["speedups"]["overall"]
+        assert set(overall) == {"fast-serial", "fast-process"}
+        assert report["host"]["cpus"] >= 1
+
+    def test_digest_is_deterministic(self):
+        first = bench.run_benchmark("a", **TINY)
+        second = bench.run_benchmark("b", **TINY)
+        digests = lambda report: [e["digest"] for e in report["runs"]]  # noqa: E731
+        assert digests(first) == digests(second)
+
+
+class TestCli:
+    def test_main_writes_report(self, tmp_path, capsys):
+        code = bench.main(
+            [
+                "--quick",
+                "--label",
+                "smoke",
+                "--out",
+                str(tmp_path),
+                "--workers",
+                "2",
+                "--transactions",
+                "300",
+                "--min-support",
+                "0.02",
+            ]
+        )
+        assert code == 0
+        written = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+        assert written["schema"] == bench.BENCH_SCHEMA
+        assert written["results_identical"] is True
+        err = capsys.readouterr().err
+        assert "speedup" in err.lower() or "ok" in err
