@@ -15,6 +15,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.hygiene import BroadExceptRule, MutableDefaultRule
 from repro.analysis.rules.protocol import SimulatorProtocolRule
+from repro.analysis.rules.retry import UnboundedRetryRule
 from repro.analysis.rules.spans import SpanDisciplineRule
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BroadExceptRule(),
     SimulatorProtocolRule(),
     SpanDisciplineRule(),
+    UnboundedRetryRule(),
 )
 
 

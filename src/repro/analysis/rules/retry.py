@@ -1,0 +1,114 @@
+"""RL008 — unbounded retry loops.
+
+The fault layer's contract is that every retry is **bounded**: a
+``while True`` loop wrapping a ``try`` whose handlers neither re-raise
+nor break is a retry-forever — under a persistent fault (or a seeded
+chaos plan with a high transient rate) it spins instead of failing
+with :class:`~repro.errors.SendRetryExhaustedError`.  Write the retry
+as ``for attempt in range(budget)`` with an explicit exhaustion raise,
+as :meth:`repro.faults.recovery.FaultController._retry_transient`
+does.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+
+def _is_while_true(node: ast.While) -> bool:
+    test = node.test
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def _handler_escapes(handler: ast.ExceptHandler) -> bool:
+    """True when the handler can leave the loop (raise/break/return),
+    looking through nested ifs but not into nested functions/loops."""
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Break, ast.Return)):
+            return True
+    return False
+
+
+def _loop_escapes(loop: ast.While) -> bool:
+    """True when the loop body itself has a break/return outside the
+    ``try`` handlers (a success path that terminates the loop)."""
+
+    class _Finder(ast.NodeVisitor):
+        found = False
+
+        def visit_Break(self, node):  # noqa: N802 (ast visitor API)
+            self.found = True
+
+        def visit_Return(self, node):  # noqa: N802
+            self.found = True
+
+        # Don't descend into scopes whose break/return can't end *this* loop.
+        def visit_While(self, node):  # noqa: N802
+            pass
+
+        def visit_For(self, node):  # noqa: N802
+            pass
+
+        def visit_FunctionDef(self, node):  # noqa: N802
+            pass
+
+        def visit_AsyncFunctionDef(self, node):  # noqa: N802
+            pass
+
+    finder = _Finder()
+    for statement in loop.body:
+        if isinstance(statement, ast.Try):
+            # The try body and else block only run to completion on
+            # success — their break/return never fires under a
+            # persistent fault, so they don't bound the retry.  A
+            # ``finally`` break runs unconditionally and does.
+            for part in statement.finalbody:
+                finder.visit(part)
+        else:
+            finder.visit(statement)
+    return finder.found
+
+
+class UnboundedRetryRule(Rule):
+    """RL008 — ``while True`` retry loops without an exit.
+
+    Flags ``while True:`` (and ``while 1:``) loops that contain a
+    ``try`` statement where no ``except`` handler raises, breaks or
+    returns AND the loop body has no break/return of its own: the
+    classic swallow-and-retry-forever.  Bound the retry with a ``for``
+    over the budget and raise on exhaustion.
+    """
+
+    rule_id = "RL008"
+    name = "unbounded-retry"
+    summary = "retry loops must be bounded: no while-True around a swallowing try"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While) or not _is_while_true(node):
+                continue
+            tries = [s for s in node.body if isinstance(s, ast.Try)]
+            if not tries:
+                continue
+            swallowing = any(
+                not any(_handler_escapes(h) for h in t.handlers)
+                for t in tries
+                if t.handlers
+            )
+            if swallowing and not _loop_escapes(node):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "unbounded retry: while-True around a try whose "
+                        "handlers never raise/break/return; bound it with "
+                        "`for attempt in range(budget)` and raise on "
+                        "exhaustion",
+                    )
+                )
+        return findings

@@ -31,6 +31,7 @@ from repro.perf.config import CountingConfig
 from repro.core.rules import generate_rules
 from repro.core.io import save_result
 from repro.datagen.io import save_transactions_text
+from repro.errors import ReproError, error_label, exit_code_for
 from repro.taxonomy.io import save_taxonomy
 from repro.experiments import common
 from repro.experiments import fig13, fig14, fig15, fig16, table6
@@ -71,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("--nodes", type=int, default=common.DEFAULT_NUM_NODES)
     mine.add_argument("--memory", type=int, default=common.DEFAULT_MEMORY_PER_NODE)
+    mine.add_argument(
+        "--strict-memory",
+        action="store_true",
+        help="fail (exit 4) when a node overflows its candidate budget "
+        "instead of fragmenting",
+    )
     mine.add_argument("--max-k", type=int, default=None)
     mine.add_argument(
         "--workers",
@@ -152,6 +159,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         config = ClusterConfig(
             num_nodes=args.nodes,
             memory_per_node=args.memory,
+            strict_memory=args.strict_memory,
             executor="process" if args.workers > 1 else "serial",
             workers=args.workers,
         )
@@ -252,13 +260,19 @@ def _cmd_sequences(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "mine":
-        return _cmd_mine(args)
-    if args.command == "sequences":
-        return _cmd_sequences(args)
-    return _cmd_experiment(args)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "mine":
+            return _cmd_mine(args)
+        if args.command == "sequences":
+            return _cmd_sequences(args)
+        return _cmd_experiment(args)
+    except ReproError as error:
+        # One line per failure class, with a distinct exit code so
+        # scripts can branch on what went wrong without parsing text.
+        print(f"repro-mine: {error_label(error)}: {error}", file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.cluster.cost import CostModel
 from repro.errors import ClusterError
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,14 @@ class ClusterConfig:
     workers:
         Host processes for the ``process`` executor; ``None`` means one
         per available CPU.  Ignored by the serial executor.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  When set, the
+        cluster builds a :class:`~repro.faults.recovery.FaultController`
+        that injects the plan's seeded crashes, stalls and message
+        faults and charges all recovery work to the ``fault_*``
+        counters.  ``None`` (the default) leaves the simulator's
+        behaviour — results, statistics, traces and sinks —
+        byte-identical to a machine without a fault layer.
     """
 
     num_nodes: int = 16
@@ -73,6 +82,7 @@ class ClusterConfig:
     check_invariants: bool = False
     executor: str = "serial"
     workers: int | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -88,6 +98,10 @@ class ClusterConfig:
             )
         if self.workers is not None and self.workers <= 0:
             raise ClusterError("workers must be positive or None")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ClusterError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
 
     @property
     def total_memory(self) -> int | None:

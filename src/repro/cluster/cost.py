@@ -60,6 +60,11 @@ class CostModel:
         Coordinator-side merge cost per (candidate, node) count pair.
     broadcast_itemset:
         Coordinator-side cost per large itemset broadcast to one node.
+    fault_backoff_unit:
+        One unit of retry backoff wait (the fault layer charges
+        ``2**attempt`` units per transient-send retry).
+    fault_stall_unit:
+        One unit of injected slow-node stall.
     """
 
     io_item: float = 2.0e-6
@@ -75,6 +80,8 @@ class CostModel:
     message: float = 5.0e-6
     reduce_candidate: float = 1.5e-7
     broadcast_itemset: float = 1.5e-7
+    fault_backoff_unit: float = 1.0e-3
+    fault_stall_unit: float = 1.0e-2
 
     def __post_init__(self) -> None:
         for name in (
@@ -88,12 +95,21 @@ class CostModel:
             "message",
             "reduce_candidate",
             "broadcast_itemset",
+            "fault_backoff_unit",
+            "fault_stall_unit",
         ):
             if getattr(self, name) < 0:
                 raise ClusterError(f"cost coefficient {name} must be >= 0")
 
     def node_time(self, stats: NodeStats) -> float:
-        """Simulated busy time of one node for one pass."""
+        """Simulated busy time of one node for one pass.
+
+        The fault terms mirror the canonical ones (a retransmission
+        pays wire cost, a recovery re-scan pays I/O cost) plus the two
+        dedicated backoff/stall coefficients; with every fault counter
+        at zero they contribute exactly ``+0.0`` and the sum is
+        bit-identical to the fault-free pricing.
+        """
         return (
             stats.io_items * self.io_item
             + stats.extend_items * self.extend_item
@@ -103,6 +119,14 @@ class CostModel:
             + stats.bytes_sent * self.byte_send
             + stats.bytes_received * self.byte_recv
             + (stats.messages_sent + stats.messages_received) * self.message
+            + stats.fault_retries * self.message
+            + stats.fault_retry_bytes * self.byte_send
+            + stats.fault_rescan_items * self.io_item
+            + stats.fault_restored_bytes * self.byte_recv
+            + stats.fault_dup_bytes * self.byte_recv
+            + stats.fault_reassigned_candidates * self.reduce_candidate
+            + stats.fault_backoff_units * self.fault_backoff_unit
+            + stats.fault_stall_units * self.fault_stall_unit
         )
 
     def coordinator_time(self, reduced_counts: int, broadcast_itemsets: int) -> float:

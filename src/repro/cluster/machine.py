@@ -28,6 +28,7 @@ from repro.cluster.stats import NodeStats, PassStats
 from repro.datagen.corpus import TransactionDatabase
 from repro.datagen.partition import partition_evenly
 from repro.errors import ClusterError
+from repro.faults.recovery import FaultController
 
 
 class Cluster:
@@ -52,6 +53,12 @@ class Cluster:
             item_bytes=config.item_bytes,
             header_bytes=config.message_header_bytes,
         )
+        #: Optional :class:`repro.faults.recovery.FaultController`,
+        #: built when the config carries a fault plan.
+        self.faults = (
+            FaultController(config.faults, self) if config.faults is not None else None
+        )
+        self.network.faults = self.faults
 
     @classmethod
     def from_database(
@@ -112,6 +119,11 @@ class Cluster:
         snapshots = [node.begin_pass() for node in self.nodes]
         if self.telemetry is not None:
             self.telemetry.on_begin_pass()
+        # Fault injection runs last so recovery charges land after the
+        # telemetry baselines reset — the recovery tax is then priced
+        # into the pass's first region span, never lost.
+        if self.faults is not None:
+            self.faults.on_begin_pass()
         return snapshots
 
     def finish_pass(
@@ -169,6 +181,8 @@ class Cluster:
             duplicated_candidates=duplicated_candidates,
             fragments=fragments,
         )
+        if self.faults is not None:
+            self.faults.on_finish_pass(pass_stats)
         if self.telemetry is not None:
             self.telemetry.on_finish_pass(pass_stats, reduced_counts)
         if self.trace is not None:

@@ -3,12 +3,19 @@
 The network models the SP-2's High-Performance Switch as mailboxes: a
 send appends the payload to the destination's queue and charges wire
 bytes (items × ``item_bytes`` + a fixed header) to both endpoints'
-:class:`~repro.cluster.stats.NodeStats`.  Delivery is exact and lossless
-— the quantity under study is *volume* (Table 6), not fault handling.
+:class:`~repro.cluster.stats.NodeStats`.  Delivery of *logical*
+messages is exact — the quantity under study is *volume* (Table 6) —
+but when a :class:`~repro.faults.recovery.FaultController` is attached
+(``ClusterConfig.faults``) individual transmissions may fail
+transiently, be dropped, or arrive twice: the canonical counters still
+record exactly one delivery per logical message, while the
+retransmission/duplicate tax is charged to the ``fault_*`` counters.
 
 Payloads are tuples of item ids (a routed transaction fragment t″ or a
-batch of hashed k-itemsets).  A per-link traffic matrix is kept for
-diagnostics and the network tests.
+batch of hashed k-itemsets).  Mailbox entries carry a per-network
+sequence number so duplicated transmissions are recognised — and
+discarded, with the receiver charged — at drain time.  A per-link
+traffic matrix is kept for diagnostics and the network tests.
 """
 
 from __future__ import annotations
@@ -43,7 +50,16 @@ class Network:
         self.header_bytes = header_bytes
         #: Optional :class:`repro.cluster.trace.SimulationTrace`.
         self.trace = None
-        self._mailboxes: list[deque[Payload]] = [deque() for _ in range(num_nodes)]
+        #: Optional :class:`repro.faults.recovery.FaultController`,
+        #: attached by the cluster when a fault plan is configured.
+        self.faults = None
+        #: Current pass number (0 before the first pass), for error
+        #: context and the fault layer's schedule.
+        self.pass_index = 0
+        self._mailboxes: list[deque[tuple[int, Payload]]] = [
+            deque() for _ in range(num_nodes)
+        ]
+        self._next_seq = 0
         self._traffic: dict[tuple[int, int], int] = {}
         #: Ground-truth per-pass tallies for the invariant checker
         #: (:mod:`repro.cluster.invariants`); reset by :meth:`start_pass`.
@@ -53,14 +69,22 @@ class Network:
 
     def start_pass(self) -> None:
         """Zero the per-pass send/drain tallies (called at pass begin)."""
+        self.pass_index += 1
         self.pass_sends = 0
         self.pass_send_bytes = 0
         self.pass_drained = 0
 
-    def _check(self, node: int) -> None:
+    def _context(self) -> str:
+        """Shared error context: where in the run, how much is in flight."""
+        return (
+            f"pass {self.pass_index}, {self.total_pending()} messages pending"
+        )
+
+    def _check(self, node: int, role: str = "node") -> None:
         if not 0 <= node < self.num_nodes:
             raise RoutingError(
-                f"node id {node} outside cluster of {self.num_nodes} nodes"
+                f"{role} id {node} outside cluster of {self.num_nodes} nodes "
+                f"({self._context()})"
             )
 
     def message_bytes(self, payload: Sequence[int]) -> int:
@@ -79,13 +103,30 @@ class Network:
 
         Self-sends are rejected: local work must never be accounted as
         communication (that would corrupt Table 6).
+
+        With a fault controller attached, this transmission may retry
+        transiently, be dropped-and-retransmitted, or be duplicated;
+        whatever happens, the canonical accounting below runs exactly
+        once per logical message (a duplicate adds a second mailbox
+        copy under the same sequence number, discarded at drain).
         """
-        self._check(src)
-        self._check(dst)
+        self._check(src, "source node")
+        self._check(dst, "destination node")
         if src == dst:
-            raise RoutingError(f"node {src} attempted to send to itself")
+            raise RoutingError(
+                f"node {src} attempted to send to itself ({self._context()})"
+            )
         size = self.message_bytes(payload)
-        self._mailboxes[dst].append(payload)
+        copies = (
+            self.faults.on_send(self, src, dst, size, src_stats)
+            if self.faults is not None
+            else 1
+        )
+        seq = self._next_seq
+        self._next_seq += 1
+        mailbox = self._mailboxes[dst]
+        for _ in range(copies):
+            mailbox.append((seq, payload))
         self._traffic[(src, dst)] = self._traffic.get((src, dst), 0) + size
         self.pass_sends += 1
         self.pass_send_bytes += size
@@ -99,11 +140,25 @@ class Network:
             dst_stats.messages_received += 1
 
     def drain(self, node: int) -> list[Payload]:
-        """Remove and return everything queued for ``node``."""
+        """Remove and return everything queued for ``node``.
+
+        Duplicated transmissions (same sequence number) are delivered
+        once; each discarded copy is charged to the receiving node's
+        ``fault_dup_*`` counters through the fault controller.
+        """
         self._check(node)
         mailbox = self._mailboxes[node]
-        payloads = list(mailbox)
+        entries = list(mailbox)
         mailbox.clear()
+        payloads: list[Payload] = []
+        seen: set[int] = set()
+        for seq, payload in entries:
+            if seq in seen:
+                if self.faults is not None:
+                    self.faults.on_duplicate(node, self.message_bytes(payload))
+                continue
+            seen.add(seq)
+            payloads.append(payload)
         self.pass_drained += len(payloads)
         if self.trace is not None and payloads:
             self.trace.record(
@@ -134,5 +189,8 @@ class Network:
     def reset_traffic(self) -> None:
         """Zero the traffic matrix (mailboxes must already be empty)."""
         if any(self._mailboxes):
-            raise RoutingError("cannot reset traffic with undelivered messages")
+            raise RoutingError(
+                f"cannot reset traffic with undelivered messages "
+                f"({self._context()})"
+            )
         self._traffic.clear()

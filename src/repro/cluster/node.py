@@ -9,6 +9,8 @@ residency (default) or raises under ``strict_memory``.
 
 from __future__ import annotations
 
+import math
+
 from repro.cluster.config import ClusterConfig
 from repro.cluster.disk import LocalDisk
 from repro.cluster.stats import NodeStats
@@ -37,7 +39,12 @@ class Node:
 
         Under ``strict_memory`` the call raises when the node's budget
         would be exceeded; otherwise residency is recorded as-is (the
-        experiments read it to report overflow).
+        experiments read it to report overflow).  With a fault plan
+        whose ``degrade_memory_overflow`` is set, a strict overflow
+        degrades to the paper's multi-fragment re-scan instead of
+        aborting: at most one budget's worth of candidates stays
+        resident and every extra fragment re-reads the partition,
+        charged to ``fault_overflow_fragments``/``fault_rescan_items``.
         """
         budget = self.config.memory_per_node
         if (
@@ -45,6 +52,10 @@ class Node:
             and budget is not None
             and self.stats.candidates_stored + count > budget
         ):
+            plan = self.config.faults
+            if plan is not None and plan.degrade_memory_overflow:
+                self._degrade_overflow(count, budget)
+                return
             raise MemoryBudgetError(
                 f"node {self.node_id}: {self.stats.candidates_stored + count} "
                 f"candidates exceed the {budget}-slot budget"
@@ -56,6 +67,31 @@ class Node:
                 node=self.node_id,
                 count=count,
                 resident=self.stats.candidates_stored,
+            )
+
+    def _degrade_overflow(self, count: int, budget: int) -> None:
+        """Strict-memory overflow → NPGM-style fragmenting re-scan.
+
+        ``⌈total / budget⌉`` fragments hold the table in turn; every
+        fragment beyond the first re-reads the whole local partition.
+        Counts are unaffected (the same candidates are still counted),
+        so only the recovery tax is charged and residency is capped at
+        the budget — the runtime memory invariant stays intact.
+        """
+        total = self.stats.candidates_stored + count
+        fragments = math.ceil(total / budget)
+        extra = fragments - 1
+        self.stats.fault_overflow_fragments += extra
+        self.stats.fault_rescan_items += extra * self.disk.stored_items
+        self.stats.candidates_stored = budget
+        if self.trace is not None:
+            self.trace.record(
+                "fault",
+                fault="degrade",
+                node=self.node_id,
+                requested=total,
+                budget=budget,
+                fragments=fragments,
             )
 
     @property

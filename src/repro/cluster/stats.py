@@ -43,6 +43,14 @@ class NodeStats:
     candidates_stored:
         Candidate itemsets resident in this node's memory this pass
         (partition share plus any duplicated set).
+    fault_*:
+        Fault-injection and recovery work (see :mod:`repro.faults`).
+        These never overlap the canonical counters above: a dropped or
+        duplicated message still charges ``bytes_sent``/``received``
+        exactly once, and the retransmission/duplicate tax lands here.
+        All zero when no :class:`~repro.faults.plan.FaultPlan` is
+        attached, and then omitted from :meth:`to_dict` so fault-free
+        serializations are byte-identical to the pre-fault format.
     """
 
     io_items: int = 0
@@ -56,6 +64,18 @@ class NodeStats:
     messages_sent: int = 0
     messages_received: int = 0
     candidates_stored: int = 0
+    fault_crashes: int = 0
+    fault_retries: int = 0
+    fault_retry_bytes: int = 0
+    fault_backoff_units: int = 0
+    fault_dropped_messages: int = 0
+    fault_dup_messages: int = 0
+    fault_dup_bytes: int = 0
+    fault_rescan_items: int = 0
+    fault_restored_bytes: int = 0
+    fault_reassigned_candidates: int = 0
+    fault_stall_units: int = 0
+    fault_overflow_fragments: int = 0
 
     def merged_with(self, other: "NodeStats") -> "NodeStats":
         """Counter-wise sum (used when aggregating passes)."""
@@ -69,8 +89,16 @@ class NodeStats:
         return merged
 
     def to_dict(self) -> dict:
-        """Counters as a dict in declaration order (stable key order)."""
-        return {spec.name: getattr(self, spec.name) for spec in fields(NodeStats)}
+        """Counters as a dict in declaration order (stable key order).
+
+        Fault counters appear only when non-zero, so fault-free runs
+        serialize byte-identically to the pre-fault schema.
+        """
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(NodeStats)
+            if not spec.name.startswith("fault_") or getattr(self, spec.name)
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "NodeStats":

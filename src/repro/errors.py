@@ -53,6 +53,32 @@ class RoutingError(ClusterError):
     """A message was addressed to a node id outside the cluster."""
 
 
+class FaultError(ClusterError):
+    """Base class of the fault-injection / recovery layer.
+
+    Raised when an injected fault could not be absorbed by the recovery
+    protocol (see :mod:`repro.faults`).  Recoverable faults never raise
+    — they are charged to the ``fault_*`` counters of
+    :class:`~repro.cluster.stats.NodeStats` instead.
+    """
+
+
+class FaultPlanError(FaultError):
+    """An invalid :class:`~repro.faults.plan.FaultPlan` declaration."""
+
+
+class SendRetryExhaustedError(FaultError):
+    """A transient send failure persisted past the retry budget."""
+
+
+class CheckpointError(FaultError):
+    """A recovery needed a pass checkpoint that was never recorded."""
+
+
+class UnrecoverableFaultError(FaultError):
+    """Recovery replay produced state that contradicts the checkpoint."""
+
+
 class InvariantViolationError(ClusterError):
     """A simulator invariant failed at a pass boundary.
 
@@ -70,3 +96,45 @@ class MiningError(ReproError):
 class ObservabilityError(ReproError):
     """Invalid telemetry usage: bad metric/label names, span misuse, or
     a malformed event-sink stream (see :mod:`repro.obs`)."""
+
+
+#: Most-specific-first (class, exit code) table for the CLI front ends.
+#: Codes 0–2 are reserved (success, unexpected crash, argparse usage).
+_EXIT_CODES: tuple[tuple[type, int], ...] = (
+    (MemoryBudgetError, 4),
+    (InvariantViolationError, 5),
+    (RoutingError, 6),
+    (FaultError, 7),
+    (MiningError, 3),
+    (TaxonomyError, 9),
+    (DataGenerationError, 10),
+    (TransactionFormatError, 11),
+    (ObservabilityError, 12),
+    (ClusterError, 8),
+    (ReproError, 13),
+)
+
+
+def exit_code_for(error: BaseException) -> int:
+    """Process exit code for a :class:`ReproError` (13 for the base)."""
+    for error_type, code in _EXIT_CODES:
+        if isinstance(error, error_type):
+            return code
+    return 13
+
+
+def error_label(error: BaseException) -> str:
+    """Human label of an error class: ``MemoryBudgetError`` → ``memory
+    budget error`` (used for the CLI's one-line messages)."""
+    name = type(error).__name__
+    words: list[str] = []
+    current = ""
+    for char in name:
+        if char.isupper() and current:
+            words.append(current)
+            current = char
+        else:
+            current += char
+    if current:
+        words.append(current)
+    return " ".join(word.lower() for word in words)

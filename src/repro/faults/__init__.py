@@ -1,0 +1,37 @@
+"""``repro.faults`` — deterministic fault injection and recovery.
+
+Three pieces (see ``docs/fault_tolerance.md``):
+
+* :mod:`repro.faults.plan` — declarative seeded fault schedules
+  (:class:`FaultPlan`) and the seeded :class:`FaultClock`;
+* :mod:`repro.faults.checkpoint` — pass-level checkpoints and the
+  pass-1 replay oracle;
+* :mod:`repro.faults.recovery` — the :class:`FaultController` wired
+  into ``Network.send``/``drain`` and the pass boundaries, plus the
+  per-algorithm :class:`RecoveryProfile`.
+
+The ``repro-chaos`` CLI (:mod:`repro.faults.cli`) runs the chaos
+equivalence harness: every algorithm under every fault plan must
+produce large itemsets byte-identical to its fault-free run.
+
+This package keeps its module-level imports light (errors + stdlib
+only) so ``repro.cluster.config`` can reference :class:`FaultPlan`
+without an import cycle.
+"""
+
+from repro.faults.checkpoint import CheckpointStore, PassCheckpoint
+from repro.faults.plan import PRESETS, CrashSpec, FaultClock, FaultPlan, StallSpec
+from repro.faults.recovery import DEFAULT_PROFILE, FaultController, RecoveryProfile
+
+__all__ = [
+    "CheckpointStore",
+    "CrashSpec",
+    "DEFAULT_PROFILE",
+    "FaultClock",
+    "FaultController",
+    "FaultPlan",
+    "PassCheckpoint",
+    "PRESETS",
+    "RecoveryProfile",
+    "StallSpec",
+]

@@ -1,0 +1,103 @@
+"""Pass-level checkpoints for crash recovery.
+
+At every pass boundary the coordinator snapshots what a cold standby
+would need to rejoin the computation:
+
+* the pass number and the large itemsets accumulated so far (the only
+  cross-pass mining state — candidate generation is a pure function of
+  the broadcast ``L_{k-1}``);
+* each node's resident candidate count and the duplicated-set size
+  (what a placement scheme loses with a node, priced during recovery);
+* the per-node pass-1 item counts (the replay oracle: a recovering
+  node re-scans its disk partition and the result must match what it
+  counted before the crash).
+
+Checkpoints are value objects: the payload is canonical sorted-key
+JSON, so its size — the bytes a standby pulls from stable storage — is
+deterministic and the chaos transcripts are hash-seed independent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import CheckpointError
+
+
+@dataclass(frozen=True)
+class PassCheckpoint:
+    """One pass boundary's recovery state.
+
+    Parameters
+    ----------
+    k:
+        The pass that just finished.
+    large:
+        ``(itemset, count)`` pairs of the large k-itemsets, sorted.
+    per_node_candidates:
+        Candidate residency per node during the pass.
+    duplicated_candidates:
+        Size of the duplicated set (replicated on every node).
+    """
+
+    k: int
+    large: tuple[tuple[tuple[int, ...], int], ...]
+    per_node_candidates: tuple[int, ...]
+    duplicated_candidates: int = 0
+
+    def payload(self) -> bytes:
+        """Canonical serialized form (what stable storage holds)."""
+        record = {
+            "k": self.k,
+            "large": [[list(itemset), count] for itemset, count in self.large],
+            "per_node_candidates": list(self.per_node_candidates),
+            "duplicated_candidates": self.duplicated_candidates,
+        }
+        return json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes a recovering standby reads back from stable storage."""
+        return len(self.payload())
+
+
+@dataclass
+class CheckpointStore:
+    """The coordinator's checkpoint log plus the pass-1 replay oracle."""
+
+    checkpoints: list[PassCheckpoint] = field(default_factory=list)
+    _pass1_counts: list[dict[int, int]] = field(default_factory=list)
+
+    def record(self, checkpoint: PassCheckpoint) -> None:
+        self.checkpoints.append(checkpoint)
+
+    def latest(self) -> PassCheckpoint:
+        """The newest checkpoint; recovery always restores from here."""
+        if not self.checkpoints:
+            raise CheckpointError(
+                "no pass checkpoint recorded; a crash before the first "
+                "checkpoint is unrecoverable"
+            )
+        return self.checkpoints[-1]
+
+    def record_pass1(self, counts_per_node: list[dict[int, int]]) -> None:
+        """Remember each node's pass-1 item counts (the replay oracle)."""
+        self._pass1_counts = [dict(counts) for counts in counts_per_node]
+
+    def pass1_counts(self, node: int) -> dict[int, int]:
+        """The counts node ``node`` reported in pass 1."""
+        if node >= len(self._pass1_counts):
+            raise CheckpointError(
+                f"no pass-1 counts recorded for node {node}; "
+                "crash recovery needs the replay oracle"
+            )
+        return self._pass1_counts[node]
+
+    @property
+    def has_pass1(self) -> bool:
+        return bool(self._pass1_counts)
+
+    def total_bytes(self) -> int:
+        """Cumulative checkpoint volume written so far."""
+        return sum(checkpoint.size_bytes for checkpoint in self.checkpoints)

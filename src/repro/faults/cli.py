@@ -1,0 +1,202 @@
+"""``repro-chaos`` — the chaos equivalence harness.
+
+For every requested algorithm × fault-plan preset this runs a
+fault-free baseline and a faulted run on identical inputs, then checks
+the recovered large itemsets are **byte-identical** to the baseline's
+(``MiningResult`` equality plus a sha256 over the canonical rendering).
+The faulted run's event sink is written next to ``--out`` so CI can
+archive the exact fault stream that was recovered from.
+
+Exit status is 0 only when every combination matched; any divergence
+(or a ``ReproError`` escaping a run) exits 1 with the failing
+combination named.
+
+Example::
+
+    repro-chaos --algorithms NPGM H-HPGM-FGD --plans crash combined \
+        --transactions 400 --out /tmp/chaos
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.machine import Cluster
+from repro.errors import ReproError, error_label, exit_code_for
+from repro.experiments import common
+from repro.faults.plan import PRESETS, FaultPlan
+from repro.obs import EventSink, Telemetry
+from repro.parallel.registry import ALGORITHMS, make_miner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Assert fault recovery is invisible in mining results",
+    )
+    parser.add_argument("--dataset", default="R30F5", help="R30F5 | R30F3 | R30F10")
+    parser.add_argument("--transactions", type=int, default=400)
+    parser.add_argument(
+        "--algorithms", nargs="+", default=list(ALGORITHMS), metavar="ALGO"
+    )
+    parser.add_argument(
+        "--plans",
+        nargs="+",
+        default=list(PRESETS),
+        metavar="PLAN",
+        help="fault-plan presets: " + ", ".join(PRESETS),
+    )
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument(
+        "--memory", type=int, default=common.DEFAULT_MEMORY_PER_NODE
+    )
+    parser.add_argument("--min-support", type=float, default=0.05)
+    parser.add_argument("--max-k", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7, help="dataset seed")
+    parser.add_argument("--fault-seed", type=int, default=11)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory for summary.json and per-run fault-event sinks",
+    )
+    return parser
+
+
+def _result_digest(result) -> str:
+    payload = {
+        "min_support": result.min_support,
+        "num_transactions": result.num_transactions,
+        "large": sorted(
+            (sorted(itemset), count)
+            for itemset, count in result.large_itemsets().items()
+        ),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _run(dataset, algorithm, args, plan=None, sink_path=None):
+    config = ClusterConfig(
+        num_nodes=args.nodes,
+        memory_per_node=args.memory,
+        check_invariants=True,
+        faults=plan,
+    )
+    cluster = Cluster.from_database(config, dataset.database)
+    telemetry = None
+    if sink_path is not None:
+        telemetry = Telemetry(sink=EventSink(path=sink_path))
+        cluster.attach_telemetry(telemetry)
+    miner = make_miner(algorithm, cluster, dataset.taxonomy)
+    run = miner.mine(args.min_support, max_k=args.max_k)
+    if telemetry is not None and telemetry.sink is not None:
+        telemetry.sink.close()
+    return run
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    rows = []
+    failures = 0
+    for algorithm in args.algorithms:
+        try:
+            baseline = _run(dataset, algorithm, args)
+        except ReproError as error:
+            print(
+                f"repro-chaos: {algorithm} baseline: "
+                f"{error_label(error)}: {error}",
+                file=sys.stderr,
+            )
+            return exit_code_for(error)
+        base_digest = _result_digest(baseline.result)
+        for preset in args.plans:
+            plan = FaultPlan.preset(preset, seed=args.fault_seed, num_nodes=args.nodes)
+            sink_path = None
+            if out_dir is not None:
+                slug = algorithm.lower().replace("-", "")
+                sink_path = out_dir / f"events-{slug}-{preset}.jsonl"
+            try:
+                chaos = _run(dataset, algorithm, args, plan=plan, sink_path=sink_path)
+            except ReproError as error:
+                print(
+                    f"repro-chaos: {algorithm}/{preset}: "
+                    f"{error_label(error)}: {error}",
+                    file=sys.stderr,
+                )
+                failures += 1
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "plan": preset,
+                        "equal": False,
+                        "error": str(error),
+                    }
+                )
+                continue
+            chaos_digest = _result_digest(chaos.result)
+            equal = chaos.result == baseline.result and chaos_digest == base_digest
+            fault_events = sum(
+                getattr(stats, name)
+                for pass_stats in chaos.stats.passes
+                for stats in pass_stats.nodes
+                for name in (
+                    "fault_crashes",
+                    "fault_retries",
+                    "fault_dropped_messages",
+                    "fault_dup_messages",
+                    "fault_stall_units",
+                )
+            )
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "plan": preset,
+                    "equal": equal,
+                    "baseline_sha256": base_digest,
+                    "chaos_sha256": chaos_digest,
+                    "fault_events": fault_events,
+                    "baseline_elapsed": baseline.stats.total_elapsed,
+                    "chaos_elapsed": chaos.stats.total_elapsed,
+                }
+            )
+            status = "ok" if equal else "DIVERGED"
+            print(
+                f"{algorithm:11s} {preset:9s} {status:8s} "
+                f"faults={fault_events} sha={chaos_digest[:12]}"
+            )
+            if not equal:
+                failures += 1
+
+    if out_dir is not None:
+        summary = {
+            "dataset": args.dataset,
+            "transactions": args.transactions,
+            "nodes": args.nodes,
+            "fault_seed": args.fault_seed,
+            "runs": rows,
+            "failures": failures,
+        }
+        summary_path = out_dir / "summary.json"
+        summary_path.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"summary written to {summary_path}")
+
+    if failures:
+        print(f"repro-chaos: {failures} diverging run(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Declarative, seeded fault schedules for the cluster simulator.
+
+A :class:`FaultPlan` describes *what can go wrong* in one run:
+
+* :class:`CrashSpec` — a node dies at a pass boundary and is replaced
+  by a cold standby that must recover (checkpoint restore + disk
+  replay, see :mod:`repro.faults.recovery`);
+* :class:`StallSpec` — a node is slowed for one pass (charged as
+  ``fault_stall_units`` through the cost model);
+* ``drop_rate`` / ``duplicate_rate`` / ``transient_rate`` — per-send
+  probabilities of message loss, duplication and transient send
+  failure, drawn from the plan's own seeded :class:`FaultClock`.
+
+Everything is deterministic: the same plan against the same run
+produces the same faults, the same recovery work and the same
+transcript under any ``PYTHONHASHSEED`` — the chaos equivalence suite
+(`tests/test_faults_chaos.py`) pins exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import FaultPlanError
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One node crash at the *beginning* of pass ``pass_index``.
+
+    ``pass_index`` counts passes from 1 (the item-counting pass);
+    crashes are only meaningful from pass 2 on — recovery restores the
+    checkpoint the crashed node took at the previous pass boundary, and
+    before pass 2 there is nothing to lose.
+    """
+
+    pass_index: int
+    node: int
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """Slow node ``node`` by ``units`` stall units during one pass."""
+
+    pass_index: int
+    node: int
+    units: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete seeded fault schedule (``ClusterConfig.faults``).
+
+    Attributes
+    ----------
+    seed:
+        Seed of the plan's :class:`FaultClock`; the only source of
+        randomness in the whole fault layer.
+    crashes / stalls:
+        Deterministic pass-boundary events.
+    drop_rate:
+        Probability a sent message is lost in flight and must be
+        retransmitted (charged to the sender's ``fault_retries`` /
+        ``fault_retry_bytes``; the logical message still arrives once).
+    duplicate_rate:
+        Probability a message arrives twice; the duplicate is discarded
+        at drain time and charged to the receiver's ``fault_dup_*``.
+    transient_rate:
+        Probability one transmission attempt fails transiently; failed
+        attempts retry with exponential backoff up to ``retry_budget``
+        times, after which :class:`~repro.errors.SendRetryExhaustedError`
+        aborts the run.
+    retry_budget:
+        Maximum retransmissions per send for transient failures.
+    degrade_memory_overflow:
+        When True, a ``strict_memory`` overflow on a node degrades to
+        the paper's multi-fragment re-scan (charged as
+        ``fault_overflow_fragments`` / ``fault_rescan_items``) instead
+        of raising :class:`~repro.errors.MemoryBudgetError`.
+    """
+
+    seed: int = 0
+    crashes: tuple[CrashSpec, ...] = ()
+    stalls: tuple[StallSpec, ...] = ()
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    transient_rate: float = 0.0
+    retry_budget: int = 4
+    degrade_memory_overflow: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "transient_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1), got {rate}")
+        if self.retry_budget < 1:
+            raise FaultPlanError(
+                f"retry_budget must be at least 1, got {self.retry_budget}"
+            )
+        seen: set[tuple[int, int]] = set()
+        for crash in self.crashes:
+            if crash.pass_index < 2:
+                raise FaultPlanError(
+                    f"crash at pass {crash.pass_index}: crashes are only "
+                    "recoverable from pass 2 on (a checkpoint must exist)"
+                )
+            if crash.node < 0:
+                raise FaultPlanError(f"crash node {crash.node} is negative")
+            key = (crash.pass_index, crash.node)
+            if key in seen:
+                raise FaultPlanError(
+                    f"node {crash.node} crashes twice at pass {crash.pass_index}"
+                )
+            seen.add(key)
+        for stall in self.stalls:
+            if stall.pass_index < 1:
+                raise FaultPlanError(
+                    f"stall at pass {stall.pass_index}: passes count from 1"
+                )
+            if stall.node < 0:
+                raise FaultPlanError(f"stall node {stall.node} is negative")
+            if stall.units < 0:
+                raise FaultPlanError(f"stall units must be >= 0, got {stall.units}")
+
+    @property
+    def injects_sends(self) -> bool:
+        """True when any per-send fault can fire (hot-path gate)."""
+        return (
+            self.drop_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.transient_rate > 0.0
+        )
+
+    def max_node(self) -> int:
+        """Largest node id referenced by the schedule (-1 when none)."""
+        ids = [crash.node for crash in self.crashes]
+        ids.extend(stall.node for stall in self.stalls)
+        return max(ids) if ids else -1
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 0, num_nodes: int = 4) -> "FaultPlan":
+        """The chaos suite's named plans: ``crash``, ``loss``, ``combined``."""
+        if num_nodes < 2:
+            raise FaultPlanError("presets need at least 2 nodes")
+        if name == "crash":
+            return cls(
+                seed=seed,
+                crashes=(
+                    CrashSpec(pass_index=2, node=1 % num_nodes),
+                    CrashSpec(pass_index=3, node=(num_nodes - 1)),
+                ),
+                stalls=(StallSpec(pass_index=2, node=0, units=3),),
+            )
+        if name == "loss":
+            return cls(
+                seed=seed,
+                drop_rate=0.08,
+                duplicate_rate=0.06,
+                transient_rate=0.04,
+                retry_budget=6,
+            )
+        if name == "combined":
+            return cls(
+                seed=seed,
+                crashes=(CrashSpec(pass_index=2, node=1 % num_nodes),),
+                stalls=(StallSpec(pass_index=3, node=0, units=2),),
+                drop_rate=0.05,
+                duplicate_rate=0.04,
+                transient_rate=0.03,
+                retry_budget=6,
+            )
+        raise FaultPlanError(
+            f"unknown fault preset {name!r}; known: crash, loss, combined"
+        )
+
+
+#: Names accepted by :meth:`FaultPlan.preset`, in documentation order.
+PRESETS: tuple[str, ...] = ("crash", "loss", "combined")
+
+
+@dataclass
+class FaultClock:
+    """The fault layer's only randomness: one seeded stream per run.
+
+    Draws are consumed in simulator order (sends are replayed in node
+    order, pass events in schedule order), so the stream — and with it
+    every injected fault — is a pure function of ``plan.seed`` and the
+    run itself, independent of ``PYTHONHASHSEED``.
+    """
+
+    plan: FaultPlan
+    rng: random.Random = field(init=False)
+    pass_index: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.plan.seed)
+
+    def next_pass(self) -> int:
+        """Advance to (and return) the next pass index, counting from 1."""
+        self.pass_index += 1
+        return self.pass_index
+
+    def chance(self, rate: float) -> bool:
+        """One Bernoulli draw; never consumes entropy when ``rate == 0``."""
+        if rate <= 0.0:
+            return False
+        return self.rng.random() < rate

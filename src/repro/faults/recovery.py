@@ -1,0 +1,328 @@
+"""The recovery protocol: detection, replay, and fault pricing.
+
+The :class:`FaultController` is the coordinator-side brain of the fault
+layer.  It is attached to a :class:`~repro.cluster.machine.Cluster`
+when ``ClusterConfig.faults`` is set and hooks four places:
+
+* ``Network.send`` — transient failures (bounded retry with
+  exponential backoff), message drops (detected and retransmitted) and
+  duplications (extra mailbox copy, deduplicated at drain);
+* ``Network.drain`` — charges discarded duplicates to the receiver;
+* ``Cluster.begin_pass`` — injects scheduled stalls and drives crash
+  recovery (checkpoint restore, disk replay, partition reassignment);
+* ``Cluster.finish_pass`` — snapshots per-node residency for the next
+  checkpoint.
+
+Every recovered fault is *priced, never semantic*: the canonical
+counters (``bytes_sent``, ``io_items``…) record exactly the fault-free
+protocol, so large itemsets, Table-6 volumes and the runtime invariants
+are untouched, while the recovery tax lands in the dedicated
+``fault_*`` counters of :class:`~repro.cluster.stats.NodeStats` and is
+priced by the cost model (``CostModel.node_time``'s fault terms).
+
+Per-algorithm recovery cost is captured by :class:`RecoveryProfile`:
+NPGM replicates candidates, so a standby loses nothing but its scan;
+the partitioned algorithms must reassign the dead node's candidate (or
+root) partition; the duplication variants recover the duplicated set
+from any survivor instead of regenerating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    CheckpointError,
+    FaultPlanError,
+    SendRetryExhaustedError,
+    UnrecoverableFaultError,
+)
+from repro.faults.checkpoint import CheckpointStore, PassCheckpoint
+from repro.faults.plan import FaultClock, FaultPlan
+
+
+@dataclass(frozen=True)
+class RecoveryProfile:
+    """What one algorithm's placement scheme loses with a node.
+
+    Attributes
+    ----------
+    placement:
+        Human tag of the placement scheme (``replicated``,
+        ``itemset-hash``, ``root-hash``…), used in telemetry events.
+    replicated_candidates:
+        True when every node holds every candidate (NPGM): a standby
+        regenerates them from the broadcast ``L_{k-1}`` for free and no
+        reassignment is charged.
+    replicates_duplicates:
+        True for the duplication variants: the duplicated set lives on
+        every node, so a standby restores it from any survivor (wire
+        cost) instead of re-deriving the partition it lost.
+    description:
+        One line for the docs' recovery cost table.
+    """
+
+    placement: str
+    replicated_candidates: bool = False
+    replicates_duplicates: bool = False
+    description: str = ""
+
+
+#: Fallback profile when no miner is bound (raw cluster driving).
+DEFAULT_PROFILE = RecoveryProfile(
+    placement="unknown",
+    description="no miner bound; full partition reassignment is charged",
+)
+
+
+def _mark_recovery(telemetry, **attrs) -> None:
+    """Emit a zero-length ``recovery`` marker span (the priced recovery
+    seconds appear in the enclosing region's derived ``faults`` span)."""
+    span = telemetry.open_span("recovery", **attrs)
+    telemetry.close_span(span)
+
+
+class FaultController:
+    """Seeded fault injection + recovery for one cluster.
+
+    Built by :class:`~repro.cluster.machine.Cluster` when the config
+    carries a :class:`~repro.faults.plan.FaultPlan`; reachable as
+    ``cluster.faults`` and ``network.faults``.
+    """
+
+    def __init__(self, plan: FaultPlan, cluster):
+        if plan.max_node() >= cluster.num_nodes:
+            raise FaultPlanError(
+                f"fault plan references node {plan.max_node()} but the "
+                f"cluster has {cluster.num_nodes} nodes"
+            )
+        self.plan = plan
+        self.cluster = cluster
+        self.clock = FaultClock(plan)
+        self.checkpoints = CheckpointStore()
+        self.profile = DEFAULT_PROFILE
+        self._miner = None
+        self._last_candidates: tuple[int, ...] = ()
+        self._last_duplicated = 0
+
+    # ------------------------------------------------------------------
+    # Run wiring
+    # ------------------------------------------------------------------
+    def bind_miner(self, miner) -> None:
+        """Adopt a miner's recovery profile and restart the schedule.
+
+        Called by ``ParallelMiner.mine`` so one cluster can host
+        several identically-faulted runs (the chaos harness relies on
+        rebinding producing the same fault stream)."""
+        self._miner = miner
+        self.profile = miner.fault_profile()
+        self.clock = FaultClock(self.plan)
+        self.checkpoints = CheckpointStore()
+        self._last_candidates = ()
+        self._last_duplicated = 0
+
+    # ------------------------------------------------------------------
+    # Network hooks
+    # ------------------------------------------------------------------
+    def on_send(self, network, src: int, dst: int, size: int, src_stats) -> int:
+        """Decide one send's fate; returns mailbox copies (1 or 2).
+
+        Draw order is fixed (transient, drop, duplicate) and sends are
+        replayed in node order, so the fault stream is deterministic.
+        """
+        plan = self.plan
+        clock = self.clock
+        if plan.transient_rate > 0.0 and clock.chance(plan.transient_rate):
+            self._retry_transient(network, src, dst, size, src_stats)
+        if plan.drop_rate > 0.0 and clock.chance(plan.drop_rate):
+            # The first copy is lost in flight; the coordinator detects
+            # the gap and the sender retransmits.  What the mailbox
+            # receives is the retransmission — one logical delivery.
+            if src_stats is not None:
+                src_stats.fault_dropped_messages += 1
+                src_stats.fault_retries += 1
+                src_stats.fault_retry_bytes += size
+            self._record("fault", fault="drop", src=src, dst=dst, bytes=size)
+        if plan.duplicate_rate > 0.0 and clock.chance(plan.duplicate_rate):
+            self._record("fault", fault="duplicate", src=src, dst=dst, bytes=size)
+            return 2
+        return 1
+
+    def _retry_transient(self, network, src, dst, size, src_stats) -> None:
+        plan = self.plan
+        for attempt in range(plan.retry_budget):
+            if src_stats is not None:
+                src_stats.fault_retries += 1
+                src_stats.fault_retry_bytes += size
+                src_stats.fault_backoff_units += 2**attempt
+            if not self.clock.chance(plan.transient_rate):
+                self._record(
+                    "fault",
+                    fault="transient",
+                    src=src,
+                    dst=dst,
+                    bytes=size,
+                    retries=attempt + 1,
+                )
+                return
+        raise SendRetryExhaustedError(
+            f"transient send failure from node {src} to node {dst} persisted "
+            f"past the {plan.retry_budget}-retry budget "
+            f"(pass {network.pass_index}, {network.pending(dst)} messages "
+            f"pending for the receiver)"
+        )
+
+    def on_duplicate(self, node: int, size: int) -> None:
+        """Charge one discarded duplicate to the receiving node."""
+        stats = self.cluster.nodes[node].stats
+        stats.fault_dup_messages += 1
+        stats.fault_dup_bytes += size
+
+    # ------------------------------------------------------------------
+    # Pass-boundary hooks (driven by Cluster)
+    # ------------------------------------------------------------------
+    def on_begin_pass(self) -> None:
+        """Inject this pass's scheduled stalls and crash recoveries."""
+        pass_index = self.clock.next_pass()
+        for stall in sorted(self.plan.stalls, key=lambda s: (s.pass_index, s.node)):
+            if stall.pass_index != pass_index or stall.units == 0:
+                continue
+            node = self.cluster.nodes[stall.node]
+            node.stats.fault_stall_units += stall.units
+            self._record(
+                "fault", fault="stall", node=stall.node, k=pass_index,
+                units=stall.units,
+            )
+        for crash in sorted(self.plan.crashes, key=lambda c: (c.pass_index, c.node)):
+            if crash.pass_index == pass_index:
+                self._recover_crash(crash.node, pass_index)
+
+    def _recover_crash(self, node_id: int, pass_index: int) -> None:
+        """Replace a crashed node with a recovered cold standby.
+
+        The standby (1) restores the latest pass checkpoint from stable
+        storage, (2) replays its disk partition and proves the replay
+        against the checkpointed pass-1 counts, and (3) pays for
+        whatever candidate state the placement scheme lost.  All work
+        is charged to the node's ``fault_*`` counters — the pass then
+        proceeds exactly as the fault-free protocol would.
+        """
+        node = self.cluster.nodes[node_id]
+        stats = node.stats
+        stats.fault_crashes += 1
+
+        checkpoint = self.checkpoints.latest()
+        stats.fault_restored_bytes += checkpoint.size_bytes
+
+        # Genuine replay: re-scan the standby's disk partition and
+        # compare against the pass-1 oracle.  A mismatch means the
+        # "recovered" node would count differently than the node it
+        # replaces — unrecoverable, never papered over.
+        stats.fault_rescan_items += node.disk.stored_items
+        if self._miner is not None and self.checkpoints.has_pass1:
+            from repro.perf.workers import Pass1Task, pass1_scan
+
+            replayed = pass1_scan(
+                Pass1Task(
+                    disk=node.disk,
+                    index=self._miner._full_index,
+                    counting=self._miner.counting,
+                )
+            )
+            expected = self.checkpoints.pass1_counts(node_id)
+            if replayed.counts != expected:
+                raise UnrecoverableFaultError(
+                    f"node {node_id} replay diverged from its checkpoint at "
+                    f"pass {pass_index}: {len(replayed.counts)} items "
+                    f"counted, {len(expected)} expected"
+                )
+        elif self._miner is not None:
+            raise CheckpointError(
+                f"node {node_id} crashed at pass {pass_index} before the "
+                "pass-1 oracle was recorded"
+            )
+
+        reassigned, dup_restored = self._reassignment_cost(checkpoint, node_id)
+        stats.fault_reassigned_candidates += reassigned
+        stats.fault_restored_bytes += dup_restored
+
+        self._record(
+            "fault",
+            fault="crash",
+            node=node_id,
+            k=pass_index,
+            restored_bytes=checkpoint.size_bytes + dup_restored,
+            rescan_items=node.disk.stored_items,
+            reassigned=reassigned,
+            placement=self.profile.placement,
+        )
+        telemetry = self.cluster.telemetry
+        if telemetry is not None:
+            _mark_recovery(
+                telemetry,
+                node=node_id,
+                k=pass_index,
+                placement=self.profile.placement,
+                reassigned=reassigned,
+            )
+
+    def _reassignment_cost(
+        self, checkpoint: PassCheckpoint, node_id: int
+    ) -> tuple[int, int]:
+        """(candidates to reassign, bytes restored from replicas).
+
+        Replicated placement loses nothing; partitioned placement must
+        re-place the dead node's resident candidates; duplication
+        variants fetch the duplicated set from any survivor (wire
+        bytes) and reassign only the non-duplicated partition.
+        """
+        if self.profile.replicated_candidates:
+            return 0, 0
+        per_node = (
+            checkpoint.per_node_candidates[node_id]
+            if node_id < len(checkpoint.per_node_candidates)
+            else 0
+        )
+        if self.profile.replicates_duplicates and checkpoint.duplicated_candidates:
+            duplicated = min(per_node, checkpoint.duplicated_candidates)
+            restored = duplicated * self.cluster.config.candidate_bytes
+            return per_node - duplicated, restored
+        return per_node, 0
+
+    def on_finish_pass(self, pass_stats) -> None:
+        """Snapshot per-node residency for the next checkpoint."""
+        self._last_candidates = tuple(
+            stats.candidates_stored for stats in pass_stats.nodes
+        )
+        self._last_duplicated = pass_stats.duplicated_candidates
+
+    # ------------------------------------------------------------------
+    # Checkpointing (driven by ParallelMiner.mine)
+    # ------------------------------------------------------------------
+    def checkpoint_pass(self, k: int, large: dict) -> None:
+        """Record the pass-``k`` checkpoint (large itemsets + residency)."""
+        self.checkpoints.record(
+            PassCheckpoint(
+                k=k,
+                large=tuple(sorted(large.items())),
+                per_node_candidates=self._last_candidates,
+                duplicated_candidates=self._last_duplicated,
+            )
+        )
+
+    def record_pass1(self, counts_per_node) -> None:
+        """Record the pass-1 replay oracle (per-node item counts)."""
+        self.checkpoints.record_pass1(counts_per_node)
+
+    # ------------------------------------------------------------------
+    def _record(self, event: str, **detail) -> None:
+        trace = self.cluster.trace
+        if trace is not None:
+            trace.record(event, **detail)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultController(plan_seed={self.plan.seed}, "
+            f"profile={self.profile.placement}, "
+            f"checkpoints={len(self.checkpoints.checkpoints)})"
+        )

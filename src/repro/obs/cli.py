@@ -36,6 +36,7 @@ _PHASE_GLYPHS = {
     "extend": "=",
     "probe": "+",
     "comm": "~",
+    "faults": "!",
     "reduce": "%",
 }
 _TIMELINE_WIDTH = 60

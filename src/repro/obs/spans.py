@@ -15,6 +15,9 @@ taxonomy, computed by pricing the delta per cost component:
 * ``extend`` — transaction extension / lowest-large rewriting;
 * ``probe``  — subset generation, hash probes and count increments;
 * ``comm``   — interconnect bytes and message overheads;
+* ``faults`` — retransmissions, recovery re-scans, backoff and stall
+  time charged by the fault layer (:mod:`repro.faults`); zero — and
+  therefore never emitted — when no fault plan is attached;
 * ``reduce`` — the coordinator's end-of-pass merge (emitted per pass).
 
 All span ids, timestamps and attribute orders are pure functions of the
@@ -32,7 +35,7 @@ from repro.cluster.stats import NodeStats
 STAT_FIELDS: tuple[str, ...] = tuple(spec.name for spec in fields(NodeStats))
 
 #: Phase taxonomy rendered by ``repro-trace`` (legend order).
-PHASES: tuple[str, ...] = ("scan", "extend", "probe", "comm", "reduce")
+PHASES: tuple[str, ...] = ("scan", "extend", "probe", "comm", "faults", "reduce")
 
 
 def stats_snapshot(stats: NodeStats) -> tuple[int, ...]:
@@ -75,6 +78,16 @@ def component_times(delta: dict[str, int], cost) -> dict[str, float]:
             get("bytes_sent", 0) * cost.byte_send
             + get("bytes_received", 0) * cost.byte_recv
             + (get("messages_sent", 0) + get("messages_received", 0)) * cost.message
+        ),
+        "faults": (
+            get("fault_retries", 0) * cost.message
+            + get("fault_retry_bytes", 0) * cost.byte_send
+            + get("fault_rescan_items", 0) * cost.io_item
+            + get("fault_restored_bytes", 0) * cost.byte_recv
+            + get("fault_dup_bytes", 0) * cost.byte_recv
+            + get("fault_reassigned_candidates", 0) * cost.reduce_candidate
+            + get("fault_backoff_units", 0) * cost.fault_backoff_unit
+            + get("fault_stall_units", 0) * cost.fault_stall_unit
         ),
     }
 

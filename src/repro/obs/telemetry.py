@@ -51,6 +51,18 @@ STAT_METRICS: tuple[tuple[str, str], ...] = (
     ("bytes_received", "net.bytes_received"),
     ("messages_sent", "net.messages_sent"),
     ("messages_received", "net.messages_received"),
+    ("fault_crashes", "faults.crashes"),
+    ("fault_retries", "faults.retries"),
+    ("fault_retry_bytes", "faults.retry_bytes"),
+    ("fault_backoff_units", "faults.backoff_units"),
+    ("fault_dropped_messages", "faults.dropped_messages"),
+    ("fault_dup_messages", "faults.dup_messages"),
+    ("fault_dup_bytes", "faults.dup_bytes"),
+    ("fault_rescan_items", "faults.rescan_items"),
+    ("fault_restored_bytes", "faults.restored_bytes"),
+    ("fault_reassigned_candidates", "faults.reassigned_candidates"),
+    ("fault_stall_units", "faults.stall_units"),
+    ("fault_overflow_fragments", "faults.overflow_fragments"),
 )
 
 #: Simulated-seconds histogram buckets: 1 ms … ~4 min, powers of four.

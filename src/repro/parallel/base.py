@@ -26,6 +26,7 @@ from repro.core.candidates import generate_candidates
 from repro.core.itemsets import Itemset, minimum_count
 from repro.core.result import MiningResult, PassResult
 from repro.errors import MiningError
+from repro.faults.recovery import RecoveryProfile
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.parallel.allocation import build_root_table
 from repro.perf.config import CountingConfig, default_counting
@@ -92,6 +93,18 @@ class ParallelMiner(ABC):
         telemetry = self.cluster.telemetry
         return telemetry if telemetry is not None else NULL_TELEMETRY
 
+    def fault_profile(self) -> RecoveryProfile:
+        """What this algorithm's placement loses when a node dies.
+
+        Subclasses override to describe their candidate placement; the
+        :class:`~repro.faults.recovery.FaultController` prices crash
+        recovery from it (see ``docs/fault_tolerance.md``).
+        """
+        return RecoveryProfile(
+            placement="partitioned",
+            description="full candidate partition reassigned to the standby",
+        )
+
     # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
@@ -117,6 +130,9 @@ class ParallelMiner(ABC):
         )
         run = RunStats(algorithm=self.name, num_nodes=self.cluster.num_nodes)
         obs = self.obs
+        faults = self.cluster.faults
+        if faults is not None:
+            faults.bind_miner(self)
         obs.begin_run(self.name, self.cluster.num_nodes)
 
         with obs.pass_span(1):
@@ -125,6 +141,8 @@ class ParallelMiner(ABC):
             PassResult(k=1, num_candidates=pass1_stats.num_candidates, large=large_1)
         )
         run.passes.append(pass1_stats)
+        if faults is not None:
+            faults.checkpoint_pass(1, large_1)
         self._large_items = {itemset[0] for itemset in large_1}
         self._after_pass_one()
 
@@ -140,6 +158,8 @@ class ParallelMiner(ABC):
                 PassResult(k=k, num_candidates=len(candidates), large=large_k)
             )
             run.passes.append(pass_stats)
+            if faults is not None:
+                faults.checkpoint_pass(k, large_k)
             previous = large_k
             k += 1
 
@@ -161,6 +181,10 @@ class ParallelMiner(ABC):
             for node in self.cluster.nodes
         ]
         results = execute_per_node(self.cluster.config, pass1_scan, tasks)
+        if self.cluster.faults is not None:
+            # The replay oracle: a crashed node's standby re-scans its
+            # partition and must reproduce exactly these counts.
+            self.cluster.faults.record_pass1([scan.counts for scan in results])
         total: dict[int, int] = {}
         reduced = 0
         for node, scan in zip(self.cluster.nodes, results):

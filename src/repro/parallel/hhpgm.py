@@ -31,6 +31,7 @@ from repro.cluster.stats import PassStats
 from repro.core.candidates import candidate_item_universe
 from repro.core.counting import build_closure_table
 from repro.core.itemsets import Itemset
+from repro.faults.recovery import RecoveryProfile
 from repro.parallel.allocation import (
     partition_candidates_by_root,
     root_key,
@@ -45,6 +46,14 @@ class HHPGM(ParallelMiner):
     """Root-itemset hash partitioning; no duplication."""
 
     name = "H-HPGM"
+
+    def fault_profile(self) -> RecoveryProfile:
+        return RecoveryProfile(
+            placement="root-hash",
+            description="a lost node loses whole candidate subtrees "
+            "(all candidates sharing its root combinations); the full "
+            "root partition is reassigned",
+        )
 
     def _after_pass_one(self) -> None:
         # Lowest-large rewrite table (Figure 5, line 8); L1 is fixed for

@@ -12,6 +12,7 @@ minimum-support range (Figures 14–16).
 from __future__ import annotations
 
 from repro.core.itemsets import Itemset
+from repro.faults.recovery import RecoveryProfile
 from repro.parallel.duplication import select_fine_grain
 from repro.parallel.hhpgm import HHPGM
 
@@ -20,6 +21,15 @@ class HHPGMFineGrain(HHPGM):
     """H-HPGM with any-level frequent-itemset duplication."""
 
     name = "H-HPGM-FGD"
+
+    def fault_profile(self) -> RecoveryProfile:
+        return RecoveryProfile(
+            placement="root-hash+fine-dup",
+            replicates_duplicates=True,
+            description="duplicated hot itemsets are restored from any "
+            "survivor; only the non-duplicated root partition is "
+            "reassigned",
+        )
 
     def _select_duplicates(
         self,

@@ -13,6 +13,7 @@ its descendants are not (the weakness FGD removes).
 from __future__ import annotations
 
 from repro.core.itemsets import Itemset
+from repro.faults.recovery import RecoveryProfile
 from repro.parallel.duplication import lowest_large_items, select_path_grain
 from repro.parallel.hhpgm import HHPGM
 
@@ -21,6 +22,15 @@ class HHPGMPathGrain(HHPGM):
     """H-HPGM with leaf-itemset + ancestor-path duplication."""
 
     name = "H-HPGM-PGD"
+
+    def fault_profile(self) -> RecoveryProfile:
+        return RecoveryProfile(
+            placement="root-hash+path-dup",
+            replicates_duplicates=True,
+            description="duplicated paths are restored from any "
+            "survivor; only the non-duplicated root partition is "
+            "reassigned",
+        )
 
     def _select_duplicates(
         self,

@@ -12,6 +12,7 @@ degenerates to plain H-HPGM — exactly the behaviour Figure 14 shows.
 from __future__ import annotations
 
 from repro.core.itemsets import Itemset
+from repro.faults.recovery import RecoveryProfile
 from repro.parallel.duplication import select_tree_grain
 from repro.parallel.hhpgm import HHPGM
 
@@ -20,6 +21,15 @@ class HHPGMTreeGrain(HHPGM):
     """H-HPGM with whole-tree duplication."""
 
     name = "H-HPGM-TGD"
+
+    def fault_profile(self) -> RecoveryProfile:
+        return RecoveryProfile(
+            placement="root-hash+tree-dup",
+            replicates_duplicates=True,
+            description="duplicated trees are restored from any "
+            "survivor; only the non-duplicated root partition is "
+            "reassigned",
+        )
 
     def _select_duplicates(
         self,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.cluster.stats import PassStats
 from repro.core.candidates import candidate_item_universe
 from repro.core.itemsets import Itemset
+from repro.faults.recovery import RecoveryProfile
 from repro.parallel.allocation import (
     pair_owner_matrix,
     partition_candidates_by_itemset,
@@ -33,6 +34,13 @@ class HPGM(ParallelMiner):
     """Hierarchy-oblivious hash partitioning of the candidates."""
 
     name = "HPGM"
+
+    def fault_profile(self) -> RecoveryProfile:
+        return RecoveryProfile(
+            placement="itemset-hash",
+            description="the dead node's hash partition — unrelated "
+            "candidates scattered by itemset hash — is reassigned in full",
+        )
 
     def _run_pass(
         self,

@@ -23,6 +23,7 @@ import math
 from repro.cluster.stats import PassStats
 from repro.core.candidates import candidate_item_universe
 from repro.core.itemsets import Itemset
+from repro.faults.recovery import RecoveryProfile
 from repro.parallel.base import ParallelMiner
 from repro.perf.executor import execute_per_node
 from repro.perf.workers import NPGMScanTask, apply_stats, npgm_scan
@@ -33,6 +34,15 @@ class NPGM(ParallelMiner):
     """Replicated-candidate mining with fragmenting re-scans."""
 
     name = "NPGM"
+
+    def fault_profile(self) -> RecoveryProfile:
+        return RecoveryProfile(
+            placement="replicated",
+            replicated_candidates=True,
+            description="every node holds every candidate; a standby "
+            "regenerates them from the broadcast L_{k-1} and only "
+            "re-scans its own partition",
+        )
 
     def _run_pass(
         self,

@@ -1,0 +1,50 @@
+"""RL008 fixture: unbounded while-True retry loops."""
+
+
+def retry_forever(send):
+    while True:  # expect: RL008
+        try:
+            return send()
+        except OSError:
+            pass
+
+
+def retry_forever_while_one(send):
+    while 1:  # expect: RL008
+        try:
+            send()
+        except OSError:
+            continue
+
+
+def bounded_retry(send, budget):
+    for _attempt in range(budget):
+        try:
+            return send()
+        except OSError:
+            continue
+    raise RuntimeError("retry budget exhausted")
+
+
+def handler_escapes(send):
+    while True:
+        try:
+            return send()
+        except OSError:
+            raise
+
+
+def loop_breaks_on_success(send):
+    while True:
+        try:
+            send()
+        except OSError:
+            continue
+        break
+
+
+def event_loop(queue):
+    # Not a retry loop: no try statement at all.
+    while True:
+        if queue.process():
+            break

@@ -66,11 +66,56 @@ class TestMine:
         loaded = load_result(out)
         assert loaded.total_large > 0
 
-    def test_unknown_algorithm_fails(self):
-        from repro.errors import MiningError
+    def test_unknown_algorithm_fails(self, capsys):
+        code = cli.main(["mine", "--algorithm", "bogus", "--max-k", "2"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mine: mining error: ")
+        assert "bogus" in err
+        assert err.count("\n") == 1
 
-        with pytest.raises(MiningError):
-            cli.main(["mine", "--algorithm", "bogus", "--max-k", "2"])
+
+class TestErrorExitCodes:
+    """``repro.errors`` maps to one-line messages + distinct exit codes."""
+
+    def test_memory_budget_error_exits_4(self, capsys):
+        # strict_memory with a 1-slot budget overflows immediately.
+        code = cli.main(
+            ["mine", "--algorithm", "HPGM", "--min-support", "0.1",
+             "--max-k", "2", "--nodes", "2", "--memory", "1",
+             "--strict-memory"]
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mine: memory budget error: ")
+        assert err.count("\n") == 1
+
+    def test_exit_codes_are_distinct_per_error_family(self):
+        from repro import errors
+
+        codes = [code for _, code in errors._EXIT_CODES]
+        assert len(codes) == len(set(codes))
+        assert 0 not in codes and 1 not in codes and 2 not in codes
+
+    def test_exit_code_most_specific_wins(self):
+        from repro import errors
+
+        assert errors.exit_code_for(errors.MemoryBudgetError("x")) == 4
+        assert errors.exit_code_for(errors.FaultError("x")) == 7
+        assert errors.exit_code_for(errors.SendRetryExhaustedError("x")) == 7
+        assert errors.exit_code_for(errors.MiningError("x")) == 3
+        assert errors.exit_code_for(errors.ClusterError("x")) == 8
+        assert errors.exit_code_for(errors.ReproError("x")) == 13
+
+    def test_error_label_is_readable(self):
+        from repro import errors
+
+        assert errors.error_label(errors.MemoryBudgetError("x")) == (
+            "memory budget error"
+        )
+        assert errors.error_label(errors.SendRetryExhaustedError("x")) == (
+            "send retry exhausted error"
+        )
 
 
 class TestExperimentCommand:

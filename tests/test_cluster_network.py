@@ -75,3 +75,55 @@ class TestNetwork:
     def test_invalid_size(self):
         with pytest.raises(RoutingError):
             Network(num_nodes=0)
+
+
+class TestErrorContext:
+    """Routing errors carry node id, pass number and queue depth."""
+
+    def test_out_of_range_send_names_node_pass_and_depth(self):
+        network = Network(num_nodes=2)
+        network.start_pass()
+        network.start_pass()
+        network.send(0, 1, (1,))
+        network.send(0, 1, (2,))
+        with pytest.raises(RoutingError) as exc:
+            network.send(0, 5, (1,))
+        message = str(exc.value)
+        assert "destination node id 5" in message
+        assert "pass 2" in message
+        assert "2 messages pending" in message
+
+    def test_bad_source_named_as_source(self):
+        network = Network(num_nodes=2)
+        with pytest.raises(RoutingError) as exc:
+            network.send(7, 1, (1,))
+        assert "source node id 7" in str(exc.value)
+
+    def test_self_send_context(self):
+        network = Network(num_nodes=2)
+        network.start_pass()
+        with pytest.raises(RoutingError) as exc:
+            network.send(1, 1, (1,))
+        message = str(exc.value)
+        assert "node 1 attempted to send to itself" in message
+        assert "pass 1" in message
+
+    def test_drain_out_of_range_context(self):
+        network = Network(num_nodes=3)
+        network.send(0, 1, (1,))
+        with pytest.raises(RoutingError) as exc:
+            network.drain(9)
+        message = str(exc.value)
+        assert "node id 9" in message
+        assert "cluster of 3 nodes" in message
+        assert "1 messages pending" in message
+
+    def test_reset_traffic_error_context(self):
+        network = Network(num_nodes=2)
+        network.start_pass()
+        network.send(0, 1, (1,))
+        with pytest.raises(RoutingError) as exc:
+            network.reset_traffic()
+        message = str(exc.value)
+        assert "pass 1" in message
+        assert "1 messages pending" in message

@@ -1,0 +1,188 @@
+"""Chaos equivalence: recovery must be invisible in the mining output.
+
+Every algorithm runs fault-free once (module-scoped baselines), then
+again under each fault-plan preset on the same dataset.  The recovered
+run must produce **byte-identical large itemsets** — ``MiningResult``
+equality over the full itemset→count mapping — while visibly paying
+for the faults (non-zero ``fault_*`` counters, larger simulated time).
+
+Transcript determinism is pinned the same way: two identically-faulted
+runs must emit identical event-sink lines.  CI re-runs this module
+under two ``PYTHONHASHSEED`` values, so any hash-order leak into the
+fault stream fails there too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.faults import FaultPlan, PRESETS
+from repro.obs import EventSink, Telemetry
+from repro.parallel import make_miner
+
+ALGORITHMS = (
+    "NPGM",
+    "HPGM",
+    "H-HPGM",
+    "H-HPGM-TGD",
+    "H-HPGM-PGD",
+    "H-HPGM-FGD",
+)
+
+NUM_NODES = 4
+MIN_SUPPORT = 0.05
+FAULT_SEED = 11
+
+
+def _run(dataset, algorithm, plan=None, sink=False, **config_kw):
+    config_kw.setdefault("num_nodes", NUM_NODES)
+    config_kw.setdefault("memory_per_node", 2_000)
+    config_kw.setdefault("check_invariants", True)
+    config = ClusterConfig(faults=plan, **config_kw)
+    cluster = Cluster.from_database(config, dataset.database)
+    telemetry = None
+    if sink:
+        telemetry = Telemetry(sink=EventSink())
+        cluster.attach_telemetry(telemetry)
+    miner = make_miner(algorithm, cluster, dataset.taxonomy)
+    run = miner.mine(MIN_SUPPORT, max_k=3)
+    return run, telemetry
+
+
+def _fault_total(run, *names):
+    return sum(
+        getattr(stats, name)
+        for pass_stats in run.stats.passes
+        for stats in pass_stats.nodes
+        for name in names
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines(small_dataset):
+    """One fault-free run per algorithm."""
+    return {
+        algorithm: _run(small_dataset, algorithm)[0] for algorithm in ALGORITHMS
+    }
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestChaosEquivalence:
+    def test_recovered_results_are_identical(
+        self, small_dataset, baselines, algorithm, preset
+    ):
+        plan = FaultPlan.preset(preset, seed=FAULT_SEED, num_nodes=NUM_NODES)
+        chaos, _ = _run(small_dataset, algorithm, plan)
+        baseline = baselines[algorithm]
+        assert chaos.result == baseline.result
+        assert (
+            chaos.result.large_itemsets() == baseline.result.large_itemsets()
+        )
+
+    def test_faults_are_paid_for(
+        self, small_dataset, baselines, algorithm, preset
+    ):
+        plan = FaultPlan.preset(preset, seed=FAULT_SEED, num_nodes=NUM_NODES)
+        chaos, _ = _run(small_dataset, algorithm, plan)
+        baseline = baselines[algorithm]
+        if preset in ("crash", "combined"):
+            assert _fault_total(chaos, "fault_crashes") == len(plan.crashes)
+            assert _fault_total(chaos, "fault_stall_units") == sum(
+                stall.units for stall in plan.stalls
+            )
+            assert _fault_total(chaos, "fault_rescan_items") > 0
+            assert _fault_total(chaos, "fault_restored_bytes") > 0
+            assert chaos.stats.total_elapsed > baseline.stats.total_elapsed
+        else:
+            # Per-send faults only fire when the algorithm sends; with
+            # full candidate replication nothing travels and the plan
+            # is (correctly) a no-op.
+            sends = _fault_total(chaos, "messages_sent")
+            fault_traffic = _fault_total(
+                chaos,
+                "fault_retries",
+                "fault_dropped_messages",
+                "fault_dup_messages",
+            )
+            if sends:
+                assert fault_traffic > 0
+            else:
+                assert fault_traffic == 0
+
+
+class TestTranscriptDeterminism:
+    @pytest.mark.parametrize("algorithm", ("HPGM", "H-HPGM-FGD"))
+    def test_same_plan_same_transcript(self, small_dataset, algorithm):
+        plan = FaultPlan.preset("combined", seed=FAULT_SEED, num_nodes=NUM_NODES)
+        _, first = _run(small_dataset, algorithm, plan, sink=True)
+        _, second = _run(small_dataset, algorithm, plan, sink=True)
+        assert first.sink.lines == second.sink.lines
+
+    def test_different_seed_different_faults(self, small_dataset):
+        base = FaultPlan.preset("loss", seed=1, num_nodes=NUM_NODES)
+        other = FaultPlan.preset("loss", seed=2, num_nodes=NUM_NODES)
+        run_a, _ = _run(small_dataset, "HPGM", base)
+        run_b, _ = _run(small_dataset, "HPGM", other)
+        charges = lambda run: _fault_total(  # noqa: E731
+            run, "fault_retries", "fault_dup_messages", "fault_dropped_messages"
+        )
+        assert charges(run_a) != charges(run_b)
+        assert run_a.result == run_b.result
+
+
+class TestFaultFreeByteIdentity:
+    """``faults=None`` must leave every output byte-identical —
+    NodeStats dicts carry no ``fault_*`` keys and transcripts match a
+    config that predates the fault layer entirely."""
+
+    def test_stats_dicts_have_no_fault_keys(self, small_dataset):
+        run, _ = _run(small_dataset, "H-HPGM")
+        for pass_stats in run.stats.passes:
+            for stats in pass_stats.nodes:
+                assert not any(
+                    key.startswith("fault_") for key in stats.to_dict()
+                )
+
+    def test_transcripts_unchanged_by_fault_field(self, small_dataset):
+        run_a, telemetry_a = _run(small_dataset, "H-HPGM", plan=None, sink=True)
+        run_b, telemetry_b = _run(small_dataset, "H-HPGM", plan=None, sink=True)
+        assert telemetry_a.sink.lines == telemetry_b.sink.lines
+        assert not any(
+            '"fault' in line for line in telemetry_a.sink.lines
+        ), "fault-free transcripts must not mention faults"
+
+
+class TestGracefulDegradation:
+    """strict_memory + a fault plan downgrades overflow to the paper's
+    multi-fragment re-scan instead of aborting."""
+
+    @pytest.mark.parametrize("algorithm", ("HPGM", "H-HPGM"))
+    def test_overflow_degrades_and_results_match(
+        self, small_dataset, baselines, algorithm
+    ):
+        plan = FaultPlan(seed=FAULT_SEED)  # degrade_memory_overflow=True
+        run, _ = _run(
+            small_dataset,
+            algorithm,
+            plan,
+            memory_per_node=300,
+            strict_memory=True,
+            check_invariants=True,
+        )
+        assert run.result == baselines[algorithm].result
+        assert _fault_total(run, "fault_overflow_fragments") > 0
+        assert _fault_total(run, "fault_rescan_items") > 0
+
+    def test_strict_without_plan_still_aborts(self, small_dataset):
+        from repro.errors import MemoryBudgetError
+
+        with pytest.raises(MemoryBudgetError):
+            _run(
+                small_dataset,
+                "HPGM",
+                memory_per_node=300,
+                strict_memory=True,
+                check_invariants=False,
+            )

@@ -1,0 +1,242 @@
+"""Unit tests for the fault layer: plans, clocks, checkpoints, and the
+raw drop/duplicate/transient mechanics on a live cluster network."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import (
+    CheckpointError,
+    FaultPlanError,
+    SendRetryExhaustedError,
+)
+from repro.faults import (
+    CheckpointStore,
+    CrashSpec,
+    FaultClock,
+    FaultPlan,
+    PassCheckpoint,
+    StallSpec,
+)
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(drop_rate=1.0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(FaultPlanError):
+            FaultPlan(transient_rate=2.0)
+
+    def test_retry_budget_must_be_positive(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(retry_budget=0)
+
+    def test_crash_before_first_checkpoint_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crashes=(CrashSpec(pass_index=1, node=0),))
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                crashes=(
+                    CrashSpec(pass_index=2, node=0),
+                    CrashSpec(pass_index=2, node=0),
+                )
+            )
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(crashes=(CrashSpec(pass_index=2, node=-1),))
+        with pytest.raises(FaultPlanError):
+            FaultPlan(stalls=(StallSpec(pass_index=1, node=-1, units=1),))
+
+    def test_stall_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(stalls=(StallSpec(pass_index=0, node=0, units=1),))
+        with pytest.raises(FaultPlanError):
+            FaultPlan(stalls=(StallSpec(pass_index=1, node=0, units=-1),))
+
+    def test_plan_must_fit_cluster(self):
+        plan = FaultPlan(crashes=(CrashSpec(pass_index=2, node=7),))
+        config = ClusterConfig(num_nodes=2, faults=plan)
+        with pytest.raises(FaultPlanError):
+            Cluster.from_database(config, TransactionDatabase([(1, 2)]))
+
+    def test_injects_sends_and_max_node(self):
+        assert not FaultPlan().injects_sends
+        assert FaultPlan(drop_rate=0.1).injects_sends
+        assert FaultPlan().max_node() == -1
+        plan = FaultPlan(
+            crashes=(CrashSpec(pass_index=2, node=1),),
+            stalls=(StallSpec(pass_index=1, node=3, units=1),),
+        )
+        assert plan.max_node() == 3
+
+    def test_presets(self):
+        for name in ("crash", "loss", "combined"):
+            plan = FaultPlan.preset(name, seed=5, num_nodes=4)
+            assert plan.seed == 5
+            assert plan.max_node() < 4
+        with pytest.raises(FaultPlanError):
+            FaultPlan.preset("nope")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.preset("crash", num_nodes=1)
+
+
+class TestFaultClock:
+    def test_same_seed_same_stream(self):
+        plan = FaultPlan(seed=42, drop_rate=0.5)
+        a = FaultClock(plan)
+        b = FaultClock(plan)
+        assert [a.chance(0.5) for _ in range(64)] == [
+            b.chance(0.5) for _ in range(64)
+        ]
+
+    def test_zero_rate_consumes_no_entropy(self):
+        plan = FaultPlan(seed=7, drop_rate=0.5)
+        a = FaultClock(plan)
+        b = FaultClock(plan)
+        for _ in range(10):
+            assert a.chance(0.0) is False
+        # a's stream is untouched: it still matches b draw-for-draw.
+        assert [a.chance(0.5) for _ in range(32)] == [
+            b.chance(0.5) for _ in range(32)
+        ]
+
+    def test_next_pass_counts_from_one(self):
+        clock = FaultClock(FaultPlan())
+        assert clock.next_pass() == 1
+        assert clock.next_pass() == 2
+
+
+class TestCheckpointStore:
+    def test_latest_requires_a_checkpoint(self):
+        with pytest.raises(CheckpointError):
+            CheckpointStore().latest()
+
+    def test_record_and_latest(self):
+        store = CheckpointStore()
+        first = PassCheckpoint(k=1, large=(), per_node_candidates=(3, 4))
+        second = PassCheckpoint(
+            k=2,
+            large=(((1, 2), 10),),
+            per_node_candidates=(5, 6),
+            duplicated_candidates=2,
+        )
+        store.record(first)
+        store.record(second)
+        assert store.latest() is second
+        assert store.total_bytes() == first.size_bytes + second.size_bytes
+
+    def test_payload_is_canonical(self):
+        checkpoint = PassCheckpoint(
+            k=2, large=(((1, 2), 10),), per_node_candidates=(5,)
+        )
+        assert checkpoint.payload() == checkpoint.payload()
+        assert checkpoint.size_bytes == len(checkpoint.payload())
+        assert b'"k":2' in checkpoint.payload()
+
+    def test_pass1_oracle(self):
+        store = CheckpointStore()
+        assert not store.has_pass1
+        with pytest.raises(CheckpointError):
+            store.pass1_counts(0)
+        store.record_pass1([{1: 5}, {2: 7}])
+        assert store.has_pass1
+        assert store.pass1_counts(1) == {2: 7}
+        with pytest.raises(CheckpointError):
+            store.pass1_counts(2)
+
+
+def _cluster(plan, num_nodes=2):
+    config = ClusterConfig(num_nodes=num_nodes, faults=plan)
+    database = TransactionDatabase([(1, 2), (2, 3), (1, 3), (2, 4)])
+    return Cluster.from_database(config, database)
+
+
+class TestSendFaultMechanics:
+    """Drive the network directly; canonical accounting must see
+    exactly one delivery per logical message, fault work lands in the
+    ``fault_*`` counters."""
+
+    def test_duplicate_is_deduplicated_at_drain(self):
+        cluster = _cluster(FaultPlan(seed=0, duplicate_rate=0.99))
+        network = cluster.network
+        src = cluster.nodes[0].stats
+        dst = cluster.nodes[1].stats
+        network.send(0, 1, (1, 2), src, dst)
+        # Two mailbox copies, one logical payload after dedup.
+        assert network.pending(1) == 2
+        assert network.drain(1) == [(1, 2)]
+        assert src.messages_sent == 1
+        assert dst.messages_received == 1
+        assert dst.fault_dup_messages == 1
+        assert dst.fault_dup_bytes == network.message_bytes((1, 2))
+
+    def test_drop_is_retransmitted_by_sender(self):
+        cluster = _cluster(FaultPlan(seed=0, drop_rate=0.99))
+        network = cluster.network
+        src = cluster.nodes[0].stats
+        dst = cluster.nodes[1].stats
+        network.send(0, 1, (1, 2, 3), src, dst)
+        assert network.drain(1) == [(1, 2, 3)]
+        assert src.fault_dropped_messages == 1
+        assert src.fault_retries == 1
+        assert src.fault_retry_bytes == network.message_bytes((1, 2, 3))
+        # Canonical traffic still records one send.
+        assert src.messages_sent == 1
+        assert src.bytes_sent == network.message_bytes((1, 2, 3))
+
+    def test_transient_retries_charge_backoff(self):
+        cluster = _cluster(FaultPlan(seed=3, transient_rate=0.6, retry_budget=12))
+        network = cluster.network
+        src = cluster.nodes[0].stats
+        dst = cluster.nodes[1].stats
+        for _ in range(20):
+            network.send(0, 1, (9,), src, dst)
+        assert network.drain(1) == [(9,)] * 20
+        assert src.fault_retries > 0
+        assert src.fault_backoff_units >= src.fault_retries
+        assert src.messages_sent == 20
+
+    def test_retry_exhaustion_aborts_with_context(self):
+        plan = FaultPlan(seed=1, transient_rate=0.99, retry_budget=2)
+        cluster = _cluster(plan)
+        network = cluster.network
+        network.start_pass()
+        with pytest.raises(SendRetryExhaustedError) as exc:
+            for _ in range(50):
+                network.send(
+                    0, 1, (1,), cluster.nodes[0].stats, cluster.nodes[1].stats
+                )
+        message = str(exc.value)
+        assert "from node 0 to node 1" in message
+        assert "2-retry budget" in message
+        assert "pass 1" in message
+        assert "pending" in message
+
+    def test_fault_stream_is_seed_deterministic(self):
+        def charge_trace(seed):
+            cluster = _cluster(
+                FaultPlan(
+                    seed=seed, drop_rate=0.3, duplicate_rate=0.3,
+                    transient_rate=0.2, retry_budget=16,
+                )
+            )
+            network = cluster.network
+            src = cluster.nodes[0].stats
+            dst = cluster.nodes[1].stats
+            for i in range(30):
+                network.send(0, 1, (i,), src, dst)
+            network.drain(1)
+            return (
+                src.fault_retries,
+                src.fault_dropped_messages,
+                dst.fault_dup_messages,
+                src.fault_backoff_units,
+            )
+
+        assert charge_trace(11) == charge_trace(11)
+        assert charge_trace(11) != charge_trace(12)

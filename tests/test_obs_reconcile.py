@@ -153,3 +153,107 @@ class TestSinkStream:
         assert run_end["spans_dropped"] == 0
         assert run_end["events_dropped"] == 0
         assert run_end["run"]["schema"] == "repro.stats/v1"
+
+
+@pytest.fixture(scope="module", params=ALGORITHMS)
+def faulted_run(request, small_dataset):
+    """One faulted mining run per algorithm (combined preset)."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.preset("combined", seed=11, num_nodes=NUM_NODES)
+    config = ClusterConfig(
+        num_nodes=NUM_NODES,
+        memory_per_node=2_000,
+        check_invariants=True,
+        faults=plan,
+    )
+    cluster = Cluster.from_database(config, small_dataset.database)
+    telemetry = Telemetry(sink=EventSink())
+    cluster.attach_telemetry(telemetry)
+    miner = make_miner(request.param, cluster, small_dataset.taxonomy)
+    run = miner.mine(MIN_SUPPORT, max_k=3)
+    return run, cluster, telemetry
+
+
+class TestFaultedReconciliation:
+    """Recovery work must reconcile exactly: NodeStats, the metrics
+    registry, the span decomposition and the sink all agree."""
+
+    def test_fault_counters_match_node_stats(self, faulted_run):
+        run, _, telemetry = faulted_run
+        registry = telemetry.registry
+        for field_name, metric in STAT_METRICS:
+            ground_truth = sum(
+                getattr(stats, field_name)
+                for pass_stats in run.stats.passes
+                for stats in pass_stats.nodes
+            )
+            assert registry.total(metric) == ground_truth, metric
+        assert registry.total("faults.crashes") == 1
+        assert registry.total("faults.stall_units") == 2
+
+    def test_fault_counters_per_pass_and_node(self, faulted_run):
+        run, _, telemetry = faulted_run
+        registry = telemetry.registry
+        fault_metrics = [
+            (name, metric)
+            for name, metric in STAT_METRICS
+            if name.startswith("fault_")
+        ]
+        for pass_stats in run.stats.passes:
+            for node_id, stats in enumerate(pass_stats.nodes):
+                for field_name, metric in fault_metrics:
+                    assert registry.value(
+                        metric, k=pass_stats.k, node=node_id
+                    ) == getattr(stats, field_name), (metric, pass_stats.k, node_id)
+
+    def test_phase_seconds_include_fault_tax(self, faulted_run):
+        """The span decomposition stays exact under faults: per node
+        and pass, phase.seconds (now including the derived ``faults``
+        component) still sums to ``CostModel.node_time``."""
+        run, cluster, telemetry = faulted_run
+        registry = telemetry.registry
+        cost = cluster.config.cost
+        for pass_stats in run.stats.passes:
+            for node_id, stats in enumerate(pass_stats.nodes):
+                phase_total = sum(
+                    value
+                    for labels, value in registry.series("phase.seconds")
+                    if labels.get("k") == str(pass_stats.k)
+                    and labels.get("node") == str(node_id)
+                )
+                assert math.isclose(
+                    phase_total, cost.node_time(stats), rel_tol=1e-9, abs_tol=1e-12
+                ), (pass_stats.k, node_id)
+
+    def test_sink_records_fault_events_and_recovery_span(self, faulted_run):
+        _, _, telemetry = faulted_run
+        events = parse_events(telemetry.sink.lines)
+        faults = [
+            e for e in events if e["type"] == "trace" and e["kind"] == "fault"
+        ]
+        assert faults, "faulted runs must emit fault trace events"
+        kinds = {e["detail"]["fault"] for e in faults}
+        assert "crash" in kinds
+        assert "stall" in kinds
+        recovery_opens = [
+            e for e in events if e["type"] == "span-open" and e["name"] == "recovery"
+        ]
+        assert len(recovery_opens) == 1
+
+    def test_canonical_traffic_matches_fault_free(self, faulted_run, small_dataset):
+        """Canonical counters record the fault-free protocol exactly:
+        the same algorithm run without faults moves identical bytes."""
+        run, _, _ = faulted_run
+        config = ClusterConfig(
+            num_nodes=NUM_NODES, memory_per_node=2_000, check_invariants=True
+        )
+        cluster = Cluster.from_database(config, small_dataset.database)
+        miner = make_miner(run.stats.algorithm, cluster, small_dataset.taxonomy)
+        clean = miner.mine(MIN_SUPPORT, max_k=3)
+        for faulted_pass, clean_pass in zip(run.stats.passes, clean.stats.passes):
+            for faulted, fault_free in zip(faulted_pass.nodes, clean_pass.nodes):
+                assert faulted.bytes_sent == fault_free.bytes_sent
+                assert faulted.bytes_received == fault_free.bytes_received
+                assert faulted.messages_sent == fault_free.messages_sent
+                assert faulted.increments == fault_free.increments

@@ -163,3 +163,69 @@ class TestExample2Routing:
         # ancestors {1,2},{1,6},{2,5},{2,10},{4,6} (Example 2).
         for itemset in [(5, 6), (6, 10), (1, 2), (1, 6), (2, 5), (2, 10), (4, 6)]:
             assert itemset in large2, itemset
+
+
+ALL_ALGORITHMS = (
+    "NPGM",
+    "HPGM",
+    "H-HPGM",
+    "H-HPGM-TGD",
+    "H-HPGM-PGD",
+    "H-HPGM-FGD",
+)
+
+
+@pytest.mark.parametrize("name", ALL_ALGORITHMS)
+class TestStrictMemory:
+    """strict_memory=True coverage for every miner."""
+
+    def _run(self, dataset, name, memory, strict, faults=None):
+        return mine_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            0.05,
+            algorithm=name,
+            config=ClusterConfig(
+                num_nodes=4,
+                memory_per_node=memory,
+                strict_memory=strict,
+                faults=faults,
+            ),
+            max_k=3,
+        )
+
+    def test_adequate_budget_matches_relaxed_run(self, small_dataset, name):
+        relaxed = self._run(small_dataset, name, memory=2_000, strict=False)
+        strict = self._run(small_dataset, name, memory=2_000, strict=True)
+        assert strict.result == relaxed.result
+        assert strict.stats.total_elapsed == relaxed.stats.total_elapsed
+
+    def test_tight_budget_behaviour(self, small_dataset, name):
+        """NPGM fragments by design and always fits; the partitioned
+        algorithms abort under a strict budget they overflow."""
+        from repro.errors import MemoryBudgetError
+
+        if name == "NPGM":
+            run = self._run(small_dataset, name, memory=300, strict=True)
+            assert run.stats.pass_stats(2).fragments > 1
+        else:
+            with pytest.raises(MemoryBudgetError):
+                self._run(small_dataset, name, memory=300, strict=True)
+
+    def test_tight_budget_degrades_under_fault_plan(self, small_dataset, name):
+        """With a fault plan, strict overflow downgrades to the
+        multi-fragment re-scan and the results stay exact."""
+        from repro.faults import FaultPlan
+
+        relaxed = self._run(small_dataset, name, memory=2_000, strict=False)
+        degraded = self._run(
+            small_dataset, name, memory=300, strict=True, faults=FaultPlan()
+        )
+        assert degraded.result == relaxed.result
+        if name != "NPGM":
+            overflow = sum(
+                stats.fault_overflow_fragments
+                for pass_stats in degraded.stats.passes
+                for stats in pass_stats.nodes
+            )
+            assert overflow > 0
