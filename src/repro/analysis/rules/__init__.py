@@ -8,6 +8,7 @@ rules only need to be added here.
 from __future__ import annotations
 
 from repro.analysis.rules.base import Rule
+from repro.analysis.rules.caches import UnboundedCacheRule
 from repro.analysis.rules.determinism import (
     FloatEqualityRule,
     UnorderedIterationRule,
@@ -27,6 +28,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SimulatorProtocolRule(),
     SpanDisciplineRule(),
     UnboundedRetryRule(),
+    UnboundedCacheRule(),
 )
 
 

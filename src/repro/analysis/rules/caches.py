@@ -1,0 +1,161 @@
+"""RL009 — unbounded caches.
+
+The serving layer runs as a long-lived process; any cache without an
+eviction bound is a slow memory leak driven by whatever the workload
+happens to look like.  The repo's contract (see
+:class:`repro.serve.cache.BoundedLRUCache`) is that every cache states
+its bound explicitly:
+
+* ``@functools.cache`` is unbounded by definition;
+* ``@lru_cache(maxsize=None)`` is unbounded by request;
+* ``@lru_cache`` / ``@lru_cache()`` without an explicit ``maxsize``
+  silently inherits a default — on a serving hot path the bound is
+  load-bearing configuration and must be written down;
+* a module-level ``SOMETHING_CACHE = {}`` dict grows forever and, being
+  module state, additionally leaks across what should be independent
+  runs.
+
+Function-local dict caches (scoped to one call) are fine and not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``functools.lru_cache`` → that string; bare names pass through."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _is_cache_name(name: str) -> bool:
+    return "cache" in name.lower()
+
+
+class UnboundedCacheRule(Rule):
+    """RL009 — every cache must state an explicit, finite bound.
+
+    Flags ``functools.cache``, ``lru_cache(maxsize=None)``, ``lru_cache``
+    used without an explicit ``maxsize`` argument, and module-level dict
+    literals assigned to cache-named variables.  Use
+    :class:`repro.serve.cache.BoundedLRUCache` (or
+    ``lru_cache(maxsize=N)``) instead.
+    """
+
+    rule_id = "RL009"
+    name = "unbounded-cache"
+    summary = "caches must declare a finite bound (no bare lru_cache, no module-level dict caches)"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for decorator in node.decorator_list:
+                    findings.extend(self._check_decorator(ctx, decorator))
+        findings.extend(self._check_module_dicts(ctx))
+        findings.sort(key=lambda finding: (finding.line, finding.column))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_decorator(
+        self, ctx: ModuleContext, decorator: ast.AST
+    ) -> list[Finding]:
+        callee = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = _dotted_name(callee)
+        if name is None:
+            return []
+        short = name.rsplit(".", 1)[-1]
+        if short == "cache" and name in ("cache", "functools.cache"):
+            return [
+                self.finding(
+                    ctx,
+                    decorator,
+                    "functools.cache is unbounded; use "
+                    "lru_cache(maxsize=N) or BoundedLRUCache",
+                )
+            ]
+        if short != "lru_cache":
+            return []
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "maxsize":
+                    if (
+                        isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is None
+                    ):
+                        return [
+                            self.finding(
+                                ctx,
+                                decorator,
+                                "lru_cache(maxsize=None) is unbounded; "
+                                "give the cache a finite maxsize",
+                            )
+                        ]
+                    return []
+            if decorator.args:
+                # lru_cache(128): positional maxsize — bounded unless None.
+                first = decorator.args[0]
+                if isinstance(first, ast.Constant) and first.value is None:
+                    return [
+                        self.finding(
+                            ctx,
+                            decorator,
+                            "lru_cache(None) is unbounded; give the "
+                            "cache a finite maxsize",
+                        )
+                    ]
+                return []
+        return [
+            self.finding(
+                ctx,
+                decorator,
+                "lru_cache without an explicit maxsize hides the cache "
+                "bound; state it: lru_cache(maxsize=N)",
+            )
+        ]
+
+    def _check_module_dicts(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for statement in ctx.tree.body:
+            targets: list[ast.expr]
+            if isinstance(statement, ast.Assign):
+                targets = statement.targets
+                value = statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+                targets = [statement.target]
+                value = statement.value
+            else:
+                continue
+            is_empty_dict = isinstance(value, ast.Dict) and not value.keys
+            is_dict_call = (
+                isinstance(value, ast.Call)
+                and _dotted_name(value.func) in ("dict", "collections.defaultdict", "defaultdict")
+                and not value.args
+                and not value.keywords
+            ) or (
+                isinstance(value, ast.Call)
+                and _dotted_name(value.func) in ("collections.defaultdict", "defaultdict")
+            )
+            if not (is_empty_dict or is_dict_call):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and _is_cache_name(target.id):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            statement,
+                            f"module-level dict cache {target.id!r} grows "
+                            "without bound; use BoundedLRUCache",
+                        )
+                    )
+        return findings

@@ -28,7 +28,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Cluster
 from repro.core.cumulate import cumulate
 from repro.perf.config import CountingConfig
-from repro.core.rules import generate_rules
+from repro.core.rules import generate_rules, interesting_rules, rule_interest
 from repro.core.io import save_result
 from repro.datagen.io import save_transactions_text
 from repro.errors import ReproError, error_label, exit_code_for
@@ -94,6 +94,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "(reference enumeration); identical results and statistics",
     )
     mine.add_argument("--rules", type=int, default=10, help="rules to print (0 = none)")
+    mine.add_argument(
+        "--rules-out",
+        default=None,
+        help="export the generated rules as JSONL for `repro-serve build "
+        "--rules` (exit 15 when no rule clears the thresholds)",
+    )
+    mine.add_argument(
+        "--min-interest",
+        type=float,
+        default=None,
+        help="keep only R-interesting rules at this ratio before "
+        "printing/exporting",
+    )
     mine.add_argument(
         "--save-result", default=None, help="write the mining result as JSON"
     )
@@ -192,11 +205,33 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 f"dup={pass_stats.duplicated_candidates} "
                 f"fragments={pass_stats.fragments}"
             )
-    if args.rules:
+    if args.rules or args.rules_out:
         rules = generate_rules(result, args.min_confidence, dataset.taxonomy)
+        if args.min_interest is not None:
+            rules = interesting_rules(
+                rules, result, dataset.taxonomy, args.min_interest
+            )
         print(f"{len(rules)} rules at confidence >= {args.min_confidence}:")
         for rule in rules[: args.rules]:
             print(f"  {rule}")
+        if args.rules_out:
+            from repro.serve.rules_io import write_rules_jsonl
+
+            supports = result.large_itemsets()
+            by_key = {(rule.antecedent, rule.consequent): rule for rule in rules}
+            interests = [
+                rule_interest(rule, by_key, supports, dataset.taxonomy)
+                for rule in rules
+            ]
+            source = {
+                "dataset": args.dataset,
+                "seed": args.seed,
+                "algorithm": args.algorithm,
+                "min_support": args.min_support,
+                "min_confidence": args.min_confidence,
+            }
+            write_rules_jsonl(rules, args.rules_out, interests, source)
+            print(f"{len(rules)} rules exported to {args.rules_out}")
     if args.save_result:
         save_result(result, args.save_result)
         print(f"result written to {args.save_result}")

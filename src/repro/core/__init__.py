@@ -39,7 +39,7 @@ from repro.core.itemsets import (
     transaction_contains,
 )
 from repro.core.result import MiningResult, PassResult, Rule
-from repro.core.rules import generate_rules, interesting_rules
+from repro.core.rules import generate_rules, interesting_rules, rule_interest
 from repro.core.stratify import stratify
 
 __all__ = [
@@ -55,6 +55,7 @@ __all__ = [
     "generate_rules",
     "interesting_rules",
     "itemset_support",
+    "rule_interest",
     "stratify",
     "transaction_contains",
 ]

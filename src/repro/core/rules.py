@@ -102,6 +102,63 @@ def generate_rules(
     return rules
 
 
+def rule_interest(
+    rule: Rule,
+    by_key: dict[tuple[Itemset, Itemset], Rule],
+    supports: dict[Itemset, int],
+    taxonomy: Taxonomy,
+) -> float | None:
+    """The R-interest ratio of one rule against its close ancestors.
+
+    For every *close ancestor* rule (the same rule with exactly one item
+    replaced by its parent, when that rule exists in ``by_key``) the
+    ancestor predicts this rule's support and confidence (see
+    :func:`interesting_rules`).  The interest ratio is the worst-case
+    headroom over those predictions::
+
+        min over ancestors of max(sup / expected_sup, conf / expected_conf)
+
+    ``None`` means no close-ancestor rule exists — nothing predicts the
+    rule, so it is unconditionally interesting.  A rule is R-interesting
+    exactly when its ratio is ``None`` or ``>= R``; the serving layer
+    (:mod:`repro.serve`) also uses the ratio directly as a ranking score.
+    """
+    ratio_floor: float | None = None
+    full = tuple(sorted(rule.antecedent + rule.consequent))
+    for item in full:
+        if item not in taxonomy:
+            continue
+        parent = taxonomy.parent(item)
+        if parent is None or parent in full:
+            continue
+        child_sup = supports.get((item,))
+        parent_sup = supports.get((parent,))
+        if not child_sup or not parent_sup:
+            continue
+        replace = {item: parent}
+        ancestor_antecedent = tuple(
+            sorted(replace.get(i, i) for i in rule.antecedent)
+        )
+        ancestor_consequent = tuple(
+            sorted(replace.get(i, i) for i in rule.consequent)
+        )
+        ancestor_rule = by_key.get((ancestor_antecedent, ancestor_consequent))
+        if ancestor_rule is None:
+            continue
+        ratio = child_sup / parent_sup
+        expected_support = ancestor_rule.support * ratio
+        expected_confidence = ancestor_rule.confidence * (
+            ratio if item in rule.consequent else 1.0
+        )
+        headroom = max(
+            rule.support / expected_support,
+            rule.confidence / expected_confidence,
+        )
+        if ratio_floor is None or headroom < ratio_floor:
+            ratio_floor = headroom
+    return ratio_floor
+
+
 def interesting_rules(
     rules: list[Rule],
     result: MiningResult,
@@ -135,45 +192,9 @@ def interesting_rules(
         raise MiningError(f"min_interest must be positive, got {min_interest}")
     supports = result.large_itemsets()
     by_key = {(rule.antecedent, rule.consequent): rule for rule in rules}
-
-    def item_support(item: int) -> int | None:
-        return supports.get((item,))
-
     kept: list[Rule] = []
     for rule in rules:
-        interesting = True
-        full = tuple(sorted(rule.antecedent + rule.consequent))
-        for item in full:
-            if item not in taxonomy:
-                continue
-            parent = taxonomy.parent(item)
-            if parent is None or parent in full:
-                continue
-            child_sup = item_support(item)
-            parent_sup = item_support(parent)
-            if not child_sup or not parent_sup:
-                continue
-            replace = {item: parent}
-            ancestor_antecedent = tuple(
-                sorted(replace.get(i, i) for i in rule.antecedent)
-            )
-            ancestor_consequent = tuple(
-                sorted(replace.get(i, i) for i in rule.consequent)
-            )
-            ancestor_rule = by_key.get((ancestor_antecedent, ancestor_consequent))
-            if ancestor_rule is None:
-                continue
-            ratio = child_sup / parent_sup
-            expected_support = ancestor_rule.support * ratio
-            expected_confidence = ancestor_rule.confidence * (
-                ratio if item in rule.consequent else 1.0
-            )
-            if (
-                rule.support < min_interest * expected_support
-                and rule.confidence < min_interest * expected_confidence
-            ):
-                interesting = False
-                break
-        if interesting:
+        ratio = rule_interest(rule, by_key, supports, taxonomy)
+        if ratio is None or ratio >= min_interest:
             kept.append(rule)
     return kept

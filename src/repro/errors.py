@@ -98,6 +98,25 @@ class ObservabilityError(ReproError):
     a malformed event-sink stream (see :mod:`repro.obs`)."""
 
 
+class ServingError(ReproError):
+    """Base class of the online serving layer (see :mod:`repro.serve`)."""
+
+
+class SnapshotFormatError(ServingError):
+    """A rule-snapshot (or rules JSONL) stream could not be parsed, or
+    its content digest does not match the recorded version."""
+
+
+class EmptyRuleSetError(ServingError):
+    """A rules export or snapshot build produced zero rules.
+
+    An empty snapshot would serve nothing; the thresholds (confidence,
+    support, interest) are almost certainly wrong for the workload, so
+    the CLIs fail loudly with a dedicated exit code instead of writing
+    a vacuous artifact.
+    """
+
+
 #: Most-specific-first (class, exit code) table for the CLI front ends.
 #: Codes 0–2 are reserved (success, unexpected crash, argparse usage).
 _EXIT_CODES: tuple[tuple[type, int], ...] = (
@@ -110,6 +129,9 @@ _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (DataGenerationError, 10),
     (TransactionFormatError, 11),
     (ObservabilityError, 12),
+    (EmptyRuleSetError, 15),
+    (SnapshotFormatError, 16),
+    (ServingError, 14),
     (ClusterError, 8),
     (ReproError, 13),
 )

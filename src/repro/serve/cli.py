@@ -1,0 +1,263 @@
+"""``repro-serve`` — command-line front end of the serving layer.
+
+Four subcommands close the offline→online loop:
+
+* ``build`` — compile a snapshot, either by mining a preset dataset
+  end-to-end or from a rules file exported with
+  ``repro-mine mine --rules-out``;
+* ``query`` — run one basket against a snapshot and print the result;
+* ``loadgen`` — replay a seeded workload through the direct and the
+  batched path and write a ``BENCH_<label>.json`` report (plus an
+  optional timing-free result transcript for determinism checks);
+* ``serve`` — expose a snapshot over stdlib HTTP/JSON.
+
+Failures map to the repo-wide exit codes (``repro.errors``): an empty
+rule set exits 15, a malformed snapshot 16, any other serving error 14.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.cumulate import cumulate
+from repro.core.rules import generate_rules, interesting_rules
+from repro.errors import ReproError, error_label, exit_code_for
+from repro.experiments import common
+from repro.obs.sink import EventSink
+from repro.serve.batch import ServeService
+from repro.serve.engine import SCORINGS
+from repro.serve.loadgen import run_loadgen, write_report, write_transcript
+from repro.serve.rules_io import read_rules_jsonl
+from repro.serve.snapshot import compile_snapshot, load_snapshot, write_snapshot
+from repro.taxonomy.io import load_taxonomy
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Online serving of mined generalized association rules",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="compile a rule snapshot")
+    build.add_argument(
+        "--rules",
+        default=None,
+        help="rules JSONL exported by `repro-mine mine --rules-out` "
+        "(skips mining; pair with --taxonomy)",
+    )
+    build.add_argument(
+        "--taxonomy",
+        default=None,
+        help="taxonomy file (as written by `repro-mine generate`) for "
+        "--rules builds; omit for a flat snapshot",
+    )
+    build.add_argument("--dataset", default="R30F5", help="R30F5 | R30F3 | R30F10")
+    build.add_argument("--transactions", type=int, default=None)
+    build.add_argument("--seed", type=int, default=common.DEFAULT_SEED)
+    build.add_argument("--min-support", type=float, default=0.02)
+    build.add_argument("--min-confidence", type=float, default=0.6)
+    build.add_argument(
+        "--min-interest",
+        type=float,
+        default=None,
+        help="keep only R-interesting rules at this ratio before compiling",
+    )
+    build.add_argument("--max-k", type=int, default=None)
+    build.add_argument("--out", required=True, help="snapshot output path")
+
+    query = sub.add_parser("query", help="run one basket against a snapshot")
+    query.add_argument("--snapshot", required=True)
+    query.add_argument(
+        "--basket", required=True, help="comma-separated item ids, e.g. 3,17,42"
+    )
+    query.add_argument("--top-k", type=int, default=5)
+    query.add_argument("--scoring", choices=SCORINGS, default="confidence")
+
+    load = sub.add_parser(
+        "loadgen", help="benchmark direct vs batched serving on one workload"
+    )
+    load.add_argument("--snapshot", required=True)
+    load.add_argument("--queries", type=int, default=200)
+    load.add_argument("--seed", type=int, default=7)
+    load.add_argument("--pool-size", type=int, default=16)
+    load.add_argument("--scoring", choices=SCORINGS, default="confidence")
+    load.add_argument("--top-k", type=int, default=5)
+    load.add_argument("--clients", type=int, default=4)
+    load.add_argument("--workers", type=int, default=2)
+    load.add_argument("--batch-max", type=int, default=32)
+    load.add_argument("--label", default="pr5")
+    load.add_argument(
+        "--out", default="benchmarks", help="directory for BENCH_<label>.json"
+    )
+    load.add_argument(
+        "--results-out",
+        default=None,
+        help="write the timing-free result transcript (JSONL) here",
+    )
+    load.add_argument(
+        "--trace-out",
+        default=None,
+        help="write serve-batch span events (JSONL) to this path",
+    )
+
+    serve = sub.add_parser("serve", help="expose a snapshot over HTTP/JSON")
+    serve.add_argument("--snapshot", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8098)
+    serve.add_argument("--scoring", choices=SCORINGS, default="confidence")
+    serve.add_argument("--top-k", type=int, default=5)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--batch-max", type=int, default=32)
+
+    return parser
+
+
+def _parse_basket(spec: str) -> list[int]:
+    try:
+        return [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError as error:
+        raise SystemExit(f"repro-serve: bad --basket {spec!r}: {error}") from None
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.rules:
+        rules, interests = read_rules_jsonl(args.rules)
+        taxonomy = load_taxonomy(args.taxonomy) if args.taxonomy else None
+        source = {"rules_file": str(args.rules)}
+        snapshot = compile_snapshot(
+            rules, taxonomy, interests=interests, source=source
+        )
+    else:
+        dataset = common.experiment_dataset(
+            args.dataset, args.transactions, args.seed
+        )
+        result = cumulate(
+            dataset.database,
+            dataset.taxonomy,
+            args.min_support,
+            max_k=args.max_k,
+        )
+        rules = generate_rules(result, args.min_confidence, dataset.taxonomy)
+        if args.min_interest is not None:
+            rules = interesting_rules(
+                rules, result, dataset.taxonomy, args.min_interest
+            )
+        source = {
+            "dataset": args.dataset,
+            "seed": args.seed,
+            "min_support": args.min_support,
+            "min_confidence": args.min_confidence,
+        }
+        if args.min_interest is not None:
+            source["min_interest"] = args.min_interest
+        snapshot = compile_snapshot(
+            rules, dataset.taxonomy, result=result, source=source
+        )
+    path = write_snapshot(snapshot, args.out)
+    print(
+        f"wrote snapshot {snapshot.version[:12]} "
+        f"({snapshot.num_rules} rules, {len(snapshot.closures)} items) to {path}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    snapshot = load_snapshot(args.snapshot)
+    service = ServeService(
+        snapshot, scoring=args.scoring, top_k=args.top_k, workers=0
+    )
+    result = service.query_direct(_parse_basket(args.basket))
+    service.close()
+    print(json.dumps(result.to_dict(snapshot), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    snapshot = load_snapshot(args.snapshot)
+    sink = EventSink(path=args.trace_out) if args.trace_out else None
+    report, transcript = run_loadgen(
+        snapshot,
+        queries=args.queries,
+        seed=args.seed,
+        pool_size=args.pool_size,
+        scoring=args.scoring,
+        top_k=args.top_k,
+        clients=args.clients,
+        workers=args.workers,
+        batch_max=args.batch_max,
+        label=args.label,
+        sink=sink,
+    )
+    if sink is not None:
+        sink.close()
+    path = write_report(report, args.out, args.label)
+    if args.results_out:
+        write_transcript(transcript, args.results_out)
+        print(f"transcript written to {args.results_out}")
+    direct = report["phases"]["direct"]
+    batched = report["phases"]["batched"]
+    print(
+        f"direct:  {direct['qps']:9.1f} qps  "
+        f"p50={direct['p50_ms']:.3f}ms p95={direct['p95_ms']:.3f}ms "
+        f"p99={direct['p99_ms']:.3f}ms"
+    )
+    print(
+        f"batched: {batched['qps']:9.1f} qps  "
+        f"p50={batched['p50_ms']:.3f}ms p95={batched['p95_ms']:.3f}ms "
+        f"p99={batched['p99_ms']:.3f}ms  "
+        f"(mean batch {batched['mean_batch_size']}, "
+        f"{batched['deduped_queries']} deduped)"
+    )
+    print(
+        f"speedup {report['speedup_qps']}x, results identical: "
+        f"{report['results_identical']}; report written to {path}"
+    )
+    return 0 if report["results_identical"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.httpd import make_server
+
+    snapshot = load_snapshot(args.snapshot)
+    service = ServeService(
+        snapshot,
+        scoring=args.scoring,
+        top_k=args.top_k,
+        workers=max(1, args.workers),
+        batch_max=args.batch_max,
+    )
+    server = make_server(service, args.host, args.port)
+    print(
+        f"serving snapshot {snapshot.version[:12]} "
+        f"({snapshot.num_rules} rules) on http://{args.host}:{args.port}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "build":
+            return _cmd_build(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
+        return _cmd_serve(args)
+    except ReproError as error:
+        print(f"repro-serve: {error_label(error)}: {error}", file=sys.stderr)
+        return exit_code_for(error)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

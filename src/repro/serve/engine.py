@@ -1,0 +1,292 @@
+"""Query engine — match a basket against a snapshot, rank consequents.
+
+Matching semantics
+------------------
+A basket (any iterable of item ids, typically leaves) is first expanded
+to its **ancestor closure** using the snapshot's precomputed closure
+keys.  A rule matches when its whole antecedent is contained in that
+closure — so ``{Outerwear} => {Hiking Boots}`` fires for a basket
+holding ``Jackets``, exactly the cross-level matching the paper mines
+for.  Candidates come from the snapshot's antecedent inverted index
+(union of the closure items' postings) and are confirmed with one
+bitmask subset test per candidate — no per-query taxonomy walks, no
+per-candidate set algebra.
+
+Recommendations are the consequent items of matching rules that the
+basket does not already imply (i.e. items outside the closure), each
+scored by the best-scoring rule that proposes it.
+
+Determinism contract: scores tie-break on ``(antecedent, consequent)``
+and every emitted collection is sorted, so for a given snapshot version
+the result of a query is **byte-identical** across processes and
+``PYTHONHASHSEED`` values (pinned by ``tests/test_serve_determinism.py``).
+
+Both hot-path caches — basket→closure and whole-query results — are
+bounded LRUs (:class:`~repro.serve.cache.BoundedLRUCache`); their
+hit/miss tallies feed the ``serve.*`` metrics and reconcile exactly
+with the lookup counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ServingError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.cache import MISSING, BoundedLRUCache
+from repro.serve.snapshot import RuleSnapshot, ServedRule
+
+#: Rule score selectors. ``interest`` treats ``None`` (no predicting
+#: ancestor rule) as +inf — nothing explains the rule, rank it first.
+SCORINGS: tuple[str, ...] = ("confidence", "support", "interest")
+
+#: Histogram buckets for per-query match/recommendation counts.
+COUNT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def rule_score(rule: ServedRule, scoring: str) -> float:
+    if scoring == "confidence":
+        return rule.confidence
+    if scoring == "support":
+        return rule.support
+    if scoring == "interest":
+        return math.inf if rule.interest is None else rule.interest
+    raise ServingError(
+        f"unknown scoring {scoring!r}; expected one of {', '.join(SCORINGS)}"
+    )
+
+
+@dataclass(frozen=True)
+class MatchedRule:
+    """One matching rule with its score under the query's scoring."""
+
+    rule_id: int
+    score: float
+
+    def to_record(self, snapshot: RuleSnapshot) -> dict:
+        rule = snapshot.rules[self.rule_id]
+        return {
+            "rule": self.rule_id,
+            "ant": list(rule.antecedent),
+            "cons": list(rule.consequent),
+            "score": None if math.isinf(self.score) else self.score,
+        }
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended item, backed by its best-scoring rule."""
+
+    item: int
+    score: float
+    rule_id: int
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything one query produced, tagged with the snapshot version.
+
+    The version tag is load-bearing for hot swaps: a result is computed
+    against exactly one immutable snapshot, so ``version`` names the
+    complete provenance of every match and recommendation in it.
+    """
+
+    basket: tuple[int, ...]
+    scoring: str
+    version: str
+    matches: tuple[MatchedRule, ...]
+    recommendations: tuple[Recommendation, ...]
+
+    def to_dict(self, snapshot: RuleSnapshot | None = None) -> dict:
+        """JSON-ready rendering (byte-stable through sorted dumps)."""
+        record = {
+            "basket": list(self.basket),
+            "scoring": self.scoring,
+            "version": self.version,
+            "matches": [
+                {
+                    "rule": match.rule_id,
+                    "score": None if math.isinf(match.score) else match.score,
+                }
+                if snapshot is None
+                else match.to_record(snapshot)
+                for match in self.matches
+            ],
+            "recommendations": [
+                {
+                    "item": rec.item,
+                    "score": None if math.isinf(rec.score) else rec.score,
+                    "rule": rec.rule_id,
+                }
+                for rec in self.recommendations
+            ],
+        }
+        return record
+
+
+class QueryEngine:
+    """Serve queries against one immutable :class:`RuleSnapshot`.
+
+    One engine wraps one snapshot; swapping snapshots means swapping
+    engines (see :class:`repro.serve.batch.ServeService`), which also
+    swaps both caches — a cache can therefore never return a result
+    computed against a different snapshot version.
+
+    Parameters
+    ----------
+    snapshot:
+        The compiled rule index to serve.
+    scoring / top_k:
+        Default scoring signal and recommendation cut for queries that
+        do not override them.
+    closure_cache_size / result_cache_size:
+        Bounds of the two LRU caches (0 disables retention; lookups are
+        still counted so the metrics reconcile either way).
+    registry:
+        Metrics registry receiving the ``serve.*`` series (a private
+        one by default).
+    """
+
+    def __init__(
+        self,
+        snapshot: RuleSnapshot,
+        scoring: str = "confidence",
+        top_k: int = 5,
+        closure_cache_size: int = 1024,
+        result_cache_size: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ):
+        if scoring not in SCORINGS:
+            raise ServingError(
+                f"unknown scoring {scoring!r}; expected one of {', '.join(SCORINGS)}"
+            )
+        if top_k < 1:
+            raise ServingError(f"top_k must be >= 1, got {top_k}")
+        self.snapshot = snapshot
+        self.scoring = scoring
+        self.top_k = top_k
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.closure_cache: BoundedLRUCache = BoundedLRUCache(closure_cache_size)
+        self.result_cache: BoundedLRUCache = BoundedLRUCache(result_cache_size)
+
+    # ------------------------------------------------------------------
+    def canonical_basket(self, basket: Iterable[int]) -> tuple[int, ...]:
+        """Sorted, deduplicated basket (the cache/result key form)."""
+        canonical = tuple(sorted(set(basket)))
+        if not canonical:
+            raise ServingError("empty basket")
+        return canonical
+
+    def closure(self, basket: tuple[int, ...]) -> tuple[int, ...]:
+        """Ancestor closure of a canonical basket (sorted, cached)."""
+        registry = self.registry
+        registry.counter("serve.closure_lookups").inc()
+        cached = self.closure_cache.get(basket)
+        if cached is not MISSING:
+            registry.counter("serve.closure_cache_hits").inc()
+            return cached
+        registry.counter("serve.closure_cache_misses").inc()
+        closures = self.snapshot.closures
+        expanded: set[int] = set()
+        for item in basket:
+            expanded.update(closures.get(item, (item,)))
+        closure = tuple(sorted(expanded))
+        self.closure_cache.put(basket, closure)
+        return closure
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        basket: Iterable[int],
+        top_k: int | None = None,
+        scoring: str | None = None,
+    ) -> QueryResult:
+        """Match one basket; returns matches + ranked recommendations."""
+        scoring = self.scoring if scoring is None else scoring
+        if scoring not in SCORINGS:
+            raise ServingError(
+                f"unknown scoring {scoring!r}; expected one of {', '.join(SCORINGS)}"
+            )
+        top_k = self.top_k if top_k is None else top_k
+        if top_k < 1:
+            raise ServingError(f"top_k must be >= 1, got {top_k}")
+        canonical = self.canonical_basket(basket)
+        registry = self.registry
+        registry.counter("serve.queries").inc()
+        registry.counter("serve.result_lookups").inc()
+        key = (canonical, top_k, scoring)
+        cached = self.result_cache.get(key)
+        if cached is not MISSING:
+            registry.counter("serve.result_cache_hits").inc()
+            return cached
+        registry.counter("serve.result_cache_misses").inc()
+        result = self._execute(canonical, top_k, scoring)
+        self.result_cache.put(key, result)
+        return result
+
+    def _execute(
+        self, canonical: tuple[int, ...], top_k: int, scoring: str
+    ) -> QueryResult:
+        snapshot = self.snapshot
+        closure = self.closure(canonical)
+        closure_mask = snapshot.closure_mask(closure)
+        index = snapshot.index
+        candidate_ids: set[int] = set()
+        for item in closure:
+            postings = index.get(item)
+            if postings:
+                candidate_ids.update(postings)
+        self.registry.counter("serve.candidates").inc(len(candidate_ids))
+
+        masks = snapshot.rule_masks
+        rules = snapshot.rules
+        scored: list[tuple[float, ServedRule]] = []
+        for rule_id in sorted(candidate_ids):
+            if masks[rule_id] & ~closure_mask:
+                continue
+            rule = rules[rule_id]
+            scored.append((rule_score(rule, scoring), rule))
+        scored.sort(
+            key=lambda pair: (
+                -pair[0],
+                -pair[1].confidence,
+                -pair[1].support,
+                pair[1].antecedent,
+                pair[1].consequent,
+            )
+        )
+        matches = tuple(
+            MatchedRule(rule_id=rule.rule_id, score=score) for score, rule in scored
+        )
+
+        in_closure = set(closure)
+        best: dict[int, Recommendation] = {}
+        for score, rule in scored:
+            for item in rule.consequent:
+                if item in in_closure or item in best:
+                    continue
+                best[item] = Recommendation(
+                    item=item, score=score, rule_id=rule.rule_id
+                )
+        recommendations = tuple(
+            sorted(
+                best.values(),
+                key=lambda rec: (-rec.score, rec.item),
+            )[:top_k]
+        )
+        registry = self.registry
+        registry.histogram("serve.match_count", buckets=COUNT_BUCKETS).observe(
+            len(matches)
+        )
+        registry.histogram(
+            "serve.recommendation_count", buckets=COUNT_BUCKETS
+        ).observe(len(recommendations))
+        return QueryResult(
+            basket=canonical,
+            scoring=scoring,
+            version=snapshot.version,
+            matches=matches,
+            recommendations=recommendations,
+        )

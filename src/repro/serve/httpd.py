@@ -1,0 +1,108 @@
+"""Stdlib HTTP/JSON front end over :class:`~repro.serve.batch.ServeService`.
+
+``repro-serve serve`` binds a :class:`ThreadingHTTPServer` whose
+handlers delegate to one shared service:
+
+* ``POST /query`` — body ``{"basket": [ids], "top_k"?, "scoring"?}``;
+  responds with the :class:`~repro.serve.engine.QueryResult` rendering
+  (including the snapshot version every result was computed against);
+* ``GET /healthz`` — liveness plus current snapshot version;
+* ``GET /version`` — current snapshot version only;
+* ``GET /metrics`` — the shared registry in Prometheus text format.
+
+No third-party frameworks: ``http.server`` is enough for a repro
+serving endpoint, and keeping it stdlib honours the repo's
+no-new-dependencies rule.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError
+from repro.serve.batch import ServeService
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
+    """Build a request-handler class bound to ``service``."""
+
+    class ServeHandler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1"
+
+        # Quiet by default: request logging goes through repro.obs, not
+        # stderr line noise.
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass
+
+        # ----------------------------------------------------------
+        def _respond(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _respond_json(self, status: int, payload: dict) -> None:
+            self._respond(status, _json_bytes(payload), "application/json")
+
+        # ----------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/healthz":
+                self._respond_json(
+                    200, {"status": "ok", "version": service.version}
+                )
+            elif self.path == "/version":
+                self._respond_json(200, {"version": service.version})
+            elif self.path == "/metrics":
+                self._respond(
+                    200,
+                    service.registry.to_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4",
+                )
+            else:
+                self._respond_json(404, {"error": f"no route {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/query":
+                self._respond_json(404, {"error": f"no route {self.path}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length)
+            try:
+                request = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._respond_json(400, {"error": f"bad JSON body: {error}"})
+                return
+            if not isinstance(request, dict) or "basket" not in request:
+                self._respond_json(
+                    400, {"error": 'body must be an object with a "basket" list'}
+                )
+                return
+            try:
+                basket = [int(item) for item in request["basket"]]
+                top_k = request.get("top_k")
+                scoring = request.get("scoring")
+                result = service.query(
+                    basket,
+                    top_k=None if top_k is None else int(top_k),
+                    scoring=scoring,
+                )
+            except (TypeError, ValueError) as error:
+                self._respond_json(400, {"error": f"bad request: {error}"})
+                return
+            except ReproError as error:
+                self._respond_json(400, {"error": str(error)})
+                return
+            self._respond_json(200, result.to_dict(service.engine.snapshot))
+
+    return ServeHandler
+
+
+def make_server(service: ServeService, host: str, port: int) -> ThreadingHTTPServer:
+    """Bind (but do not start) the HTTP server for ``service``."""
+    return ThreadingHTTPServer((host, port), make_handler(service))

@@ -1,0 +1,284 @@
+"""Seeded load generator + latency/throughput benchmark for serving.
+
+``repro-serve loadgen`` replays a deterministic workload against one
+snapshot twice — once through the **direct** per-query path, once
+through the **batched** path with concurrent client threads — and
+writes a schema-versioned report (``repro.serve.bench/v1``, committed
+as ``benchmarks/BENCH_pr5.json``) with throughput and p50/p95/p99
+latency per phase, mirroring the ``repro-bench`` trajectory files.
+
+Like ``repro-bench``, timing is only evidence while results agree: the
+two phases' result transcripts are digest-compared and the run **fails
+when they diverge** (``results_identical``).  The transcript itself
+(``--results-out``) carries no timing, so it is byte-identical across
+``PYTHONHASHSEED`` values — the determinism suite replays it under two
+seeds.
+
+The workload is a pure function of its seed: baskets are drawn from a
+small pool of leaf-item combinations under a Zipf-like popularity skew
+(hot baskets repeat, as real traffic does), which is exactly the regime
+micro-batching exploits — co-occurring duplicates inside one batch are
+executed once.  Caches are **off** during the timed phases (size 0) so
+both paths measure full query execution rather than cache residency;
+hit-rate behaviour is covered by the unit suite instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import random
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.batch import ServeService
+from repro.serve.snapshot import RuleSnapshot
+
+#: Version tag of the serving benchmark report files.
+BENCH_SCHEMA = "repro.serve.bench/v1"
+
+
+def generate_workload(
+    snapshot: RuleSnapshot,
+    queries: int,
+    seed: int,
+    pool_size: int = 32,
+    basket_min: int = 1,
+    basket_max: int = 4,
+) -> list[tuple[int, ...]]:
+    """A deterministic basket stream: Zipf-skewed draws from a pool.
+
+    The pool is sampled from the snapshot's leaf items (falling back to
+    all items for flat snapshots); basket ``i`` of the pool is drawn
+    with weight ``1 / (i + 1)``.
+    """
+    rng = random.Random(seed)
+    population = list(snapshot.leaves)
+    pool: list[tuple[int, ...]] = []
+    for _ in range(pool_size):
+        size = rng.randint(basket_min, min(basket_max, len(population)))
+        pool.append(tuple(sorted(rng.sample(population, size))))
+    weights = [1.0 / (position + 1) for position in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=queries)
+
+
+def percentile(latencies: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a latency sample (seconds)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _phase_stats(latencies: list[float], wall: float) -> dict:
+    return {
+        "queries": len(latencies),
+        "wall_seconds": round(wall, 6),
+        "qps": round(len(latencies) / wall, 3) if wall > 0 else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 4),
+        "p95_ms": round(percentile(latencies, 0.95) * 1e3, 4),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 4),
+    }
+
+
+def _transcript_digest(transcript: list[dict]) -> str:
+    blob = "\n".join(
+        json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        for entry in transcript
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_direct_phase(
+    snapshot: RuleSnapshot,
+    workload: list[tuple[int, ...]],
+    scoring: str,
+    top_k: int,
+    registry: MetricsRegistry,
+    clock=time.perf_counter,
+) -> tuple[dict, list[dict]]:
+    """Unbatched baseline: one blocking engine call per query."""
+    service = ServeService(
+        snapshot,
+        scoring=scoring,
+        top_k=top_k,
+        closure_cache_size=0,
+        result_cache_size=0,
+        workers=0,
+        registry=registry,
+        clock=clock,
+    )
+    latencies: list[float] = []
+    transcript: list[dict] = []
+    phase_start = clock()
+    for basket in workload:
+        started = clock()
+        result = service.query_direct(basket)
+        latencies.append(clock() - started)
+        transcript.append(result.to_dict())
+    wall = clock() - phase_start
+    service.close()
+    return _phase_stats(latencies, wall), transcript
+
+
+def run_batched_phase(
+    snapshot: RuleSnapshot,
+    workload: list[tuple[int, ...]],
+    scoring: str,
+    top_k: int,
+    registry: MetricsRegistry,
+    clients: int = 4,
+    workers: int = 2,
+    batch_max: int = 32,
+    sink=None,
+    clock=time.perf_counter,
+) -> tuple[dict, list[dict]]:
+    """Batched path: ``clients`` threads submit, workers coalesce."""
+    service = ServeService(
+        snapshot,
+        scoring=scoring,
+        top_k=top_k,
+        closure_cache_size=0,
+        result_cache_size=0,
+        batch_max=batch_max,
+        workers=workers,
+        registry=registry,
+        sink=sink,
+        clock=clock,
+    )
+    latencies: list[float | None] = [None] * len(workload)
+    results: list[dict | None] = [None] * len(workload)
+
+    # Each client pipelines a window of submissions before collecting, so
+    # queues actually fill and batches coalesce; latency is measured per
+    # query from its own submit time to its resolution.
+    window = max(1, batch_max // max(1, clients))
+
+    def client(client_id: int) -> None:
+        positions = list(range(client_id, len(workload), clients))
+        for window_start in range(0, len(positions), window):
+            handles: list[tuple[int, float, object]] = []
+            for position in positions[window_start : window_start + window]:
+                handles.append(
+                    (position, clock(), service.submit(workload[position]))
+                )
+            for position, started, handle in handles:
+                result = handle.result()
+                latencies[position] = clock() - started
+                results[position] = result.to_dict()
+
+    threads = [
+        threading.Thread(target=client, args=(client_id,), name=f"client-{client_id}")
+        for client_id in range(clients)
+    ]
+    phase_start = clock()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = clock() - phase_start
+    service.close()
+    stats = _phase_stats([value for value in latencies if value is not None], wall)
+    stats["batches"] = int(registry.value("serve.batches"))
+    stats["deduped_queries"] = int(registry.value("serve.deduped_queries"))
+    batched = registry.value("serve.batched_queries")
+    stats["mean_batch_size"] = (
+        round(batched / stats["batches"], 3) if stats["batches"] else 0.0
+    )
+    return stats, [entry for entry in results if entry is not None]
+
+
+def run_loadgen(
+    snapshot: RuleSnapshot,
+    queries: int = 200,
+    seed: int = 7,
+    pool_size: int = 16,
+    scoring: str = "confidence",
+    top_k: int = 5,
+    clients: int = 4,
+    workers: int = 2,
+    batch_max: int = 32,
+    label: str = "local",
+    sink=None,
+    clock=time.perf_counter,
+) -> tuple[dict, list[dict]]:
+    """Both phases on one workload; returns (report, transcript)."""
+    workload = generate_workload(snapshot, queries, seed, pool_size=pool_size)
+    direct_registry = MetricsRegistry()
+    direct_stats, direct_transcript = run_direct_phase(
+        snapshot, workload, scoring, top_k, direct_registry, clock=clock
+    )
+    batched_registry = MetricsRegistry()
+    batched_stats, batched_transcript = run_batched_phase(
+        snapshot,
+        workload,
+        scoring,
+        top_k,
+        batched_registry,
+        clients=clients,
+        workers=workers,
+        batch_max=batch_max,
+        sink=sink,
+        clock=clock,
+    )
+    direct_digest = _transcript_digest(direct_transcript)
+    batched_digest = _transcript_digest(batched_transcript)
+    report = {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "snapshot": {
+            "version": snapshot.version,
+            "rules": snapshot.num_rules,
+            "items": len(snapshot.closures),
+        },
+        "workload": {
+            "queries": queries,
+            "seed": seed,
+            "pool_size": pool_size,
+            "scoring": scoring,
+            "top_k": top_k,
+            "clients": clients,
+            "workers": workers,
+            "batch_max": batch_max,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "phases": {"direct": direct_stats, "batched": batched_stats},
+        "speedup_qps": (
+            round(batched_stats["qps"] / direct_stats["qps"], 3)
+            if direct_stats["qps"]
+            else 0.0
+        ),
+        "results_identical": direct_digest == batched_digest,
+        "transcript_sha256": direct_digest,
+    }
+    return report, direct_transcript
+
+
+def write_report(report: dict, out_dir: str | Path, label: str) -> Path:
+    """Write ``BENCH_<label>.json``; returns the path written."""
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{label}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def write_transcript(transcript: list[dict], path: str | Path) -> Path:
+    """Write the timing-free result transcript as JSONL (byte-stable)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        for entry in transcript
+    ]
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return target

@@ -1,0 +1,161 @@
+"""Rules-file I/O — the JSONL hand-off between miner and compiler.
+
+``repro-mine mine --rules-out FILE`` exports the generated rules in
+this format; ``repro-serve build --rules FILE`` compiles them into a
+snapshot without re-mining.  One meta line
+(``{"schema": "repro.serve.rules", "v": 1}``) followed by one ``rule``
+record per line, in canonical ``(antecedent, consequent)`` order, all
+serialized with sorted keys — the file is byte-stable under any
+``PYTHONHASHSEED``.
+
+The interest ratio travels with each rule (``null`` when no close
+ancestor rule predicts it), so snapshot compilation from a file scores
+identically to compilation straight from a mining result.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.result import Rule
+from repro.errors import EmptyRuleSetError, SnapshotFormatError
+
+RULES_SCHEMA = "repro.serve.rules"
+RULES_VERSION = 1
+
+
+def _serialize(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def rules_to_jsonl(
+    rules: list[Rule],
+    interests: list[float | None] | None = None,
+    source: dict | None = None,
+) -> str:
+    """Render rules (+ optional aligned interest ratios) as JSONL."""
+    if not rules:
+        raise EmptyRuleSetError(
+            "no rules to export; lower --min-confidence or mine more data"
+        )
+    if interests is not None and len(interests) != len(rules):
+        raise SnapshotFormatError(
+            f"{len(interests)} interest values for {len(rules)} rules"
+        )
+    rows = sorted(
+        (
+            (
+                tuple(rule.antecedent),
+                tuple(rule.consequent),
+                rule,
+                interests[position] if interests is not None else None,
+            )
+            for position, rule in enumerate(rules)
+        ),
+        key=lambda row: (row[0], row[1]),
+    )
+    lines = [
+        _serialize(
+            {
+                "type": "meta",
+                "schema": RULES_SCHEMA,
+                "v": RULES_VERSION,
+                "rules": len(rows),
+                "source": {key: source[key] for key in sorted(source)}
+                if source
+                else {},
+            }
+        )
+    ]
+    for antecedent, consequent, rule, interest in rows:
+        lines.append(
+            _serialize(
+                {
+                    "type": "rule",
+                    "ant": list(antecedent),
+                    "cons": list(consequent),
+                    "sup": float(rule.support),
+                    "conf": float(rule.confidence),
+                    "interest": interest,
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_rules_jsonl(
+    rules: list[Rule],
+    path: str | Path,
+    interests: list[float | None] | None = None,
+    source: dict | None = None,
+) -> Path:
+    """Write the rules export; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rules_to_jsonl(rules, interests, source), encoding="utf-8")
+    return target
+
+
+def read_rules_jsonl(path: str | Path) -> tuple[list[Rule], list[float | None]]:
+    """Parse a rules export into (rules, aligned interest ratios)."""
+    rules: list[Rule] = []
+    interests: list[float | None] = []
+    meta: dict | None = None
+    for number, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SnapshotFormatError(
+                f"{path}: line {number} is not JSON: {error}"
+            ) from None
+        if meta is None:
+            if (
+                not isinstance(record, dict)
+                or record.get("type") != "meta"
+                or record.get("schema") != RULES_SCHEMA
+            ):
+                raise SnapshotFormatError(
+                    f"{path}: does not start with a {RULES_SCHEMA} meta line"
+                )
+            if record.get("v") != RULES_VERSION:
+                raise SnapshotFormatError(
+                    f"{path}: unsupported rules schema version {record.get('v')!r}"
+                )
+            meta = record
+            continue
+        if record.get("type") != "rule":
+            raise SnapshotFormatError(
+                f"{path}: line {number} has unexpected type "
+                f"{record.get('type')!r}"
+            )
+        try:
+            rules.append(
+                Rule(
+                    antecedent=tuple(int(i) for i in record["ant"]),
+                    consequent=tuple(int(i) for i in record["cons"]),
+                    support=float(record["sup"]),
+                    confidence=float(record["conf"]),
+                )
+            )
+            interest = record["interest"]
+            interests.append(None if interest is None else float(interest))
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotFormatError(
+                f"{path}: malformed rule on line {number}: {error}"
+            ) from None
+    if meta is None:
+        raise SnapshotFormatError(f"{path}: empty rules file")
+    if not rules:
+        raise EmptyRuleSetError(f"{path}: rules file contains zero rules")
+    if int(meta.get("rules", -1)) != len(rules):
+        raise SnapshotFormatError(
+            f"{path}: meta declares {meta.get('rules')} rules, "
+            f"found {len(rules)}"
+        )
+    return rules, interests

@@ -84,6 +84,34 @@ def skewed_dataset():
     return generate_dataset(params)
 
 
+@pytest.fixture(scope="session")
+def serve_snapshot():
+    """A compiled rule snapshot over the paper taxonomy (shared, immutable)."""
+    from repro.core.cumulate import cumulate
+    from repro.core.rules import generate_rules
+    from repro.serve.snapshot import compile_snapshot
+    from repro.taxonomy.builder import taxonomy_from_parents
+
+    taxonomy = taxonomy_from_parents(PAPER_PARENTS)
+    database = TransactionDatabase(
+        [
+            (10, 12, 14),
+            (9, 15),
+            (7, 10),
+            (8, 10, 12),
+            (13, 14),
+            (7, 8, 15),
+            (10, 14, 15),
+            (9, 12, 13),
+        ]
+    )
+    result = cumulate(database, taxonomy, min_support=0.2)
+    rules = generate_rules(result, 0.5, taxonomy)
+    return compile_snapshot(
+        rules, taxonomy, result=result, source={"fixture": "serve_snapshot"}
+    )
+
+
 @pytest.fixture
 def tiny_database() -> TransactionDatabase:
     """Six hand-written transactions over the paper taxonomy's leaves."""

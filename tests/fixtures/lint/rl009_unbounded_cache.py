@@ -1,0 +1,53 @@
+"""RL009 fixture: unbounded caches."""
+
+import functools
+from functools import lru_cache
+
+_CLOSURE_CACHE = {}  # expect: RL009
+
+RESULT_CACHE: dict = dict()  # expect: RL009
+
+_REGISTRY = {}
+
+
+@functools.cache  # expect: RL009
+def cached_forever(item):
+    return item * 2
+
+
+@lru_cache(maxsize=None)  # expect: RL009
+def unbounded_lru(item):
+    return item * 2
+
+
+@lru_cache  # expect: RL009
+def implicit_bound_bare(item):
+    return item * 2
+
+
+@lru_cache()  # expect: RL009
+def implicit_bound_called(item):
+    return item * 2
+
+
+@lru_cache(None)  # expect: RL009
+def unbounded_positional(item):
+    return item * 2
+
+
+@lru_cache(maxsize=256)
+def bounded(item):
+    return item * 2
+
+
+@functools.lru_cache(128)
+def bounded_positional(item):
+    return item * 2
+
+
+def local_dict_is_fine(items):
+    # Function-local memo: scoped to one call, not a leak.
+    seen_cache = {}
+    for item in items:
+        seen_cache[item] = item * 2
+    return seen_cache

@@ -1,0 +1,145 @@
+"""Property-style tests for ``repro.core.rules``.
+
+Instead of hand-picked examples these tests sweep seeded random
+databases over the paper taxonomy and assert the *invariants* the rule
+layer promises for every input:
+
+* every generated rule has confidence in (0, 1], support in (0, 1],
+  disjoint antecedent/consequent, and never proposes an ancestor of an
+  antecedent item as a consequent (such rules hold trivially);
+* ``interesting_rules`` is monotone in its threshold — raising R can
+  only shrink the kept set — and is exactly the threshold test over
+  :func:`repro.core.rules.rule_interest`;
+* ``generate_rules`` is monotone in ``min_confidence``.
+
+The sweep is deterministic (``random.Random(seed)`` per case), so a
+failure reproduces with the seed in the test id.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cumulate import cumulate
+from repro.core.rules import generate_rules, interesting_rules, rule_interest
+from repro.datagen.corpus import TransactionDatabase
+from repro.taxonomy.builder import taxonomy_from_parents
+
+SEEDS = (11, 23, 47, 101)
+
+# The paper taxonomy of conftest.py (roots 1-3, leaves 7-15).
+PAPER_PARENTS: dict[int, int | None] = {
+    1: None, 2: None, 3: None,
+    4: 1, 5: 1, 6: 2, 7: 3, 8: 3,
+    9: 4, 10: 4, 11: 4, 12: 5, 13: 5, 14: 6, 15: 6,
+}
+
+
+def _random_database(seed: int, transactions: int = 120) -> TransactionDatabase:
+    """Random transactions over the paper taxonomy's leaves."""
+    rng = random.Random(seed)
+    leaves = [9, 10, 11, 12, 13, 14, 15, 7, 8]
+    rows = []
+    for _ in range(transactions):
+        size = rng.randint(1, 5)
+        rows.append(tuple(sorted(rng.sample(leaves, size))))
+    return TransactionDatabase(rows)
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return taxonomy_from_parents(PAPER_PARENTS)
+
+
+def _mine_rules(seed: int, taxonomy, min_confidence: float = 0.2):
+    database = _random_database(seed)
+    result = cumulate(database, taxonomy, min_support=0.05)
+    return result, generate_rules(result, min_confidence, taxonomy)
+
+
+class TestGeneratedRuleInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_confidence_and_support_in_unit_interval(self, seed, taxonomy):
+        result, rules = _mine_rules(seed, taxonomy)
+        assert rules, "sweep produced no rules; loosen the thresholds"
+        for rule in rules:
+            assert 0 < rule.confidence <= 1, rule
+            assert 0 < rule.support <= 1, rule
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_antecedent_consequent_disjoint(self, seed, taxonomy):
+        _, rules = _mine_rules(seed, taxonomy)
+        for rule in rules:
+            assert set(rule.antecedent).isdisjoint(rule.consequent), rule
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_ancestor_of_antecedent_in_consequent(self, seed, taxonomy):
+        # {Jackets} => {Outerwear} is true by is-a construction and must
+        # never be emitted when the taxonomy is supplied.
+        _, rules = _mine_rules(seed, taxonomy)
+        for rule in rules:
+            ancestors = set()
+            for item in rule.antecedent:
+                ancestors.update(taxonomy.ancestors(item))
+            assert ancestors.isdisjoint(rule.consequent), rule
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_monotone_in_min_confidence(self, seed, taxonomy):
+        _, loose = _mine_rules(seed, taxonomy, min_confidence=0.2)
+        _, tight = _mine_rules(seed, taxonomy, min_confidence=0.5)
+        loose_keys = {(rule.antecedent, rule.consequent) for rule in loose}
+        tight_keys = {(rule.antecedent, rule.consequent) for rule in tight}
+        assert tight_keys <= loose_keys
+        assert all(rule.confidence >= 0.5 for rule in tight)
+
+
+class TestInterestingRulesProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_monotone_in_threshold(self, seed, taxonomy):
+        result, rules = _mine_rules(seed, taxonomy)
+        thresholds = (1.0, 1.1, 1.5, 2.0)
+        kept_sets = []
+        for threshold in thresholds:
+            kept = interesting_rules(rules, result, taxonomy, threshold)
+            kept_sets.append(
+                {(rule.antecedent, rule.consequent) for rule in kept}
+            )
+        for smaller, larger in zip(kept_sets[1:], kept_sets):
+            assert smaller <= larger, "raising min_interest grew the kept set"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_is_threshold_over_rule_interest(self, seed, taxonomy):
+        # interesting_rules(R) must keep exactly the rules whose scalar
+        # interest ratio clears R (None = no predicting ancestor rule).
+        result, rules = _mine_rules(seed, taxonomy)
+        supports = result.large_itemsets()
+        by_key = {(rule.antecedent, rule.consequent): rule for rule in rules}
+        threshold = 1.1
+        kept = interesting_rules(rules, result, taxonomy, threshold)
+        expected = [
+            rule
+            for rule in rules
+            if (ratio := rule_interest(rule, by_key, supports, taxonomy)) is None
+            or ratio >= threshold
+        ]
+        assert kept == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_kept_is_subsequence(self, seed, taxonomy):
+        # Filtering never reorders: the kept list is the input list minus
+        # the pruned rules.
+        result, rules = _mine_rules(seed, taxonomy)
+        kept = interesting_rules(rules, result, taxonomy, 1.1)
+        iterator = iter(rules)
+        assert all(any(rule is candidate for candidate in iterator) for rule in kept)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_interest_ratio_is_positive(self, seed, taxonomy):
+        result, rules = _mine_rules(seed, taxonomy)
+        supports = result.large_itemsets()
+        by_key = {(rule.antecedent, rule.consequent): rule for rule in rules}
+        for rule in rules:
+            ratio = rule_interest(rule, by_key, supports, taxonomy)
+            assert ratio is None or ratio > 0, rule

@@ -52,6 +52,18 @@ class TestFlatVsHierarchical:
         assert "span category levels" in out
 
 
+class TestOnlineRecommendations:
+    def test_runs_and_recommends_across_levels(self, capsys):
+        module = _load("online_recommendations")
+        module.main()
+        out = capsys.readouterr().out
+        assert "compiled snapshot" in out
+        # Cross-level matching: a leaf basket surfaces hierarchy-level
+        # recommendations.
+        assert "Hiking Boots" in out
+        assert "no mixed-version answer" in out
+
+
 @pytest.mark.slow
 class TestHeavyExamples:
     def test_sequential_patterns(self, capsys):

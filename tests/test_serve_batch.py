@@ -1,0 +1,214 @@
+"""Batching service: dedup, span coverage, metric reconciliation, hot swap."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.result import Rule
+from repro.errors import ServingError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import EventSink, parse_events
+from repro.serve.batch import ServeService
+from repro.serve.snapshot import compile_snapshot
+from repro.taxonomy.builder import taxonomy_from_parents
+
+
+def _snapshot(conf=0.8):
+    taxonomy = taxonomy_from_parents({1: None, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3})
+    rules = [
+        Rule(antecedent=(2,), consequent=(6,), support=0.5, confidence=conf),
+        Rule(antecedent=(4,), consequent=(5,), support=0.3, confidence=0.7),
+        Rule(antecedent=(6,), consequent=(4,), support=0.25, confidence=0.6),
+    ]
+    return compile_snapshot(rules, taxonomy)
+
+
+class TestBatchedExecution:
+    def test_batched_equals_direct(self, serve_snapshot):
+        baskets = [
+            list(serve_snapshot.leaves[i : i + 2])
+            for i in range(len(serve_snapshot.leaves) - 1)
+        ]
+        with ServeService(serve_snapshot, workers=2) as batched:
+            batched_results = [batched.query(b).to_dict() for b in baskets]
+        with ServeService(serve_snapshot, workers=0) as direct:
+            direct_results = [direct.query_direct(b).to_dict() for b in baskets]
+        assert batched_results == direct_results
+
+    def test_duplicate_queries_deduped_within_batch(self):
+        registry = MetricsRegistry()
+        service = ServeService(
+            _snapshot(), workers=1, batch_max=64, registry=registry
+        )
+        # Stall execution while the queue fills so the duplicates are
+        # guaranteed to coalesce into (at most) two batches.
+        with service._exec_lock:
+            pending = [service.submit([4]) for _ in range(20)]
+        results = [p.result(timeout=10) for p in pending]
+        service.close()
+        assert len({id(r) for r in results}) < len(results)
+        assert registry.value("serve.deduped_queries") > 0
+        executed = registry.value("serve.batched_queries") - registry.value(
+            "serve.deduped_queries"
+        )
+        assert executed == registry.value("serve.queries")
+
+    def test_every_query_in_exactly_one_batch_span(self, tmp_path):
+        sink = EventSink(path=tmp_path / "trace.jsonl")
+        registry = MetricsRegistry()
+        service = ServeService(
+            _snapshot(), workers=2, registry=registry, sink=sink
+        )
+        pending = [service.submit([4, 6]) for _ in range(30)]
+        for p in pending:
+            p.result(timeout=10)
+        service.close()
+        sink.close()
+        events = [
+            e
+            for e in parse_events(
+                (tmp_path / "trace.jsonl").read_text().splitlines()
+            )
+            if e.get("type") == "serve-batch"
+        ]
+        covered = [q for event in events for q in event["queries"]]
+        assert sorted(covered) == sorted(p.query_id for p in pending)
+        assert len(covered) == len(set(covered)), "a query appeared in two spans"
+        assert registry.value("serve.batches") == len(events)
+
+    def test_cache_metrics_reconcile_across_batches(self):
+        registry = MetricsRegistry()
+        service = ServeService(_snapshot(), workers=2, registry=registry)
+        for _ in range(3):
+            pending = [service.submit([item]) for item in (4, 5, 6, 4, 5)]
+            for p in pending:
+                p.result(timeout=10)
+        service.close()
+        assert registry.value("serve.closure_cache_hits") + registry.value(
+            "serve.closure_cache_misses"
+        ) == registry.value("serve.closure_lookups")
+        assert registry.value("serve.requests", path="batched") == 15
+
+    def test_batch_respects_batch_max(self):
+        registry = MetricsRegistry()
+        service = ServeService(
+            _snapshot(), workers=1, batch_max=4, registry=registry
+        )
+        pending = [service.submit([4]) for _ in range(16)]
+        for p in pending:
+            p.result(timeout=10)
+        service.close()
+        # Histogram: every observed batch size fell in a bucket <= 4.
+        histogram = registry.histogram("serve.batch_size")
+        within_bound = sum(
+            bucket_count
+            for bound, bucket_count in zip(histogram.buckets, histogram.counts)
+            if bound <= 4
+        )
+        assert histogram.count >= 4  # 16 queries, batches capped at 4
+        assert within_bound == histogram.count
+
+
+class TestServiceLifecycle:
+    def test_workers_zero_rejects_submit(self):
+        service = ServeService(_snapshot(), workers=0)
+        with pytest.raises(ServingError):
+            service.submit([4])
+        service.close()
+
+    def test_closed_service_rejects_queries(self):
+        service = ServeService(_snapshot(), workers=1)
+        service.close()
+        with pytest.raises(ServingError):
+            service.query_direct([4])
+        with pytest.raises(ServingError):
+            service.submit([4])
+
+    def test_close_drains_outstanding_requests(self):
+        service = ServeService(_snapshot(), workers=1)
+        pending = [service.submit([4]) for _ in range(50)]
+        service.close()
+        for p in pending:
+            assert p.result(timeout=0).version  # already resolved
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ServingError):
+            ServeService(_snapshot(), batch_max=0)
+        with pytest.raises(ServingError):
+            ServeService(_snapshot(), workers=-1)
+
+    def test_error_propagates_to_waiter(self):
+        service = ServeService(_snapshot(), workers=1)
+        with pytest.raises(ServingError):
+            service.query([4], scoring="pagerank")
+        # Service still healthy afterwards.
+        assert service.query([4]).version
+        service.close()
+
+
+class TestHotSwap:
+    def test_swap_changes_version_atomically(self):
+        before, after = _snapshot(conf=0.8), _snapshot(conf=0.9)
+        service = ServeService(before, workers=1)
+        assert service.version == before.version
+        returned = service.swap(after)
+        assert returned == after.version
+        assert service.version == after.version
+        assert service.query([4]).version == after.version
+        service.close()
+
+    def test_swap_resets_caches_with_engine(self):
+        before, after = _snapshot(conf=0.8), _snapshot(conf=0.9)
+        service = ServeService(before, workers=0)
+        cached = service.query_direct([4])
+        service.swap(after)
+        fresh = service.query_direct([4])
+        assert cached.version == before.version
+        assert fresh.version == after.version
+        service.close()
+
+    def test_swap_counter_and_event(self, tmp_path):
+        sink = EventSink(path=tmp_path / "trace.jsonl")
+        registry = MetricsRegistry()
+        service = ServeService(
+            _snapshot(conf=0.8), workers=0, registry=registry, sink=sink
+        )
+        service.swap(_snapshot(conf=0.9))
+        service.close()
+        sink.close()
+        assert registry.value("serve.swaps") == 1
+        events = parse_events((tmp_path / "trace.jsonl").read_text().splitlines())
+        swaps = [e for e in events if e.get("type") == "serve-swap"]
+        assert len(swaps) == 1
+        assert swaps[0]["previous"] != swaps[0]["version"]
+
+    def test_no_torn_results_under_concurrent_swaps(self):
+        """Every result matches exactly one served snapshot version."""
+        snapshots = [_snapshot(conf=c) for c in (0.6, 0.7, 0.8, 0.9)]
+        versions = {s.version for s in snapshots}
+        service = ServeService(snapshots[0], workers=2, batch_max=8)
+        seen: list[str] = []
+        stop = threading.Event()
+
+        def swapper():
+            position = 0
+            while not stop.is_set():
+                service.swap(snapshots[position % len(snapshots)])
+                position += 1
+
+        thread = threading.Thread(target=swapper)
+        thread.start()
+        try:
+            for _ in range(25):
+                pending = [service.submit([4, 6]) for _ in range(8)]
+                for p in pending:
+                    result = p.result(timeout=10)
+                    assert result.version in versions
+                    seen.append(result.version)
+        finally:
+            stop.set()
+            thread.join()
+            service.close()
+        assert len(seen) == 200

@@ -1,0 +1,128 @@
+"""Serving determinism: byte-identical across hash seeds, no torn results.
+
+The serve layer's contract is that snapshots and query results are pure
+functions of (rules, taxonomy, workload seed) — in particular free of
+``PYTHONHASHSEED`` dependence.  These tests run the build + loadgen
+pipeline in subprocesses under two different hash seeds and require the
+artifacts to be byte-identical, and drive hot swaps against a live
+loadgen to show no mixed-version result is ever returned.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+_PIPELINE = """
+import hashlib, sys
+from repro.core.cumulate import cumulate
+from repro.core.rules import generate_rules
+from repro.experiments import common
+from repro.serve.loadgen import generate_workload, run_direct_phase, write_transcript
+from repro.obs.registry import MetricsRegistry
+from repro.serve.snapshot import compile_snapshot, write_snapshot
+
+out = sys.argv[1]
+dataset = common.experiment_dataset("R30F5", 250, 1998)
+result = cumulate(dataset.database, dataset.taxonomy, 0.05, max_k=2)
+rules = generate_rules(result, 0.6, dataset.taxonomy)
+snapshot = compile_snapshot(rules, dataset.taxonomy, result=result)
+write_snapshot(snapshot, out + "/snap.jsonl")
+
+workload = generate_workload(snapshot, 200, seed=7)
+_, transcript = run_direct_phase(
+    snapshot, workload, "confidence", 5, MetricsRegistry()
+)
+write_transcript(transcript, out + "/transcript.jsonl")
+print(hashlib.sha256(open(out + "/snap.jsonl", "rb").read()).hexdigest())
+print(hashlib.sha256(open(out + "/transcript.jsonl", "rb").read()).hexdigest())
+"""
+
+
+def _run_pipeline(tmp_path: Path, hashseed: str) -> tuple[str, bytes, bytes]:
+    out = tmp_path / f"seed{hashseed}"
+    out.mkdir()
+    proc = subprocess.run(
+        [sys.executable, "-c", _PIPELINE, str(out)],
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": str(SRC),
+            "PYTHONHASHSEED": hashseed,
+            "PATH": "/usr/bin:/bin",
+        },
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return (
+        proc.stdout,
+        (out / "snap.jsonl").read_bytes(),
+        (out / "transcript.jsonl").read_bytes(),
+    )
+
+
+class TestHashSeedIndependence:
+    def test_snapshot_and_loadgen_identical_across_hash_seeds(self, tmp_path):
+        digests_1, snap_1, transcript_1 = _run_pipeline(tmp_path, "1")
+        digests_2, snap_2, transcript_2 = _run_pipeline(tmp_path, "2")
+        assert digests_1 == digests_2
+        assert snap_1 == snap_2, "snapshot bytes differ across PYTHONHASHSEED"
+        assert transcript_1 == transcript_2, (
+            "query transcript differs across PYTHONHASHSEED"
+        )
+        # 200 queries + trailing newline
+        assert transcript_1.count(b"\n") == 200
+
+
+class TestHotSwapUnderLoad:
+    def test_loadgen_with_concurrent_swaps_never_tears(self, serve_snapshot):
+        """Replay a workload while snapshots swap underneath it.
+
+        Every result's version must be one of the snapshots ever
+        installed — a result mixing rule sets would surface as an
+        unknown version or a match foreign to its version's rules.
+        """
+        from repro.serve.batch import ServeService
+        from repro.serve.loadgen import generate_workload
+        from repro.serve.snapshot import RuleSnapshot
+
+        alternate = RuleSnapshot(
+            serve_snapshot.rules[: max(1, serve_snapshot.num_rules // 2)],
+            serve_snapshot.parents,
+        )
+        versions = {serve_snapshot.version, alternate.version}
+        rules_by_version = {
+            serve_snapshot.version: serve_snapshot.num_rules,
+            alternate.version: alternate.num_rules,
+        }
+        workload = generate_workload(serve_snapshot, 200, seed=3)
+        service = ServeService(serve_snapshot, workers=2, batch_max=16)
+        stop = threading.Event()
+
+        def swapper():
+            flip = False
+            while not stop.is_set():
+                service.swap(alternate if flip else serve_snapshot)
+                flip = not flip
+
+        thread = threading.Thread(target=swapper)
+        thread.start()
+        try:
+            for basket in workload:
+                result = service.query(basket, timeout=30)
+                assert result.version in versions
+                limit = rules_by_version[result.version]
+                for match in result.matches:
+                    assert match.rule_id < limit, (
+                        "match references a rule outside its result's "
+                        "snapshot version — torn result"
+                    )
+        finally:
+            stop.set()
+            thread.join()
+            service.close()

@@ -1,0 +1,167 @@
+"""Query engine: matching semantics, scoring, caches, metric reconciliation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.result import Rule
+from repro.errors import ServingError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.cache import MISSING, BoundedLRUCache
+from repro.serve.engine import QueryEngine, rule_score
+from repro.serve.snapshot import compile_snapshot
+from repro.taxonomy.builder import taxonomy_from_parents
+
+
+def _rule(ant, cons, sup=0.4, conf=0.8):
+    return Rule(antecedent=tuple(ant), consequent=tuple(cons), support=sup, confidence=conf)
+
+
+@pytest.fixture(scope="module")
+def cross_level_snapshot():
+    """Rules at several hierarchy levels over a tiny taxonomy.
+
+    Taxonomy: 1 → {2, 3}; 2 → {4, 5}; 3 → {6}.  Rules are stated over
+    internal node 2 and leaves, so a leaf basket must match through the
+    closure.
+    """
+    taxonomy = taxonomy_from_parents({1: None, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3})
+    rules = [
+        _rule([2], [6], sup=0.5, conf=0.9),   # internal antecedent
+        _rule([4], [5], sup=0.3, conf=0.7),   # leaf to sibling leaf
+        _rule([4, 6], [5], sup=0.2, conf=0.95),
+        _rule([6], [4], sup=0.25, conf=0.6),
+    ]
+    interests = [None, 1.2, 2.0, 1.05]
+    return compile_snapshot(rules, taxonomy, interests=interests)
+
+
+class TestMatching:
+    def test_leaf_basket_matches_internal_rule(self, cross_level_snapshot):
+        engine = QueryEngine(cross_level_snapshot)
+        result = engine.query([4])
+        matched = {
+            cross_level_snapshot.rules[m.rule_id].antecedent
+            for m in result.matches
+        }
+        # Basket {4} closes to {4, 2, 1}: both the leaf rule {4}=>{5}
+        # and the internal rule {2}=>{6} fire.
+        assert (4,) in matched
+        assert (2,) in matched
+
+    def test_multi_item_antecedent_requires_all_items(self, cross_level_snapshot):
+        engine = QueryEngine(cross_level_snapshot)
+        only_four = engine.query([4])
+        both = engine.query([4, 6])
+        ants = lambda res: {
+            cross_level_snapshot.rules[m.rule_id].antecedent for m in res.matches
+        }
+        assert (4, 6) not in ants(only_four)
+        assert (4, 6) in ants(both)
+
+    def test_recommendations_exclude_closure_items(self, cross_level_snapshot):
+        engine = QueryEngine(cross_level_snapshot)
+        result = engine.query([4])
+        closure = set(engine.closure((4,)))
+        for rec in result.recommendations:
+            assert rec.item not in closure
+
+    def test_top_k_cuts_recommendations(self, serve_snapshot):
+        engine = QueryEngine(serve_snapshot, top_k=1)
+        result = engine.query(list(serve_snapshot.leaves[:2]))
+        assert len(result.recommendations) <= 1
+
+    def test_result_carries_snapshot_version(self, cross_level_snapshot):
+        engine = QueryEngine(cross_level_snapshot)
+        assert engine.query([4]).version == cross_level_snapshot.version
+
+    def test_deterministic_tie_breaking(self, serve_snapshot):
+        engine_a = QueryEngine(serve_snapshot)
+        engine_b = QueryEngine(serve_snapshot)
+        basket = list(serve_snapshot.leaves[:3])
+        assert engine_a.query(basket).to_dict() == engine_b.query(basket).to_dict()
+
+
+class TestScoring:
+    def test_scoring_selects_signal(self, cross_level_snapshot):
+        rule = cross_level_snapshot.rules[0]
+        assert rule_score(rule, "confidence") == rule.confidence
+        assert rule_score(rule, "support") == rule.support
+
+    def test_interest_none_ranks_first(self, cross_level_snapshot):
+        assert rule_score(cross_level_snapshot.rules[0], "interest") == math.inf
+
+    def test_interest_ordering(self, cross_level_snapshot):
+        engine = QueryEngine(cross_level_snapshot, scoring="interest")
+        result = engine.query([4, 6])
+        scores = [
+            math.inf if m.score is None else m.score for m in result.matches
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_scoring_rejected(self, cross_level_snapshot):
+        with pytest.raises(ServingError):
+            QueryEngine(cross_level_snapshot, scoring="pagerank")
+        engine = QueryEngine(cross_level_snapshot)
+        with pytest.raises(ServingError):
+            engine.query([4], scoring="pagerank")
+
+    def test_empty_basket_rejected(self, cross_level_snapshot):
+        engine = QueryEngine(cross_level_snapshot)
+        with pytest.raises(ServingError):
+            engine.query([])
+
+    def test_bad_top_k_rejected(self, cross_level_snapshot):
+        with pytest.raises(ServingError):
+            QueryEngine(cross_level_snapshot, top_k=0)
+
+
+class TestCaches:
+    def test_lru_eviction(self):
+        cache = BoundedLRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)           # evicts b
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.evictions == 1
+
+    def test_zero_size_counts_but_does_not_retain(self):
+        cache = BoundedLRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISSING
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_result_cache_returns_identical_object(self, cross_level_snapshot):
+        engine = QueryEngine(cross_level_snapshot)
+        first = engine.query([4])
+        second = engine.query([4])
+        assert second is first
+
+    def test_metrics_reconcile(self, cross_level_snapshot):
+        registry = MetricsRegistry()
+        engine = QueryEngine(cross_level_snapshot, registry=registry)
+        baskets = [[4], [4], [5], [4, 6], [5], [4]]
+        for basket in baskets:
+            engine.query(basket)
+        lookups = registry.value("serve.closure_lookups")
+        hits = registry.value("serve.closure_cache_hits")
+        misses = registry.value("serve.closure_cache_misses")
+        assert hits + misses == lookups
+        assert hits == engine.closure_cache.hits
+        assert misses == engine.closure_cache.misses
+        result_lookups = registry.value("serve.result_lookups")
+        assert result_lookups == len(baskets)
+        assert registry.value("serve.result_cache_hits") + registry.value(
+            "serve.result_cache_misses"
+        ) == result_lookups
+        assert registry.value("serve.queries") == len(baskets)
+
+    def test_closure_cache_bound_respected(self, serve_snapshot):
+        engine = QueryEngine(serve_snapshot, closure_cache_size=2)
+        for item in serve_snapshot.leaves:
+            engine.query([item])
+        assert len(engine.closure_cache._entries) <= 2
