@@ -4,10 +4,13 @@ Usage::
 
     repro-lint src/                      # human-readable report
     repro-lint src/ --format json        # machine-readable (CI)
+    repro-lint src/ --format sarif       # GitHub code scanning
     repro-lint src/ --select RL001,RL006 # only some rules
     repro-lint --list-rules              # the rule catalogue
 
-Exit codes: 0 clean, 1 findings, 2 bad invocation.
+Exit codes: 0 clean, 1 findings, 2 bad invocation (unknown rule id,
+missing path) — distinct from "findings present" so CI can tell a
+broken gate from a failing one.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from pathlib import Path
 
 from repro.analysis.engine import LintResult, lint_paths
 from repro.analysis.rules import ALL_RULES
+from repro.analysis.sarif import render_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,7 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -122,7 +126,19 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     result = lint_paths(paths, select=select, ignore=ignore)
-    output = _render_json(result) if args.format == "json" else _render_text(result)
+    if args.format == "json":
+        output = _render_json(result)
+    elif args.format == "sarif":
+        output = render_sarif(
+            result.findings,
+            "repro-lint",
+            [
+                {"id": rule.rule_id, "name": rule.name, "summary": rule.summary}
+                for rule in ALL_RULES
+            ],
+        )
+    else:
+        output = _render_text(result)
     print(output)
     return 0 if result.clean else 1
 

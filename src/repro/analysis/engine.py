@@ -25,10 +25,16 @@ from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
 from repro.analysis.rules import ALL_RULES, Rule
 
-_DISABLE = re.compile(
-    r"#\s*repro-lint:\s*disable(?P<file>-file)?\s*=\s*"
-    r"(?P<rules>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
-)
+def _disable_pattern(marker: str) -> re.Pattern:
+    """The suppression-comment regex for one tool marker.
+
+    Compiled per call; :mod:`re` memoizes compilation internally, and
+    there are only two markers in practice.
+    """
+    return re.compile(
+        rf"#\s*{re.escape(marker)}:\s*disable(?P<file>-file)?\s*=\s*"
+        r"(?P<rules>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    )
 
 
 @dataclass
@@ -39,10 +45,11 @@ class Suppressions:
     whole_file: set[str] = field(default_factory=set)
 
     @classmethod
-    def parse(cls, lines: list[str]) -> "Suppressions":
+    def parse(cls, lines: list[str], marker: str = "repro-lint") -> "Suppressions":
         supp = cls()
+        disable = _disable_pattern(marker)
         for lineno, text in enumerate(lines, start=1):
-            match = _DISABLE.search(text)
+            match = disable.search(text)
             if not match:
                 continue
             rules = {r.strip() for r in match.group("rules").split(",")}

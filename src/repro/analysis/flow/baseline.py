@@ -1,0 +1,84 @@
+"""Reviewed-baseline support for ``repro-analyze``.
+
+A baseline is a JSON file of accepted findings.  Entries are matched by
+``(path, rule, message)`` — deliberately *not* by line number, so
+unrelated edits above a baselined finding do not un-baseline it.
+Matching is multiset-style: one baseline entry absorbs one finding.
+
+The CI gate runs ``repro-analyze src/ --baseline analysis-baseline.json``
+and fails only on findings absent from the baseline; stale entries
+(baselined findings that no longer occur) are reported so the file
+shrinks over time instead of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or malformed."""
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Parse a baseline file into a ``(path, rule, message) -> count`` map."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(raw, dict) or "findings" not in raw:
+        raise BaselineError(f"baseline {path} lacks a 'findings' list")
+    counts: Counter = Counter()
+    for entry in raw["findings"]:
+        try:
+            counts[(entry["path"], entry["rule"], entry["message"])] += 1
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"baseline {path} entry missing path/rule/message: {entry!r}"
+            ) from error
+    return counts
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], int, list[tuple[str, str, str]]]:
+    """Split findings into (new, baselined count, stale baseline keys)."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() for _ in range(count))
+    return new, baselined, stale
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the current findings as the reviewed baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-analyze",
+        "findings": [
+            {"path": f.path, "rule": f.rule, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,459 @@
+"""Pass C — process-pool safety (RA002 picklability, RA003 purity).
+
+The ``repro.perf`` process backend ships callables across a
+``ProcessPoolExecutor`` boundary through one sanctioned API,
+:func:`repro.perf.executor.execute_per_node`.  The planned
+shared-memory counting backend (ROADMAP) additionally requires every
+worker to read only its arguments — a worker that consults or mutates
+module-level state would silently diverge between the fork and spawn
+start methods, and between processes sharing a memory segment.
+
+For every call site whose callee resolves to ``execute_per_node`` (or
+to ``ProcessPoolExecutor.map``/``submit`` outside the sanctioned
+module), this pass verifies the worker argument:
+
+* **RA002 (picklable)** — the worker must resolve to a *module-level*
+  ``def``: lambdas, nested functions, bound methods and anything
+  unresolvable fail pickling by reference on the spawn start method.
+* **RA003 (pure)** — the worker, and every project function reachable
+  from it through the call graph, must not use ``global``/``nonlocal``,
+  must not rebind or mutate module-level bindings (``CACHE[x] = y``,
+  ``STATE.append(...)``, attribute stores on module globals), and may
+  read module-level names only when they are imports, functions,
+  classes, ``UPPER_CASE`` constants, or single-assignment immutable
+  literals (the ``try: import numpy`` guard pattern qualifies — the
+  alias is bound once, by imports only).
+
+Direct use of ``ProcessPoolExecutor``/``multiprocessing.Pool`` outside
+``repro.perf.executor`` is itself an RA002 finding: all fan-out must go
+through the sanctioned boundary so these guarantees stay checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.flow.symbols import FunctionInfo, ModuleInfo, Project
+
+RULE_PICKLE = "RA002"
+RULE_PURITY = "RA003"
+
+#: The sanctioned boundary API; the second positional argument is the
+#: worker callable.
+BOUNDARY_CALLS = {
+    "repro.perf.executor.execute_per_node": 1,
+}
+
+#: The one module allowed to touch the executor primitives directly.
+SANCTIONED_MODULES = ("repro.perf.executor",)
+
+#: Raw pool primitives that must not appear outside the boundary module.
+RAW_POOL_TYPES = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+#: Mutating method names on containers — a call to one of these on a
+#: module-level binding is a shared-state write.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+#: Immutable literal types a single-assignment module constant may hold
+#: and still be safely readable from a worker.
+_IMMUTABLE_LITERALS = (int, float, str, bytes, bool, type(None), complex)
+
+
+def _is_immutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, _IMMUTABLE_LITERALS)
+    if isinstance(node, ast.Tuple):
+        return all(_is_immutable_literal(elt) for elt in node.elts)
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        return callee in {"frozenset", "TypeVar"}
+    if isinstance(node, ast.UnaryOp):
+        return _is_immutable_literal(node.operand)
+    return False
+
+
+def _is_type_expression(node: ast.AST) -> bool:
+    """``tuple[int, ...]``-style alias values: names, subscripts and
+    unions of them, but no calls and no mutable displays."""
+    allowed = (
+        ast.Name,
+        ast.Attribute,
+        ast.Subscript,
+        ast.Tuple,
+        ast.BinOp,
+        ast.BitOr,
+        ast.Constant,
+        ast.Load,
+    )
+    return all(isinstance(child, allowed) for child in ast.walk(node))
+
+
+def _readable_module_name(module: ModuleInfo, name: str) -> bool:
+    """May a pool worker read module-level ``name`` without risk?"""
+    if name in module.import_names:
+        return True
+    if name in module.functions or name in module.classes:
+        return True
+    if name.isupper() or name.lstrip("_").isupper():
+        return True
+    values = module.bindings.get(name, [])
+    if len(values) == 1 and (
+        _is_immutable_literal(values[0]) or _is_type_expression(values[0])
+    ):
+        return True
+    return False
+
+
+class _WorkerChecker:
+    """Purity checks over one function's body (one closure member)."""
+
+    def __init__(self, project: Project, function: FunctionInfo):
+        self.project = project
+        self.function = function
+        self.module = project.modules[function.module]
+        self.findings: list[Finding] = []
+        self._locals = self._local_names()
+
+    @staticmethod
+    def _binding_names(target: ast.AST):
+        """Names a target *binds* — subscript/attribute stores mutate an
+        existing object and bind nothing, so their base stays non-local."""
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from _WorkerChecker._binding_names(elt)
+        elif isinstance(target, ast.Starred):
+            yield from _WorkerChecker._binding_names(target.value)
+
+    def _local_names(self) -> set[str]:
+        names = set(self.function.param_names())
+        for node in ast.walk(self.function.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    names.update(self._binding_names(target))
+            elif isinstance(node, (ast.For,)):
+                names.update(self._binding_names(node.target))
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                names.update(self._binding_names(node.optional_vars))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    names.update(self._binding_names(generator.target))
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                names.add(node.name)
+            elif isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Lambda):
+                names.update(a.arg for a in node.args.args)
+        return names
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.function.ctx.display_path,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    def check(self, worker_name: str) -> list[Finding]:
+        where = (
+            f"`{self.function.name}`"
+            if self.function.qualname.endswith(worker_name)
+            else f"`{self.function.name}` (reached from worker `{worker_name}`)"
+        )
+        for node in ast.walk(self.function.node):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+                self._report(
+                    node,
+                    RULE_PURITY,
+                    f"pool worker {where} declares `{kind} "
+                    f"{', '.join(node.names)}`; workers must be pure "
+                    "functions of their arguments",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    self._check_store(target, where)
+            elif isinstance(node, ast.Call):
+                self._check_mutating_call(node, where)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._check_store(target, where)
+        return self.findings
+
+    def _module_level_base(self, node: ast.AST) -> str | None:
+        """The module-level name a store/mutation ultimately targets."""
+        base = node
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return None
+        name = base.id
+        if name in self._locals:
+            return None
+        if name in self.module.bindings or name in self.module.import_names:
+            return name
+        return None
+
+    def _check_store(self, target: ast.AST, where: str) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            name = self._module_level_base(target)
+            if name is not None:
+                self._report(
+                    target,
+                    RULE_PURITY,
+                    f"pool worker {where} mutates module-level state "
+                    f"`{name}`; per-process copies diverge silently — pass "
+                    "state through the task object instead",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt, where)
+
+    def _check_mutating_call(self, node: ast.Call, where: str) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            return
+        name = self._module_level_base(node.func.value)
+        if name is not None:
+            self._report(
+                node,
+                RULE_PURITY,
+                f"pool worker {where} calls `.{node.func.attr}()` on "
+                f"module-level `{name}`; workers must not mutate shared "
+                "state",
+            )
+
+    def check_reads(self, worker_name: str) -> list[Finding]:
+        where = (
+            f"`{self.function.name}`"
+            if self.function.qualname.endswith(worker_name)
+            else f"`{self.function.name}` (reached from worker `{worker_name}`)"
+        )
+        reported: set[str] = set()
+        for node in ast.walk(self.function.node):
+            if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+                continue
+            name = node.id
+            if name in self._locals or name in reported:
+                continue
+            if name not in self.module.bindings:
+                continue  # builtin or import (imports are fine)
+            if name in self.module.import_names:
+                continue
+            if _readable_module_name(self.module, name):
+                continue
+            reported.add(name)
+            self._report(
+                node,
+                RULE_PURITY,
+                f"pool worker {where} reads module-level mutable binding "
+                f"`{name}`; only arguments, imports and immutable "
+                "constants are visible across the process boundary",
+            )
+        return self.findings
+
+
+def _boundary_sites(
+    project: Project,
+) -> list[tuple[ModuleInfo, FunctionInfo | None, ast.Call, ast.AST]]:
+    """All call sites handing a callable across the pool boundary."""
+    sites = []
+    for module_name in sorted(project.modules):
+        module = project.modules[module_name]
+        # Keyed by node identity (AST nodes hash by identity); the map is
+        # only probed, never iterated, so ordering cannot leak out.
+        enclosing_of: dict[ast.AST, FunctionInfo] = {}
+        for qualname in sorted(project.functions):
+            function = project.functions[qualname]
+            if function.module != module_name:
+                continue
+            for node in ast.walk(function.node):
+                enclosing_of.setdefault(node, function)
+        for node in ast.walk(module.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            enclosing = enclosing_of.get(node)
+            resolved = project.resolve_call(module, node, enclosing=enclosing)
+            if resolved in BOUNDARY_CALLS:
+                position = BOUNDARY_CALLS[resolved]
+                worker_node: ast.AST | None = None
+                if len(node.args) > position:
+                    worker_node = node.args[position]
+                else:
+                    for kw in node.keywords:
+                        if kw.arg == "worker":
+                            worker_node = kw.value
+                if worker_node is not None:
+                    sites.append((module, enclosing, node, worker_node))
+    return sites
+
+
+def _resolve_worker(
+    project: Project,
+    module: ModuleInfo,
+    enclosing: FunctionInfo | None,
+    worker_node: ast.AST,
+) -> FunctionInfo | None:
+    dotted = dotted_name(worker_node)
+    if dotted is None:
+        return None
+    resolved = project._resolve_dotted(module, dotted)
+    if resolved is None and enclosing is not None:
+        # A name defined in the enclosing function (nested def).
+        nested = project.functions.get(f"{enclosing.module}.{dotted}")
+        if nested is not None:
+            return nested
+    if resolved is None:
+        return None
+    return project.functions.get(resolved)
+
+
+def _raw_pool_findings(project: Project) -> list[Finding]:
+    findings = []
+    for module_name in sorted(project.modules):
+        module = project.modules[module_name]
+        if any(
+            module_name == allowed or module_name.startswith(allowed + ".")
+            for allowed in SANCTIONED_MODULES
+        ):
+            continue
+        for node in ast.walk(module.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = project._resolve_dotted(module, dotted_name(node.func))
+            if resolved in RAW_POOL_TYPES:
+                findings.append(
+                    Finding(
+                        path=module.ctx.display_path,
+                        line=node.lineno,
+                        column=node.col_offset + 1,
+                        rule=RULE_PICKLE,
+                        message=(
+                            f"direct `{resolved.rsplit('.', 1)[-1]}` use "
+                            "outside repro.perf.executor; route fan-out "
+                            "through execute_per_node so workers stay "
+                            "statically checkable"
+                        ),
+                    )
+                )
+    return findings
+
+
+def analyze_pool_safety(project: Project) -> tuple[list[Finding], int]:
+    """Check every executor-boundary callable; returns (findings, sites)."""
+    findings: list[Finding] = list(_raw_pool_findings(project))
+    sites = _boundary_sites(project)
+    checked_workers: set[str] = set()
+    for module, enclosing, call, worker_node in sites:
+        if isinstance(worker_node, ast.Lambda):
+            findings.append(
+                Finding(
+                    path=module.ctx.display_path,
+                    line=worker_node.lineno,
+                    column=worker_node.col_offset + 1,
+                    rule=RULE_PICKLE,
+                    message=(
+                        "lambda crosses the process-pool boundary; lambdas "
+                        "cannot be pickled — use a module-level function"
+                    ),
+                )
+            )
+            continue
+        worker = _resolve_worker(project, module, enclosing, worker_node)
+        if worker is None:
+            findings.append(
+                Finding(
+                    path=module.ctx.display_path,
+                    line=getattr(worker_node, "lineno", call.lineno),
+                    column=getattr(worker_node, "col_offset", call.col_offset) + 1,
+                    rule=RULE_PICKLE,
+                    message=(
+                        "worker callable does not resolve to a project "
+                        "function; only module-level functions pickle by "
+                        "reference across the pool boundary"
+                    ),
+                )
+            )
+            continue
+        if not worker.is_module_level:
+            shape = (
+                "method" if worker.is_method else "nested function"
+            )
+            findings.append(
+                Finding(
+                    path=module.ctx.display_path,
+                    line=getattr(worker_node, "lineno", call.lineno),
+                    column=getattr(worker_node, "col_offset", call.col_offset) + 1,
+                    rule=RULE_PICKLE,
+                    message=(
+                        f"worker `{worker.name}` is a {shape}; it closes "
+                        "over enclosing state and cannot be pickled — "
+                        "hoist it to module level and pass state through "
+                        "the task object"
+                    ),
+                )
+            )
+            continue
+        if worker.qualname in checked_workers:
+            continue
+        checked_workers.add(worker.qualname)
+        for qualname in project.reachable_from(worker.qualname):
+            member = project.functions[qualname]
+            if member.module not in project.modules:
+                continue
+            checker = _WorkerChecker(project, member)
+            checker.check(worker.name)
+            checker.check_reads(worker.name)
+            findings.extend(checker.findings)
+    # De-duplicate (several boundary sites may share helpers).
+    unique = {
+        (f.path, f.line, f.column, f.rule, f.message): f for f in findings
+    }
+    return sorted(unique.values()), len(sites)

@@ -1,0 +1,304 @@
+"""Pass D — miner protocol conformance (RA004 missing spec, RA005 violation).
+
+Every parallel miner runs the cluster through the same bulk-synchronous
+skeleton: ``begin_pass`` → scan (optionally ``send``) → receive
+(optionally ``drain``) → ``finish_pass``.  The runtime invariants of
+:mod:`repro.cluster.invariants` catch violations on executed paths; this
+pass is the static twin — it checks *every* path, at review time.
+
+Each concrete miner declares its per-pass state machine in a
+``pass_protocol`` class attribute — a tuple of event tokens over the
+alphabet ``begin_pass`` / ``send`` / ``drain`` / ``finish_pass``, each
+optionally quantified (``"send*"`` = zero or more, ``"drain?"`` = at
+most one, bare = exactly once)::
+
+    class HPGM(ParallelMiner):
+        pass_protocol = ("begin_pass", "send*", "drain*", "finish_pass")
+
+The analyzer resolves each miner's ``_run_pass`` through the static
+MRO (the duplication variants inherit H-HPGM's), extracts the ordered
+sequence of protocol calls — a call inside a loop becomes a starred
+event, a call under a conditional an optional one — and verifies that
+the extracted pattern's *language* is contained in the declared spec's.
+The shared ``_pass_one`` is checked once against the base class's
+``pass1_protocol``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.context import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.flow.symbols import ClassInfo, FunctionInfo, Project
+
+RULE_MISSING = "RA004"
+RULE_VIOLATION = "RA005"
+
+#: The miner base class; subclasses of it are the checked population.
+MINER_BASE = "repro.parallel.base.ParallelMiner"
+
+EVENTS = ("begin_pass", "send", "drain", "finish_pass")
+_LETTER = {"begin_pass": "b", "send": "s", "drain": "d", "finish_pass": "f"}
+
+#: Receiver-path fragments identifying each protocol call.
+_RECEIVERS = {
+    "begin_pass": ("cluster",),
+    "finish_pass": ("cluster",),
+    "send": ("network",),
+    "drain": ("network",),
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One extracted protocol call: the token plus its multiplicity."""
+
+    token: str
+    #: "1" exactly once on every path, "*" inside a loop, "?" under a
+    #: conditional (at most once per pass).
+    quantifier: str
+    line: int
+
+    def render(self) -> str:
+        return self.token + ("" if self.quantifier == "1" else self.quantifier)
+
+
+def parse_spec(spec: tuple[str, ...]) -> list[tuple[str, str]] | None:
+    """Validate and split a declared spec into (token, quantifier) pairs."""
+    parsed: list[tuple[str, str]] = []
+    for entry in spec:
+        quantifier = "1"
+        token = entry
+        if entry.endswith("*") or entry.endswith("?"):
+            token, quantifier = entry[:-1], entry[-1]
+        if token not in EVENTS:
+            return None
+        parsed.append((token, quantifier))
+    return parsed
+
+
+def spec_regex(parsed: list[tuple[str, str]]) -> re.Pattern:
+    pieces = []
+    for token, quantifier in parsed:
+        letter = _LETTER[token]
+        pieces.append(letter if quantifier == "1" else f"{letter}{quantifier}")
+    return re.compile("^" + "".join(pieces) + "$")
+
+
+def conforms(events: list[Event], parsed_spec: list[tuple[str, str]]) -> bool:
+    """Language inclusion: every realizable event sequence matches the spec.
+
+    The extracted pattern is a sequence of atoms with quantifiers from
+    ``{1, ?, *}``; its language is covered by enumerating 0/1/2
+    repetitions per starred atom and 0/1 per optional atom (2 suffices:
+    the spec side has no counting beyond "once").
+    """
+    pattern = spec_regex(parsed_spec)
+    choices: list[tuple[str, ...]] = []
+    for event in events:
+        letter = _LETTER[event.token]
+        if event.quantifier == "1":
+            choices.append((letter,))
+        elif event.quantifier == "?":
+            choices.append(("", letter))
+        else:
+            choices.append(("", letter, letter * 2))
+    total = 1
+    for options in choices:
+        total *= len(options)
+        if total > 8192:  # more protocol calls than any real miner has
+            return False
+    strings = [""]
+    for options in choices:
+        strings = [prefix + option for prefix in strings for option in options]
+    return all(pattern.match(string) for string in strings)
+
+
+class _Extractor:
+    """Collect protocol calls from a function body, in source order."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def extract(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[Event]:
+        self._walk(node.body, loop_depth=0, cond_depth=0)
+        return self.events
+
+    def _walk(self, body: list[ast.stmt], loop_depth: int, cond_depth: int) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.For, ast.While)):
+                self._scan_expr(getattr(stmt, "iter", None), loop_depth, cond_depth)
+                self._scan_expr(getattr(stmt, "test", None), loop_depth, cond_depth)
+                self._walk(stmt.body, loop_depth + 1, cond_depth)
+                self._walk(stmt.orelse, loop_depth, cond_depth)
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, loop_depth, cond_depth)
+                self._walk(stmt.body, loop_depth, cond_depth + 1)
+                self._walk(stmt.orelse, loop_depth, cond_depth + 1)
+            elif isinstance(stmt, ast.Try):
+                self._walk(stmt.body, loop_depth, cond_depth)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, loop_depth, cond_depth + 1)
+                self._walk(stmt.orelse, loop_depth, cond_depth)
+                self._walk(stmt.finalbody, loop_depth, cond_depth)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, loop_depth, cond_depth)
+                self._walk(stmt.body, loop_depth, cond_depth)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            else:
+                for child in ast.walk(stmt):
+                    if isinstance(child, ast.Call):
+                        self._record(child, loop_depth, cond_depth)
+
+    def _scan_expr(self, node: ast.AST | None, loop_depth: int, cond_depth: int) -> None:
+        if node is None:
+            return
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._record(child, loop_depth, cond_depth)
+
+    def _record(self, call: ast.Call, loop_depth: int, cond_depth: int) -> None:
+        if not isinstance(call.func, ast.Attribute):
+            return
+        token = call.func.attr
+        if token not in _RECEIVERS:
+            return
+        receiver = dotted_name(call.func.value)
+        if receiver is None:
+            return
+        parts = receiver.split(".")
+        if not any(
+            fragment in part for part in parts for fragment in _RECEIVERS[token]
+        ):
+            return
+        if loop_depth > 0:
+            quantifier = "*"
+        elif cond_depth > 0:
+            quantifier = "?"
+        else:
+            quantifier = "1"
+        self.events.append(Event(token=token, quantifier=quantifier, line=call.lineno))
+
+
+def _miner_classes(project: Project) -> list[ClassInfo]:
+    miners = []
+    for qualname in sorted(project.classes):
+        cls = project.classes[qualname]
+        if qualname == MINER_BASE:
+            continue
+        if MINER_BASE in project.base_chain(cls):
+            miners.append(cls)
+    return miners
+
+
+def _literal_spec(node: ast.expr) -> tuple[str, ...] | None:
+    if not isinstance(node, ast.Tuple):
+        return None
+    spec = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        spec.append(elt.value)
+    return tuple(spec)
+
+
+def _check_sequence(
+    cls: ClassInfo,
+    method: FunctionInfo,
+    spec_source: tuple[ClassInfo, ast.expr],
+    attr_name: str,
+    findings: list[Finding],
+) -> None:
+    spec_cls, spec_node = spec_source
+    spec = _literal_spec(spec_node)
+    parsed = parse_spec(spec) if spec is not None else None
+    if parsed is None:
+        findings.append(
+            Finding(
+                path=spec_cls.ctx.display_path,
+                line=spec_node.lineno,
+                column=spec_node.col_offset + 1,
+                rule=RULE_MISSING,
+                message=(
+                    f"`{spec_cls.name}.{attr_name}` is not a literal tuple of "
+                    f"protocol tokens over {'/'.join(EVENTS)} with optional "
+                    "*/? quantifiers"
+                ),
+            )
+        )
+        return
+    events = _Extractor().extract(method.node)
+    if not conforms(events, parsed):
+        extracted = " ".join(e.render() for e in events) or "<no protocol calls>"
+        declared = " ".join(t + ("" if q == "1" else q) for t, q in parsed)
+        findings.append(
+            Finding(
+                path=method.ctx.display_path,
+                line=method.node.lineno,
+                column=method.node.col_offset + 1,
+                rule=RULE_VIOLATION,
+                message=(
+                    f"`{cls.name}` pass protocol violation: extracted "
+                    f"sequence [{extracted}] does not conform to declared "
+                    f"[{declared}] ({attr_name})"
+                ),
+            )
+        )
+
+
+def analyze_protocol(project: Project) -> tuple[list[Finding], list[str]]:
+    """Validate every miner; returns (findings, checked miner names)."""
+    findings: list[Finding] = []
+    checked: list[str] = []
+    seen_pass_one: set[str] = set()
+    for cls in _miner_classes(project):
+        checked.append(cls.name)
+        spec_source = project.mro_attr(cls, "pass_protocol")
+        run_pass = project.mro_method(cls, "_run_pass")
+        if spec_source is None:
+            findings.append(
+                Finding(
+                    path=cls.ctx.display_path,
+                    line=cls.node.lineno,
+                    column=cls.node.col_offset + 1,
+                    rule=RULE_MISSING,
+                    message=(
+                        f"miner `{cls.name}` declares no `pass_protocol` "
+                        "state machine; every miner must declare its "
+                        "begin_pass/send/drain/finish_pass sequence"
+                    ),
+                )
+            )
+        elif run_pass is None:
+            findings.append(
+                Finding(
+                    path=cls.ctx.display_path,
+                    line=cls.node.lineno,
+                    column=cls.node.col_offset + 1,
+                    rule=RULE_MISSING,
+                    message=(
+                        f"miner `{cls.name}` has no resolvable `_run_pass` "
+                        "to check its declared protocol against"
+                    ),
+                )
+            )
+        else:
+            _check_sequence(cls, run_pass, spec_source, "pass_protocol", findings)
+
+        # The shared pass-1 skeleton: checked once per defining class.
+        pass_one = project.mro_method(cls, "_pass_one")
+        pass1_spec = project.mro_attr(cls, "pass1_protocol")
+        if pass_one is not None and pass1_spec is not None:
+            key = pass_one.qualname
+            if key not in seen_pass_one:
+                seen_pass_one.add(key)
+                _check_sequence(cls, pass_one, pass1_spec, "pass1_protocol", findings)
+    unique = {
+        (f.path, f.line, f.column, f.rule, f.message): f for f in findings
+    }
+    return sorted(unique.values()), sorted(set(checked))

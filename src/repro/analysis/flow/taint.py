@@ -1,0 +1,811 @@
+"""Pass B — cross-function determinism taint analysis (RA001).
+
+The per-file rule RL001 flags unordered iteration *at the iteration
+site*, but only inside the order-critical packages and only when the
+hazard is visible in one file.  This pass generalizes it: values whose
+**order or identity originates from an unordered source** — set/dict
+iteration, ``os.listdir``, ``id()``, ``hash()``, ``vars()`` — are
+tracked through assignments, container builds, returns and calls, and
+reported only where they reach an **emission sink**: ``network.send``
+payloads, trace/event-sink writes, digest updates, serialized bytes
+and ``NodeStats`` counters.
+
+Two kinds of taint are distinguished, because their laundering differs:
+
+* ``order`` — the *sequence order* of a value is not canonical
+  (materialized set, dict built inside an unordered loop).  Laundered
+  by ``sorted``/``set``/``frozenset``/``Counter`` and the commutative
+  reducers (``sum``/``min``/``max``/``len``/``any``/``all``).
+* ``value`` — the value itself differs across runs (``id()``,
+  ``hash()`` under ``PYTHONHASHSEED``).  Survives arithmetic and
+  reducers; only ``len`` drops it.
+
+Elements drawn from an unordered iterable carry ``elem`` taint: using
+one *inside* the loop is harmless (each iteration sees a well-defined
+value) but appending elements to a list, emitting them, or letting the
+last one escape the loop re-creates order dependence.
+
+Function summaries (returns-tainted, param-to-return, param-to-sink,
+returns-unordered) are computed to a fixpoint over the call graph, so
+a helper that returns ``list(some_set)`` taints its callers, and an
+argument that a callee forwards to ``network.send`` is flagged at the
+call site — across modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.context import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.flow.symbols import FunctionInfo, ModuleInfo, Project
+
+RULE_TAINT = "RA001"
+
+#: Marker tuple layout: ("order"|"value"|"elem", reason, line) or
+#: ("param", index, param_name).
+Marker = tuple
+Markers = frozenset
+
+EMPTY: Markers = frozenset()
+
+#: Builtins that erase order/elem taint (their result does not depend
+#: on the argument's iteration order).  ``value`` taint survives all of
+#: them except ``len``.
+ORDER_LAUNDERERS = frozenset(
+    {
+        "sorted",
+        "set",
+        "frozenset",
+        "sum",
+        "min",
+        "max",
+        "any",
+        "all",
+        "len",
+        "Counter",
+    }
+)
+
+#: Calls whose result is order-tainted by construction.
+ORDER_SOURCES = {
+    "os.listdir": "os.listdir() order is filesystem-dependent",
+    "os.scandir": "os.scandir() order is filesystem-dependent",
+    "os.walk": "os.walk() order is filesystem-dependent",
+    "vars": "vars() ordering follows the instance dict",
+    "globals": "globals() ordering is definition-dependent",
+    "locals": "locals() ordering is binding-dependent",
+}
+
+#: Calls whose result *value* is nondeterministic across runs.
+VALUE_SOURCES = {
+    "id": "id() is an address, different every run",
+    "hash": "hash() depends on PYTHONHASHSEED for str/bytes/object keys",
+    "object": "fresh object identity",
+}
+
+#: Builtins that materialize their argument's iteration order.
+ORDER_PRESERVING_BUILTINS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "reversed", "next", "zip", "map", "filter"}
+)
+
+#: Known-mutating sequence methods used for append-detection.
+APPEND_METHODS = frozenset({"append", "extend", "insert", "appendleft"})
+
+#: Receiver-name fragments identifying emission sinks, method → which
+#: part of the receiver's dotted path must match.
+SINK_METHODS = {
+    "send": ("network",),
+    "record": ("trace",),
+    "emit": ("sink", "telemetry"),
+}
+
+
+def _is_real(marker: Marker) -> bool:
+    return marker[0] in ("order", "value", "elem")
+
+
+def _reals(markers: Markers) -> Markers:
+    return frozenset(m for m in markers if _is_real(m))
+
+
+def _params(markers: Markers) -> Markers:
+    return frozenset(m for m in markers if m[0] == "param")
+
+
+def _drop_order(markers: Markers) -> Markers:
+    """Keep value taint and param markers; erase order/elem taint."""
+    return frozenset(m for m in markers if m[0] in ("value", "param"))
+
+
+def _to_order(markers: Markers) -> Markers:
+    """Re-label elem markers as order markers (list rebuilt from loop)."""
+    return frozenset(
+        ("order", m[1], m[2]) if m[0] == "elem" else m for m in markers
+    )
+
+
+def _to_elem(markers: Markers) -> Markers:
+    """Re-label order markers as elem markers (loop target binding)."""
+    return frozenset(
+        ("elem", m[1], m[2]) if m[0] == "order" else m for m in markers
+    )
+
+
+def _describe(markers: Markers) -> str:
+    reals = sorted(_reals(markers), key=lambda m: (m[2], m[1]))
+    if not reals:
+        return "unordered-origin value"
+    kind, reason, line = reals[0]
+    return f"{reason} (line {line})"
+
+
+@dataclass
+class FunctionSummary:
+    """Interprocedural facts about one function."""
+
+    #: Markers the return value always carries.
+    return_markers: Markers = EMPTY
+    #: Param indices whose taint flows into the return value.
+    taint_params: frozenset[int] = frozenset()
+    #: Param index → sink description, for params reaching a sink inside.
+    sink_params: dict[int, str] = field(default_factory=dict)
+    #: The function returns a set/frozenset/dict-view — iterating the
+    #: result unsorted at a call site is an unordered source.
+    returns_unordered: bool = False
+
+    def key(self) -> tuple:
+        return (
+            tuple(sorted(self.return_markers)),
+            tuple(sorted(self.taint_params)),
+            tuple(sorted(self.sink_params.items())),
+            self.returns_unordered,
+        )
+
+
+class _FunctionAnalysis:
+    """One flow-sensitive walk over one function body."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        summaries: dict[str, FunctionSummary],
+        collect: bool,
+    ):
+        self.project = project
+        self.module = module
+        self.function = function
+        self.summaries = summaries
+        self.collect = collect
+        self.ctx = function.ctx
+        self.env: dict[str, Markers] = {}
+        self.findings: dict[tuple, Finding] = {}
+        self.summary = FunctionSummary()
+        self._sink_params: dict[int, str] = {}
+        self._return_markers: set[Marker] = set()
+        self._returns_unordered = False
+        #: Stack of order-marker sets for enclosing unordered loops.
+        self._loop_order: list[Markers] = []
+        self._cond_depth = 0
+        #: Names locally bound to syntactic sets / unordered calls.
+        self._set_names: set[str] = set()
+        #: Names bound from hashlib constructors (digest objects).
+        self._digest_names: set[str] = set()
+        #: Names initialized from numeric literals (commutative
+        #: accumulators — `total = 0` then `total += x`).
+        self._numeric_names: set[str] = set()
+        params = function.param_names()
+        for index, name in enumerate(params):
+            self.env[name] = frozenset({("param", index, name)})
+        self._prescan()
+
+    # ------------------------------------------------------------------
+    # Pre-scan: set-typed locals, digest objects, numeric accumulators
+    # ------------------------------------------------------------------
+    def _prescan(self) -> None:
+        for node in ast.walk(self.function.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if self.ctx.is_set_expr(value):
+                self._set_names.add(target.id)
+            elif isinstance(value, ast.Constant) and isinstance(
+                value.value, (int, float)
+            ):
+                self._numeric_names.add(target.id)
+            elif isinstance(value, ast.Call):
+                resolved = self._resolve(value)
+                if resolved is not None and resolved.startswith("hashlib."):
+                    self._digest_names.add(target.id)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> FunctionSummary:
+        self._exec_block(self.function.node.body)
+        self.summary.return_markers = _reals(frozenset(self._return_markers))
+        self.summary.taint_params = frozenset(
+            m[1] for m in self._return_markers if m[0] == "param"
+        )
+        self.summary.sink_params = dict(self._sink_params)
+        self.summary.returns_unordered = self._returns_unordered
+        return self.summary
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _resolve(self, call: ast.Call) -> str | None:
+        return self.project.resolve_call(self.module, call, enclosing=self.function)
+
+    def _callee_summary(self, call: ast.Call) -> FunctionSummary | None:
+        resolved = self._resolve(call)
+        if resolved is None:
+            return None
+        return self.summaries.get(resolved)
+
+    def _is_unordered_expr(self, node: ast.AST) -> bool:
+        """Does iterating ``node`` yield elements in non-canonical order?"""
+        if self.ctx.is_unordered(node):
+            return True
+        if isinstance(node, ast.Name) and node.id in self._set_names:
+            return True
+        if isinstance(node, ast.Call):
+            summary = self._callee_summary(node)
+            if summary is not None and summary.returns_unordered:
+                return True
+            resolved = self._resolve(node)
+            if resolved in ORDER_SOURCES:
+                return True
+        return False
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        if not self.collect:
+            return
+        finding = Finding(
+            path=self.ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=RULE_TAINT,
+            message=message,
+        )
+        self.findings[(finding.line, finding.column, finding.message)] = finding
+
+    def _sink_hit(self, node: ast.AST, markers: Markers, sink: str) -> None:
+        """A value reached a sink: report real taint, record param taint."""
+        reals = _reals(markers)
+        if reals:
+            self._report(
+                node,
+                f"unordered-origin value reaches {sink}: {_describe(reals)}; "
+                "canonicalize with sorted(...) before emission",
+            )
+        for marker in _params(markers):
+            self._sink_params.setdefault(marker[1], sink)
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, node: ast.AST | None) -> Markers:
+        if node is None:
+            return EMPTY
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, EMPTY)
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value) | self._eval(node.slice)
+        if isinstance(node, (ast.BinOp,)):
+            return self._eval(node.left) | self._eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            out: Markers = EMPTY
+            for value in node.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            # Comparison results are booleans: membership and equality
+            # launder both order and value taint.
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return EMPTY
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body) | self._eval(node.orelse)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            out = EMPTY
+            for elt in node.elts:
+                out |= _to_order(self._eval(elt))
+            return out
+        if isinstance(node, ast.Set):
+            out = EMPTY
+            for elt in node.elts:
+                out |= _drop_order(self._eval(elt))
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                out |= self._eval(key)
+            for value in node.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, launder_order=False)
+        if isinstance(node, ast.SetComp):
+            return self._eval_comprehension(node, launder_order=True)
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(node, launder_order=False)
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for value in node.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            markers = self._eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = markers
+            return markers
+        if isinstance(node, ast.Slice):
+            return self._eval(node.lower) | self._eval(node.upper) | self._eval(node.step)
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        return EMPTY
+
+    def _eval_comprehension(self, node: ast.AST, launder_order: bool) -> Markers:
+        out: Markers = EMPTY
+        unordered_reason: Marker | None = None
+        for generator in node.generators:
+            iter_markers = self._eval(generator.iter)
+            if self._is_unordered_expr(generator.iter):
+                unordered_reason = (
+                    "order",
+                    "comprehension over set/dict-view iteration",
+                    getattr(generator.iter, "lineno", 1),
+                )
+            elements = _to_elem(iter_markers)
+            for name_node in ast.walk(generator.target):
+                if isinstance(name_node, ast.Name):
+                    self.env[name_node.id] = elements
+            out |= iter_markers
+            for cond in generator.ifs:
+                self._eval(cond)
+        if isinstance(node, ast.DictComp):
+            out |= self._eval(node.key) | self._eval(node.value)
+        else:
+            out |= self._eval(node.elt)
+        out = _to_order(out)
+        if unordered_reason is not None:
+            out |= frozenset({unordered_reason})
+        if launder_order:
+            out = _drop_order(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Calls: sources, launderers, summaries, sinks
+    # ------------------------------------------------------------------
+    def _eval_call(self, node: ast.Call) -> Markers:
+        arg_nodes = list(node.args) + [kw.value for kw in node.keywords]
+        arg_markers = [self._eval(arg) for arg in arg_nodes]
+        combined: Markers = EMPTY
+        for markers in arg_markers:
+            combined |= markers
+
+        self._check_sink_call(node, arg_nodes, arg_markers)
+
+        resolved = self._resolve(node)
+        func_name = (
+            node.func.id if isinstance(node.func, ast.Name) else None
+        )
+
+        if resolved in ORDER_SOURCES or func_name in ORDER_SOURCES:
+            reason = ORDER_SOURCES.get(resolved) or ORDER_SOURCES[func_name]
+            return combined | frozenset({("order", reason, node.lineno)})
+        if resolved in VALUE_SOURCES or func_name in VALUE_SOURCES:
+            reason = VALUE_SOURCES.get(resolved) or VALUE_SOURCES[func_name]
+            return combined | frozenset({("value", reason, node.lineno)})
+
+        if func_name in ORDER_LAUNDERERS:
+            if func_name == "len":
+                return EMPTY
+            return _drop_order(combined)
+
+        if func_name in ORDER_PRESERVING_BUILTINS:
+            out = combined
+            for arg, markers in zip(arg_nodes, arg_markers):
+                if self._is_unordered_expr(arg):
+                    out |= frozenset(
+                        {
+                            (
+                                "order",
+                                "set/dict-view iteration order materialized "
+                                f"by {func_name}()",
+                                node.lineno,
+                            )
+                        }
+                    )
+            return out
+
+        summary = self._callee_summary(node)
+        if summary is not None:
+            out = frozenset(summary.return_markers)
+            positions = self._positional_markers(node, arg_nodes, arg_markers, summary)
+            out |= positions
+            return out
+
+        # Method call on a tainted receiver (slice/copy/pop/...): the
+        # result inherits the receiver's taint.  Unresolved free calls
+        # propagate their arguments' taint.
+        if isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value)
+            if (
+                node.func.attr == "pop"
+                and not node.args
+                and self._is_unordered_expr(node.func.value)
+            ):
+                combined |= frozenset(
+                    {("value", "set.pop() returns an arbitrary element", node.lineno)}
+                )
+            return combined | receiver
+        return combined
+
+    def _positional_markers(
+        self,
+        node: ast.Call,
+        arg_nodes: list[ast.AST],
+        arg_markers: list[Markers],
+        summary: FunctionSummary,
+    ) -> Markers:
+        """Apply a callee summary at a call site (params by position)."""
+        out: Markers = EMPTY
+        offset = 0
+        if isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
+        ):
+            if node.func.value.id in ("self", "cls"):
+                offset = 1  # positional args start at parameter 1
+        resolved_kw = {kw.arg: i for i, kw in enumerate(node.keywords) if kw.arg}
+        for position, markers in enumerate(arg_markers):
+            if position < len(node.args):
+                param_index = position + offset
+            else:
+                param_index = None  # keyword args: matched below by name
+            if param_index is not None and param_index in summary.taint_params:
+                out |= markers
+            if param_index is not None and param_index in summary.sink_params:
+                sink = summary.sink_params[param_index]
+                self._sink_hit(arg_nodes[position], markers, f"{sink} (via callee)")
+        # Keyword arguments: conservative — if the callee sinks or
+        # returns any param, propagate/flag matching keyword taint too.
+        if resolved_kw and (summary.taint_params or summary.sink_params):
+            for kw in node.keywords:
+                markers = self._eval(kw.value)
+                if summary.taint_params:
+                    out |= markers
+                if summary.sink_params and _reals(markers):
+                    sink = sorted(summary.sink_params.values())[0]
+                    self._sink_hit(kw.value, markers, f"{sink} (via callee)")
+        return out
+
+    def _check_sink_call(
+        self,
+        node: ast.Call,
+        arg_nodes: list[ast.AST],
+        arg_markers: list[Markers],
+    ) -> None:
+        sink = self._sink_name(node)
+        if sink is None:
+            return
+        for arg, markers in zip(arg_nodes, arg_markers):
+            self._sink_hit(arg, markers, sink)
+        # Emitting anything *inside* a loop whose order is unordered
+        # makes the emission sequence non-canonical even with clean
+        # payloads — the cross-function form of RL001's send check.
+        if self._loop_order:
+            loop_markers = self._loop_order[-1]
+            if _reals(loop_markers):
+                self._report(
+                    node,
+                    f"{sink} emitted inside a loop over an unordered "
+                    f"iterable ({_describe(loop_markers)}); emission order "
+                    "must be canonical — iterate sorted(...)",
+                )
+            for marker in _params(loop_markers):
+                self._sink_params.setdefault(marker[1], sink)
+
+    def _sink_name(self, node: ast.Call) -> str | None:
+        if not isinstance(node.func, ast.Attribute):
+            resolved = self._resolve(node)
+            if resolved == "json.dumps":
+                return "serialized bytes (json.dumps)"
+            if resolved is not None and resolved.startswith("hashlib."):
+                return "digest input"
+            return None
+        attr = node.func.attr
+        receiver = dotted_name(node.func.value)
+        receiver_parts = receiver.split(".") if receiver else []
+        if attr in SINK_METHODS and any(
+            fragment in part
+            for part in receiver_parts
+            for fragment in SINK_METHODS[attr]
+        ):
+            target = {"send": "network.send payload", "record": "trace record",
+                      "emit": "event-sink record"}[attr]
+            return target
+        if attr == "update" and receiver in self._digest_names:
+            return "digest input"
+        resolved = self._resolve(node)
+        if resolved == "json.dumps":
+            return "serialized bytes (json.dumps)"
+        if resolved is not None and resolved.startswith("hashlib."):
+            return "digest input"
+        return None
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def _exec_block(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _bind_target(self, target: ast.AST, markers: Markers) -> None:
+        if isinstance(target, ast.Name):
+            # Heuristic launder: an `if`-guarded assignment of a loop
+            # *element* is almost always a reduce (max/min/first-match);
+            # the chosen value is order-independent enough not to flag.
+            if self._cond_depth and markers and all(
+                m[0] == "elem" for m in markers
+            ):
+                self.env[target.id] = EMPTY
+                return
+            self.env[target.id] = markers
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, markers)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, markers)
+        elif isinstance(target, ast.Subscript):
+            self._store_into(target.value, markers)
+        elif isinstance(target, ast.Attribute):
+            self._check_stats_sink(target, markers)
+            self._store_into(target.value, markers)
+
+    def _store_into(self, base: ast.AST, markers: Markers) -> None:
+        """Storing a tainted value into a container taints the container."""
+        incoming = _to_order(markers)
+        if self._loop_order:
+            incoming |= _reals(self._loop_order[-1]) | _params(self._loop_order[-1])
+        if not incoming:
+            return
+        if isinstance(base, ast.Name):
+            self.env[base.id] = self.env.get(base.id, EMPTY) | incoming
+
+    def _check_stats_sink(self, target: ast.Attribute, markers: Markers) -> None:
+        base = dotted_name(target.value)
+        if base is None:
+            return
+        if any("stats" in part for part in base.split(".")):
+            self._sink_hit(target, markers, f"NodeStats counter `{base}.{target.attr}`")
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            markers = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, markers)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind_target(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            markers = self._eval(stmt.value)
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id in self._numeric_names
+            ):
+                # Commutative numeric accumulator: order taint launders,
+                # value taint survives (a sum of hashes is still seeded).
+                kept = _drop_order(markers)
+                self.env[stmt.target.id] = (
+                    self.env.get(stmt.target.id, EMPTY) | kept
+                )
+            elif isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, EMPTY)
+                self.env[stmt.target.id] = current | _to_order(markers)
+                if self._loop_order:
+                    self.env[stmt.target.id] |= _reals(self._loop_order[-1])
+            elif isinstance(stmt.target, ast.Attribute) and isinstance(
+                stmt.op,
+                (ast.Add, ast.Sub, ast.Mult, ast.BitOr, ast.BitAnd, ast.BitXor),
+            ):
+                # Commutative accumulation into an attribute (NodeStats
+                # counters, byte tallies): the total is independent of
+                # visit order, so order/elem taint launders — including
+                # the enclosing loop's — while value taint (a sum of
+                # id()s is still seed-dependent) survives.
+                kept = _drop_order(markers)
+                self._check_stats_sink(stmt.target, kept)
+                if kept and isinstance(stmt.target.value, ast.Name):
+                    name = stmt.target.value.id
+                    self.env[name] = self.env.get(name, EMPTY) | kept
+            else:
+                self._bind_target(stmt.target, markers)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            for _ in range(2):
+                self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._cond_depth += 1
+            before = dict(self.env)
+            self._exec_block(stmt.body)
+            after_body = self.env
+            self.env = before
+            self._exec_block(stmt.orelse)
+            for name in sorted(after_body):
+                self.env[name] = self.env.get(name, EMPTY) | after_body[name]
+            self._cond_depth -= 1
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            self._cond_depth += 1
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._cond_depth -= 1
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                markers = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, markers)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            markers = self._eval(stmt.value)
+            self._return_markers.update(markers)
+            if stmt.value is not None and self._is_unordered_expr(stmt.value):
+                self._returns_unordered = True
+            if isinstance(stmt.value, ast.Name) and stmt.value.id in self._set_names:
+                self._returns_unordered = True
+        elif isinstance(stmt, ast.Expr):
+            self._exec_expr_stmt(stmt)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analyzed as their own functions
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Assert,)):
+            self._eval(stmt.test)
+        elif isinstance(stmt, ast.Raise):
+            self._eval(stmt.exc)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+                elif isinstance(child, ast.stmt):
+                    self._exec(child)
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iter_markers = self._eval(stmt.iter)
+        unordered = self._is_unordered_expr(stmt.iter) or bool(
+            _reals(iter_markers)
+        )
+        loop_markers: Markers = iter_markers
+        if self._is_unordered_expr(stmt.iter):
+            loop_markers |= frozenset(
+                {
+                    (
+                        "order",
+                        "iteration over set/dict-view",
+                        getattr(stmt.iter, "lineno", stmt.lineno),
+                    )
+                }
+            )
+        if unordered:
+            self._bind_target_elems(stmt.target, _to_elem(loop_markers))
+            self._loop_order.append(loop_markers)
+        else:
+            self._bind_target_elems(stmt.target, _to_elem(iter_markers))
+            self._loop_order.append(EMPTY)
+        try:
+            # Two rounds propagate loop-carried taint to a fixpoint for
+            # the single-level dependencies this pass models.
+            for _ in range(2):
+                self._exec_block(stmt.body)
+        finally:
+            self._loop_order.pop()
+        self._exec_block(stmt.orelse)
+
+    def _bind_target_elems(self, target: ast.AST, markers: Markers) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.env[node.id] = markers
+
+    def _exec_expr_stmt(self, stmt: ast.Expr) -> None:
+        value = stmt.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in APPEND_METHODS
+            and isinstance(value.func.value, ast.Name)
+        ):
+            receiver = value.func.value.id
+            incoming: Markers = EMPTY
+            for arg in value.args:
+                incoming |= _to_order(self._eval(arg))
+            # Appending per-iteration data inside an unordered loop
+            # rebuilds the unordered order into the list.
+            if self._loop_order and self._loop_order[-1]:
+                incoming |= _reals(self._loop_order[-1]) | _params(
+                    self._loop_order[-1]
+                )
+            if incoming:
+                self.env[receiver] = self.env.get(receiver, EMPTY) | incoming
+            self._check_sink_call(
+                value, list(value.args), [self._eval(a) for a in value.args]
+            )
+            return
+        if isinstance(value, (ast.Yield, ast.YieldFrom)):
+            markers = self._eval(value.value)
+            self._return_markers.update(markers)
+            return
+        self._eval(value)
+
+
+def _sorted_functions(project: Project) -> list[FunctionInfo]:
+    return [project.functions[name] for name in sorted(project.functions)]
+
+
+def analyze_taint(project: Project) -> list[Finding]:
+    """Run the determinism taint pass over the whole project."""
+    summaries: dict[str, FunctionSummary] = {
+        name: FunctionSummary() for name in project.functions
+    }
+    # Fixpoint over call-graph summaries (bounded; the summary lattice
+    # only grows, so this terminates well before the cap).
+    for _ in range(6):
+        changed = False
+        for function in _sorted_functions(project):
+            module = project.modules.get(function.module)
+            if module is None:
+                continue
+            analysis = _FunctionAnalysis(
+                project, module, function, summaries, collect=False
+            )
+            summary = analysis.run()
+            if summary.key() != summaries[function.qualname].key():
+                summaries[function.qualname] = summary
+                changed = True
+        if not changed:
+            break
+
+    findings: dict[tuple, Finding] = {}
+    for function in _sorted_functions(project):
+        module = project.modules.get(function.module)
+        if module is None:
+            continue
+        analysis = _FunctionAnalysis(
+            project, module, function, summaries, collect=True
+        )
+        analysis.run()
+        findings.update(analysis.findings)
+    return sorted(findings.values())

@@ -319,6 +319,10 @@ class Telemetry:
             attrs: dict[str, object] = {"node": node_id, "region": span.name}
             if k is not None:
                 attrs["k"] = k
+            # repro-analyze: disable=RA001 — components is a dict literal
+            # built in the cost model's canonical phase order (spans.py);
+            # the contiguous cursor segments depend on that order, and
+            # sorting alphabetically would scramble the timeline.
             self._emit_closed(phase, cursor, cursor + seconds, span, attrs)
             cursor += seconds
             labels = {"phase": phase, "node": node_id}

@@ -68,6 +68,12 @@ class ParallelMiner(ABC):
 
     name = "abstract"
 
+    #: Declared pass-1 state machine — the shared :meth:`_pass_one`
+    #: skeleton never touches the network.  Checked statically by
+    #: ``repro-analyze`` (protocol conformance pass) and at runtime by
+    #: :mod:`repro.cluster.invariants`.
+    pass1_protocol: tuple[str, ...] = ("begin_pass", "finish_pass")
+
     def __init__(
         self,
         cluster: Cluster,

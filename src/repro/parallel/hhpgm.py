@@ -47,6 +47,10 @@ class HHPGM(ParallelMiner):
 
     name = "H-HPGM"
 
+    #: Scan phase routes transaction fragments (sends), receive phase
+    #: drains and counts; all sends precede all drains within a pass.
+    pass_protocol: tuple[str, ...] = ("begin_pass", "send*", "drain*", "finish_pass")
+
     def fault_profile(self) -> RecoveryProfile:
         return RecoveryProfile(
             placement="root-hash",

@@ -22,6 +22,10 @@ class HHPGMFineGrain(HHPGM):
 
     name = "H-HPGM-FGD"
 
+    #: Same wire protocol as H-HPGM — duplication only changes *what*
+    #: is counted locally, never the pass structure.
+    pass_protocol: tuple[str, ...] = ("begin_pass", "send*", "drain*", "finish_pass")
+
     def fault_profile(self) -> RecoveryProfile:
         return RecoveryProfile(
             placement="root-hash+fine-dup",

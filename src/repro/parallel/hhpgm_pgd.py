@@ -23,6 +23,10 @@ class HHPGMPathGrain(HHPGM):
 
     name = "H-HPGM-PGD"
 
+    #: Same wire protocol as H-HPGM — duplication only changes *what*
+    #: is counted locally, never the pass structure.
+    pass_protocol: tuple[str, ...] = ("begin_pass", "send*", "drain*", "finish_pass")
+
     def fault_profile(self) -> RecoveryProfile:
         return RecoveryProfile(
             placement="root-hash+path-dup",

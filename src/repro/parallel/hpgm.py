@@ -35,6 +35,10 @@ class HPGM(ParallelMiner):
 
     name = "HPGM"
 
+    #: Scan phase ships hashed k-itemsets (sends), receive phase drains
+    #: and probes; all sends precede all drains within a pass.
+    pass_protocol: tuple[str, ...] = ("begin_pass", "send*", "drain*", "finish_pass")
+
     def fault_profile(self) -> RecoveryProfile:
         return RecoveryProfile(
             placement="itemset-hash",

@@ -35,6 +35,11 @@ class NPGM(ParallelMiner):
 
     name = "NPGM"
 
+    #: Candidates are replicated: a pass is scan + coordinator reduce,
+    #: nothing ever crosses the interconnect (``repro-analyze`` checks
+    #: ``_run_pass`` against this machine statically).
+    pass_protocol: tuple[str, ...] = ("begin_pass", "finish_pass")
+
     def fault_profile(self) -> RecoveryProfile:
         return RecoveryProfile(
             placement="replicated",

@@ -334,7 +334,9 @@ class HPSPM(SequenceParallelMiner):
                 stats.extend_items += sum(len(e) for e in data_sequence)
                 extended = extend_sequence(data_sequence, self._index, universe)
                 batches: dict[int, list[int]] = {}
-                for subsequence in k_subsequences(extended, k):
+                # k_subsequences returns a set; iterate it sorted so the
+                # batched payload bytes are identical across hash seeds.
+                for subsequence in sorted(k_subsequences(extended, k)):
                     stats.itemsets_generated += 1
                     dest = sequence_owner(subsequence, num_nodes)
                     if dest == me:

@@ -1,0 +1,20 @@
+"""Fixture: unpicklable and impure callables handed across the pool."""
+
+from repro.perf.executor import execute_per_node
+
+from pool_bad_workers import cached_scan
+
+
+def run_lambda(config, tasks):
+    return execute_per_node(config, lambda task: task, tasks)  # expect: RA002
+
+
+def run_nested(config, tasks):
+    def helper(task):
+        return task
+
+    return execute_per_node(config, helper, tasks)  # expect: RA002
+
+
+def run_impure(config, tasks):
+    return execute_per_node(config, cached_scan, tasks)

@@ -1,0 +1,8 @@
+"""Fixture: a pool worker that mutates module-level state."""
+
+CACHE: dict = {}
+
+
+def cached_scan(task):
+    CACHE[task.key] = task.payload  # expect: RA003
+    return task.payload

@@ -1,0 +1,16 @@
+"""Fixture (clean twin): a pure module-level worker crosses the pool."""
+
+from repro.perf.executor import execute_per_node
+
+SCALE = 2
+
+
+def pure_scan(task):
+    total = 0
+    for value in task.values:
+        total += value * SCALE
+    return total
+
+
+def run(config, tasks):
+    return execute_per_node(config, pure_scan, tasks)

@@ -1,0 +1,25 @@
+"""Fixture: one miner with no declared machine, one violating its own."""
+
+from repro.parallel.base import ParallelMiner
+
+
+class UndeclaredMiner(ParallelMiner):  # expect: RA004
+    name = "fixture-undeclared"
+
+    def _run_pass(self, k, candidates, threshold):
+        self.cluster.begin_pass()
+        return {}, self.cluster.finish_pass(k=k)
+
+
+class DrainsBeforeSending(ParallelMiner):
+    name = "fixture-drain-first"
+
+    pass_protocol = ("begin_pass", "send*", "drain*", "finish_pass")
+
+    def _run_pass(self, k, candidates, threshold):  # expect: RA005
+        network = self.cluster.network
+        node_stats = self.cluster.begin_pass()
+        for payload in network.drain(0):
+            del payload
+        network.send(0, 1, (k,), None, node_stats[1])
+        return {}, self.cluster.finish_pass(k=k)

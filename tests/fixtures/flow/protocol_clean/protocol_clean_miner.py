@@ -1,0 +1,18 @@
+"""Fixture (clean twin): sends strictly precede drains, as declared."""
+
+from repro.parallel.base import ParallelMiner
+
+
+class WellBehavedMiner(ParallelMiner):
+    name = "fixture-clean"
+
+    pass_protocol = ("begin_pass", "send*", "drain*", "finish_pass")
+
+    def _run_pass(self, k, candidates, threshold):
+        network = self.cluster.network
+        node_stats = self.cluster.begin_pass()
+        for dest in (0, 1):
+            network.send(0, dest, (k,), None, node_stats[dest])
+        for payload in network.drain(0):
+            del payload
+        return {}, self.cluster.finish_pass(k=k)

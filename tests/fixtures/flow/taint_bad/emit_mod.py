@@ -1,0 +1,14 @@
+"""Fixture: an unordered helper result reaches a send payload.
+
+The taint is only visible across the call boundary: this module never
+constructs a set itself.
+"""
+
+from gather_mod import gather
+
+
+def ship(network, stats, items):
+    payload = []
+    for item in gather(items):
+        payload.append(item)
+    network.send(0, 1, tuple(payload), stats, stats)  # expect: RA001

@@ -1,0 +1,9 @@
+"""Fixture: helper whose return value has no canonical order."""
+
+
+def gather(items):
+    """Distinct items, as a set — iteration order is seed-dependent."""
+    found = set()
+    for item in items:
+        found.add(item)
+    return found

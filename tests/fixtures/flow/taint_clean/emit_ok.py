@@ -1,0 +1,10 @@
+"""Fixture (clean twin): sorting the helper result launders the taint."""
+
+from gather_ok import gather
+
+
+def ship(network, stats, items):
+    payload = []
+    for item in sorted(gather(items)):
+        payload.append(item)
+    network.send(0, 1, tuple(payload), stats, stats)

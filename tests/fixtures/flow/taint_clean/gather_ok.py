@@ -1,0 +1,8 @@
+"""Fixture (clean twin): the same unordered helper."""
+
+
+def gather(items):
+    found = set()
+    for item in items:
+        found.add(item)
+    return found

@@ -175,6 +175,23 @@ class TestCli:
             assert finding["rule"] == "RL003"
             assert finding["line"] > 0
 
+    def test_sarif_output(self, capsys):
+        """Shares the serializer with repro-analyze (one SARIF dialect)."""
+        code = lint_main(
+            [str(FIXTURES / "rl003_float_equality.py"), "--format", "sarif"]
+        )
+        log = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {rule.rule_id for rule in ALL_RULES} == {
+            rule["id"] for rule in run["tool"]["driver"]["rules"]
+        }
+        assert run["results"]
+        for item in run["results"]:
+            assert item["ruleId"] == "RL003"
+
     def test_clean_run_exits_zero(self, capsys):
         code = lint_main([str(FIXTURES / "suppressed.py")])
         assert code == 0
