@@ -16,6 +16,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.hygiene import BroadExceptRule, MutableDefaultRule
 from repro.analysis.rules.protocol import SimulatorProtocolRule
+from repro.analysis.rules.requests import RequestSpanRule
 from repro.analysis.rules.retry import UnboundedRetryRule
 from repro.analysis.rules.spans import SpanDisciplineRule
 
@@ -29,6 +30,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SpanDisciplineRule(),
     UnboundedRetryRule(),
     UnboundedCacheRule(),
+    RequestSpanRule(),
 )
 
 

@@ -107,6 +107,16 @@ class SnapshotFormatError(ServingError):
     its content digest does not match the recorded version."""
 
 
+class SLOViolationError(ServingError):
+    """A service-level objective was breached (see :mod:`repro.obs.slo`).
+
+    Raised by ``repro-slo check`` when any declared objective in
+    ``slo.json`` is violated by the observed request stream; the
+    dedicated exit code lets CI gate on SLOs separately from other
+    serving failures.
+    """
+
+
 class EmptyRuleSetError(ServingError):
     """A rules export or snapshot build produced zero rules.
 
@@ -129,6 +139,7 @@ _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (DataGenerationError, 10),
     (TransactionFormatError, 11),
     (ObservabilityError, 12),
+    (SLOViolationError, 17),
     (EmptyRuleSetError, 15),
     (SnapshotFormatError, 16),
     (ServingError, 14),

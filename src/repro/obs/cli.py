@@ -2,7 +2,11 @@
 
 Subcommands over a sink written by ``repro-mine mine --trace-out``:
 
-* ``summary``  — run header, per-pass table, event/span accounting;
+* ``summary``  — run header, per-pass table, event/span accounting,
+  sink schema version and a warning when any events were dropped;
+* ``requests`` — per-request serve-tier traces: per-path and per-phase
+  latency breakdowns (p50/p95/p99), cache hit rate, error counts, and
+  the exact span-reconciliation tally;
 * ``timeline`` — per-node phase timelines for every pass, plus the
   skew report (the bulk-synchronous view: a pass lasts as long as its
   most loaded node);
@@ -27,7 +31,9 @@ from pathlib import Path
 
 from repro.errors import ObservabilityError
 from repro.metrics.balance import balance_summary
-from repro.obs.sink import read_events
+from repro.obs.requests import REQUEST_PHASES, reconciles
+from repro.obs.sink import SCHEMA_NAME, read_events
+from repro.obs.slo import aggregate, read_request_records
 from repro.obs.spans import PHASES
 
 #: Timeline glyph per phase (legend order; ``.`` for anything else).
@@ -70,6 +76,8 @@ class TraceFile:
     events: list[dict]
     spans_dropped: int = 0
     events_dropped: int = 0
+    schema: str = SCHEMA_NAME
+    schema_version: int = 0
 
     def pass_spans(self) -> list[Span]:
         return [span for span in self.spans if span.name == "pass"]
@@ -96,9 +104,14 @@ def load_trace(path: str | Path) -> TraceFile:
     passes: list[dict] = []
     spans_dropped = 0
     events_dropped = 0
+    schema = SCHEMA_NAME
+    schema_version = 0
     for event in events:
         type_ = event["type"]
-        if type_ == "run-begin":
+        if type_ == "meta":
+            schema = event.get("schema", schema)
+            schema_version = event.get("v", schema_version)
+        elif type_ == "run-begin":
             algorithm = event.get("algorithm", algorithm)
             nodes = event.get("nodes", nodes)
         elif type_ == "span-open":
@@ -145,6 +158,8 @@ def load_trace(path: str | Path) -> TraceFile:
         events=events,
         spans_dropped=spans_dropped,
         events_dropped=events_dropped,
+        schema=schema,
+        schema_version=schema_version,
     )
 
 
@@ -222,6 +237,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     trace = load_trace(args.sink)
     run_spans = [span for span in trace.spans if span.name == "run"]
     total = run_spans[0].duration if run_spans else 0.0
+    print(f"schema: {trace.schema} v{trace.schema_version}")
     print(f"algorithm: {trace.algorithm}   nodes: {trace.nodes}")
     print(f"simulated time: {total:.6f}s over {len(trace.passes)} passes")
     for record in trace.passes:
@@ -235,7 +251,50 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         f"spans: {len(trace.spans)} closed, "
         f"{trace.spans_dropped} dropped; events dropped: {trace.events_dropped}"
     )
+    dropped = trace.spans_dropped + trace.events_dropped
+    if dropped:
+        print(
+            f"WARNING: {dropped} events dropped — the trace is incomplete; "
+            "raise the sink limit or write to a file-backed sink"
+        )
     return 0
+
+
+def _cmd_requests(args: argparse.Namespace) -> int:
+    records = read_request_records(args.sink)
+    by_path: dict[str, list[dict]] = {}
+    for record in records:
+        by_path.setdefault(record["path"], []).append(record)
+    exact = sum(1 for record in records if reconciles(record))
+    overall = aggregate(records)
+    paths = " ".join(
+        f"{path}={len(by_path[path])}" for path in sorted(by_path)
+    )
+    print(
+        f"requests: {len(records)} ({paths})  errors: "
+        f"{overall['errors']} (rate {overall['error_rate']:.4f})"
+    )
+    print(
+        f"reconciliation: {exact}/{len(records)} exact "
+        "(queue_wait + batch_exec + overhead == end_to_end)"
+    )
+    print(
+        f"cache: {overall['cache_hits']} hits, {overall['cache_misses']} "
+        f"misses (hit rate {overall['cache_hit_rate']:.4f})"
+    )
+    header = f"  {'phase':<12} {'p50_ms':>10} {'p95_ms':>10} {'p99_ms':>10}"
+    for path in sorted(by_path):
+        stats = aggregate(by_path[path])
+        print(f"path {path}:")
+        print(header)
+        for phase in ("latency",) + REQUEST_PHASES:
+            prefix = "end_to_end" if phase == "latency" else phase
+            print(
+                f"  {prefix:<12} {stats[f'{phase}_p50_ms']:>10.3f} "
+                f"{stats[f'{phase}_p95_ms']:>10.3f} "
+                f"{stats[f'{phase}_p99_ms']:>10.3f}"
+            )
+    return 0 if exact == len(records) else 1
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
@@ -345,6 +404,13 @@ def _build_parser() -> argparse.ArgumentParser:
     summary = sub.add_parser("summary", help="run header and pass table")
     summary.add_argument("sink", help="sink JSONL file")
 
+    requests = sub.add_parser(
+        "requests", help="per-request latency breakdown (serve tier)"
+    )
+    requests.add_argument(
+        "sink", help="sink JSONL or request-records JSONL file"
+    )
+
     timeline = sub.add_parser(
         "timeline", help="per-node phase timelines and the skew report"
     )
@@ -368,6 +434,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "summary": _cmd_summary,
+    "requests": _cmd_requests,
     "timeline": _cmd_timeline,
     "skew": _cmd_skew,
     "top": _cmd_top,

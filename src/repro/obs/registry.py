@@ -118,6 +118,26 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, fraction: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the nearest-rank sample; the top finite bound when the
+        sample landed in ``+Inf``).  Exact percentiles come from raw
+        request records — this is the coarse view ``repro-slo watch``
+        reads off a live ``/metrics`` scrape."""
+        if not 0 <= fraction <= 1:
+            raise ObservabilityError(f"quantile fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, min(self.count, round(fraction * self.count)))
+        running = 0
+        for position, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= rank:
+                if position < len(self.buckets):
+                    return self.buckets[position]
+                return self.buckets[-1] if self.buckets else 0.0
+        return self.buckets[-1] if self.buckets else 0.0
+
 
 class MetricsRegistry:
     """Get-or-create registry of labelled metric series.
@@ -190,6 +210,36 @@ class MetricsRegistry:
                 if series_name == name:
                     rows.append((dict(label_set), series.value))
         return rows
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry", **labels) -> None:
+        """Fold another registry's series into this one.
+
+        Each merged series keeps its own labels plus the given extras
+        (extras win on collision) — the load generator merges its two
+        per-phase registries into one export under ``phase=direct`` /
+        ``phase=batched`` labels.
+        """
+        extra = _label_set(labels)
+        for (name, label_set), series in sorted(other._counters.items()):
+            merged = {**dict(label_set), **dict(extra)}
+            self.counter(name, **merged).inc(series.value)
+        for (name, label_set), series in sorted(other._gauges.items()):
+            merged = {**dict(label_set), **dict(extra)}
+            self.gauge(name, **merged).set(series.value)
+        for (name, label_set), series in sorted(other._histograms.items()):
+            merged = {**dict(label_set), **dict(extra)}
+            target = self.histogram(name, buckets=series.buckets, **merged)
+            if target.buckets != series.buckets:
+                raise ObservabilityError(
+                    f"histogram {name!r} bucket mismatch during merge"
+                )
+            for position, bucket_count in enumerate(series.counts):
+                target.counts[position] += bucket_count
+            target.total += series.total
+            target.count += series.count
 
     # ------------------------------------------------------------------
     # Exporters

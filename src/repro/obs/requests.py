@@ -1,0 +1,456 @@
+"""Request-level tracing for the online serve tier.
+
+Where :mod:`repro.obs.spans` traces *simulated* mining time, this module
+traces *real* serving time: every query admitted by
+:class:`~repro.serve.batch.ServeService` gets a deterministic request id
+and a span tree::
+
+    request
+    ├── queue_wait      submit → batch admission
+    └── batch_exec      its batch's engine-call interval
+        └── cache       result-cache lookup (terminal on a hit)
+        └── engine      full query execution (misses only)
+            └── snapshot_lookup   closure + inverted-index candidate fetch
+
+All timestamps are quantized to **integer nanoseconds** read from one
+injectable clock, so the per-request accounting reconciles *exactly*:
+
+    ``queue_wait + batch_exec + overhead == end_to_end``
+
+holds as integer arithmetic for every request — ``overhead`` is the
+residual (dequeue→execution gap plus fan-out), never a rounding slop.
+``tests/test_obs_requests.py`` asserts this for ≥1k-query loadgen runs
+and checks every request interval sits inside the load generator's wall
+totals.
+
+Trace context propagates across the micro-batching executor: the
+:class:`RequestContext` created at submission rides on the pending query
+through the queue, is stamped by the draining worker, shares its group's
+engine-call observation, and is finished *before* the waiter is
+released.  Finished requests are emitted as ``type="request"`` events
+into the same schema-versioned JSONL :class:`~repro.obs.sink.EventSink`
+the rest of the observability stack writes, and aggregated into
+``slo.*`` series of the shared :class:`~repro.obs.registry.MetricsRegistry`
+(the SLO monitor's input — see :mod:`repro.obs.slo`).
+
+Determinism: request ids are caller-assignable (the load generator uses
+the workload position), ``trace`` ids are a pure hash of
+``(namespace, request_id)``, and with an injected fake clock the whole
+request stream is byte-identical across ``PYTHONHASHSEED`` values
+(``tests/test_serve_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable
+
+from repro.errors import error_label
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import EventSink
+
+#: The request span taxonomy, in emission order.
+REQUEST_PHASES: tuple[str, ...] = ("queue_wait", "batch_exec", "overhead")
+
+#: Millisecond histogram buckets for request latencies (sub-0.1ms cache
+#: hits up to multi-second stalls).
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: Request paths a context can be opened on.
+REQUEST_PATHS: tuple[str, ...] = ("direct", "batched", "http")
+
+
+def to_ns(seconds: float) -> int:
+    """Quantize a float-seconds clock reading to integer nanoseconds."""
+    return int(round(seconds * 1e9))
+
+
+def deterministic_trace_id(namespace: str, request_id: int) -> str:
+    """16-hex trace id — a pure function of (namespace, request id)."""
+    digest = hashlib.sha256(f"{namespace}:{request_id}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+class RequestContext:
+    """Mutable trace context of one in-flight request.
+
+    Carries the integer-nanosecond stamps of every phase boundary; the
+    tracer turns a finished context into one immutable record.  The
+    engine-facing ``mark_*`` methods double as the query observation
+    API: :meth:`repro.serve.engine.QueryEngine.query` stamps cache and
+    snapshot-lookup boundaries on whatever context observes the call.
+    """
+
+    __slots__ = (
+        "request_id", "trace_id", "path", "batch_id", "cache", "version",
+        "status", "error", "done",
+        "t_submit", "t_dequeue", "t_exec_begin", "t_exec_end",
+        "t_query_begin", "t_query_end", "t_lookup_begin", "t_lookup_end",
+        "_clock_ns",
+    )
+
+    def __init__(self, request_id: int, trace_id: str, path: str, clock_ns):
+        self.request_id = request_id
+        self.trace_id = trace_id
+        self.path = path
+        self.batch_id: int | None = None
+        self.cache: str | None = None
+        self.version: str | None = None
+        self.status = "ok"
+        self.error: str | None = None
+        self.done = False
+        self._clock_ns = clock_ns
+        now = clock_ns()
+        self.t_submit = now
+        self.t_dequeue: int | None = None
+        self.t_exec_begin: int | None = None
+        self.t_exec_end: int | None = None
+        self.t_query_begin: int | None = None
+        self.t_query_end: int | None = None
+        self.t_lookup_begin: int | None = None
+        self.t_lookup_end: int | None = None
+
+    # ------------------------------------------------------------------
+    # Service-side stamps
+    # ------------------------------------------------------------------
+    def mark_dequeued(self, batch_id: int | None = None, at: int | None = None) -> None:
+        """Queue wait ends: the request was admitted into a batch."""
+        self.t_dequeue = self._clock_ns() if at is None else at
+        self.batch_id = batch_id
+
+    def mark_exec(self, begin: int, end: int) -> None:
+        """The request's batch executed over ``[begin, end]``."""
+        self.t_exec_begin = begin
+        self.t_exec_end = end
+
+    # ------------------------------------------------------------------
+    # Engine-side observation stamps (the ``obs`` protocol of
+    # QueryEngine.query)
+    # ------------------------------------------------------------------
+    def mark_query_begin(self) -> None:
+        self.t_query_begin = self._clock_ns()
+
+    def mark_cache_hit(self, version: str) -> None:
+        self.cache = "hit"
+        self.version = version
+        self.t_query_end = self._clock_ns()
+
+    def mark_exec_begin(self) -> None:
+        self.cache = "miss"
+        self.t_query_begin = (
+            self.t_query_begin if self.t_query_begin is not None else self._clock_ns()
+        )
+
+    def mark_lookup_begin(self) -> None:
+        self.t_lookup_begin = self._clock_ns()
+
+    def mark_lookup_end(self) -> None:
+        self.t_lookup_end = self._clock_ns()
+
+    def mark_query_end(self, version: str) -> None:
+        self.version = version
+        self.t_query_end = self._clock_ns()
+
+    def adopt_execution(self, leader: "RequestContext") -> None:
+        """Copy the engine-call stamps of the batch group's leader.
+
+        Deduplicated requests share one engine call; every member of the
+        group reports the same execution interval and cache outcome.
+        """
+        self.cache = leader.cache
+        self.version = leader.version
+        self.t_query_begin = leader.t_query_begin
+        self.t_query_end = leader.t_query_end
+        self.t_lookup_begin = leader.t_lookup_begin
+        self.t_lookup_end = leader.t_lookup_end
+
+
+class RequestLog:
+    """Bounded in-memory store of finished request records.
+
+    Mirrors :class:`~repro.obs.spans.SpanLog`: beyond ``limit`` records
+    are dropped and only :attr:`dropped` keeps growing — never silent,
+    never unbounded.
+    """
+
+    __slots__ = ("limit", "records", "dropped")
+
+    def __init__(self, limit: int = 100_000):
+        self.limit = limit
+        self.records: list[dict] = []
+        self.dropped = 0
+
+    def append(self, record: dict) -> None:
+        if len(self.records) < self.limit:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+
+
+class RequestTracer:
+    """Assigns request identities and turns contexts into records.
+
+    Parameters
+    ----------
+    sink:
+        Optional JSONL event sink; every finished request is emitted as
+        one ``type="request"`` event.
+    registry:
+        Metrics registry receiving the ``slo.*`` series (a private one
+        by default).
+    clock:
+        Float-seconds monotonic clock (``time.perf_counter`` by
+        default); tests inject a deterministic fake.
+    namespace:
+        Trace-id namespace, so two tracers over one workload (direct
+        vs batched phase) produce distinct trace ids.
+    limit:
+        Bound on retained in-memory records.
+    """
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        registry: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        namespace: str = "serve",
+        limit: int = 100_000,
+    ):
+        self.sink = sink
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.namespace = namespace
+        self.log = RequestLog(limit=limit)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    def now_ns(self) -> int:
+        return to_ns(self._clock())
+
+    @property
+    def records(self) -> list[dict]:
+        return self.log.records
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin_request(
+        self, path: str, request_id: int | None = None
+    ) -> RequestContext:
+        """Open a request context (stamps the submit time).
+
+        Callers that own a deterministic identity (the load generator's
+        workload position) pass ``request_id``; otherwise ids are
+        assigned sequentially in admission order.
+        """
+        with self._lock:
+            if request_id is None:
+                request_id = self._next_request_id
+                self._next_request_id += 1
+            else:
+                self._next_request_id = max(self._next_request_id, request_id + 1)
+        trace_id = deterministic_trace_id(self.namespace, request_id)
+        return RequestContext(request_id, trace_id, path, self.now_ns)
+
+    def finish_request(self, ctx: RequestContext, result=None) -> dict | None:
+        """Close a context as served and emit its record.
+
+        Idempotent: a context is finished at most once (the batching
+        worker finishes before resolving the waiter; context managers
+        then see ``done`` and stand down).
+        """
+        if ctx.done:
+            return None
+        if result is not None and ctx.version is None:
+            ctx.version = result.version
+        ctx.status = "ok"
+        return self._emit(ctx)
+
+    def fail_request(self, ctx: RequestContext, kind: str) -> dict | None:
+        """Close a context as errored (``kind`` labels the failure)."""
+        if ctx.done:
+            return None
+        ctx.status = "error"
+        ctx.error = kind
+        return self._emit(ctx)
+
+    def reject(self, path: str, kind: str) -> dict | None:
+        """One-shot error record for a request that never got a context
+        (e.g. an HTTP body that failed to parse)."""
+        ctx = self.begin_request(path)
+        return self.fail_request(ctx, kind)
+
+    @contextmanager
+    def request(
+        self,
+        path: str,
+        request_id: int | None = None,
+        ctx: RequestContext | None = None,
+    ):
+        """Context-managed request: guarantees every exit finishes the
+        context (the close discipline lint rule RL010 enforces)."""
+        if ctx is None:
+            ctx = self.begin_request(path, request_id=request_id)
+        try:
+            yield ctx
+        except BaseException as error:
+            self.fail_request(ctx, error_label(error))
+            raise
+        finally:
+            self._finish_abandoned_request(ctx)
+
+    def _finish_abandoned_request(self, ctx: RequestContext) -> None:
+        """Backstop close: a context leaving scope unfinished is an
+        error, not a leak."""
+        if not ctx.done:
+            self.fail_request(ctx, "abandoned")
+
+    # ------------------------------------------------------------------
+    # Record assembly
+    # ------------------------------------------------------------------
+    def _emit(self, ctx: RequestContext) -> dict:
+        t_end = self.now_ns()
+        ctx.done = True
+        record = build_record(ctx, t_end)
+        with self._lock:
+            self.log.append(record)
+            self._observe(record)
+            if self.sink is not None:
+                self.sink.emit("request", **record)
+        return record
+
+    def _observe(self, record: dict) -> None:
+        registry = self.registry
+        registry.counter(
+            "slo.requests", path=record["path"], status=record["status"]
+        ).inc()
+        if record["status"] == "error":
+            registry.counter("slo.errors", kind=record["error"]).inc()
+        cache = record.get("cache")
+        if cache is not None:
+            registry.counter("slo.cache_lookups", outcome=cache).inc()
+        phases = record["phases"]
+        for metric, key in (
+            ("slo.latency_ms", "end_to_end"),
+            ("slo.queue_wait_ms", "queue_wait"),
+            ("slo.batch_exec_ms", "batch_exec"),
+            ("slo.overhead_ms", "overhead"),
+        ):
+            registry.histogram(metric, buckets=LATENCY_BUCKETS_MS).observe(
+                phases[key] / 1e6
+            )
+
+
+def build_record(ctx: RequestContext, t_end: int) -> dict:
+    """Assemble the immutable record of one finished context.
+
+    Phase integers reconcile exactly: ``overhead`` is defined as the
+    residual ``end_to_end - queue_wait - batch_exec``, and all three are
+    non-negative because the stamps are monotone reads of one clock.
+    """
+    submit = ctx.t_submit
+    end_to_end = max(0, t_end - submit)
+    dequeue = ctx.t_dequeue if ctx.t_dequeue is not None else submit
+    queue_wait = max(0, dequeue - submit)
+    if ctx.t_exec_begin is not None and ctx.t_exec_end is not None:
+        batch_exec = max(0, ctx.t_exec_end - ctx.t_exec_begin)
+    else:
+        batch_exec = 0
+    overhead = end_to_end - queue_wait - batch_exec
+    record: dict = {
+        "id": ctx.request_id,
+        "trace": ctx.trace_id,
+        "path": ctx.path,
+        "status": ctx.status,
+        "t": submit,
+        "phases": {
+            "queue_wait": queue_wait,
+            "batch_exec": batch_exec,
+            "overhead": overhead,
+            "end_to_end": end_to_end,
+        },
+        "spans": _span_tree(ctx, t_end),
+    }
+    if ctx.error is not None:
+        record["error"] = ctx.error
+    if ctx.cache is not None:
+        record["cache"] = ctx.cache
+    if ctx.version is not None:
+        record["version"] = ctx.version
+    if ctx.batch_id is not None:
+        record["batch"] = ctx.batch_id
+    return record
+
+
+def _span_tree(ctx: RequestContext, t_end: int) -> list[dict]:
+    """The request's span tree, offsets relative to the submit stamp."""
+
+    def rel(stamp: int | None) -> int | None:
+        return None if stamp is None else max(0, stamp - ctx.t_submit)
+
+    spans: list[dict] = [
+        {"name": "request", "parent": None, "s": 0, "e": rel(t_end)}
+    ]
+    dequeue = rel(ctx.t_dequeue)
+    if dequeue is not None:
+        spans.append(
+            {"name": "queue_wait", "parent": "request", "s": 0, "e": dequeue}
+        )
+    exec_begin, exec_end = rel(ctx.t_exec_begin), rel(ctx.t_exec_end)
+    if exec_begin is not None and exec_end is not None:
+        spans.append(
+            {
+                "name": "batch_exec",
+                "parent": "request",
+                "s": exec_begin,
+                "e": exec_end,
+            }
+        )
+        query_begin, query_end = rel(ctx.t_query_begin), rel(ctx.t_query_end)
+        if query_begin is not None and query_end is not None:
+            if ctx.cache == "hit":
+                spans.append(
+                    {
+                        "name": "cache",
+                        "parent": "batch_exec",
+                        "s": query_begin,
+                        "e": query_end,
+                    }
+                )
+            else:
+                spans.append(
+                    {
+                        "name": "engine",
+                        "parent": "batch_exec",
+                        "s": query_begin,
+                        "e": query_end,
+                    }
+                )
+                lookup_begin = rel(ctx.t_lookup_begin)
+                lookup_end = rel(ctx.t_lookup_end)
+                if lookup_begin is not None and lookup_end is not None:
+                    spans.append(
+                        {
+                            "name": "snapshot_lookup",
+                            "parent": "engine",
+                            "s": lookup_begin,
+                            "e": lookup_end,
+                        }
+                    )
+    return spans
+
+
+def reconciles(record: dict) -> bool:
+    """Exactness check: the three phases sum to the end-to-end time."""
+    phases = record["phases"]
+    return (
+        phases["queue_wait"] + phases["batch_exec"] + phases["overhead"]
+        == phases["end_to_end"]
+    )

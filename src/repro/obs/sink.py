@@ -23,6 +23,7 @@ reported in the ``run-end`` event, never silent).
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 from repro.errors import ObservabilityError
@@ -58,6 +59,9 @@ class EventSink:
         self.emitted = 0
         self._seq = 0
         self._handle = None
+        # Serving emits from worker and HTTP handler threads; one lock
+        # keeps seq assignment and the line append/write atomic.
+        self._emit_lock = threading.Lock()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("w", encoding="utf-8")
@@ -68,17 +72,18 @@ class EventSink:
         """Append one event; ``seq`` and ``type`` are reserved keys."""
         if "seq" in payload or "type" in payload:
             raise ObservabilityError("'seq' and 'type' are reserved event keys")
-        record = {"seq": self._seq, "type": type_}
-        record.update(payload)
-        self._seq += 1
-        self.emitted += 1
-        line = _serialize(record)
-        if self._handle is not None:
-            self._handle.write(line + "\n")
-        elif len(self.lines) < self.limit:
-            self.lines.append(line)
-        else:
-            self.dropped += 1
+        with self._emit_lock:
+            record = {"seq": self._seq, "type": type_}
+            record.update(payload)
+            self._seq += 1
+            self.emitted += 1
+            line = _serialize(record)
+            if self._handle is not None:
+                self._handle.write(line + "\n")
+            elif len(self.lines) < self.limit:
+                self.lines.append(line)
+            else:
+                self.dropped += 1
 
     def dump(self) -> str:
         """The in-memory stream as one string (file-backed sinks raise)."""

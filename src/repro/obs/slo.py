@@ -1,0 +1,491 @@
+"""SLO monitor over the serve tier's request stream (``repro-slo``).
+
+Consumes the per-request trace records produced by
+:mod:`repro.obs.requests` — either a ``repro.obs`` JSONL sink (picking
+out the ``type="request"`` events) or a plain request-record JSONL file
+(``repro-serve loadgen --requests-out``) — and evaluates declarative
+service-level objectives against it:
+
+* **latency** — windowed p50/p95/p99 over any request phase
+  (``latency`` = end-to-end, ``queue_wait``, ``batch_exec``,
+  ``overhead``), exact nearest-rank percentiles on the integer
+  nanosecond stamps;
+* **error rate** — errored requests over all requests;
+* **cache hit rate** — result-cache hits over hit+miss lookups;
+* **burn rate** — for objectives that declare an error budget
+  (``target``), the rate at which the stream consumes it:
+  ``bad_fraction / (1 - target)``; a burn rate of 1.0 spends the budget
+  exactly, ``max_burn`` caps it.
+
+The spec (``slo.json``, schema ``repro.slo/v1``) declares objectives::
+
+    {"schema": "repro.slo/v1",
+     "window": 500,
+     "objectives": [
+       {"name": "p99-latency", "metric": "latency_p99_ms", "max": 50.0},
+       {"name": "availability", "metric": "error_rate", "max": 0.05,
+        "target": 0.99, "max_burn": 6.0},
+       {"name": "cache-hits", "metric": "cache_hit_rate", "min": 0.2}]}
+
+``window`` splits the stream into consecutive fixed-size request
+windows; an objective is violated when it fails **overall or in any
+window** — bursts hide in whole-run averages, windows surface them.
+
+Evaluation is pure and deterministic: records are ordered by
+``(t, path, id)``, percentiles are nearest-rank (no interpolation), and
+reports carry no timestamps, so a report over a fake-clock trace is
+byte-identical across ``PYTHONHASHSEED`` values.
+
+``repro-slo check`` exits with the dedicated SLO exit code (17) on any
+violation; ``report`` renders the full evaluation; ``watch`` re-reads a
+growing artifact and turns into ``check`` the moment it sees a
+violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import (
+    ObservabilityError,
+    ReproError,
+    SLOViolationError,
+    error_label,
+    exit_code_for,
+)
+from repro.obs.sink import SCHEMA_NAME, parse_events
+
+#: Version tag of SLO spec files.
+SLO_SCHEMA = "repro.slo/v1"
+
+#: Version tag of rendered SLO reports.
+REPORT_SCHEMA = "repro.slo.report/v1"
+
+#: Request phases a latency metric can target (metric name prefix →
+#: phase key in the record; ``latency`` is the end-to-end alias).
+PHASE_KEYS: dict[str, str] = {
+    "latency": "end_to_end",
+    "queue_wait": "queue_wait",
+    "batch_exec": "batch_exec",
+    "overhead": "overhead",
+}
+
+#: Percentiles every aggregate carries.
+PERCENTILES: tuple[int, ...] = (50, 95, 99)
+
+
+# ----------------------------------------------------------------------
+# Input
+# ----------------------------------------------------------------------
+def read_request_records(path: str | Path) -> list[dict]:
+    """Load request records from a sink or plain-record JSONL file.
+
+    A stream whose first line is a ``repro.obs`` meta event is parsed as
+    a full sink (schema-validated, ``type="request"`` events extracted);
+    anything else is treated as one request record per line.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    first: dict | None = None
+    for raw in lines:
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            first = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"{path}: first line is not JSON: {error}"
+            ) from None
+        break
+    if first is None:
+        raise ObservabilityError(f"{path}: no request records")
+    if isinstance(first, dict) and first.get("schema") == SCHEMA_NAME:
+        events = parse_events(lines)
+        records = [
+            {key: event[key] for key in sorted(event) if key not in ("seq", "type")}
+            for event in events
+            if event.get("type") == "request"
+        ]
+    else:
+        records = []
+        for number, raw in enumerate(lines, start=1):
+            text = raw.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ObservabilityError(
+                    f"{path} line {number} is not JSON: {error}"
+                ) from None
+            records.append(record)
+    for number, record in enumerate(records, start=1):
+        if not isinstance(record, dict) or "phases" not in record:
+            raise ObservabilityError(
+                f"{path}: record {number} is not a request record "
+                "(missing 'phases')"
+            )
+    if not records:
+        raise ObservabilityError(f"{path}: no request records")
+    records.sort(key=lambda record: (record.get("t", 0), record["path"], record["id"]))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def percentile_ns(values: list[int], fraction: float) -> int:
+    """Nearest-rank percentile of integer samples (0 when empty)."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def aggregate(records: list[dict]) -> dict:
+    """Aggregate one record slice into the metric dictionary.
+
+    Latency percentiles are reported in milliseconds (exact integer
+    nanoseconds divided by 1e6 — the only float step, applied after the
+    order statistics, so ranking is never float-sensitive).
+    """
+    requests = len(records)
+    errors = sum(1 for record in records if record["status"] == "error")
+    hits = sum(1 for record in records if record.get("cache") == "hit")
+    misses = sum(1 for record in records if record.get("cache") == "miss")
+    lookups = hits + misses
+    metrics: dict[str, float] = {
+        "requests": requests,
+        "errors": errors,
+        "error_rate": errors / requests if requests else 0.0,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": hits / lookups if lookups else 0.0,
+    }
+    for prefix, key in sorted(PHASE_KEYS.items()):
+        values = [record["phases"][key] for record in records]
+        for point in PERCENTILES:
+            metrics[f"{prefix}_p{point}_ms"] = (
+                percentile_ns(values, point / 100) / 1e6
+            )
+    return metrics
+
+
+def split_windows(records: list[dict], window: int) -> list[list[dict]]:
+    """Consecutive fixed-size windows (the tail keeps its remainder)."""
+    if window <= 0 or not records:
+        return []
+    return [records[start : start + window] for start in range(0, len(records), window)]
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+def load_spec(path: str | Path) -> dict:
+    """Load and validate an ``slo.json`` spec."""
+    try:
+        spec = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ObservabilityError(f"{path}: spec is not JSON: {error}") from None
+    if not isinstance(spec, dict) or spec.get("schema") != SLO_SCHEMA:
+        raise ObservabilityError(
+            f"{path}: not an SLO spec (expected schema {SLO_SCHEMA!r})"
+        )
+    objectives = spec.get("objectives")
+    if not isinstance(objectives, list) or not objectives:
+        raise ObservabilityError(f"{path}: spec declares no objectives")
+    known = set(aggregate([_PROBE_RECORD]))
+    for objective in objectives:
+        if not isinstance(objective, dict) or "name" not in objective:
+            raise ObservabilityError(f"{path}: every objective needs a 'name'")
+        name = objective["name"]
+        metric = objective.get("metric")
+        if metric not in known:
+            raise ObservabilityError(
+                f"{path}: objective {name!r} targets unknown metric {metric!r}"
+            )
+        if "max" not in objective and "min" not in objective:
+            raise ObservabilityError(
+                f"{path}: objective {name!r} declares neither 'max' nor 'min'"
+            )
+        target = objective.get("target")
+        if target is not None and not 0 < target < 1:
+            raise ObservabilityError(
+                f"{path}: objective {name!r} target must be in (0, 1), got {target}"
+            )
+    return spec
+
+
+#: A minimal well-formed record used to enumerate the metric namespace.
+_PROBE_RECORD: dict = {
+    "id": 0,
+    "path": "direct",
+    "status": "ok",
+    "phases": {"queue_wait": 0, "batch_exec": 0, "overhead": 0, "end_to_end": 0},
+}
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def _bad_fraction(objective: dict, records: list[dict]) -> float:
+    """Fraction of requests that blew this objective's budget.
+
+    ``error_rate`` objectives spend budget on errored requests; latency
+    objectives spend it on requests whose phase value exceeds ``max``.
+    """
+    if not records:
+        return 0.0
+    metric = objective["metric"]
+    if metric == "error_rate":
+        bad = sum(1 for record in records if record["status"] == "error")
+        return bad / len(records)
+    prefix = metric.rsplit("_p", 1)[0]
+    key = PHASE_KEYS.get(prefix)
+    threshold = objective.get("max")
+    if key is None or threshold is None:
+        return 0.0
+    threshold_ns = threshold * 1e6
+    bad = sum(1 for record in records if record["phases"][key] > threshold_ns)
+    return bad / len(records)
+
+
+def _evaluate_objective(
+    objective: dict,
+    overall: dict,
+    windows: list[dict],
+    records: list[dict],
+) -> dict:
+    metric = objective["metric"]
+    value = overall[metric]
+    maximum = objective.get("max")
+    minimum = objective.get("min")
+    violated = False
+    if maximum is not None and value > maximum:
+        violated = True
+    if minimum is not None and value < minimum:
+        violated = True
+    windows_violated = 0
+    for window in windows:
+        window_value = window[metric]
+        if maximum is not None and window_value > maximum:
+            windows_violated += 1
+        elif minimum is not None and window_value < minimum:
+            windows_violated += 1
+    result: dict = {
+        "name": objective["name"],
+        "metric": metric,
+        "value": value,
+        "violated": violated or windows_violated > 0,
+        "windows_violated": windows_violated,
+    }
+    if maximum is not None:
+        result["max"] = maximum
+    if minimum is not None:
+        result["min"] = minimum
+    target = objective.get("target")
+    if target is not None:
+        budget = 1.0 - target
+        burn = _bad_fraction(objective, records) / budget
+        result["target"] = target
+        result["burn_rate"] = round(burn, 6)
+        max_burn = objective.get("max_burn")
+        if max_burn is not None:
+            result["max_burn"] = max_burn
+            if burn > max_burn:
+                result["violated"] = True
+    return result
+
+
+def evaluate(spec: dict, records: list[dict]) -> dict:
+    """Evaluate a spec against a record stream; returns the report."""
+    window = int(spec.get("window") or 0)
+    window_slices = split_windows(records, window)
+    window_aggregates = [aggregate(slice_) for slice_ in window_slices]
+    overall = aggregate(records)
+    objectives = [
+        _evaluate_objective(objective, overall, window_aggregates, records)
+        for objective in spec["objectives"]
+    ]
+    return {
+        "schema": REPORT_SCHEMA,
+        "window": window,
+        "windows": len(window_aggregates),
+        "aggregate": overall,
+        "objectives": objectives,
+        "ok": not any(objective["violated"] for objective in objectives),
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human rendering of one evaluation (the ``report`` subcommand)."""
+    overall = report["aggregate"]
+    lines = [
+        f"requests: {overall['requests']}  errors: {overall['errors']} "
+        f"(rate {overall['error_rate']:.4f})  "
+        f"cache hit rate: {overall['cache_hit_rate']:.4f}",
+        f"latency ms: p50={overall['latency_p50_ms']:.3f} "
+        f"p95={overall['latency_p95_ms']:.3f} p99={overall['latency_p99_ms']:.3f}",
+        f"windows: {report['windows']} x {report['window']} requests",
+    ]
+    for objective in report["objectives"]:
+        bounds = []
+        if "max" in objective:
+            bounds.append(f"max {objective['max']}")
+        if "min" in objective:
+            bounds.append(f"min {objective['min']}")
+        if "burn_rate" in objective:
+            bounds.append(f"burn {objective['burn_rate']:.3f}")
+            if "max_burn" in objective:
+                bounds.append(f"max_burn {objective['max_burn']}")
+        status = "VIOLATED" if objective["violated"] else "ok"
+        suffix = (
+            f" ({objective['windows_violated']} windows)"
+            if objective["windows_violated"]
+            else ""
+        )
+        lines.append(
+            f"  [{status}] {objective['name']}: {objective['metric']}="
+            f"{objective['value']:.4f} ({', '.join(bounds)}){suffix}"
+        )
+    lines.append(f"slo: {'ok' if report['ok'] else 'VIOLATED'}")
+    return "\n".join(lines)
+
+
+def check(spec_path: str | Path, records_path: str | Path) -> dict:
+    """Evaluate; raise :class:`SLOViolationError` on any violation."""
+    spec = load_spec(spec_path)
+    records = read_request_records(records_path)
+    report = evaluate(spec, records)
+    if not report["ok"]:
+        violated = [
+            objective["name"]
+            for objective in report["objectives"]
+            if objective["violated"]
+        ]
+        raise SLOViolationError(
+            f"SLO violated: {', '.join(violated)} "
+            f"(over {report['aggregate']['requests']} requests)"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _cmd_check(args: argparse.Namespace) -> int:
+    report = check(args.spec, args.requests)
+    print(render_report(report))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    records = read_request_records(args.requests)
+    report = evaluate(spec, records)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(rendered + "\n", encoding="utf-8")
+        print(f"report written to {target}")
+    if args.json and not args.out:
+        print(rendered)
+    else:
+        print(render_report(report))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    ticks = 0
+    while True:
+        ticks += 1
+        try:
+            records = read_request_records(args.requests)
+        except ObservabilityError as error:
+            print(f"tick {ticks}: waiting ({error})")
+            records = []
+        if records:
+            report = evaluate(spec, records)
+            overall = report["aggregate"]
+            status = "ok" if report["ok"] else "VIOLATED"
+            print(
+                f"tick {ticks}: {overall['requests']} requests, "
+                f"err {overall['error_rate']:.4f}, "
+                f"p99 {overall['latency_p99_ms']:.3f}ms — {status}"
+            )
+            if not report["ok"]:
+                violated = [
+                    objective["name"]
+                    for objective in report["objectives"]
+                    if objective["violated"]
+                ]
+                raise SLOViolationError(
+                    f"SLO violated while watching: {', '.join(violated)}"
+                )
+        if args.max_ticks and ticks >= args.max_ticks:
+            return 0
+        time.sleep(args.interval)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-slo",
+        description="Evaluate serve-tier SLOs over request traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check_cmd = sub.add_parser(
+        "check", help="evaluate and exit nonzero on violation"
+    )
+    check_cmd.add_argument("requests", help="request JSONL (sink or records)")
+    check_cmd.add_argument("--spec", default="slo.json", help="SLO spec file")
+
+    report_cmd = sub.add_parser("report", help="full evaluation report")
+    report_cmd.add_argument("requests", help="request JSONL (sink or records)")
+    report_cmd.add_argument("--spec", default="slo.json", help="SLO spec file")
+    report_cmd.add_argument(
+        "--json", action="store_true", help="print the JSON report"
+    )
+    report_cmd.add_argument(
+        "--out", default=None, help="write the JSON report to this path"
+    )
+
+    watch_cmd = sub.add_parser(
+        "watch", help="re-evaluate a growing artifact until violation"
+    )
+    watch_cmd.add_argument("requests", help="request JSONL (sink or records)")
+    watch_cmd.add_argument("--spec", default="slo.json", help="SLO spec file")
+    watch_cmd.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between reads"
+    )
+    watch_cmd.add_argument(
+        "--max-ticks",
+        type=int,
+        default=0,
+        help="stop after this many reads (0 = until violation / interrupt)",
+    )
+
+    return parser
+
+
+_COMMANDS = {"check": _cmd_check, "report": _cmd_report, "watch": _cmd_watch}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"repro-slo: {error_label(error)}: {error}", file=sys.stderr)
+        return exit_code_for(error)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

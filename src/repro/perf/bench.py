@@ -18,7 +18,12 @@ evidence while the metric-preservation contract holds.  CI runs
 
 Results are written as schema-versioned JSON (``BENCH_<label>.json``);
 successive PRs commit refreshed files, so the repository history *is*
-the performance trajectory.  See ``docs/performance.md``.
+the performance trajectory.  Every run also appends a normalized record
+to ``HISTORY.jsonl`` next to the result file, and ``repro-bench compare
+REPORT.json --history benchmarks/HISTORY.jsonl`` checks a fresh report
+against that trajectory, flagging per-kernel/per-algorithm regressions
+beyond a noise band (see :mod:`repro.perf.history` and
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -39,6 +44,12 @@ from repro.experiments import common
 from repro.parallel.registry import make_miner
 from repro.perf.config import CountingConfig
 from repro.perf.executor import effective_workers
+from repro.perf.history import (
+    append_history,
+    compare_against_history,
+    record_from_report,
+    render_comparison,
+)
 
 #: Version tag of the benchmark result files.
 BENCH_SCHEMA = "repro.bench/v1"
@@ -249,7 +260,47 @@ def run_benchmark(
     }
 
 
+def main_compare(argv: list[str]) -> int:
+    """``repro-bench compare`` — watchdog over the bench trajectory."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench compare",
+        description="Compare a benchmark report against HISTORY.jsonl and "
+        "fail on regressions beyond the noise band",
+    )
+    parser.add_argument("report", help="BENCH_*.json report to evaluate")
+    parser.add_argument(
+        "--history",
+        default="benchmarks/HISTORY.jsonl",
+        help="history stream to compare against (default: benchmarks/HISTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--noise-band",
+        type=float,
+        default=1.5,
+        help="worst tolerated ratio in the bad direction before a metric "
+        "counts as regressed (default: 1.5)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON on stdout"
+    )
+    args = parser.parse_args(argv)
+
+    comparison = compare_against_history(
+        args.history, args.report, noise_band=args.noise_band
+    )
+    if args.json:
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+    else:
+        print(render_comparison(comparison))
+    return 0 if comparison["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # The benchmark CLI predates subcommands and must keep accepting
+    # bare flags (``repro-bench --quick``); dispatch the one verb by hand.
+    if arguments and arguments[0] == "compare":
+        return main_compare(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Wall-clock benchmark of the mining kernels and executors",
@@ -277,7 +328,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--transactions", type=int, default=None)
     parser.add_argument("--min-support", type=float, default=None)
     parser.add_argument("--dataset", default="R30F5")
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending this run to HISTORY.jsonl in the output directory",
+    )
+    args = parser.parse_args(arguments)
 
     report = run_benchmark(
         label=args.label,
@@ -293,6 +349,12 @@ def main(argv: list[str] | None = None) -> int:
     out_path = out_dir / f"BENCH_{args.label}.json"
     out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out_path}", file=sys.stderr)
+    if not args.no_history:
+        history_path = append_history(
+            out_dir / "HISTORY.jsonl",
+            record_from_report(report, source=out_path.name),
+        )
+        print(f"appended trajectory record to {history_path}", file=sys.stderr)
 
     for key, ratios in report["speedups"].items():
         rendered = ", ".join(f"{name} {ratio:g}x" for name, ratio in ratios.items())

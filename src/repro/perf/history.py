@@ -1,0 +1,378 @@
+"""Bench-trajectory history: unified loader + regression watchdog.
+
+The repository's performance story lives in ``benchmarks/BENCH_*.json``
+files written by three generations of harnesses:
+
+* the legacy **table6 baseline** (no ``schema`` key) — simulated
+  communication/elapsed numbers from the seed experiment;
+* ``repro.bench/v1`` (``repro-bench``) — host wall-clock over the
+  kernel × executor matrix;
+* ``repro.serve.bench/v1`` (``repro-serve loadgen``) — serving
+  throughput/latency for the direct and batched paths.
+
+This module unifies them behind one versioned record shape
+(``repro.bench.history/v1``): every report flattens to a **metric map**
+(dotted metric name → number), a **digest map** (result digests that
+must never drift), and a **workload key** (a hash of everything that
+defines the workload, so only like runs are ever compared).
+``benchmarks/HISTORY.jsonl`` holds one record per line, appended by
+every ``repro-bench`` / ``repro-serve loadgen`` run — the cross-run
+trajectory the watchdog walks.
+
+``repro-bench compare`` evaluates a fresh report against the most
+recent history record with the same workload key: per-metric ratios
+with direction inferred from the metric name (``*_seconds``/``*_ms``
+lower-is-better; ``*qps``/``*speedup*``/``*ratio*`` higher-is-better),
+flagged as regressions when they move beyond a configurable **noise
+band** (default 1.5×).  Digest drift is always an error — a faster run
+that mines different itemsets is not an optimization.
+
+Records carry no timestamps: history order is file order, and the git
+log of ``HISTORY.jsonl`` is the provenance trail (the repo-wide
+wall-clock lint RL002 applies here too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Version tag of HISTORY.jsonl records.
+HISTORY_SCHEMA = "repro.bench.history/v1"
+
+#: Report schema tags this loader understands.
+MINING_SCHEMA = "repro.bench/v1"
+SERVING_SCHEMA = "repro.serve.bench/v1"
+
+#: Metric-name suffixes that are lower-is-better.
+_LOWER_BETTER = ("_seconds", "_ms", "_bytes")
+
+#: Metric-name markers that are higher-is-better.
+_HIGHER_BETTER = ("qps", "speedup", "ratio")
+
+
+class BenchHistoryError(ReproError):
+    """Malformed benchmark report or history stream."""
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark run, normalized for cross-run comparison."""
+
+    label: str
+    kind: str
+    workload_key: str
+    metrics: dict[str, float]
+    digests: dict[str, str] = field(default_factory=dict)
+    source: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "schema": HISTORY_SCHEMA,
+            "label": self.label,
+            "kind": self.kind,
+            "workload_key": self.workload_key,
+            "metrics": {key: self.metrics[key] for key in sorted(self.metrics)},
+            "digests": {key: self.digests[key] for key in sorted(self.digests)},
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BenchRecord":
+        if payload.get("schema") != HISTORY_SCHEMA:
+            raise BenchHistoryError(
+                f"not a history record (expected schema {HISTORY_SCHEMA!r}, "
+                f"got {payload.get('schema')!r})"
+            )
+        return cls(
+            label=payload["label"],
+            kind=payload["kind"],
+            workload_key=payload["workload_key"],
+            metrics=dict(payload.get("metrics", {})),
+            digests=dict(payload.get("digests", {})),
+            source=payload.get("source", ""),
+        )
+
+
+def workload_key(kind: str, workload: dict) -> str:
+    """Stable key over everything that defines a workload."""
+    blob = json.dumps(workload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(f"{kind}:{blob}".encode("utf-8")).hexdigest()
+    return f"{kind}-{digest[:12]}"
+
+
+# ----------------------------------------------------------------------
+# Report → record (one branch per schema generation)
+# ----------------------------------------------------------------------
+def record_from_report(report: dict, source: str = "") -> BenchRecord:
+    """Normalize any known ``BENCH_*.json`` shape into a record."""
+    schema = report.get("schema")
+    if schema == MINING_SCHEMA:
+        return _record_from_mining(report, source)
+    if schema == SERVING_SCHEMA:
+        return _record_from_serving(report, source)
+    if schema is None and "experiment" in report:
+        return _record_from_table6(report, source)
+    raise BenchHistoryError(
+        f"unknown benchmark report schema {schema!r} in {source or 'report'}"
+    )
+
+
+def _record_from_mining(report: dict, source: str) -> BenchRecord:
+    metrics: dict[str, float] = {}
+    digests: dict[str, str] = {}
+    for run in report.get("runs", []):
+        stem = f"{run['algorithm']}/{run['nodes']}/{run['configuration']}"
+        metrics[f"{stem}/wall_seconds"] = run["wall_seconds"]
+        digests[stem] = run["digest"]
+    for key, ratios in sorted(report.get("speedups", {}).items()):
+        for name, ratio in sorted(ratios.items()):
+            metrics[f"{key}/{name}/speedup"] = ratio
+    return BenchRecord(
+        label=report.get("label", "?"),
+        kind="mining",
+        workload_key=workload_key("mining", report.get("workload", {})),
+        metrics=metrics,
+        digests=digests,
+        source=source,
+    )
+
+
+def _record_from_serving(report: dict, source: str) -> BenchRecord:
+    metrics: dict[str, float] = {}
+    for phase, stats in sorted(report.get("phases", {}).items()):
+        for name in ("qps", "p50_ms", "p95_ms", "p99_ms", "wall_seconds"):
+            if name in stats:
+                metrics[f"{phase}/{name}"] = stats[name]
+    if "speedup_qps" in report:
+        metrics["speedup_qps"] = report["speedup_qps"]
+    digests: dict[str, str] = {}
+    if "transcript_sha256" in report:
+        digests["transcript"] = report["transcript_sha256"]
+    workload = dict(report.get("workload", {}))
+    workload["snapshot_version"] = report.get("snapshot", {}).get("version")
+    return BenchRecord(
+        label=report.get("label", "?"),
+        kind="serving",
+        workload_key=workload_key("serving", workload),
+        metrics=metrics,
+        digests=digests,
+        source=source,
+    )
+
+
+def _record_from_table6(report: dict, source: str) -> BenchRecord:
+    """The seed experiment file: simulated (deterministic) quantities."""
+    metrics: dict[str, float] = {}
+    for run in report.get("runs", []):
+        stem = f"{run['algorithm']}/{run['num_nodes']}"
+        metrics[f"{stem}/simulated_elapsed_seconds"] = sum(
+            pass_record.get("elapsed", 0.0) for pass_record in run.get("passes", [])
+        )
+    for row in report.get("rows", []):
+        metrics[f"comm_ratio/{row['num_nodes']}/ratio"] = row["ratio"]
+    workload = {
+        "experiment": report.get("experiment"),
+        "dataset": report.get("dataset"),
+        "min_support": report.get("min_support"),
+    }
+    return BenchRecord(
+        label=report.get("experiment", "baseline"),
+        kind="table6",
+        workload_key=workload_key("table6", workload),
+        metrics=metrics,
+        digests={},
+        source=source,
+    )
+
+
+def record_from_file(path: str | Path) -> BenchRecord:
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BenchHistoryError(f"{path}: not JSON: {error}") from None
+    return record_from_report(report, source=path.name)
+
+
+# ----------------------------------------------------------------------
+# History file
+# ----------------------------------------------------------------------
+def load_history(path: str | Path) -> list[BenchRecord]:
+    """All records of one ``HISTORY.jsonl``, in file (= append) order."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[BenchRecord] = []
+    for number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise BenchHistoryError(
+                f"{path} line {number} is not JSON: {error}"
+            ) from None
+        records.append(BenchRecord.from_json(payload))
+    return records
+
+
+def append_history(path: str | Path, record: BenchRecord) -> Path:
+    """Append one record (creates the file and parents when missing)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record.to_json(), sort_keys=True, separators=(",", ":"))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def metric_direction(name: str) -> str | None:
+    """``lower`` / ``higher`` is better, or None for uncompared metrics."""
+    lowered = name.lower()
+    if any(marker in lowered for marker in _HIGHER_BETTER):
+        return "higher"
+    if lowered.endswith(_LOWER_BETTER):
+        return "lower"
+    return None
+
+
+def compare_records(
+    baseline: BenchRecord, candidate: BenchRecord, noise_band: float = 1.5
+) -> dict:
+    """Per-metric deltas of ``candidate`` against ``baseline``.
+
+    ``noise_band`` is the worst tolerated ratio in the bad direction: a
+    lower-is-better metric regresses when ``candidate / baseline``
+    exceeds it; a higher-is-better metric regresses when the ratio
+    falls below ``1 / noise_band``.  Digest mismatches are always
+    regressions.
+    """
+    if noise_band < 1.0:
+        raise BenchHistoryError(f"noise band must be >= 1.0, got {noise_band}")
+    if baseline.workload_key != candidate.workload_key:
+        raise BenchHistoryError(
+            f"workload mismatch: baseline {baseline.workload_key} vs "
+            f"candidate {candidate.workload_key} — refusing to compare "
+            "different workloads"
+        )
+    deltas: list[dict] = []
+    for name in sorted(set(baseline.metrics) & set(candidate.metrics)):
+        direction = metric_direction(name)
+        if direction is None:
+            continue
+        base_value = baseline.metrics[name]
+        cand_value = candidate.metrics[name]
+        if base_value <= 0 or cand_value <= 0:
+            continue
+        ratio = cand_value / base_value
+        if direction == "lower":
+            regressed = ratio > noise_band
+        else:
+            regressed = ratio < 1.0 / noise_band
+        deltas.append(
+            {
+                "metric": name,
+                "baseline": base_value,
+                "candidate": cand_value,
+                "ratio": round(ratio, 4),
+                "direction": direction,
+                "regressed": regressed,
+            }
+        )
+    digest_drift = sorted(
+        name
+        for name in set(baseline.digests) & set(candidate.digests)
+        if baseline.digests[name] != candidate.digests[name]
+    )
+    regressions = [delta for delta in deltas if delta["regressed"]]
+    return {
+        "baseline_label": baseline.label,
+        "candidate_label": candidate.label,
+        "workload_key": baseline.workload_key,
+        "noise_band": noise_band,
+        "deltas": deltas,
+        "regressions": regressions,
+        "digest_drift": digest_drift,
+        "ok": not regressions and not digest_drift,
+    }
+
+
+def latest_matching(
+    history: list[BenchRecord], candidate: BenchRecord
+) -> BenchRecord | None:
+    """Most recently appended record comparable to ``candidate``."""
+    for record in reversed(history):
+        if (
+            record.kind == candidate.kind
+            and record.workload_key == candidate.workload_key
+        ):
+            return record
+    return None
+
+
+def compare_against_history(
+    history_path: str | Path,
+    candidate_path: str | Path,
+    noise_band: float = 1.5,
+) -> dict:
+    """The ``repro-bench compare`` core: candidate vs its history line.
+
+    When the history holds no record for the candidate's workload the
+    comparison is a no-op (``ok`` with ``baseline_label`` None) — a new
+    workload has no trajectory yet, which is not a regression.
+    """
+    candidate = record_from_file(candidate_path)
+    history = load_history(history_path)
+    baseline = latest_matching(history, candidate)
+    if baseline is None:
+        return {
+            "baseline_label": None,
+            "candidate_label": candidate.label,
+            "workload_key": candidate.workload_key,
+            "noise_band": noise_band,
+            "deltas": [],
+            "regressions": [],
+            "digest_drift": [],
+            "ok": True,
+            "note": "no comparable baseline in history (new workload)",
+        }
+    return compare_records(baseline, candidate, noise_band=noise_band)
+
+
+def render_comparison(report: dict) -> str:
+    """Human rendering of one comparison."""
+    lines: list[str] = []
+    if report["baseline_label"] is None:
+        lines.append(
+            f"{report['candidate_label']}: {report.get('note', 'no baseline')}"
+        )
+        return "\n".join(lines)
+    lines.append(
+        f"comparing {report['candidate_label']} against "
+        f"{report['baseline_label']} (workload {report['workload_key']}, "
+        f"noise band {report['noise_band']}x)"
+    )
+    for delta in report["deltas"]:
+        arrow = "better" if (
+            (delta["direction"] == "lower") == (delta["ratio"] < 1.0)
+        ) and delta["ratio"] != 1.0 else "worse" if delta["ratio"] != 1.0 else "same"
+        flag = "  REGRESSION" if delta["regressed"] else ""
+        lines.append(
+            f"  {delta['metric']}: {delta['baseline']:g} -> "
+            f"{delta['candidate']:g} ({delta['ratio']:.3f}x, {arrow}){flag}"
+        )
+    for name in report["digest_drift"]:
+        lines.append(f"  {name}: DIGEST DRIFT — results changed between runs")
+    lines.append("trajectory: ok" if report["ok"] else "trajectory: REGRESSED")
+    return "\n".join(lines)

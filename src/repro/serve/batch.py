@@ -37,8 +37,9 @@ import time
 from collections import deque
 from typing import Callable, Iterable
 
-from repro.errors import ReproError, ServingError
+from repro.errors import ReproError, ServingError, error_label
 from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import RequestContext, RequestTracer
 from repro.obs.sink import EventSink
 from repro.serve.engine import QueryEngine, QueryResult
 from repro.serve.snapshot import RuleSnapshot
@@ -48,13 +49,20 @@ BATCH_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 class PendingQuery:
-    """A submitted query: blocks on :meth:`result` until served."""
+    """A submitted query: blocks on :meth:`result` until served.
 
-    __slots__ = ("query_id", "key", "_event", "_result", "_error")
+    Carries its request trace context through the queue — the batching
+    worker stamps queue-wait/execution boundaries on it and finishes it
+    *before* resolving the waiter, so a released caller always observes
+    a closed request record.
+    """
 
-    def __init__(self, query_id: int, key: tuple):
+    __slots__ = ("query_id", "key", "ctx", "_event", "_result", "_error")
+
+    def __init__(self, query_id: int, key: tuple, ctx: RequestContext | None = None):
         self.query_id = query_id
         self.key = key
+        self.ctx = ctx
         self._event = threading.Event()
         self._result: QueryResult | None = None
         self._error: ReproError | None = None
@@ -99,6 +107,11 @@ class ServeService:
     clock:
         Injectable monotonic clock (``time.perf_counter`` by default;
         tests inject a fake for deterministic span durations).
+    tracer:
+        Request tracer producing per-request span trees and ``slo.*``
+        series.  A private one (sharing the service's registry, sink
+        and clock) is built when not provided, so every request is
+        traced either way.
     """
 
     def __init__(
@@ -113,6 +126,7 @@ class ServeService:
         registry: MetricsRegistry | None = None,
         sink: EventSink | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        tracer: RequestTracer | None = None,
     ):
         if batch_max < 1:
             raise ServingError(f"batch_max must be >= 1, got {batch_max}")
@@ -120,6 +134,11 @@ class ServeService:
             raise ServingError(f"workers must be >= 0, got {workers}")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sink = sink
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else RequestTracer(sink=sink, registry=self.registry, clock=clock)
+        )
         self.batch_max = batch_max
         self._clock = clock
         self._engine_kwargs = {
@@ -198,15 +217,30 @@ class ServeService:
         basket: Iterable[int],
         top_k: int | None = None,
         scoring: str | None = None,
+        request_id: int | None = None,
     ) -> QueryResult:
-        """Serve one query immediately on the caller's thread."""
-        with self._lock:
-            if self._closed:
-                raise ServingError("service is closed")
-            engine = self._engine
-        with self._exec_lock:
-            self.registry.counter("serve.requests", path="direct").inc()
-            return engine.query(basket, top_k=top_k, scoring=scoring)
+        """Serve one query immediately on the caller's thread.
+
+        The whole call is one traced request: queue wait is the time to
+        acquire the execution lock, batch_exec is the engine call, and
+        any failure closes the request as an error span.
+        """
+        tracer = self.tracer
+        with tracer.request("direct", request_id=request_id) as ctx:
+            with self._lock:
+                if self._closed:
+                    raise ServingError("service is closed")
+                engine = self._engine
+            with self._exec_lock:
+                ctx.mark_dequeued()
+                self.registry.counter("serve.requests", path="direct").inc()
+                exec_begin = tracer.now_ns()
+                result = engine.query(
+                    basket, top_k=top_k, scoring=scoring, obs=ctx
+                )
+                ctx.mark_exec(exec_begin, tracer.now_ns())
+                tracer.finish_request(ctx, result)
+                return result
 
     # ------------------------------------------------------------------
     # Batched path
@@ -216,23 +250,40 @@ class ServeService:
         basket: Iterable[int],
         top_k: int | None = None,
         scoring: str | None = None,
+        request_id: int | None = None,
+        ctx: RequestContext | None = None,
     ) -> PendingQuery:
-        """Enqueue one query for batched execution (non-blocking)."""
+        """Enqueue one query for batched execution (non-blocking).
+
+        ``ctx`` propagates an already-open trace context (the HTTP
+        handler's) into the executor; otherwise a ``batched``-path
+        context is opened here.
+        """
         canonical = tuple(sorted(set(basket)))
-        with self._lock:
-            if self._closed:
-                raise ServingError("service is closed")
-            if not self._workers:
-                raise ServingError(
-                    "service was started with workers=0; use query_direct"
+        if ctx is None:
+            # repro-lint: disable=RL010 — the context rides the queue;
+            # the draining worker closes it before resolving the waiter,
+            # and a rejected submission is failed in the except arm
+            # below.
+            ctx = self.tracer.begin_request("batched", request_id=request_id)
+        try:
+            with self._lock:
+                if self._closed:
+                    raise ServingError("service is closed")
+                if not self._workers:
+                    raise ServingError(
+                        "service was started with workers=0; use query_direct"
+                    )
+                pending = PendingQuery(
+                    self._next_query_id, (canonical, top_k, scoring), ctx=ctx
                 )
-            pending = PendingQuery(
-                self._next_query_id, (canonical, top_k, scoring)
-            )
-            self._next_query_id += 1
-            self._pending.append(pending)
-            self.registry.counter("serve.requests", path="batched").inc()
-            self._queue_ready.notify()
+                self._next_query_id += 1
+                self._pending.append(pending)
+                self.registry.counter("serve.requests", path="batched").inc()
+                self._queue_ready.notify()
+        except ReproError as error:
+            self.tracer.fail_request(ctx, error_label(error))
+            raise
         return pending
 
     def query(
@@ -241,9 +292,13 @@ class ServeService:
         top_k: int | None = None,
         scoring: str | None = None,
         timeout: float | None = 30.0,
+        request_id: int | None = None,
+        ctx: RequestContext | None = None,
     ) -> QueryResult:
         """Batched query, blocking until the result is available."""
-        return self.submit(basket, top_k=top_k, scoring=scoring).result(timeout)
+        return self.submit(
+            basket, top_k=top_k, scoring=scoring, request_id=request_id, ctx=ctx
+        ).result(timeout)
 
     # ------------------------------------------------------------------
     def _drain_loop(self) -> None:
@@ -266,20 +321,48 @@ class ServeService:
         self, batch_id: int, batch: list[PendingQuery], engine: QueryEngine
     ) -> None:
         started = self._clock()
+        tracer = self.tracer
+        admitted = tracer.now_ns()
         groups: dict[tuple, list[PendingQuery]] = {}
         for pending in batch:
+            if pending.ctx is not None:
+                pending.ctx.mark_dequeued(batch_id, at=admitted)
             groups.setdefault(pending.key, []).append(pending)
         with self._exec_lock:
             for key in sorted(groups, key=repr):
                 canonical, top_k, scoring = key
                 waiting = groups[key]
+                # The group's first submitter observes the (single)
+                # engine call; the other members adopt its stamps —
+                # deduplicated requests share one execution interval.
+                leader = waiting[0].ctx
+                exec_begin = tracer.now_ns()
                 try:
-                    result = engine.query(canonical, top_k=top_k, scoring=scoring)
+                    result = engine.query(
+                        canonical, top_k=top_k, scoring=scoring, obs=leader
+                    )
                 except ReproError as error:
+                    exec_end = tracer.now_ns()
+                    kind = error_label(error)
                     for pending in waiting:
+                        ctx = pending.ctx
+                        if ctx is not None:
+                            if ctx is not leader and leader is not None:
+                                ctx.adopt_execution(leader)
+                            ctx.mark_exec(exec_begin, exec_end)
+                            tracer.fail_request(ctx, kind)
                         pending.fail(error)
                     continue
+                exec_end = tracer.now_ns()
                 for pending in waiting:
+                    ctx = pending.ctx
+                    if ctx is not None:
+                        if ctx is not leader and leader is not None:
+                            ctx.adopt_execution(leader)
+                        ctx.mark_exec(exec_begin, exec_end)
+                        # Finish before resolving: a released waiter must
+                        # never race its own unfinished trace record.
+                        tracer.finish_request(ctx, result)
                     pending.resolve(result)
             duration = self._clock() - started
             registry = self.registry

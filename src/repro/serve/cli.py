@@ -20,15 +20,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.core.cumulate import cumulate
 from repro.core.rules import generate_rules, interesting_rules
 from repro.errors import ReproError, error_label, exit_code_for
 from repro.experiments import common
+from repro.obs.registry import MetricsRegistry
 from repro.obs.sink import EventSink
+from repro.perf.history import append_history, record_from_report
 from repro.serve.batch import ServeService
 from repro.serve.engine import SCORINGS
-from repro.serve.loadgen import run_loadgen, write_report, write_transcript
+from repro.serve.loadgen import (
+    run_loadgen,
+    write_report,
+    write_requests,
+    write_transcript,
+)
 from repro.serve.rules_io import read_rules_jsonl
 from repro.serve.snapshot import compile_snapshot, load_snapshot, write_snapshot
 from repro.taxonomy.io import load_taxonomy
@@ -100,7 +108,19 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument(
         "--trace-out",
         default=None,
-        help="write serve-batch span events (JSONL) to this path",
+        help="write serve-batch + per-request trace events (JSONL) here",
+    )
+    load.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write merged serve/slo metrics (Prometheus text) here, "
+        "phases labelled phase=direct / phase=batched",
+    )
+    load.add_argument(
+        "--requests-out",
+        default=None,
+        help="write per-request trace records (JSONL, sorted by "
+        "path + request id) here — the repro-slo / repro-trace input",
     )
 
     serve = sub.add_parser("serve", help="expose a snapshot over HTTP/JSON")
@@ -178,7 +198,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     snapshot = load_snapshot(args.snapshot)
     sink = EventSink(path=args.trace_out) if args.trace_out else None
-    report, transcript = run_loadgen(
+    metrics = MetricsRegistry() if args.metrics_out else None
+    report, transcript, requests = run_loadgen(
         snapshot,
         queries=args.queries,
         seed=args.seed,
@@ -190,13 +211,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         label=args.label,
         sink=sink,
+        metrics=metrics,
     )
     if sink is not None:
         sink.close()
+    if metrics is not None:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(metrics.to_prometheus(), encoding="utf-8")
+        print(f"metrics written to {metrics_path}")
     path = write_report(report, args.out, args.label)
+    history_path = append_history(
+        Path(args.out) / "HISTORY.jsonl",
+        record_from_report(report, source=path.name),
+    )
+    print(f"appended trajectory record to {history_path}")
     if args.results_out:
         write_transcript(transcript, args.results_out)
         print(f"transcript written to {args.results_out}")
+    if args.requests_out:
+        write_requests(requests, args.requests_out)
+        print(f"request traces written to {args.requests_out}")
     direct = report["phases"]["direct"]
     batched = report["phases"]["batched"]
     print(
@@ -211,11 +246,18 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"(mean batch {batched['mean_batch_size']}, "
         f"{batched['deduped_queries']} deduped)"
     )
+    tracing = report["tracing"]
+    print(
+        f"tracing: {tracing['requests']} requests, "
+        f"{tracing['errors']} errors, reconciled: {tracing['reconciled']}, "
+        f"within wall: {tracing['within_wall']}"
+    )
     print(
         f"speedup {report['speedup_qps']}x, results identical: "
         f"{report['results_identical']}; report written to {path}"
     )
-    return 0 if report["results_identical"] else 1
+    ok = report["results_identical"] and tracing["reconciled"]
+    return 0 if ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

@@ -202,8 +202,16 @@ class QueryEngine:
         basket: Iterable[int],
         top_k: int | None = None,
         scoring: str | None = None,
+        obs=None,
     ) -> QueryResult:
-        """Match one basket; returns matches + ranked recommendations."""
+        """Match one basket; returns matches + ranked recommendations.
+
+        ``obs`` is an optional query observation (duck-typed against
+        :class:`repro.obs.requests.RequestContext`): the engine stamps
+        the cache outcome and the snapshot-lookup interval on it so the
+        request tracer can render ``cache``/``engine``/``snapshot_lookup``
+        sub-spans without the engine knowing about request identity.
+        """
         scoring = self.scoring if scoring is None else scoring
         if scoring not in SCORINGS:
             raise ServingError(
@@ -216,20 +224,30 @@ class QueryEngine:
         registry = self.registry
         registry.counter("serve.queries").inc()
         registry.counter("serve.result_lookups").inc()
+        if obs is not None:
+            obs.mark_query_begin()
         key = (canonical, top_k, scoring)
         cached = self.result_cache.get(key)
         if cached is not MISSING:
             registry.counter("serve.result_cache_hits").inc()
+            if obs is not None:
+                obs.mark_cache_hit(self.snapshot.version)
             return cached
         registry.counter("serve.result_cache_misses").inc()
-        result = self._execute(canonical, top_k, scoring)
+        if obs is not None:
+            obs.mark_exec_begin()
+        result = self._execute(canonical, top_k, scoring, obs=obs)
         self.result_cache.put(key, result)
+        if obs is not None:
+            obs.mark_query_end(self.snapshot.version)
         return result
 
     def _execute(
-        self, canonical: tuple[int, ...], top_k: int, scoring: str
+        self, canonical: tuple[int, ...], top_k: int, scoring: str, obs=None
     ) -> QueryResult:
         snapshot = self.snapshot
+        if obs is not None:
+            obs.mark_lookup_begin()
         closure = self.closure(canonical)
         closure_mask = snapshot.closure_mask(closure)
         index = snapshot.index
@@ -238,6 +256,8 @@ class QueryEngine:
             postings = index.get(item)
             if postings:
                 candidate_ids.update(postings)
+        if obs is not None:
+            obs.mark_lookup_end()
         self.registry.counter("serve.candidates").inc(len(candidate_ids))
 
         masks = snapshot.rule_masks

@@ -3,12 +3,21 @@
 ``repro-serve serve`` binds a :class:`ThreadingHTTPServer` whose
 handlers delegate to one shared service:
 
-* ``POST /query`` — body ``{"basket": [ids], "top_k"?, "scoring"?}``;
-  responds with the :class:`~repro.serve.engine.QueryResult` rendering
-  (including the snapshot version every result was computed against);
+* ``POST /query`` — body ``{"basket": [ids], "top_k"?, "scoring"?,
+  "version"?}``; responds with the
+  :class:`~repro.serve.engine.QueryResult` rendering (including the
+  snapshot version every result was computed against).  A client that
+  pins ``version`` gets ``409`` when the service has since swapped to a
+  different snapshot — the stale-read guard for hot swaps;
 * ``GET /healthz`` — liveness plus current snapshot version;
 * ``GET /version`` — current snapshot version only;
 * ``GET /metrics`` — the shared registry in Prometheus text format.
+
+Every ``POST /query`` is one traced request (path ``http``) in the
+service's :class:`~repro.obs.requests.RequestTracer`: the handler opens
+the context, the batching executor stamps and closes it, and rejected
+bodies (bad JSON, missing basket, version mismatch) are recorded as
+error requests so the SLO error rate sees them.
 
 No third-party frameworks: ``http.server`` is enough for a repro
 serving endpoint, and keeping it stdlib honours the repo's
@@ -68,6 +77,7 @@ def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
                 self._respond_json(404, {"error": f"no route {self.path}"})
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
+            tracer = service.tracer
             if self.path != "/query":
                 self._respond_json(404, {"error": f"no route {self.path}"})
                 return
@@ -76,22 +86,45 @@ def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
             try:
                 request = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                tracer.reject("http", "bad_json")
                 self._respond_json(400, {"error": f"bad JSON body: {error}"})
                 return
             if not isinstance(request, dict) or "basket" not in request:
+                tracer.reject("http", "bad_request")
                 self._respond_json(
                     400, {"error": 'body must be an object with a "basket" list'}
+                )
+                return
+            pinned = request.get("version")
+            if pinned is not None and pinned != service.version:
+                tracer.reject("http", "version_mismatch")
+                self._respond_json(
+                    409,
+                    {
+                        "error": f"snapshot version mismatch: "
+                        f"pinned {pinned!r}, serving {service.version!r}"
+                    },
                 )
                 return
             try:
                 basket = [int(item) for item in request["basket"]]
                 top_k = request.get("top_k")
                 scoring = request.get("scoring")
-                result = service.query(
-                    basket,
-                    top_k=None if top_k is None else int(top_k),
-                    scoring=scoring,
-                )
+            except (TypeError, ValueError) as error:
+                tracer.reject("http", "bad_request")
+                self._respond_json(400, {"error": f"bad request: {error}"})
+                return
+            try:
+                # The handler's context propagates through submit() into
+                # the batching executor, which stamps and finishes it;
+                # the context manager only closes on the error exits.
+                with tracer.request("http") as ctx:
+                    result = service.query(
+                        basket,
+                        top_k=None if top_k is None else int(top_k),
+                        scoring=scoring,
+                        ctx=ctx,
+                    )
             except (TypeError, ValueError) as error:
                 self._respond_json(400, {"error": f"bad request: {error}"})
                 return

@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 
 from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import RequestTracer, reconciles, to_ns
 from repro.serve.batch import ServeService
 from repro.serve.snapshot import RuleSnapshot
 
@@ -101,8 +102,15 @@ def run_direct_phase(
     top_k: int,
     registry: MetricsRegistry,
     clock=time.perf_counter,
+    tracer: RequestTracer | None = None,
 ) -> tuple[dict, list[dict]]:
-    """Unbatched baseline: one blocking engine call per query."""
+    """Unbatched baseline: one blocking engine call per query.
+
+    Request ids are workload positions, so the trace stream is a pure
+    function of the workload (plus the clock, which tests fake).
+    """
+    if tracer is None:
+        tracer = RequestTracer(registry=registry, clock=clock, namespace="direct")
     service = ServeService(
         snapshot,
         scoring=scoring,
@@ -112,13 +120,14 @@ def run_direct_phase(
         workers=0,
         registry=registry,
         clock=clock,
+        tracer=tracer,
     )
     latencies: list[float] = []
     transcript: list[dict] = []
     phase_start = clock()
-    for basket in workload:
+    for position, basket in enumerate(workload):
         started = clock()
-        result = service.query_direct(basket)
+        result = service.query_direct(basket, request_id=position)
         latencies.append(clock() - started)
         transcript.append(result.to_dict())
     wall = clock() - phase_start
@@ -137,8 +146,13 @@ def run_batched_phase(
     batch_max: int = 32,
     sink=None,
     clock=time.perf_counter,
+    tracer: RequestTracer | None = None,
 ) -> tuple[dict, list[dict]]:
     """Batched path: ``clients`` threads submit, workers coalesce."""
+    if tracer is None:
+        tracer = RequestTracer(
+            sink=sink, registry=registry, clock=clock, namespace="batched"
+        )
     service = ServeService(
         snapshot,
         scoring=scoring,
@@ -150,6 +164,7 @@ def run_batched_phase(
         registry=registry,
         sink=sink,
         clock=clock,
+        tracer=tracer,
     )
     latencies: list[float | None] = [None] * len(workload)
     results: list[dict | None] = [None] * len(workload)
@@ -165,7 +180,11 @@ def run_batched_phase(
             handles: list[tuple[int, float, object]] = []
             for position in positions[window_start : window_start + window]:
                 handles.append(
-                    (position, clock(), service.submit(workload[position]))
+                    (
+                        position,
+                        clock(),
+                        service.submit(workload[position], request_id=position),
+                    )
                 )
             for position, started, handle in handles:
                 result = handle.result()
@@ -193,6 +212,49 @@ def run_batched_phase(
     return stats, [entry for entry in results if entry is not None]
 
 
+def request_records(*tracers: RequestTracer) -> list[dict]:
+    """Merge tracers' finished records, sorted by (path, request id)."""
+    merged: list[dict] = []
+    for tracer in tracers:
+        merged.extend(tracer.records)
+    merged.sort(key=lambda record: (record["path"], record["id"]))
+    return merged
+
+
+def tracing_summary(phase_walls: list[tuple[RequestTracer, float]]) -> dict:
+    """Reconciliation summary over each phase's tracer + wall total.
+
+    ``reconciled`` asserts the exact integer identity
+    ``queue_wait + batch_exec + overhead == end_to_end`` for every
+    request; ``within_wall`` checks every request interval fits inside
+    its phase's loadgen wall time (the reported wall is rounded to
+    microseconds, so half a microsecond of quantization slack applies).
+    """
+    requests = 0
+    errors = 0
+    reconciled = True
+    within_wall = True
+    dropped = 0
+    for tracer, wall in phase_walls:
+        wall_ns = to_ns(wall) + 500
+        dropped += tracer.log.dropped
+        for record in tracer.records:
+            requests += 1
+            if record["status"] == "error":
+                errors += 1
+            if not reconciles(record):
+                reconciled = False
+            if record["phases"]["end_to_end"] > wall_ns:
+                within_wall = False
+    return {
+        "requests": requests,
+        "errors": errors,
+        "reconciled": reconciled,
+        "within_wall": within_wall,
+        "dropped": dropped,
+    }
+
+
 def run_loadgen(
     snapshot: RuleSnapshot,
     queries: int = 200,
@@ -206,14 +268,36 @@ def run_loadgen(
     label: str = "local",
     sink=None,
     clock=time.perf_counter,
-) -> tuple[dict, list[dict]]:
-    """Both phases on one workload; returns (report, transcript)."""
+    metrics: MetricsRegistry | None = None,
+) -> tuple[dict, list[dict], list[dict]]:
+    """Both phases on one workload; returns (report, transcript,
+    request records).
+
+    Request records carry each query's reconciled span accounting; the
+    report's ``tracing`` section summarizes them and **fails the run**
+    (via ``results_identical``-style gating in the CLI) when any record
+    does not reconcile exactly.  When a ``metrics`` registry is given,
+    both phases' series are merged into it under ``phase=direct`` /
+    ``phase=batched`` labels (the ``--metrics-out`` export).
+    """
     workload = generate_workload(snapshot, queries, seed, pool_size=pool_size)
     direct_registry = MetricsRegistry()
+    direct_tracer = RequestTracer(
+        sink=sink, registry=direct_registry, clock=clock, namespace="direct"
+    )
     direct_stats, direct_transcript = run_direct_phase(
-        snapshot, workload, scoring, top_k, direct_registry, clock=clock
+        snapshot,
+        workload,
+        scoring,
+        top_k,
+        direct_registry,
+        clock=clock,
+        tracer=direct_tracer,
     )
     batched_registry = MetricsRegistry()
+    batched_tracer = RequestTracer(
+        sink=sink, registry=batched_registry, clock=clock, namespace="batched"
+    )
     batched_stats, batched_transcript = run_batched_phase(
         snapshot,
         workload,
@@ -225,9 +309,19 @@ def run_loadgen(
         batch_max=batch_max,
         sink=sink,
         clock=clock,
+        tracer=batched_tracer,
     )
+    if metrics is not None:
+        metrics.merge(direct_registry, phase="direct")
+        metrics.merge(batched_registry, phase="batched")
     direct_digest = _transcript_digest(direct_transcript)
     batched_digest = _transcript_digest(batched_transcript)
+    tracing = tracing_summary(
+        [
+            (direct_tracer, direct_stats["wall_seconds"]),
+            (batched_tracer, batched_stats["wall_seconds"]),
+        ]
+    )
     report = {
         "schema": BENCH_SCHEMA,
         "label": label,
@@ -259,8 +353,9 @@ def run_loadgen(
         ),
         "results_identical": direct_digest == batched_digest,
         "transcript_sha256": direct_digest,
+        "tracing": tracing,
     }
-    return report, direct_transcript
+    return report, direct_transcript, request_records(direct_tracer, batched_tracer)
 
 
 def write_report(report: dict, out_dir: str | Path, label: str) -> Path:
@@ -281,4 +376,21 @@ def write_transcript(transcript: list[dict], path: str | Path) -> Path:
         for entry in transcript
     ]
     target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return target
+
+
+def write_requests(records: list[dict], path: str | Path) -> Path:
+    """Write request records as sorted-key JSONL (``--requests-out``).
+
+    With a fake clock this file is byte-identical across
+    ``PYTHONHASHSEED`` values; with the real clock the *shape* (ids,
+    paths, statuses, span names) is stable and the timings vary.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in records
+    ]
+    target.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
     return target

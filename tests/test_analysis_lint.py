@@ -122,7 +122,7 @@ class TestEngine:
 
     def test_rule_catalog_is_complete(self):
         catalog = rule_catalog()
-        assert sorted(catalog) == [f"RL00{i}" for i in range(1, 10)]
+        assert sorted(catalog) == [f"RL00{i}" for i in range(1, 10)] + ["RL010"]
         for rule in catalog.values():
             assert rule.summary
 

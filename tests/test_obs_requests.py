@@ -1,0 +1,274 @@
+"""Request tracing: exact phase reconciliation, span trees, identity,
+and the ≥1k-query loadgen acceptance run against wall totals."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import (
+    RequestTracer,
+    build_record,
+    deterministic_trace_id,
+    reconciles,
+    to_ns,
+)
+from repro.obs.sink import EventSink, parse_events
+from repro.serve.loadgen import (
+    generate_workload,
+    request_records,
+    run_loadgen,
+    tracing_summary,
+    write_requests,
+)
+
+
+class FakeClock:
+    """Deterministic float-seconds clock advancing 1µs per read."""
+
+    def __init__(self, step: float = 1e-6):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def _tracer(**kwargs) -> RequestTracer:
+    kwargs.setdefault("clock", FakeClock())
+    kwargs.setdefault("namespace", "test")
+    return RequestTracer(**kwargs)
+
+
+class TestIdentity:
+    def test_trace_id_is_pure_function_of_namespace_and_id(self):
+        assert deterministic_trace_id("direct", 7) == deterministic_trace_id(
+            "direct", 7
+        )
+        assert deterministic_trace_id("direct", 7) != deterministic_trace_id(
+            "batched", 7
+        )
+        assert len(deterministic_trace_id("direct", 7)) == 16
+
+    def test_sequential_ids_assigned_in_admission_order(self):
+        tracer = _tracer()
+        ids = [tracer.begin_request("direct").request_id for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_caller_assigned_ids_win(self):
+        tracer = _tracer()
+        ctx = tracer.begin_request("direct", request_id=41)
+        assert ctx.request_id == 41
+        assert tracer.begin_request("direct").request_id == 42
+
+    def test_to_ns_quantizes(self):
+        assert to_ns(1.5) == 1_500_000_000
+        assert isinstance(to_ns(0.1234567891), int)
+
+
+class TestReconciliation:
+    def test_every_finished_record_reconciles_exactly(self):
+        tracer = _tracer()
+        ctx = tracer.begin_request("batched", request_id=0)
+        ctx.mark_dequeued(batch_id=3)
+        begin = tracer.now_ns()
+        ctx.mark_query_begin()
+        ctx.mark_query_end("v1")
+        ctx.mark_exec(begin, tracer.now_ns())
+        record = tracer.finish_request(ctx)
+        assert reconciles(record)
+        phases = record["phases"]
+        assert phases["overhead"] == (
+            phases["end_to_end"] - phases["queue_wait"] - phases["batch_exec"]
+        )
+        assert all(value >= 0 for value in phases.values())
+        assert record["batch"] == 3 and record["version"] == "v1"
+
+    def test_unstamped_context_still_reconciles(self):
+        tracer = _tracer()
+        ctx = tracer.begin_request("direct")
+        record = tracer.finish_request(ctx)
+        assert reconciles(record)
+        assert record["phases"]["batch_exec"] == 0
+
+    def test_finish_is_idempotent(self):
+        tracer = _tracer()
+        ctx = tracer.begin_request("direct")
+        assert tracer.finish_request(ctx) is not None
+        assert tracer.finish_request(ctx) is None
+        assert tracer.fail_request(ctx, "late") is None
+        assert len(tracer.records) == 1
+
+    def test_adopted_execution_shares_leader_interval(self):
+        tracer = _tracer()
+        leader = tracer.begin_request("batched", request_id=0)
+        member = tracer.begin_request("batched", request_id=1)
+        leader.mark_query_begin()
+        leader.mark_cache_hit("v9")
+        member.adopt_execution(leader)
+        assert member.cache == "hit" and member.version == "v9"
+        assert member.t_query_begin == leader.t_query_begin
+
+
+class TestContextManager:
+    def test_exception_records_error_label(self):
+        tracer = _tracer()
+        with pytest.raises(ValueError):
+            with tracer.request("http"):
+                raise ValueError("boom")
+        (record,) = tracer.records
+        assert record["status"] == "error" and record["error"] == "value error"
+
+    def test_abandoned_context_closed_as_error(self):
+        tracer = _tracer()
+        with tracer.request("http"):
+            pass  # never finished by any worker
+        (record,) = tracer.records
+        assert record["status"] == "error" and record["error"] == "abandoned"
+
+    def test_worker_finished_context_not_double_closed(self):
+        tracer = _tracer()
+        with tracer.request("http") as ctx:
+            tracer.finish_request(ctx)
+        (record,) = tracer.records
+        assert record["status"] == "ok"
+
+    def test_reject_is_one_shot_error(self):
+        tracer = _tracer()
+        tracer.reject("http", "bad_json")
+        (record,) = tracer.records
+        assert record["status"] == "error" and record["error"] == "bad_json"
+        assert reconciles(record)
+
+
+class TestSpanTree:
+    def test_miss_tree_has_engine_and_lookup(self):
+        tracer = _tracer()
+        ctx = tracer.begin_request("direct", request_id=0)
+        ctx.mark_dequeued()
+        begin = tracer.now_ns()
+        ctx.mark_query_begin()
+        ctx.mark_exec_begin()
+        ctx.mark_lookup_begin()
+        ctx.mark_lookup_end()
+        ctx.mark_query_end("v1")
+        ctx.mark_exec(begin, tracer.now_ns())
+        record = tracer.finish_request(ctx)
+        by_name = {span["name"]: span for span in record["spans"]}
+        assert set(by_name) == {
+            "request", "queue_wait", "batch_exec", "engine", "snapshot_lookup",
+        }
+        assert by_name["queue_wait"]["parent"] == "request"
+        assert by_name["engine"]["parent"] == "batch_exec"
+        assert by_name["snapshot_lookup"]["parent"] == "engine"
+        root = by_name["request"]
+        assert root["s"] == 0
+        for span in record["spans"]:
+            assert 0 <= span["s"] <= span["e"] <= root["e"]
+
+    def test_hit_tree_is_terminal_at_cache(self):
+        tracer = _tracer()
+        ctx = tracer.begin_request("direct", request_id=0)
+        ctx.mark_dequeued()
+        begin = tracer.now_ns()
+        ctx.mark_query_begin()
+        ctx.mark_cache_hit("v1")
+        ctx.mark_exec(begin, tracer.now_ns())
+        record = tracer.finish_request(ctx)
+        names = {span["name"] for span in record["spans"]}
+        assert "cache" in names and "engine" not in names
+
+
+class TestSinkAndMetrics:
+    def test_records_emitted_to_sink_as_request_events(self, tmp_path):
+        sink = EventSink(path=tmp_path / "trace.jsonl")
+        tracer = _tracer(sink=sink)
+        with tracer.request("http") as ctx:
+            tracer.finish_request(ctx)
+        sink.close()
+        events = parse_events((tmp_path / "trace.jsonl").read_text().splitlines())
+        requests = [e for e in events if e.get("type") == "request"]
+        assert len(requests) == 1
+        assert reconciles(requests[0])
+
+    def test_slo_series_observed(self):
+        registry = MetricsRegistry()
+        tracer = _tracer(registry=registry)
+        with tracer.request("http") as ctx:
+            tracer.finish_request(ctx)
+        tracer.reject("http", "bad_json")
+        assert registry.value("slo.requests", path="http", status="ok") == 1
+        assert registry.value("slo.requests", path="http", status="error") == 1
+        assert registry.value("slo.errors", kind="bad_json") == 1
+
+    def test_log_bound_counts_drops(self):
+        tracer = _tracer(limit=2)
+        for _ in range(5):
+            with tracer.request("direct") as ctx:
+                tracer.finish_request(ctx)
+        assert len(tracer.records) == 2
+        assert tracer.log.dropped == 3
+
+
+class TestLoadgenAcceptance:
+    """The ISSUE acceptance run: ≥1k queries, every request reconciles
+    exactly and sits inside the loadgen wall totals."""
+
+    @pytest.fixture(scope="class")
+    def loadgen_run(self, serve_snapshot):
+        report, _transcript, records = run_loadgen(
+            serve_snapshot, queries=1000, seed=7, clients=4, workers=2
+        )
+        return report, records
+
+    def test_all_requests_traced_and_reconciled(self, loadgen_run):
+        report, records = loadgen_run
+        assert len(records) == 2000  # 1000 direct + 1000 batched
+        assert all(reconciles(record) for record in records)
+        tracing = report["tracing"]
+        assert tracing["requests"] == 2000
+        assert tracing["errors"] == 0
+        assert tracing["reconciled"] is True
+        assert tracing["dropped"] == 0
+
+    def test_requests_within_phase_wall_totals(self, loadgen_run):
+        report, _ = loadgen_run
+        assert report["tracing"]["within_wall"] is True
+
+    def test_ids_are_workload_positions_per_path(self, loadgen_run):
+        _, records = loadgen_run
+        for path in ("direct", "batched"):
+            ids = sorted(r["id"] for r in records if r["path"] == path)
+            assert ids == list(range(1000))
+
+    def test_trace_ids_unique_across_phases(self, loadgen_run):
+        _, records = loadgen_run
+        traces = {record["trace"] for record in records}
+        assert len(traces) == 2000
+
+    def test_write_requests_is_sorted_jsonl(self, loadgen_run, tmp_path):
+        _, records = loadgen_run
+        path = write_requests(records, tmp_path / "requests.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2000
+        parsed = [json.loads(line) for line in lines]
+        keys = [(record["path"], record["id"]) for record in parsed]
+        assert keys == sorted(keys)
+
+
+class TestTracingSummary:
+    def test_summary_flags_interval_exceeding_wall(self, serve_snapshot):
+        clock = FakeClock(step=1e-3)
+        tracer = RequestTracer(clock=clock, namespace="direct")
+        with tracer.request("direct") as ctx:
+            tracer.finish_request(ctx)
+        # The request spans ~2ms of fake time; claim a 1µs wall.
+        summary = tracing_summary([(tracer, 1e-6)])
+        assert summary["within_wall"] is False
+        generous = tracing_summary([(tracer, 10.0)])
+        assert generous["within_wall"] is True
+        assert generous["reconciled"] is True
+        assert generous["requests"] == 1

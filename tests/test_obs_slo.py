@@ -1,0 +1,370 @@
+"""SLO monitor: spec validation, windowed evaluation, burn rates, and
+the ``repro-slo`` CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError, SLOViolationError
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    aggregate,
+    check,
+    evaluate,
+    load_spec,
+    main as slo_main,
+    percentile_ns,
+    read_request_records,
+    render_report,
+    split_windows,
+)
+
+
+def _record(i: int, latency_ms: float = 1.0, status: str = "ok", cache=None):
+    end_to_end = int(latency_ms * 1e6)
+    queue_wait = end_to_end // 4
+    batch_exec = end_to_end // 2
+    record = {
+        "id": i,
+        "trace": f"{i:016x}",
+        "path": "direct",
+        "status": status,
+        "t": i * 1_000_000,
+        "phases": {
+            "queue_wait": queue_wait,
+            "batch_exec": batch_exec,
+            "overhead": end_to_end - queue_wait - batch_exec,
+            "end_to_end": end_to_end,
+        },
+    }
+    if status == "error":
+        record["error"] = "boom"
+    if cache is not None:
+        record["cache"] = cache
+    return record
+
+
+def _spec(objectives: list[dict], window: int = 0) -> dict:
+    return {"schema": SLO_SCHEMA, "window": window, "objectives": objectives}
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        values = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        assert percentile_ns(values, 0.50) == 50
+        assert percentile_ns(values, 0.95) == 100
+        assert percentile_ns(values, 0.99) == 100
+        assert percentile_ns([], 0.5) == 0
+
+    def test_aggregate_metrics(self):
+        records = [_record(i, latency_ms=i + 1) for i in range(10)]
+        records.append(_record(10, status="error"))
+        records.append(_record(11, cache="hit"))
+        records.append(_record(12, cache="miss"))
+        overall = aggregate(records)
+        assert overall["requests"] == 13
+        assert overall["errors"] == 1
+        assert overall["error_rate"] == pytest.approx(1 / 13)
+        assert overall["cache_hits"] == 1 and overall["cache_misses"] == 1
+        assert overall["cache_hit_rate"] == 0.5
+        assert overall["latency_p50_ms"] > 0
+
+    def test_split_windows(self):
+        records = [_record(i) for i in range(10)]
+        windows = split_windows(records, 4)
+        assert [len(w) for w in windows] == [4, 4, 2]
+        assert split_windows(records, 0) == []
+
+
+class TestSpecValidation:
+    def _load(self, tmp_path, payload):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(payload))
+        return load_spec(path)
+
+    def test_valid_spec_loads(self, tmp_path):
+        spec = self._load(
+            tmp_path,
+            _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 10.0}]),
+        )
+        assert spec["objectives"][0]["name"] == "p99"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="not an SLO spec"):
+            self._load(tmp_path, {"schema": "nope", "objectives": []})
+
+    def test_empty_objectives_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="no objectives"):
+            self._load(tmp_path, _spec([]))
+
+    def test_unknown_metric_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="unknown metric"):
+            self._load(
+                tmp_path, _spec([{"name": "x", "metric": "zzz", "max": 1.0}])
+            )
+
+    def test_objective_without_bound_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="neither 'max' nor 'min'"):
+            self._load(
+                tmp_path, _spec([{"name": "x", "metric": "latency_p99_ms"}])
+            )
+
+    def test_bad_target_rejected(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="target must be in"):
+            self._load(
+                tmp_path,
+                _spec(
+                    [
+                        {
+                            "name": "x",
+                            "metric": "latency_p99_ms",
+                            "max": 1.0,
+                            "target": 1.5,
+                        }
+                    ]
+                ),
+            )
+
+
+class TestEvaluation:
+    def test_healthy_stream_passes(self):
+        spec = _spec(
+            [
+                {"name": "p99", "metric": "latency_p99_ms", "max": 10.0},
+                {"name": "avail", "metric": "error_rate", "max": 0.01},
+            ]
+        )
+        report = evaluate(spec, [_record(i) for i in range(100)])
+        assert report["ok"] is True
+        assert all(not o["violated"] for o in report["objectives"])
+
+    def test_slow_tail_violates_p99(self):
+        # Nearest-rank p99 over 100 values is the 99th smallest — two
+        # slow requests are needed for the tail to reach it.
+        records = [_record(i) for i in range(98)] + [
+            _record(i, latency_ms=50.0) for i in (98, 99)
+        ]
+        spec = _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 10.0}])
+        report = evaluate(spec, records)
+        assert report["ok"] is False
+        assert report["objectives"][0]["violated"] is True
+
+    def test_window_violation_flags_despite_healthy_overall(self):
+        # One bad burst of 10 inside 200 requests: overall p99 over all
+        # 200 records is healthy only if the burst is under 1% — use a
+        # windowed objective to catch the burst.
+        records = [_record(i, latency_ms=1.0) for i in range(190)]
+        records[50:52] = [
+            _record(i, latency_ms=100.0) for i in range(50, 52)
+        ]
+        spec = _spec(
+            [{"name": "p99", "metric": "latency_p99_ms", "max": 10.0}],
+            window=10,
+        )
+        overall = aggregate(records)
+        assert overall["latency_p99_ms"] <= 100.0
+        report = evaluate(spec, records)
+        assert report["objectives"][0]["windows_violated"] >= 1
+        assert report["ok"] is False
+
+    def test_burn_rate_computation(self):
+        # 20% of requests blow a 0.9 target: burn = 0.2 / 0.1 = 2.0.
+        records = [
+            _record(i, latency_ms=50.0 if i % 5 == 0 else 1.0)
+            for i in range(100)
+        ]
+        spec = _spec(
+            [
+                {
+                    "name": "lat",
+                    "metric": "latency_p50_ms",
+                    "max": 10.0,
+                    "target": 0.9,
+                    "max_burn": 3.0,
+                }
+            ]
+        )
+        report = evaluate(spec, records)
+        assert report["objectives"][0]["burn_rate"] == pytest.approx(2.0)
+        assert report["objectives"][0]["violated"] is False
+
+    def test_burn_rate_above_max_burn_violates(self):
+        records = [
+            _record(i, latency_ms=50.0 if i % 5 == 0 else 1.0)
+            for i in range(100)
+        ]
+        spec = _spec(
+            [
+                {
+                    "name": "lat",
+                    "metric": "latency_p50_ms",
+                    "max": 10.0,
+                    "target": 0.9,
+                    "max_burn": 1.5,
+                }
+            ]
+        )
+        report = evaluate(spec, records)
+        assert report["objectives"][0]["violated"] is True
+
+    def test_error_rate_burn(self):
+        records = [
+            _record(i, status="error" if i < 5 else "ok") for i in range(100)
+        ]
+        spec = _spec(
+            [
+                {
+                    "name": "avail",
+                    "metric": "error_rate",
+                    "max": 0.10,
+                    "target": 0.99,
+                    "max_burn": 6.0,
+                }
+            ]
+        )
+        report = evaluate(spec, records)
+        # 5% errored over a 1% budget: burn 5.0, under max_burn 6.
+        assert report["objectives"][0]["burn_rate"] == pytest.approx(5.0)
+        assert report["ok"] is True
+
+    def test_render_report_mentions_violations(self):
+        spec = _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 0.001}])
+        rendered = render_report(evaluate(spec, [_record(0)]))
+        assert "VIOLATED" in rendered and "p99" in rendered
+
+
+class TestReaderAndCli:
+    def _write(self, tmp_path, records):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        return path
+
+    def test_plain_records_roundtrip(self, tmp_path):
+        records = [_record(i) for i in range(5)]
+        path = self._write(tmp_path, records)
+        loaded = read_request_records(path)
+        assert len(loaded) == 5
+        assert [r["id"] for r in loaded] == [0, 1, 2, 3, 4]
+
+    def test_records_without_phases_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 0}\n')
+        with pytest.raises(ObservabilityError, match="phases"):
+            read_request_records(path)
+
+    def test_check_raises_on_violation(self, tmp_path):
+        records = [_record(i, latency_ms=100.0) for i in range(10)]
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(
+                _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 1.0}])
+            )
+        )
+        with pytest.raises(SLOViolationError, match="p99"):
+            check(spec_path, self._write(tmp_path, records))
+
+    def test_cli_check_exit_codes(self, tmp_path, capsys):
+        good = self._write(tmp_path, [_record(i) for i in range(10)])
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(
+                _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 10.0}])
+            )
+        )
+        assert slo_main(["check", str(good), "--spec", str(spec_path)]) == 0
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            "".join(
+                json.dumps(_record(i, latency_ms=100.0)) + "\n"
+                for i in range(10)
+            )
+        )
+        code = slo_main(["check", str(bad), "--spec", str(spec_path)])
+        assert code == 17  # SLOViolationError's dedicated exit code
+        assert "violation" in capsys.readouterr().err.lower()
+
+    def test_cli_report_json_out(self, tmp_path, capsys):
+        records_path = self._write(tmp_path, [_record(i) for i in range(10)])
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(
+                _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 10.0}])
+            )
+        )
+        out = tmp_path / "report.json"
+        code = slo_main(
+            [
+                "report",
+                str(records_path),
+                "--spec",
+                str(spec_path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.slo.report/v1"
+        assert report["ok"] is True
+        capsys.readouterr()
+
+    def test_cli_watch_max_ticks(self, tmp_path, capsys):
+        records_path = self._write(tmp_path, [_record(i) for i in range(10)])
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(
+                _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 10.0}])
+            )
+        )
+        code = slo_main(
+            [
+                "watch",
+                str(records_path),
+                "--spec",
+                str(spec_path),
+                "--interval",
+                "0.01",
+                "--max-ticks",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tick 1" in out and "tick 2" in out
+
+    def test_cli_watch_violation_exits_17(self, tmp_path, capsys):
+        records_path = self._write(
+            tmp_path, [_record(i, latency_ms=100.0) for i in range(10)]
+        )
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(
+                _spec([{"name": "p99", "metric": "latency_p99_ms", "max": 1.0}])
+            )
+        )
+        code = slo_main(
+            [
+                "watch",
+                str(records_path),
+                "--spec",
+                str(spec_path),
+                "--interval",
+                "0.01",
+                "--max-ticks",
+                "5",
+            ]
+        )
+        assert code == 17
+        capsys.readouterr()
+
+
+class TestCommittedSpec:
+    def test_repo_slo_json_is_valid(self):
+        from pathlib import Path
+
+        spec = load_spec(Path(__file__).resolve().parent.parent / "slo.json")
+        assert spec["objectives"]

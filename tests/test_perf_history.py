@@ -1,0 +1,293 @@
+"""Bench trajectory watchdog: the versioned loader over all three
+``BENCH_*.json`` generations, history append/load, and regression
+detection — including the mandated artificially-injected 2× slowdown."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import main as bench_main
+from repro.perf.history import (
+    BenchHistoryError,
+    BenchRecord,
+    append_history,
+    compare_against_history,
+    compare_records,
+    latest_matching,
+    load_history,
+    metric_direction,
+    record_from_file,
+    record_from_report,
+)
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+MINING_REPORT = {
+    "schema": "repro.bench/v1",
+    "label": "t1",
+    "workload": {"dataset": "R30F5", "transactions": 2000, "max_k": 2},
+    "results_identical": True,
+    "speedups": {"HPGM/8": {"fast-serial": 3.5}},
+    "runs": [
+        {
+            "algorithm": "HPGM",
+            "nodes": 8,
+            "configuration": "naive-serial",
+            "wall_seconds": 10.0,
+            "digest": "aaa",
+        },
+        {
+            "algorithm": "HPGM",
+            "nodes": 8,
+            "configuration": "fast-serial",
+            "wall_seconds": 2.857,
+            "digest": "aaa",
+        },
+    ],
+}
+
+SERVING_REPORT = {
+    "schema": "repro.serve.bench/v1",
+    "label": "s1",
+    "workload": {"queries": 200, "seed": 7},
+    "snapshot": {"version": "deadbeef"},
+    "phases": {
+        "direct": {"qps": 5000.0, "wall_seconds": 0.04, "p99_ms": 0.4},
+        "batched": {"qps": 8000.0, "wall_seconds": 0.025, "p99_ms": 5.0},
+    },
+    "speedup_qps": 1.6,
+    "transcript_sha256": "bbb",
+}
+
+
+class TestLoader:
+    def test_mining_report_normalizes(self):
+        record = record_from_report(MINING_REPORT, source="BENCH_t1.json")
+        assert record.kind == "mining"
+        assert record.metrics["HPGM/8/naive-serial/wall_seconds"] == 10.0
+        assert record.metrics["HPGM/8/fast-serial/speedup"] == 3.5
+        assert record.digests["HPGM/8/naive-serial"] == "aaa"
+
+    def test_serving_report_normalizes(self):
+        record = record_from_report(SERVING_REPORT)
+        assert record.kind == "serving"
+        assert record.metrics["batched/qps"] == 8000.0
+        assert record.metrics["speedup_qps"] == 1.6
+        assert record.digests["transcript"] == "bbb"
+
+    def test_workload_key_tracks_workload_not_results(self):
+        moved = copy.deepcopy(MINING_REPORT)
+        moved["runs"][0]["wall_seconds"] = 99.0
+        assert (
+            record_from_report(MINING_REPORT).workload_key
+            == record_from_report(moved).workload_key
+        )
+        other = copy.deepcopy(MINING_REPORT)
+        other["workload"]["transactions"] = 4000
+        assert (
+            record_from_report(MINING_REPORT).workload_key
+            != record_from_report(other).workload_key
+        )
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(BenchHistoryError, match="unknown benchmark report"):
+            record_from_report({"schema": "nope/v9"})
+
+    def test_committed_bench_files_all_load(self):
+        kinds = set()
+        for path in sorted(BENCHMARKS.glob("BENCH_*.json")):
+            record = record_from_file(path)
+            assert record.metrics, f"{path.name} produced no metrics"
+            kinds.add(record.kind)
+        assert {"table6", "mining", "serving"} <= kinds
+
+    def test_committed_history_matches_bench_files(self):
+        history = load_history(BENCHMARKS / "HISTORY.jsonl")
+        assert len(history) >= 3
+        by_key = {record.workload_key for record in history}
+        for path in sorted(BENCHMARKS.glob("BENCH_*.json")):
+            assert record_from_file(path).workload_key in by_key
+
+
+class TestHistoryFile:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        first = record_from_report(MINING_REPORT, source="BENCH_t1.json")
+        second = record_from_report(SERVING_REPORT)
+        append_history(path, first)
+        append_history(path, second)
+        loaded = load_history(path)
+        assert [r.kind for r in loaded] == ["mining", "serving"]
+        assert loaded[0].metrics == first.metrics
+        assert loaded[0].digests == first.digests
+
+    def test_history_records_carry_no_timestamps(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        append_history(path, record_from_report(MINING_REPORT))
+        payload = json.loads(path.read_text())
+        assert set(payload) == {
+            "schema", "label", "kind", "workload_key",
+            "metrics", "digests", "source",
+        }
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(BenchHistoryError, match="line 1"):
+            load_history(path)
+
+    def test_latest_matching_prefers_most_recent(self, tmp_path):
+        path = tmp_path / "HISTORY.jsonl"
+        older = record_from_report(dict(MINING_REPORT, label="old"))
+        newer = record_from_report(dict(MINING_REPORT, label="new"))
+        append_history(path, older)
+        append_history(path, newer)
+        candidate = record_from_report(MINING_REPORT)
+        assert latest_matching(load_history(path), candidate).label == "new"
+
+
+class TestDirections:
+    def test_metric_directions(self):
+        assert metric_direction("HPGM/8/fast-serial/wall_seconds") == "lower"
+        assert metric_direction("direct/p99_ms") == "lower"
+        assert metric_direction("direct/qps") == "higher"
+        assert metric_direction("overall/fast-serial/speedup") == "higher"
+        assert metric_direction("comm_ratio/8/ratio") == "higher"
+        assert metric_direction("total_probes") is None
+
+
+class TestWatchdog:
+    def test_unmodified_rerun_passes(self):
+        baseline = record_from_report(MINING_REPORT)
+        rerun = record_from_report(copy.deepcopy(MINING_REPORT))
+        comparison = compare_records(baseline, rerun)
+        assert comparison["ok"] is True
+        assert comparison["regressions"] == []
+        assert all(d["ratio"] == 1.0 for d in comparison["deltas"])
+
+    def test_injected_2x_slowdown_flagged(self):
+        baseline = record_from_report(MINING_REPORT)
+        slowed = copy.deepcopy(MINING_REPORT)
+        for run in slowed["runs"]:
+            run["wall_seconds"] *= 2
+        comparison = compare_records(baseline, record_from_report(slowed))
+        assert comparison["ok"] is False
+        regressed = {d["metric"] for d in comparison["regressions"]}
+        assert "HPGM/8/naive-serial/wall_seconds" in regressed
+        assert "HPGM/8/fast-serial/wall_seconds" in regressed
+
+    def test_slowdown_within_noise_band_tolerated(self):
+        baseline = record_from_report(MINING_REPORT)
+        slowed = copy.deepcopy(MINING_REPORT)
+        for run in slowed["runs"]:
+            run["wall_seconds"] *= 1.3
+        assert compare_records(baseline, record_from_report(slowed))["ok"]
+
+    def test_throughput_drop_flagged_for_higher_better(self):
+        baseline = record_from_report(SERVING_REPORT)
+        slowed = copy.deepcopy(SERVING_REPORT)
+        slowed["phases"]["batched"]["qps"] /= 2
+        comparison = compare_records(baseline, record_from_report(slowed))
+        assert any(
+            d["metric"] == "batched/qps" for d in comparison["regressions"]
+        )
+
+    def test_digest_drift_is_always_a_regression(self):
+        baseline = record_from_report(MINING_REPORT)
+        drifted = copy.deepcopy(MINING_REPORT)
+        for run in drifted["runs"]:
+            run["digest"] = "ccc"
+        comparison = compare_records(baseline, record_from_report(drifted))
+        assert comparison["ok"] is False
+        assert comparison["digest_drift"]
+        assert comparison["regressions"] == []  # timings did not move
+
+    def test_workload_mismatch_refused(self):
+        with pytest.raises(BenchHistoryError, match="workload mismatch"):
+            compare_records(
+                record_from_report(MINING_REPORT),
+                record_from_report(SERVING_REPORT),
+            )
+
+    def test_bad_noise_band_rejected(self):
+        record = record_from_report(MINING_REPORT)
+        with pytest.raises(BenchHistoryError, match="noise band"):
+            compare_records(record, record, noise_band=0.5)
+
+    def test_new_workload_has_no_baseline(self, tmp_path):
+        candidate = tmp_path / "BENCH_new.json"
+        candidate.write_text(json.dumps(MINING_REPORT))
+        comparison = compare_against_history(
+            tmp_path / "HISTORY.jsonl", candidate
+        )
+        assert comparison["ok"] is True
+        assert comparison["baseline_label"] is None
+
+
+class TestCompareCli:
+    def _setup(self, tmp_path):
+        history = tmp_path / "HISTORY.jsonl"
+        append_history(history, record_from_report(MINING_REPORT))
+        return history
+
+    def test_clean_rerun_exits_zero(self, tmp_path, capsys):
+        history = self._setup(tmp_path)
+        candidate = tmp_path / "BENCH_rerun.json"
+        candidate.write_text(json.dumps(MINING_REPORT))
+        code = bench_main(
+            ["compare", str(candidate), "--history", str(history)]
+        )
+        assert code == 0
+        assert "trajectory: ok" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_nonzero(self, tmp_path, capsys):
+        history = self._setup(tmp_path)
+        slowed = copy.deepcopy(MINING_REPORT)
+        for run in slowed["runs"]:
+            run["wall_seconds"] *= 2
+        candidate = tmp_path / "BENCH_slow.json"
+        candidate.write_text(json.dumps(slowed))
+        code = bench_main(
+            ["compare", str(candidate), "--history", str(history)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "trajectory: REGRESSED" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        history = self._setup(tmp_path)
+        candidate = tmp_path / "BENCH_rerun.json"
+        candidate.write_text(json.dumps(MINING_REPORT))
+        code = bench_main(
+            ["compare", str(candidate), "--history", str(history), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["deltas"]
+
+    def test_wider_noise_band_tolerates_slowdown(self, tmp_path, capsys):
+        history = self._setup(tmp_path)
+        slowed = copy.deepcopy(MINING_REPORT)
+        for run in slowed["runs"]:
+            run["wall_seconds"] *= 2
+        candidate = tmp_path / "BENCH_slow.json"
+        candidate.write_text(json.dumps(slowed))
+        code = bench_main(
+            [
+                "compare",
+                str(candidate),
+                "--history",
+                str(history),
+                "--noise-band",
+                "3.0",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()

@@ -44,6 +44,54 @@ print(hashlib.sha256(open(out + "/transcript.jsonl", "rb").read()).hexdigest())
 """
 
 
+_TRACE_PIPELINE = """
+import json, sys
+from repro.core.cumulate import cumulate
+from repro.core.rules import generate_rules
+from repro.experiments import common
+from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import RequestTracer
+from repro.obs.slo import SLO_SCHEMA, evaluate
+from repro.serve.loadgen import generate_workload, run_direct_phase, write_requests
+from repro.serve.snapshot import compile_snapshot
+
+out = sys.argv[1]
+dataset = common.experiment_dataset("R30F5", 250, 1998)
+result = cumulate(dataset.database, dataset.taxonomy, 0.05, max_k=2)
+rules = generate_rules(result, 0.6, dataset.taxonomy)
+snapshot = compile_snapshot(rules, dataset.taxonomy, result=result)
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+    def __call__(self):
+        self.now += 1e-6
+        return self.now
+
+clock = FakeClock()
+tracer = RequestTracer(clock=clock, namespace="direct")
+workload = generate_workload(snapshot, 200, seed=7)
+run_direct_phase(
+    snapshot, workload, "confidence", 5, MetricsRegistry(),
+    clock=clock, tracer=tracer,
+)
+write_requests(tracer.records, out + "/requests.jsonl")
+
+spec = {
+    "schema": SLO_SCHEMA,
+    "window": 50,
+    "objectives": [
+        {"name": "p99", "metric": "latency_p99_ms", "max": 250.0,
+         "target": 0.99, "max_burn": 6.0},
+        {"name": "availability", "metric": "error_rate", "max": 0.05},
+    ],
+}
+report = evaluate(spec, tracer.records)
+with open(out + "/slo_report.json", "w") as handle:
+    json.dump(report, handle, indent=2, sort_keys=True)
+"""
+
+
 def _run_pipeline(tmp_path: Path, hashseed: str) -> tuple[str, bytes, bytes]:
     out = tmp_path / f"seed{hashseed}"
     out.mkdir()
@@ -77,6 +125,40 @@ class TestHashSeedIndependence:
         )
         # 200 queries + trailing newline
         assert transcript_1.count(b"\n") == 200
+
+    def test_request_traces_and_slo_report_identical_across_hash_seeds(
+        self, tmp_path
+    ):
+        """With a fake clock, the full request-trace JSONL and the SLO
+        report are byte-identical across ``PYTHONHASHSEED`` values."""
+
+        def run(hashseed: str) -> tuple[bytes, bytes]:
+            out = tmp_path / f"trace-seed{hashseed}"
+            out.mkdir()
+            proc = subprocess.run(
+                [sys.executable, "-c", _TRACE_PIPELINE, str(out)],
+                capture_output=True,
+                text=True,
+                env={
+                    "PYTHONPATH": str(SRC),
+                    "PYTHONHASHSEED": hashseed,
+                    "PATH": "/usr/bin:/bin",
+                },
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return (
+                (out / "requests.jsonl").read_bytes(),
+                (out / "slo_report.json").read_bytes(),
+            )
+
+        requests_1, report_1 = run("1")
+        requests_2, report_2 = run("2")
+        assert requests_1 == requests_2, (
+            "request-trace JSONL differs across PYTHONHASHSEED"
+        )
+        assert report_1 == report_2, "SLO report differs across PYTHONHASHSEED"
+        assert requests_1.count(b"\n") == 200
 
 
 class TestHotSwapUnderLoad:

@@ -1,0 +1,171 @@
+"""HTTP front end error paths: every rejected or failed request must
+surface as an error trace record and an ``slo.errors`` count, so the
+SLO error rate sees exactly what clients saw."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.result import Rule
+from repro.errors import ServingError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.batch import ServeService
+from repro.serve.httpd import make_server
+from repro.serve.snapshot import compile_snapshot
+from repro.taxonomy.builder import taxonomy_from_parents
+
+
+def _snapshot():
+    taxonomy = taxonomy_from_parents({1: None, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3})
+    rules = [
+        Rule(antecedent=(2,), consequent=(6,), support=0.5, confidence=0.8),
+        Rule(antecedent=(4,), consequent=(5,), support=0.3, confidence=0.7),
+    ]
+    return compile_snapshot(rules, taxonomy)
+
+
+@pytest.fixture()
+def served():
+    """A live server on an ephemeral port; yields (service, host, port)."""
+    registry = MetricsRegistry()
+    service = ServeService(_snapshot(), workers=1, registry=registry)
+    server = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, *server.server_address
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        service.close()
+
+
+def _post(host, port, body: bytes, path="/query"):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+def _error_records(service):
+    return [
+        record
+        for record in service.tracer.records
+        if record["status"] == "error"
+    ]
+
+
+class TestQuerySuccess:
+    def test_valid_query_traced_and_served(self, served):
+        service, host, port = served
+        status, payload = _post(
+            host, port, json.dumps({"basket": [4], "top_k": 3}).encode()
+        )
+        assert status == 200
+        assert payload["version"] == service.version
+        records = service.tracer.records
+        assert len(records) == 1 and records[0]["status"] == "ok"
+        assert records[0]["path"] == "http"
+        assert service.registry.value(
+            "slo.requests", path="http", status="ok"
+        ) == 1
+
+
+class TestRejectedBodies:
+    def test_malformed_json(self, served):
+        service, host, port = served
+        status, payload = _post(host, port, b"{not json")
+        assert status == 400
+        assert "bad JSON" in payload["error"]
+        (record,) = _error_records(service)
+        assert record["error"] == "bad_json" and record["path"] == "http"
+        assert service.registry.value("slo.errors", kind="bad_json") == 1
+
+    def test_missing_basket(self, served):
+        service, host, port = served
+        status, _ = _post(host, port, json.dumps({"top_k": 3}).encode())
+        assert status == 400
+        (record,) = _error_records(service)
+        assert record["error"] == "bad_request"
+        assert service.registry.value("slo.errors", kind="bad_request") == 1
+
+    def test_non_integer_basket(self, served):
+        service, host, port = served
+        status, _ = _post(
+            host, port, json.dumps({"basket": ["spam"]}).encode()
+        )
+        assert status == 400
+        (record,) = _error_records(service)
+        assert record["error"] == "bad_request"
+
+    def test_unknown_snapshot_version_pinned(self, served):
+        service, host, port = served
+        status, payload = _post(
+            host,
+            port,
+            json.dumps({"basket": [4], "version": "not-a-version"}).encode(),
+        )
+        assert status == 409
+        assert "version mismatch" in payload["error"]
+        (record,) = _error_records(service)
+        assert record["error"] == "version_mismatch"
+        assert (
+            service.registry.value("slo.errors", kind="version_mismatch") == 1
+        )
+
+    def test_pinned_current_version_is_served(self, served):
+        service, host, port = served
+        status, _ = _post(
+            host,
+            port,
+            json.dumps({"basket": [4], "version": service.version}).encode(),
+        )
+        assert status == 200
+        assert not _error_records(service)
+
+
+class TestEngineFailureMidBatch:
+    def test_engine_exception_becomes_error_span_and_counter(self, served):
+        service, host, port = served
+
+        def explode(*args, **kwargs):
+            raise ServingError("engine blew up mid-batch")
+
+        service.engine.query = explode
+        status, payload = _post(host, port, json.dumps({"basket": [4]}).encode())
+        assert status == 400
+        assert "engine blew up" in payload["error"]
+        (record,) = _error_records(service)
+        assert record["path"] == "http"
+        assert record["error"] == "serving error"
+        # The failed request still reconciles: its phases are stamped up
+        # to the failure point and the residual lands in overhead.
+        phases = record["phases"]
+        assert (
+            phases["queue_wait"] + phases["batch_exec"] + phases["overhead"]
+            == phases["end_to_end"]
+        )
+        assert service.registry.value("slo.errors", kind="serving error") == 1
+        assert (
+            service.registry.value("slo.requests", path="http", status="error")
+            == 1
+        )
+
+    def test_error_requests_count_toward_totals(self, served):
+        service, host, port = served
+        _post(host, port, b"broken")
+        _post(host, port, json.dumps({"basket": [4]}).encode())
+        registry = service.registry
+        ok = registry.value("slo.requests", path="http", status="ok")
+        bad = registry.value("slo.requests", path="http", status="error")
+        assert (ok, bad) == (1, 1)
