@@ -19,6 +19,7 @@ from repro.analysis.rules.protocol import SimulatorProtocolRule
 from repro.analysis.rules.requests import RequestSpanRule
 from repro.analysis.rules.retry import UnboundedRetryRule
 from repro.analysis.rules.spans import SpanDisciplineRule
+from repro.analysis.rules.store_rules import StoreMaterializeRule
 
 ALL_RULES: tuple[Rule, ...] = (
     UnorderedIterationRule(),
@@ -31,6 +32,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnboundedRetryRule(),
     UnboundedCacheRule(),
     RequestSpanRule(),
+    StoreMaterializeRule(),
 )
 
 

@@ -31,7 +31,7 @@ from repro.perf.config import CountingConfig
 from repro.core.rules import generate_rules, interesting_rules, rule_interest
 from repro.core.io import save_result
 from repro.datagen.io import save_transactions_text
-from repro.errors import ReproError, error_label, exit_code_for
+from repro.errors import ReproError, StoreFormatError, error_label, exit_code_for
 from repro.taxonomy.io import save_taxonomy
 from repro.experiments import common
 from repro.experiments import fig13, fig14, fig15, fig16, table6
@@ -57,12 +57,41 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--dataset", default="R30F5", help="R30F5 | R30F3 | R30F10")
     gen.add_argument("--transactions", type=int, default=None)
     gen.add_argument("--seed", type=int, default=common.DEFAULT_SEED)
-    gen.add_argument("--out", required=True, help="output prefix (writes <out>.txt and <out>.taxonomy)")
+    gen.add_argument(
+        "--out",
+        default=None,
+        help="output prefix (writes <out>.txt and <out>.taxonomy); "
+        "materialises the dataset in memory",
+    )
+    gen.add_argument(
+        "--store-out",
+        default=None,
+        help="write a columnar store directory instead (streaming: the "
+        "dataset is never materialised; taxonomy is saved inside)",
+    )
+    gen.add_argument(
+        "--segment-rows",
+        type=int,
+        default=None,
+        help="rows per store segment (with --store-out)",
+    )
 
     mine = sub.add_parser("mine", help="mine generalized association rules")
     mine.add_argument("--dataset", default="R30F5", help="R30F5 | R30F3 | R30F10")
     mine.add_argument("--transactions", type=int, default=None)
     mine.add_argument("--seed", type=int, default=common.DEFAULT_SEED)
+    mine.add_argument(
+        "--store",
+        default=None,
+        help="mine a columnar store directory (from `generate --store-out`) "
+        "instead of generating a dataset; scans it out-of-core",
+    )
+    mine.add_argument(
+        "--taxonomy",
+        default=None,
+        help="taxonomy file for --store (defaults to the taxonomy.txt "
+        "saved inside the store directory)",
+    )
     mine.add_argument("--min-support", type=float, default=0.02)
     mine.add_argument("--min-confidence", type=float, default=0.6)
     mine.add_argument(
@@ -144,25 +173,69 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
-    prefix = Path(args.out)
-    prefix.parent.mkdir(parents=True, exist_ok=True)
-    transactions_path = prefix.with_suffix(".txt")
-    taxonomy_path = prefix.with_suffix(".taxonomy")
-    save_transactions_text(dataset.database, transactions_path)
-    save_taxonomy(dataset.taxonomy, taxonomy_path)
-    print(f"wrote {len(dataset.database)} transactions to {transactions_path}")
-    print(f"wrote {len(dataset.taxonomy)} taxonomy entries to {taxonomy_path}")
+    if args.out is None and args.store_out is None:
+        print("repro-mine: generate needs --out and/or --store-out", file=sys.stderr)
+        return 2
+    if args.store_out is not None:
+        from repro.datagen.generator import generate_dataset_to_store
+        from repro.store import open_store
+
+        params = common.experiment_params(args.dataset, args.transactions, args.seed)
+        manifest = generate_dataset_to_store(
+            params, args.store_out, segment_rows=args.segment_rows
+        )
+        store = open_store(args.store_out, verify=False)
+        print(
+            f"wrote {len(store)} transactions "
+            f"({store.num_segments} segments, {store.store_bytes()} bytes) "
+            f"to {manifest.parent}"
+        )
+    if args.out is not None:
+        dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
+        prefix = Path(args.out)
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+        transactions_path = prefix.with_suffix(".txt")
+        taxonomy_path = prefix.with_suffix(".taxonomy")
+        save_transactions_text(dataset.database, transactions_path)
+        save_taxonomy(dataset.taxonomy, taxonomy_path)
+        print(f"wrote {len(dataset.database)} transactions to {transactions_path}")
+        print(f"wrote {len(dataset.taxonomy)} taxonomy entries to {taxonomy_path}")
     return 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
-    counting = CountingConfig(kernel=args.kernel, dedup=args.kernel == "fast")
+    store = None
+    if args.store is not None:
+        from repro.store import TAXONOMY_NAME, open_store
+        from repro.taxonomy.io import load_taxonomy
+
+        store = open_store(args.store)
+        taxonomy_path = (
+            Path(args.taxonomy)
+            if args.taxonomy is not None
+            else Path(args.store) / TAXONOMY_NAME
+        )
+        if not taxonomy_path.exists():
+            raise StoreFormatError(
+                f"{taxonomy_path}: no taxonomy found for store {args.store} "
+                "(pass --taxonomy)"
+            )
+        database = store
+        taxonomy = load_taxonomy(taxonomy_path)
+        dataset_label = str(args.store)
+    else:
+        dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
+        database, taxonomy = dataset.database, dataset.taxonomy
+        dataset_label = args.dataset
+    counting = CountingConfig(
+        kernel=args.kernel,
+        dedup=args.kernel == "fast",
+        store=args.store,
+    )
     if args.algorithm.lower() == "cumulate":
         result = cumulate(
-            dataset.database,
-            dataset.taxonomy,
+            database,
+            taxonomy,
             args.min_support,
             max_k=args.max_k,
             counting=counting,
@@ -176,7 +249,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             executor="process" if args.workers > 1 else "serial",
             workers=args.workers,
         )
-        cluster = Cluster.from_database(config, dataset.database)
+        if store is not None:
+            cluster = Cluster.from_store(config, store)
+        else:
+            cluster = Cluster.from_database(config, database)
         telemetry = None
         if args.trace_out or args.metrics_out:
             from repro.obs import EventSink, Telemetry
@@ -184,8 +260,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             sink = EventSink(path=args.trace_out) if args.trace_out else None
             telemetry = Telemetry(sink=sink)
             cluster.attach_telemetry(telemetry)
-        miner = make_miner(args.algorithm, cluster, dataset.taxonomy, counting=counting)
-        run = miner.mine(args.min_support, max_k=args.max_k)
+        miner = make_miner(args.algorithm, cluster, taxonomy, counting=counting)
+        try:
+            run = miner.mine(args.min_support, max_k=args.max_k)
+        finally:
+            cluster.close()
         if telemetry is not None:
             if telemetry.sink is not None:
                 telemetry.sink.close()
@@ -206,10 +285,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 f"fragments={pass_stats.fragments}"
             )
     if args.rules or args.rules_out:
-        rules = generate_rules(result, args.min_confidence, dataset.taxonomy)
+        rules = generate_rules(result, args.min_confidence, taxonomy)
         if args.min_interest is not None:
             rules = interesting_rules(
-                rules, result, dataset.taxonomy, args.min_interest
+                rules, result, taxonomy, args.min_interest
             )
         print(f"{len(rules)} rules at confidence >= {args.min_confidence}:")
         for rule in rules[: args.rules]:
@@ -220,11 +299,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             supports = result.large_itemsets()
             by_key = {(rule.antecedent, rule.consequent): rule for rule in rules}
             interests = [
-                rule_interest(rule, by_key, supports, dataset.taxonomy)
+                rule_interest(rule, by_key, supports, taxonomy)
                 for rule in rules
             ]
             source = {
-                "dataset": args.dataset,
+                "dataset": dataset_label,
                 "seed": args.seed,
                 "algorithm": args.algorithm,
                 "min_support": args.min_support,

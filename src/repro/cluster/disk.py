@@ -1,18 +1,46 @@
 """Per-node local disk with read accounting.
 
-Each node owns a horizontal partition of the transaction database on
-its "local disk".  :meth:`LocalDisk.scan` iterates the partition and
+Each node owns a horizontal partition of the transaction data on its
+"local disk".  :meth:`LocalDisk.scan` iterates the partition and
 charges the read volume to a :class:`~repro.cluster.stats.NodeStats`,
 so NPGM's fragment loop — which re-reads the partition once per
 candidate fragment — shows up as real I/O in the cost model.
+
+The partition can be any :class:`TransactionSource`: an in-memory
+:class:`~repro.datagen.corpus.TransactionDatabase`, a strided
+:class:`~repro.store.reader.StoreView` over an on-disk columnar store,
+or a :class:`~repro.store.shm.ShmView` into a shared-memory arena.  All
+three yield the same sorted tuples, so the miners (and their digests)
+cannot tell them apart; the store/shm views additionally pickle as tiny
+handles, which is what makes the process backend zero-copy per pass.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Protocol, runtime_checkable
 
 from repro.cluster.stats import NodeStats
-from repro.datagen.corpus import Transaction, TransactionDatabase
+from repro.datagen.corpus import Transaction
+
+
+@runtime_checkable
+class TransactionSource(Protocol):
+    """Anything a :class:`LocalDisk` can scan.
+
+    Implementations: :class:`~repro.datagen.corpus.TransactionDatabase`,
+    :class:`~repro.store.reader.TransactionStore` /
+    :class:`~repro.store.reader.StoreView`, and
+    :class:`~repro.store.shm.ShmView`.  Iteration must yield sorted,
+    deduplicated item tuples — the normalisation every implementation
+    applies at construction/write time.
+    """
+
+    def __len__(self) -> int: ...
+
+    def total_items(self) -> int: ...
+
+    def __iter__(self) -> Iterator[Transaction]: ...
 
 
 class LocalDisk:
@@ -21,19 +49,20 @@ class LocalDisk:
     Parameters
     ----------
     partition:
-        The transactions resident on this disk.
+        The transactions resident on this disk (any
+        :class:`TransactionSource`).
     """
 
     __slots__ = ("_partition",)
 
-    def __init__(self, partition: TransactionDatabase):
+    def __init__(self, partition: TransactionSource):
         self._partition = partition
 
     def __len__(self) -> int:
         return len(self._partition)
 
     @property
-    def partition(self) -> TransactionDatabase:
+    def partition(self) -> TransactionSource:
         return self._partition
 
     @property

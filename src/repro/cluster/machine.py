@@ -18,9 +18,12 @@ to the pass time.
 
 from __future__ import annotations
 
+import os
+import weakref
 from collections.abc import Sequence
 
 from repro.cluster.config import ClusterConfig
+from repro.cluster.disk import TransactionSource
 from repro.cluster.invariants import invariants_enabled_by_env, verify_pass_invariants
 from repro.cluster.network import Network
 from repro.cluster.node import Node
@@ -31,10 +34,25 @@ from repro.errors import ClusterError
 from repro.faults.recovery import FaultController
 
 
-class Cluster:
-    """A simulated shared-nothing machine loaded with data."""
+def _shared_memory_enabled() -> bool:
+    """``REPRO_SHM=0`` opts process runs out of the shared-memory arena."""
+    return os.environ.get("REPRO_SHM", "1") not in ("0", "false")
 
-    def __init__(self, config: ClusterConfig, partitions: Sequence[TransactionDatabase]):
+
+class Cluster:
+    """A simulated shared-nothing machine loaded with data.
+
+    When the config selects the ``process`` executor and the partitions
+    are plain in-memory databases, they are packed once into a
+    :class:`~repro.store.shm.SharedArena` and each node's disk scans a
+    :class:`~repro.store.shm.ShmView` instead — worker tasks then carry
+    a few-byte handle rather than a pickled partition (the BENCH_pr3
+    bottleneck).  Scan results and statistics are identical either way;
+    only task serialisation cost changes.  Set ``REPRO_SHM=0`` to keep
+    the legacy pickled-partition behaviour.
+    """
+
+    def __init__(self, config: ClusterConfig, partitions: Sequence[TransactionSource]):
         if len(partitions) != config.num_nodes:
             raise ClusterError(
                 f"{len(partitions)} partitions for {config.num_nodes} nodes"
@@ -44,6 +62,24 @@ class Cluster:
         #: Optional :class:`repro.obs.telemetry.Telemetry` (duck-typed;
         #: this module never imports ``repro.obs``).
         self.telemetry = None
+        #: The shared-memory arena backing the partitions, if any.
+        self.arena = None
+        self._finalizer = None
+        if (
+            getattr(config, "executor", "serial") == "process"
+            and _shared_memory_enabled()
+            and partitions
+            and all(isinstance(p, TransactionDatabase) for p in partitions)
+        ):
+            from repro.store.shm import SharedArena
+
+            arena = SharedArena.from_partitions(partitions)
+            partitions = [arena.view(i) for i in range(arena.num_nodes)]
+            self.arena = arena
+            # The arena is a kernel object (POSIX shm segment), not
+            # garbage-collectable memory — tie its unlink to this
+            # cluster's lifetime in case close() is never called.
+            self._finalizer = weakref.finalize(self, arena.destroy)
         self.nodes: list[Node] = [
             Node(node_id, partition, config)
             for node_id, partition in enumerate(partitions)
@@ -68,6 +104,31 @@ class Cluster:
     ) -> "Cluster":
         """Even horizontal partitioning, the paper's data placement."""
         return cls(config, partition_evenly(database, config.num_nodes))
+
+    @classmethod
+    def from_store(cls, config: ClusterConfig, store) -> "Cluster":
+        """Load an on-disk :class:`~repro.store.reader.TransactionStore`.
+
+        Each node gets a strided view (``start=node_id,
+        step=num_nodes``) — row-for-row the same placement as
+        :func:`~repro.datagen.partition.partition_evenly`, so store-
+        backed runs produce byte-identical digests to list-backed ones.
+        The views are what worker tasks carry: a path + range handle
+        that re-opens the mmap inside the worker, no row data pickled.
+        """
+        views = [
+            store.view(start=node_id, step=config.num_nodes)
+            for node_id in range(config.num_nodes)
+        ]
+        return cls(config, views)
+
+    def close(self) -> None:
+        """Release the shared-memory arena, if one was created."""
+        if self.arena is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            self.arena.destroy()
+            self.arena = None
 
     @property
     def num_nodes(self) -> int:

@@ -12,16 +12,15 @@ from __future__ import annotations
 import math
 
 from repro.cluster.config import ClusterConfig
-from repro.cluster.disk import LocalDisk
+from repro.cluster.disk import LocalDisk, TransactionSource
 from repro.cluster.stats import NodeStats
-from repro.datagen.corpus import TransactionDatabase
 from repro.errors import MemoryBudgetError
 
 
 class Node:
     """A shared-nothing node: id, local disk, per-pass counters."""
 
-    def __init__(self, node_id: int, partition: TransactionDatabase, config: ClusterConfig):
+    def __init__(self, node_id: int, partition: TransactionSource, config: ClusterConfig):
         self.node_id = node_id
         self.disk = LocalDisk(partition)
         self.config = config

@@ -29,7 +29,9 @@ from __future__ import annotations
 import math
 import random
 from bisect import bisect_right
+from collections.abc import Iterator
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.datagen.corpus import Transaction, TransactionDatabase
 from repro.datagen.params import GeneratorParams
@@ -144,16 +146,20 @@ def _cumulative_weights(patterns: tuple[Pattern, ...]) -> list[float]:
     return cumulative
 
 
-def generate_transactions(
+def iter_transactions(
     params: GeneratorParams,
     taxonomy: Taxonomy,
     patterns: tuple[Pattern, ...] | None = None,
     rng: random.Random | None = None,
-) -> TransactionDatabase:
-    """Fill ``params.num_transactions`` transactions from the pattern pool.
+) -> Iterator[Transaction]:
+    """Stream ``params.num_transactions`` transactions, one at a time.
 
-    Separated from :func:`generate_dataset` so tests and ablations can
-    reuse one taxonomy/pattern pool across several transaction draws.
+    This is the out-of-core generation path: it draws from exactly the
+    same RNG sequence as :func:`generate_transactions` (which is now a
+    thin materialising wrapper), so streaming a dataset into a
+    :class:`~repro.store.writer.StoreWriter` yields row-for-row the
+    database an in-memory run would mine — without ever holding more
+    than one transaction.
     """
     rng = rng if rng is not None else random.Random(params.seed)
     if patterns is None:
@@ -161,7 +167,6 @@ def generate_transactions(
     cumulative = _cumulative_weights(patterns)
     top = cumulative[-1]
 
-    transactions: list[Transaction] = []
     for _ in range(params.num_transactions):
         target = max(1, _poisson(rng, params.avg_transaction_size))
         contents: set[int] = set()
@@ -179,8 +184,24 @@ def generate_transactions(
                     contents.update(kept)
                 break
             contents.update(kept)
-        transactions.append(tuple(sorted(contents)))
-    return TransactionDatabase(transactions)
+        yield tuple(sorted(contents))
+
+
+def generate_transactions(
+    params: GeneratorParams,
+    taxonomy: Taxonomy,
+    patterns: tuple[Pattern, ...] | None = None,
+    rng: random.Random | None = None,
+) -> TransactionDatabase:
+    """Fill ``params.num_transactions`` transactions from the pattern pool.
+
+    Separated from :func:`generate_dataset` so tests and ablations can
+    reuse one taxonomy/pattern pool across several transaction draws.
+    Materialises the whole database; for datasets that should never
+    live in memory use :func:`iter_transactions` /
+    :func:`generate_dataset_to_store` instead.
+    """
+    return TransactionDatabase(iter_transactions(params, taxonomy, patterns, rng))
 
 
 def generate_dataset(params: GeneratorParams) -> SyntheticDataset:
@@ -201,3 +222,55 @@ def generate_dataset(params: GeneratorParams) -> SyntheticDataset:
     return SyntheticDataset(
         params=params, taxonomy=taxonomy, database=database, patterns=patterns
     )
+
+
+def generate_dataset_to_store(
+    params: GeneratorParams,
+    path: str | Path,
+    segment_rows: int | None = None,
+) -> Path:
+    """Generate a dataset straight into a columnar store directory.
+
+    The transactions stream from :func:`iter_transactions` into the
+    segment writer — peak memory is one segment's columns, independent
+    of ``params.num_transactions`` — and the taxonomy is saved next to
+    the manifest (``taxonomy.txt``), so the store directory is a
+    self-contained mining input for ``repro-mine mine --store`` /
+    ``CountingConfig(store=...)``.  Returns the manifest path.
+
+    The store holds exactly the rows :func:`generate_dataset` would
+    produce for the same ``params`` (same RNG stream, same
+    normalisation) — digests of store-backed runs match in-memory runs
+    byte for byte.
+    """
+    from repro.store.format import TAXONOMY_NAME
+    from repro.store.writer import DEFAULT_SEGMENT_ROWS, StoreWriter
+    from repro.taxonomy.io import save_taxonomy
+
+    rng = random.Random(params.seed)
+    taxonomy = generate_taxonomy(
+        num_items=params.num_items,
+        num_roots=params.num_roots,
+        fanout=params.fanout,
+        seed=rng.randrange(2**31),
+    )
+    patterns = generate_patterns(params, taxonomy, rng)
+    meta = {
+        "generator": "repro.datagen",
+        "params": {
+            "num_transactions": params.num_transactions,
+            "num_items": params.num_items,
+            "num_patterns": params.num_patterns,
+            "num_roots": params.num_roots,
+            "fanout": params.fanout,
+            "seed": params.seed,
+        },
+    }
+    with StoreWriter(
+        path,
+        segment_rows=segment_rows if segment_rows is not None else DEFAULT_SEGMENT_ROWS,
+        meta=meta,
+    ) as writer:
+        writer.extend(iter_transactions(params, taxonomy, patterns, rng))
+        save_taxonomy(taxonomy, writer.path / TAXONOMY_NAME)
+    return writer.close()

@@ -1,18 +1,31 @@
 """On-disk transaction formats.
 
-Two formats, both round-tripping through
-:class:`~repro.datagen.corpus.TransactionDatabase`:
+Three formats:
 
 * **Text** — one transaction per line, space-separated item ids.  Human
   readable; interoperable with the classic FIMI repository layout.
 * **Binary** — little-endian ``uint32`` stream: a magic word, the
   transaction count, then each transaction as a length prefix followed by
   its item ids.  Compact and fast to parse.
+* **Store** — the chunked columnar directory format of
+  :mod:`repro.store` (CSR segments + manifest with per-segment sha256
+  digests).  The only format with a *streaming* writer and an mmap
+  reader: :func:`save_transactions_store` accepts a plain iterator and
+  never materialises the dataset, and
+  :func:`load_transactions_store` returns a
+  :class:`~repro.store.reader.TransactionStore` that miners scan
+  directly (it satisfies the same protocol as
+  :class:`~repro.datagen.corpus.TransactionDatabase`).
+
+Text and binary round-trip through :class:`TransactionDatabase` and are
+kept for interoperability; anything larger than memory should use the
+store.
 """
 
 from __future__ import annotations
 
 import struct
+from collections.abc import Iterable
 from pathlib import Path
 
 from repro.datagen.corpus import TransactionDatabase
@@ -91,3 +104,39 @@ def load_transactions_binary(path: str | Path) -> TransactionDatabase:
     if offset != len(data):
         raise TransactionFormatError(f"{path}: {len(data) - offset} trailing bytes")
     return TransactionDatabase(transactions)
+
+
+def save_transactions_store(
+    transactions: Iterable[Iterable[int]] | TransactionDatabase,
+    path: str | Path,
+    segment_rows: int | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Stream transactions into a columnar store directory at ``path``.
+
+    Accepts any iterable — a :class:`TransactionDatabase`, a generator
+    from :func:`repro.datagen.generator.iter_transactions`, a parsed
+    file — and consumes it exactly once without materialising it.
+    Returns the manifest path.
+    """
+    from repro.store.writer import DEFAULT_SEGMENT_ROWS, write_store
+
+    return write_store(
+        transactions,
+        path,
+        segment_rows=segment_rows if segment_rows is not None else DEFAULT_SEGMENT_ROWS,
+        meta=meta,
+    )
+
+
+def load_transactions_store(path: str | Path, verify: bool = True):
+    """Open a store directory written by :func:`save_transactions_store`.
+
+    Returns a :class:`~repro.store.reader.TransactionStore` (mmap; rows
+    are decoded lazily during scans).  Segment digests are verified up
+    front unless ``verify=False``; corruption raises
+    :class:`~repro.errors.StoreFormatError`.
+    """
+    from repro.store.reader import open_store
+
+    return open_store(path, verify=verify)

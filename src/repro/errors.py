@@ -36,6 +36,18 @@ class TransactionFormatError(ReproError):
     """A transaction file or byte stream could not be parsed."""
 
 
+class StoreFormatError(TransactionFormatError):
+    """A columnar transaction store is malformed or corrupt.
+
+    Raised by :mod:`repro.store` when a manifest or segment fails
+    validation: bad magic, unsupported format version, truncated
+    columns, or a sha256 segment digest that does not match the bytes
+    on disk.  A digest mismatch means the dataset the miner would scan
+    is not the dataset that was written — the store refuses to serve a
+    single row from it.
+    """
+
+
 class ClusterError(ReproError):
     """Invalid cluster configuration or simulator misuse."""
 
@@ -137,6 +149,7 @@ _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (MiningError, 3),
     (TaxonomyError, 9),
     (DataGenerationError, 10),
+    (StoreFormatError, 18),
     (TransactionFormatError, 11),
     (ObservabilityError, 12),
     (SLOViolationError, 17),

@@ -132,6 +132,7 @@ def run_algorithm(
     counting: CountingConfig | None = None,
     executor: str = "serial",
     workers: int | None = None,
+    store=None,
 ) -> ParallelRun:
     """Run one algorithm on a freshly built cluster.
 
@@ -141,7 +142,10 @@ def run_algorithm(
     can always read the run's metrics off ``ParallelRun.telemetry``
     instead of reaching into raw counters.  ``counting`` / ``executor``
     / ``workers`` tune host wall-clock only; results and statistics are
-    independent of them.
+    independent of them.  ``store`` (an opened
+    :class:`~repro.store.reader.TransactionStore`) replaces
+    ``dataset.database`` as the scanned partitions — the taxonomy still
+    comes from ``dataset``; digests are identical either way.
     """
     config = ClusterConfig(
         num_nodes=num_nodes,
@@ -149,7 +153,13 @@ def run_algorithm(
         executor=executor,
         workers=workers,
     )
-    cluster = Cluster.from_database(config, dataset.database)
+    if store is not None:
+        cluster = Cluster.from_store(config, store)
+    else:
+        cluster = Cluster.from_database(config, dataset.database)
     cluster.attach_telemetry(telemetry if telemetry is not None else Telemetry())
     miner = make_miner(algorithm, cluster, dataset.taxonomy, counting=counting)
-    return miner.mine(min_support, max_k=max_k)
+    try:
+        return miner.mine(min_support, max_k=max_k)
+    finally:
+        cluster.close()

@@ -24,6 +24,13 @@ REPORT.json --history benchmarks/HISTORY.jsonl`` checks a fresh report
 against that trajectory, flagging per-kernel/per-algorithm regressions
 beyond a noise band (see :mod:`repro.perf.history` and
 ``docs/performance.md``).
+
+Two further verbs share the entry point: ``repro-bench compare``
+(trajectory watchdog, above) and ``repro-bench scale``
+(:mod:`repro.perf.scale`) — per-core scaling curves with peak-RSS
+evidence over a columnar store, each point measured in a child process.
+Pass ``--store DIR`` to run the main matrix over a store directory
+(mmap views instead of pickled partitions).
 """
 
 from __future__ import annotations
@@ -98,31 +105,50 @@ def bench_one(
     executor: str,
     workers: int | None,
     max_k: int | None,
+    store=None,
+    taxonomy=None,
 ) -> dict:
-    """One timed mining run; returns the result entry for the JSON file."""
+    """One timed mining run; returns the result entry for the JSON file.
+
+    ``store`` (an opened :class:`~repro.store.reader.TransactionStore`)
+    replaces ``dataset.database`` as the scanned partitions; pass
+    ``taxonomy`` alongside it when ``dataset`` is None (store-only
+    benchmarks read the taxonomy from the store directory).
+    """
     config = ClusterConfig(
         num_nodes=num_nodes,
         memory_per_node=common.DEFAULT_MEMORY_PER_NODE,
         executor=executor,
         workers=workers,
     )
-    cluster = Cluster.from_database(config, dataset.database)
+    if store is not None:
+        cluster = Cluster.from_store(config, store)
+    else:
+        cluster = Cluster.from_database(config, dataset.database)
     miner = make_miner(
         algorithm,
         cluster,
-        dataset.taxonomy,
+        taxonomy if taxonomy is not None else dataset.taxonomy,
         counting=CountingConfig(kernel=kernel, dedup=dedup),
     )
     started = time.perf_counter()
-    run = miner.mine(min_support, max_k=max_k)
+    try:
+        run = miner.mine(min_support, max_k=max_k)
+    finally:
+        cluster.close()
     wall = time.perf_counter() - started
+    pool_size = effective_workers(workers) if executor == "process" else 1
     return {
         "algorithm": algorithm,
         "nodes": num_nodes,
         "kernel": kernel,
         "dedup": dedup,
         "executor": executor,
-        "workers": effective_workers(workers) if executor == "process" else 1,
+        "workers": pool_size,
+        # A process pool wider than the host's core count cannot show a
+        # real speedup — flag those entries so the trajectory is honest.
+        "underprovisioned": executor == "process"
+        and pool_size > (os.cpu_count() or 1),
         "wall_seconds": round(wall, 6),
         "digest": run_digest(run),
         "total_probes": sum(p.total_probes for p in run.stats.passes),
@@ -158,20 +184,50 @@ def run_benchmark(
     node_counts: tuple[int, ...] | None = None,
     algorithms: tuple[str, ...] = ("HPGM", "H-HPGM"),
     max_k: int | None = 2,
+    store_path: str | Path | None = None,
 ) -> dict:
     """Run the full configuration matrix; returns the report dict.
 
     ``quick`` shrinks the workload (one node count, fewer transactions)
     for CI smoke runs; the full matrix mirrors the table6 sweep.
+    ``store_path`` switches every configuration to a store-backed
+    cluster (mmap views instead of pickled partitions); the taxonomy is
+    read from the store directory and ``transactions`` is taken from
+    the manifest.
     """
     if node_counts is None:
         node_counts = (8,) if quick else (8, 12, 16)
-    if transactions is None:
-        transactions = 2_000 if quick else common.DEFAULT_NUM_TRANSACTIONS
     if min_support is None:
         min_support = common.SKEW_POINT_MINSUP
-    dataset = generate_dataset(
-        common.experiment_params(dataset_name, transactions)
+
+    dataset = None
+    store = None
+    taxonomy = None
+    if store_path is not None:
+        from repro.store import TAXONOMY_NAME, open_store
+        from repro.taxonomy.io import load_taxonomy
+
+        store = open_store(store_path)
+        taxonomy = load_taxonomy(Path(store_path) / TAXONOMY_NAME)
+        transactions = len(store)
+    else:
+        if transactions is None:
+            transactions = 2_000 if quick else common.DEFAULT_NUM_TRANSACTIONS
+        dataset = generate_dataset(
+            common.experiment_params(dataset_name, transactions)
+        )
+
+    cpus = os.cpu_count() or 1
+    pool_size = effective_workers(workers)
+    print(
+        f"host: {cpus} cpu(s); fast-process pool={pool_size}"
+        + (
+            " — UNDERPROVISIONED (pool wider than the host; process "
+            "speedups are not meaningful here)"
+            if pool_size > cpus
+            else ""
+        ),
+        file=sys.stderr,
     )
 
     runs: list[dict] = []
@@ -190,6 +246,8 @@ def run_benchmark(
                     executor,
                     workers,
                     max_k,
+                    store=store,
+                    taxonomy=taxonomy,
                 )
                 entry["configuration"] = name
                 if baseline_digest is None:
@@ -200,7 +258,8 @@ def run_benchmark(
                 print(
                     f"{algorithm:>10} nodes={num_nodes:<2} {name:<13} "
                     f"{entry['wall_seconds']:9.3f}s  "
-                    f"{'ok' if entry['matches_baseline'] else 'RESULT MISMATCH'}",
+                    f"{'ok' if entry['matches_baseline'] else 'RESULT MISMATCH'}"
+                    f"{'  [underprovisioned]' if entry['underprovisioned'] else ''}",
                     file=sys.stderr,
                 )
 
@@ -246,13 +305,16 @@ def run_benchmark(
             "algorithms": list(algorithms),
             "memory_per_node": common.DEFAULT_MEMORY_PER_NODE,
             "quick": quick,
+            # Store-backed runs scan mmap views instead of pickled
+            # partitions — a distinct workload for trajectory purposes.
+            "store": store_path is not None,
         },
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             # fast-process can only beat fast-serial when real cores are
             # available — read speedups against this.
-            "cpus": os.cpu_count() or 1,
+            "cpus": cpus,
         },
         "results_identical": identical,
         "speedups": speedups,
@@ -298,9 +360,13 @@ def main_compare(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     # The benchmark CLI predates subcommands and must keep accepting
-    # bare flags (``repro-bench --quick``); dispatch the one verb by hand.
+    # bare flags (``repro-bench --quick``); dispatch the verbs by hand.
     if arguments and arguments[0] == "compare":
         return main_compare(arguments[1:])
+    if arguments and arguments[0] == "scale":
+        from repro.perf.scale import main_scale
+
+        return main_scale(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Wall-clock benchmark of the mining kernels and executors",
@@ -329,6 +395,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-support", type=float, default=None)
     parser.add_argument("--dataset", default="R30F5")
     parser.add_argument(
+        "--store",
+        default=None,
+        help="benchmark over a columnar store directory (written by "
+        "repro-mine generate --store-out) instead of an in-memory dataset",
+    )
+    parser.add_argument(
         "--no-history",
         action="store_true",
         help="skip appending this run to HISTORY.jsonl in the output directory",
@@ -342,6 +414,7 @@ def main(argv: list[str] | None = None) -> int:
         transactions=args.transactions,
         min_support=args.min_support,
         dataset_name=args.dataset,
+        store_path=args.store,
     )
 
     out_dir = Path(args.out)

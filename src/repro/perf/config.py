@@ -50,11 +50,19 @@ class CountingConfig:
         ``"hashtree"`` or ``"auto"``).  Defaults to ``"dict"`` — the
         semantics the probe counters are defined against; the fast
         kernel always reports dict-strategy metrics.
+    store:
+        Optional path of a columnar transaction store directory (see
+        :mod:`repro.store`).  Entry points that accept a counting
+        config (``cumulate``, ``mine_parallel``, the CLIs) resolve it
+        with :func:`repro.store.open_store` when no in-memory database
+        is supplied, so any run can point at an on-disk dataset.
+        Results and digests are identical to the in-memory path.
     """
 
     kernel: str = "fast"
     dedup: bool = True
     strategy: str = "dict"
+    store: str | None = None
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -117,8 +125,11 @@ class CountingConfig:
 
 
 def default_counting() -> CountingConfig:
-    """The process-wide default, honouring ``REPRO_KERNEL`` / ``REPRO_DEDUP``."""
+    """The process-wide default, honouring ``REPRO_KERNEL`` /
+    ``REPRO_DEDUP`` / ``REPRO_STORE``."""
     kernel = os.environ.get("REPRO_KERNEL", "fast")
     dedup_raw = os.environ.get("REPRO_DEDUP")
     dedup = kernel == "fast" if dedup_raw is None else dedup_raw not in ("0", "false")
-    return CountingConfig(kernel=kernel, dedup=dedup)
+    return CountingConfig(
+        kernel=kernel, dedup=dedup, store=os.environ.get("REPRO_STORE") or None
+    )

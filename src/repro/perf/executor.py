@@ -13,6 +13,15 @@ statistics, counts and outgoing messages, and the miner *replays* those
 against the real ``NodeStats`` / ``Network`` objects in node order, so
 traces, telemetry spans and invariant checks observe exactly the
 sequence a serial run produces.
+
+Task payload size is what makes or breaks the process backend: a task's
+``disk`` wraps either a pickled in-memory partition (the legacy path,
+whose serialisation cost BENCH_pr3 measured eating the speedup) or a
+zero-copy handle — a :class:`~repro.store.reader.StoreView` (path +
+row range, re-opened via mmap in the worker) or a
+:class:`~repro.store.shm.ShmView` (shared-memory block name + node
+index).  With handles, nothing row-shaped crosses the pickle boundary
+in either direction; see :mod:`repro.store`.
 """
 
 from __future__ import annotations

@@ -8,7 +8,9 @@ files written by three generations of harnesses:
 * ``repro.bench/v1`` (``repro-bench``) — host wall-clock over the
   kernel × executor matrix;
 * ``repro.serve.bench/v1`` (``repro-serve loadgen``) — serving
-  throughput/latency for the direct and batched paths.
+  throughput/latency for the direct and batched paths;
+* ``repro.scale/v1`` (``repro-bench scale``) — per-core scaling curves
+  over a columnar store, with per-point peak RSS.
 
 This module unifies them behind one versioned record shape
 (``repro.bench.history/v1``): every report flattens to a **metric map**
@@ -47,6 +49,7 @@ HISTORY_SCHEMA = "repro.bench.history/v1"
 #: Report schema tags this loader understands.
 MINING_SCHEMA = "repro.bench/v1"
 SERVING_SCHEMA = "repro.serve.bench/v1"
+SCALE_SCHEMA = "repro.scale/v1"
 
 #: Metric-name suffixes that are lower-is-better.
 _LOWER_BETTER = ("_seconds", "_ms", "_bytes")
@@ -115,6 +118,8 @@ def record_from_report(report: dict, source: str = "") -> BenchRecord:
         return _record_from_mining(report, source)
     if schema == SERVING_SCHEMA:
         return _record_from_serving(report, source)
+    if schema == SCALE_SCHEMA:
+        return _record_from_scale(report, source)
     if schema is None and "experiment" in report:
         return _record_from_table6(report, source)
     raise BenchHistoryError(
@@ -136,6 +141,41 @@ def _record_from_mining(report: dict, source: str) -> BenchRecord:
         label=report.get("label", "?"),
         kind="mining",
         workload_key=workload_key("mining", report.get("workload", {})),
+        metrics=metrics,
+        digests=digests,
+        source=source,
+    )
+
+
+def _record_from_scale(report: dict, source: str) -> BenchRecord:
+    """``repro-bench scale`` curves: wall clock, speedup and peak RSS.
+
+    Underprovisioned curve points (pool wider than the host) keep their
+    RSS metrics but drop wall-clock and speedup — their timing is not
+    comparable across hosts and would only add noise to the watchdog.
+    """
+    metrics: dict[str, float] = {}
+    digests: dict[str, str] = {}
+
+    def _absorb(entry: dict | None, timing_comparable: bool = True) -> None:
+        if not entry:
+            return
+        stem = entry["configuration"]
+        if timing_comparable:
+            metrics[f"{stem}/wall_seconds"] = entry["wall_seconds"]
+            if "speedup_vs_serial" in entry:
+                metrics[f"{stem}/speedup"] = entry["speedup_vs_serial"]
+        metrics[f"{stem}/peak_rss_bytes"] = entry["peak_rss_bytes"]
+        digests[stem] = entry["digest"]
+
+    _absorb(report.get("serial"))
+    _absorb(report.get("materialized"))
+    for point in report.get("curve", []):
+        _absorb(point, timing_comparable=not point.get("underprovisioned"))
+    return BenchRecord(
+        label=report.get("label", "?"),
+        kind="scale",
+        workload_key=workload_key("scale", report.get("workload", {})),
         metrics=metrics,
         digests=digests,
         source=source,

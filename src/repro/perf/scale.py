@@ -1,0 +1,361 @@
+"""``repro-bench scale`` — per-core scaling curves with peak-RSS evidence.
+
+The main ``repro-bench`` matrix answers "is fast-process faster than
+fast-serial on *this* host?".  This harness answers the two questions a
+reviewer asks next:
+
+* **How does the process backend scale with cores?**  One store-backed
+  ``fast-process`` run per worker count (default ``1, 2, 4, …, N`` up
+  to the host's cpu count), plus a ``fast-serial`` reference, all over
+  the *same* store directory.  Digests must agree across every point.
+* **Does the store actually bound memory?**  Every point is executed in
+  a fresh **child process** so ``getrusage(RUSAGE_SELF).ru_maxrss`` is
+  that run's own high-water mark, not the parent's accumulated one.  An
+  optional *materialized baseline* pulls the whole store into an
+  in-memory :class:`~repro.datagen.corpus.TransactionDatabase` first —
+  the cost the store exists to avoid — so the report shows
+  ``peak_rss_bytes`` of mmap-backed scans next to the materialized
+  figure on identical rows.
+
+Points where the pool is wider than the host's core count are marked
+``underprovisioned: true`` (same contract as the main matrix): their
+wall-clock is recorded but is not evidence of scaling.
+
+Reports use schema ``repro.scale/v1`` and normalize into
+``HISTORY.jsonl`` like any other benchmark (kind ``scale``; see
+:mod:`repro.perf.history`), so the scaling trajectory is watched by
+``repro-bench compare`` too.
+
+Child protocol: ``python -m repro.perf.scale --child`` reads one JSON
+spec on stdin, runs one configuration, and prints one JSON result on
+stdout.  Everything row-shaped stays inside the child; the parent only
+ever sees digests and counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Version tag of the scaling-curve result files.
+SCALE_SCHEMA = "repro.scale/v1"
+
+
+class ScaleBenchError(ReproError):
+    """A scaling-curve child run failed or disagreed on results."""
+
+
+def peak_rss_bytes() -> int:
+    """This process's resident high-water mark, in bytes.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS — one of the few
+    places the two disagree on units.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - non-Linux CI
+        return peak
+    return peak * 1024
+
+
+def default_worker_curve(cpus: int) -> tuple[int, ...]:
+    """The ``1, 2, 4, …`` doubling curve, always ending at ``cpus``."""
+    curve = [1]
+    while curve[-1] * 2 < cpus:
+        curve.append(curve[-1] * 2)
+    if cpus > 1:
+        curve.append(cpus)
+    return tuple(curve)
+
+
+# ----------------------------------------------------------------------
+# Child side: one configuration, one process, one JSON line
+# ----------------------------------------------------------------------
+def run_child(spec: dict) -> dict:
+    """Execute one spec in *this* process; called in the child."""
+    from repro.cluster.config import ClusterConfig
+    from repro.cluster.machine import Cluster
+    from repro.datagen.corpus import TransactionDatabase
+    from repro.parallel.registry import make_miner
+    from repro.perf.bench import run_digest
+    from repro.perf.config import CountingConfig
+    from repro.store import TAXONOMY_NAME, open_store
+    from repro.taxonomy.io import load_taxonomy
+
+    store = open_store(spec["store"], verify=bool(spec.get("verify", False)))
+    taxonomy = load_taxonomy(Path(spec["store"]) / TAXONOMY_NAME)
+    config = ClusterConfig(
+        num_nodes=spec["nodes"],
+        memory_per_node=spec["memory_per_node"],
+        executor=spec["executor"],
+        workers=spec.get("workers"),
+    )
+    if spec.get("materialize"):
+        # The RSS baseline: decode every row into tuples up front, the
+        # exact allocation pattern the store replaces with mmap views.
+        # repro-lint: disable=RL011 — this IS the materialized baseline
+        # the rule exists to prevent; the RSS delta is the evidence.
+        rows = store.to_list()
+        cluster = Cluster.from_database(config, TransactionDatabase(rows))
+    else:
+        cluster = Cluster.from_store(config, store)
+    started = time.perf_counter()
+    try:
+        miner = make_miner(
+            spec["algorithm"],
+            cluster,
+            taxonomy,
+            counting=CountingConfig(
+                kernel=spec["kernel"], dedup=spec["dedup"]
+            ),
+        )
+        run = miner.mine(spec["min_support"], max_k=spec.get("max_k"))
+    finally:
+        cluster.close()
+    wall = time.perf_counter() - started
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    if sys.platform != "darwin":
+        children *= 1024
+    return {
+        "wall_seconds": round(wall, 6),
+        "digest": run_digest(run),
+        "total_probes": sum(p.total_probes for p in run.stats.passes),
+        "peak_rss_bytes": peak_rss_bytes(),
+        # Largest pool worker, when the executor spawned any.
+        "peak_child_rss_bytes": children,
+        "rows": len(store),
+    }
+
+
+def _child_main() -> int:
+    spec = json.loads(sys.stdin.read())
+    print(json.dumps(run_child(spec), sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parent side: spawn children, assemble the curve
+# ----------------------------------------------------------------------
+def _spawn(spec: dict) -> dict:
+    """Run one spec in a fresh interpreter; returns its result dict."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else os.pathsep.join([package_root, existing])
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.perf.scale", "--child"],
+        input=json.dumps(spec),
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if completed.returncode != 0:
+        raise ScaleBenchError(
+            f"scale child failed (exit {completed.returncode}): "
+            f"{completed.stderr.strip() or completed.stdout.strip()}"
+        )
+    try:
+        return json.loads(completed.stdout)
+    except json.JSONDecodeError:
+        raise ScaleBenchError(
+            f"scale child emitted non-JSON: {completed.stdout!r}"
+        ) from None
+
+
+def run_scale(
+    store_path: str | Path,
+    algorithm: str = "HPGM",
+    num_nodes: int = 8,
+    min_support: float = 0.01,
+    max_k: int | None = 2,
+    memory_per_node: int | None = None,
+    worker_counts: tuple[int, ...] | None = None,
+    materialized_baseline: bool = True,
+    label: str = "scale",
+) -> dict:
+    """Measure the full curve; returns the ``repro.scale/v1`` report."""
+    from repro.experiments import common
+
+    cpus = os.cpu_count() or 1
+    if worker_counts is None:
+        worker_counts = default_worker_curve(cpus)
+    if memory_per_node is None:
+        memory_per_node = common.DEFAULT_MEMORY_PER_NODE
+    base_spec = {
+        "store": str(store_path),
+        "algorithm": algorithm,
+        "nodes": num_nodes,
+        "min_support": min_support,
+        "max_k": max_k,
+        "memory_per_node": memory_per_node,
+        "kernel": "fast",
+        "dedup": True,
+    }
+    print(
+        f"host: {cpus} cpu(s); curve workers={list(worker_counts)}",
+        file=sys.stderr,
+    )
+
+    serial = _spawn({**base_spec, "executor": "serial", "verify": True})
+    serial["configuration"] = "fast-serial"
+    print(
+        f"{'fast-serial':<16} {serial['wall_seconds']:9.3f}s  "
+        f"rss={serial['peak_rss_bytes'] / 1e6:.1f}MB",
+        file=sys.stderr,
+    )
+
+    curve: list[dict] = []
+    identical = True
+    for workers in worker_counts:
+        result = _spawn(
+            {**base_spec, "executor": "process", "workers": workers}
+        )
+        result["configuration"] = f"fast-process/w{workers}"
+        result["workers"] = workers
+        result["underprovisioned"] = workers > cpus
+        result["speedup_vs_serial"] = (
+            round(serial["wall_seconds"] / result["wall_seconds"], 3)
+            if result["wall_seconds"] > 0
+            else 0.0
+        )
+        result["matches_baseline"] = result["digest"] == serial["digest"]
+        identical = identical and result["matches_baseline"]
+        curve.append(result)
+        print(
+            f"{'fast-process':<12} w={workers:<3} "
+            f"{result['wall_seconds']:9.3f}s  "
+            f"x{result['speedup_vs_serial']:<6} "
+            f"rss={result['peak_rss_bytes'] / 1e6:.1f}MB  "
+            f"{'ok' if result['matches_baseline'] else 'RESULT MISMATCH'}"
+            f"{'  [underprovisioned]' if result['underprovisioned'] else ''}",
+            file=sys.stderr,
+        )
+
+    materialized = None
+    if materialized_baseline:
+        materialized = _spawn(
+            {**base_spec, "executor": "serial", "materialize": True}
+        )
+        materialized["configuration"] = "materialized-serial"
+        materialized["matches_baseline"] = (
+            materialized["digest"] == serial["digest"]
+        )
+        identical = identical and materialized["matches_baseline"]
+        print(
+            f"{'materialized':<16} {materialized['wall_seconds']:9.3f}s  "
+            f"rss={materialized['peak_rss_bytes'] / 1e6:.1f}MB  "
+            f"({'ok' if materialized['matches_baseline'] else 'RESULT MISMATCH'})",
+            file=sys.stderr,
+        )
+
+    return {
+        "schema": SCALE_SCHEMA,
+        "label": label,
+        "workload": {
+            "rows": serial["rows"],
+            "algorithm": algorithm,
+            "nodes": num_nodes,
+            "min_support": min_support,
+            "max_k": max_k,
+            "memory_per_node": memory_per_node,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": cpus,
+        },
+        "results_identical": identical,
+        "serial": serial,
+        "materialized": materialized,
+        "curve": curve,
+    }
+
+
+def main_scale(argv: list[str]) -> int:
+    """``repro-bench scale`` entry point."""
+    if argv and argv[0] == "--child":
+        return _child_main()
+    parser = argparse.ArgumentParser(
+        prog="repro-bench scale",
+        description="Per-core scaling curve over a columnar store, with "
+        "per-run peak RSS measured in child processes",
+    )
+    parser.add_argument(
+        "--store",
+        required=True,
+        help="store directory (repro-mine generate --store-out) to mine",
+    )
+    parser.add_argument("--algorithm", default="HPGM")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--min-support", type=float, default=0.01)
+    parser.add_argument("--max-k", type=int, default=2)
+    parser.add_argument(
+        "--workers-list",
+        default=None,
+        help="comma-separated worker counts (default: 1,2,4,... up to cpus)",
+    )
+    parser.add_argument(
+        "--no-materialized-baseline",
+        action="store_true",
+        help="skip the in-memory materialization RSS baseline",
+    )
+    parser.add_argument("--label", default="scale")
+    parser.add_argument(
+        "--out",
+        default="benchmarks",
+        help="output directory for the result file (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending this run to HISTORY.jsonl in the output directory",
+    )
+    args = parser.parse_args(argv)
+
+    worker_counts = None
+    if args.workers_list:
+        worker_counts = tuple(
+            int(token) for token in args.workers_list.split(",") if token
+        )
+    report = run_scale(
+        args.store,
+        algorithm=args.algorithm,
+        num_nodes=args.nodes,
+        min_support=args.min_support,
+        max_k=args.max_k,
+        worker_counts=worker_counts,
+        materialized_baseline=not args.no_materialized_baseline,
+        label=args.label,
+    )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"SCALE_{args.label}.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}", file=sys.stderr)
+    if not args.no_history:
+        from repro.perf.history import append_history, record_from_report
+
+        history_path = append_history(
+            out_dir / "HISTORY.jsonl",
+            record_from_report(report, source=out_path.name),
+        )
+        print(f"appended trajectory record to {history_path}", file=sys.stderr)
+    if not report["results_identical"]:
+        print("FAIL: curve points disagree with the serial digest", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_scale(sys.argv[1:]))

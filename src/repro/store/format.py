@@ -1,0 +1,111 @@
+"""On-disk segment format of the columnar transaction store.
+
+A store is a directory: a ``store.json`` manifest plus one or more
+``seg-NNNNN.bin`` segment files.  Each segment is a CSR-style columnar
+block of transactions:
+
+========  =======================  =========================================
+offset    field                    contents
+========  =======================  =========================================
+0         header (64 bytes)        magic ``GARSTOR1``, format version,
+                                   flags, item width, row/item counts
+64        offsets ``uint64[r+1]``  CSR row boundaries into the item column
+64+8(r+1) items ``uint32[i]``      item ids, row-major, each row sorted
+========  =======================  =========================================
+
+All integers are little-endian with native alignment, so an mmap of the
+file is directly addressable as fixed-width columns (``memoryview.cast``
+or ``numpy.frombuffer``) — readers never copy or decode rows into Python
+objects until a scan actually touches them.  The manifest records a
+sha256 digest per segment; :func:`repro.store.reader.open_store` verifies
+them before the first row is served, so a corrupt or truncated segment
+fails loudly (:class:`~repro.errors.StoreFormatError`) instead of mining
+garbage.
+
+The format is versioned through ``STORE_SCHEMA`` / ``FORMAT_VERSION``:
+readers reject manifests or headers from a different major version with
+a clear error naming both versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import sys
+
+from repro.errors import StoreFormatError
+
+#: Manifest schema tag (the store directory's ``store.json``).
+STORE_SCHEMA = "repro.store/v1"
+
+#: Segment header format version (bumped on any binary layout change).
+FORMAT_VERSION = 1
+
+#: First 8 bytes of every segment file.
+MAGIC = b"GARSTOR1"
+
+#: magic, version u16, flags u16, item width u32, rows u64, items u64,
+#: then zero padding to a fixed 64-byte header.
+HEADER = struct.Struct("<8sHHIQQ32x")
+HEADER_SIZE = HEADER.size
+
+#: Fixed-width dtypes of the two columns.
+OFFSET_WIDTH = 8  # uint64
+ITEM_WIDTH = 4  # uint32
+
+#: Maximum representable item id (the item column is uint32).
+MAX_ITEM = 2**32 - 1
+
+MANIFEST_NAME = "store.json"
+TAXONOMY_NAME = "taxonomy.txt"
+
+
+def segment_name(index: int) -> str:
+    """Canonical file name of segment ``index`` (``seg-00000.bin``)."""
+    return f"seg-{index:05d}.bin"
+
+
+def pack_header(rows: int, items: int) -> bytes:
+    """The 64-byte segment header for ``rows`` transactions, ``items`` ids."""
+    return HEADER.pack(MAGIC, FORMAT_VERSION, 0, ITEM_WIDTH, rows, items)
+
+
+def unpack_header(data: bytes, context: str) -> tuple[int, int]:
+    """Validate a segment header; returns ``(rows, items)``.
+
+    ``context`` names the segment in error messages.
+    """
+    if len(data) < HEADER_SIZE:
+        raise StoreFormatError(f"{context}: truncated header ({len(data)} bytes)")
+    magic, version, _flags, item_width, rows, items = HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise StoreFormatError(f"{context}: bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{context}: segment format version {version} "
+            f"(this reader understands {FORMAT_VERSION})"
+        )
+    if item_width != ITEM_WIDTH:
+        raise StoreFormatError(
+            f"{context}: item width {item_width} (expected {ITEM_WIDTH})"
+        )
+    return rows, items
+
+
+def segment_size(rows: int, items: int) -> int:
+    """Exact file size of a segment with ``rows`` rows and ``items`` ids."""
+    return HEADER_SIZE + OFFSET_WIDTH * (rows + 1) + ITEM_WIDTH * items
+
+
+def segment_digest(data: bytes | memoryview) -> str:
+    """sha256 hex digest over one whole segment file."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def require_little_endian() -> None:
+    """The columns are little-endian; mmap reads cast them natively."""
+    if sys.byteorder != "little":  # pragma: no cover - exotic platforms
+        raise StoreFormatError(
+            "the transaction store requires a little-endian host "
+            f"(this machine is {sys.byteorder}-endian)"
+        )

@@ -122,7 +122,10 @@ class TestEngine:
 
     def test_rule_catalog_is_complete(self):
         catalog = rule_catalog()
-        assert sorted(catalog) == [f"RL00{i}" for i in range(1, 10)] + ["RL010"]
+        assert sorted(catalog) == [f"RL00{i}" for i in range(1, 10)] + [
+            "RL010",
+            "RL011",
+        ]
         for rule in catalog.values():
             assert rule.summary
 
@@ -136,10 +139,12 @@ class TestSelfCheck:
         assert result.files_checked > 50
 
     def test_suppression_budget(self):
-        """At most 3 inline suppressions in the tree, each justified.
+        """At most 4 inline suppressions in the tree, each justified.
 
         The linter's own package is excluded: its docstrings document the
-        suppression syntax without being suppressions.
+        suppression syntax without being suppressions.  (The fourth slot
+        is the deliberate RL011 materialized-RSS baseline in
+        ``repro.perf.scale``.)
         """
         analysis_pkg = SRC / "repro" / "analysis"
         justified = 0
@@ -152,7 +157,7 @@ class TestSelfCheck:
                     assert "—" in line or "because" in line.lower(), (
                         f"unjustified suppression in {path}: {line.strip()}"
                     )
-        assert justified <= 3
+        assert justified <= 4
 
 
 class TestCli:

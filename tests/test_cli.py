@@ -155,11 +155,81 @@ class TestSequences:
         assert "pass 2" in capsys.readouterr().out
 
 
+class TestStoreCli:
+    def test_generate_store_out(self, tmp_path, capsys):
+        from repro.store import open_store
+
+        out = tmp_path / "store"
+        code = cli.main(
+            ["generate", "--dataset", "R30F5", "--transactions", "80",
+             "--store-out", str(out), "--segment-rows", "32"]
+        )
+        assert code == 0
+        assert "wrote 80 transactions" in capsys.readouterr().out
+        store = open_store(out)
+        assert len(store) == 80
+        assert store.num_segments == 3
+        assert (out / "taxonomy.txt").exists()
+
+    def test_mine_parallel_from_store(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert cli.main(
+            ["generate", "--transactions", "200", "--store-out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        code = cli.main(
+            ["mine", "--store", str(out), "--algorithm", "H-HPGM-FGD",
+             "--min-support", "0.1", "--max-k", "2", "--rules", "0"]
+        )
+        assert code == 0
+        assert "pass 2" in capsys.readouterr().out
+
+    def test_mine_cumulate_from_store(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert cli.main(
+            ["generate", "--transactions", "200", "--store-out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        code = cli.main(
+            ["mine", "--store", str(out), "--algorithm", "cumulate",
+             "--min-support", "0.1", "--max-k", "2", "--rules", "0"]
+        )
+        assert code == 0
+        assert "MiningResult" in capsys.readouterr().out
+
+    def test_store_without_taxonomy_exits_18(self, tmp_path, capsys):
+        from repro.datagen.io import save_transactions_store
+
+        out = tmp_path / "bare"
+        save_transactions_store([(1, 2), (2, 3)], out)
+        code = cli.main(
+            ["mine", "--store", str(out), "--min-support", "0.5"]
+        )
+        assert code == 18
+        assert "taxonomy" in capsys.readouterr().err.lower()
+
+    def test_corrupt_store_exits_18(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert cli.main(
+            ["generate", "--transactions", "50", "--store-out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        segment = out / "seg-00000.bin"
+        data = bytearray(segment.read_bytes())
+        data[-1] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        code = cli.main(
+            ["mine", "--store", str(out), "--min-support", "0.5"]
+        )
+        assert code == 18
+        assert "digest mismatch" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             cli.main([])
 
-    def test_generate_requires_out(self):
-        with pytest.raises(SystemExit):
-            cli.main(["generate"])
+    def test_generate_requires_out(self, capsys):
+        assert cli.main(["generate"]) == 2
+        assert "--out and/or --store-out" in capsys.readouterr().err

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import json
 
-from repro.perf import bench
+import pytest
+
+from repro.perf import bench, scale
 
 TINY = dict(
     quick=True,
@@ -20,6 +22,18 @@ TINY = dict(
     node_counts=(4,),
     algorithms=("H-HPGM",),
 )
+
+
+@pytest.fixture(scope="module")
+def tiny_store(tmp_path_factory):
+    from repro.datagen.generator import generate_dataset_to_store
+    from repro.experiments import common
+
+    path = tmp_path_factory.mktemp("bench-store") / "s"
+    generate_dataset_to_store(
+        common.experiment_params("R30F5", 300), path, segment_rows=128
+    )
+    return path
 
 
 class TestRunBenchmark:
@@ -55,6 +69,108 @@ class TestRunBenchmark:
         second = bench.run_benchmark("b", **TINY)
         digests = lambda report: [e["digest"] for e in report["runs"]]  # noqa: E731
         assert digests(first) == digests(second)
+
+    def test_underprovisioned_flag_tracks_host_cpus(self, monkeypatch):
+        monkeypatch.setattr(bench.os, "cpu_count", lambda: 1)
+        report = bench.run_benchmark("flag", **TINY)  # workers=2 > 1 cpu
+        for entry in report["runs"]:
+            expected = entry["executor"] == "process"
+            assert entry["underprovisioned"] is expected
+        assert report["host"]["cpus"] == 1
+
+    def test_cpus_printed_prominently(self, capsys):
+        bench.run_benchmark("banner", **TINY)
+        err = capsys.readouterr().err
+        assert err.splitlines()[0].startswith("host: ")
+        assert "cpu(s)" in err
+
+
+class TestStoreBacked:
+    def test_store_matrix_matches_itself_and_the_dataset(self, tiny_store):
+        on_store = bench.run_benchmark("st", **TINY, store_path=tiny_store)
+        assert on_store["results_identical"] is True
+        assert on_store["workload"]["store"] is True
+        assert on_store["workload"]["transactions"] == 300
+
+        in_memory = bench.run_benchmark("mem", **TINY)
+        assert in_memory["workload"]["store"] is False
+        # Same rows, same taxonomy — the store changes nothing observable.
+        assert [e["digest"] for e in on_store["runs"]] == [
+            e["digest"] for e in in_memory["runs"]
+        ]
+
+    def test_store_and_memory_are_distinct_workloads(self, tiny_store):
+        from repro.perf.history import record_from_report
+
+        on_store = bench.run_benchmark("st", **TINY, store_path=tiny_store)
+        in_memory = bench.run_benchmark("mem", **TINY)
+        assert (
+            record_from_report(on_store).workload_key
+            != record_from_report(in_memory).workload_key
+        )
+
+
+class TestScale:
+    def test_default_worker_curve(self):
+        assert scale.default_worker_curve(1) == (1,)
+        assert scale.default_worker_curve(2) == (1, 2)
+        assert scale.default_worker_curve(4) == (1, 2, 4)
+        assert scale.default_worker_curve(6) == (1, 2, 4, 6)
+        assert scale.default_worker_curve(8) == (1, 2, 4, 8)
+
+    def test_run_child_serial_and_materialized_agree(self, tiny_store):
+        spec = dict(
+            store=str(tiny_store),
+            algorithm="H-HPGM",
+            nodes=4,
+            min_support=0.02,
+            max_k=2,
+            memory_per_node=60_000,
+            kernel="fast",
+            dedup=True,
+            executor="serial",
+        )
+        streamed = scale.run_child(spec)
+        materialized = scale.run_child({**spec, "materialize": True})
+        assert streamed["rows"] == 300
+        assert streamed["peak_rss_bytes"] > 0
+        assert streamed["digest"] == materialized["digest"]
+
+    def test_main_scale_writes_report_and_history(self, tiny_store, tmp_path, capsys):
+        from repro.perf.history import load_history
+
+        code = scale.main_scale(
+            [
+                "--store",
+                str(tiny_store),
+                "--algorithm",
+                "H-HPGM",
+                "--nodes",
+                "4",
+                "--min-support",
+                "0.02",
+                "--workers-list",
+                "1",
+                "--label",
+                "unit",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "SCALE_unit.json").read_text())
+        assert report["schema"] == scale.SCALE_SCHEMA
+        assert report["results_identical"] is True
+        assert report["serial"]["peak_rss_bytes"] > 0
+        assert report["materialized"]["digest"] == report["serial"]["digest"]
+        (point,) = report["curve"]
+        assert point["workers"] == 1
+        assert point["matches_baseline"] is True
+
+        (record,) = load_history(tmp_path / "HISTORY.jsonl")
+        assert record.kind == "scale"
+        assert "fast-serial/peak_rss_bytes" in record.metrics
+        assert record.digests["fast-serial"] == report["serial"]["digest"]
 
 
 class TestCli:

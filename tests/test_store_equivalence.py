@@ -1,0 +1,194 @@
+"""Store-backed mining is byte-identical to in-memory mining.
+
+The store's contract is not "approximately the same itemsets" — it is
+that swapping ``TransactionDatabase`` for mmap store views (or the
+shared-memory arena) changes **nothing observable**: the same passes,
+the same supports, the same per-node counters, the same
+:func:`~repro.perf.bench.run_digest`.  These tests pin that contract
+for Cumulate and every parallel miner, on both executors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.core.cumulate import cumulate
+from repro.datagen.generator import generate_dataset, generate_dataset_to_store
+from repro.datagen.params import GeneratorParams
+from repro.errors import MiningError
+from repro.parallel.registry import ALGORITHMS, mine_parallel
+from repro.perf.bench import run_digest
+from repro.perf.config import CountingConfig
+from repro.store import open_store
+
+PARAMS = GeneratorParams(
+    num_transactions=250,
+    avg_transaction_size=6.0,
+    avg_pattern_size=3.0,
+    num_patterns=40,
+    num_items=300,
+    num_roots=10,
+    fanout=3.0,
+    seed=1998,
+)
+MIN_SUPPORT = 0.1
+MAX_K = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(PARAMS)
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "s"
+    generate_dataset_to_store(PARAMS, path, segment_rows=64)
+    return path
+
+
+def result_fingerprint(result) -> list:
+    return [
+        (
+            pass_result.k,
+            pass_result.num_candidates,
+            sorted((tuple(i), c) for i, c in pass_result.large.items()),
+        )
+        for pass_result in result.passes
+    ]
+
+
+class TestCumulate:
+    def test_store_equals_database(self, dataset, store_dir):
+        in_memory = cumulate(
+            dataset.database, dataset.taxonomy, MIN_SUPPORT, max_k=MAX_K
+        )
+        on_store = cumulate(
+            open_store(store_dir), dataset.taxonomy, MIN_SUPPORT, max_k=MAX_K
+        )
+        assert result_fingerprint(on_store) == result_fingerprint(in_memory)
+
+    def test_counting_store_opens_the_store(self, dataset, store_dir):
+        in_memory = cumulate(
+            dataset.database, dataset.taxonomy, MIN_SUPPORT, max_k=MAX_K
+        )
+        via_config = cumulate(
+            None,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            max_k=MAX_K,
+            counting=CountingConfig(store=str(store_dir)),
+        )
+        assert result_fingerprint(via_config) == result_fingerprint(in_memory)
+
+    def test_no_database_and_no_store_is_an_error(self, dataset):
+        with pytest.raises(MiningError, match="store"):
+            cumulate(None, dataset.taxonomy, MIN_SUPPORT)
+
+
+class TestParallelMiners:
+    """Every algorithm: store-backed digest == in-memory digest."""
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_store_digest_matches_database(self, algorithm, dataset, store_dir):
+        config = ClusterConfig(num_nodes=4, memory_per_node=60_000)
+        baseline = mine_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm=algorithm,
+            config=config,
+            max_k=MAX_K,
+        )
+        stored = mine_parallel(
+            None,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm=algorithm,
+            config=config,
+            max_k=MAX_K,
+            counting=CountingConfig(store=str(store_dir)),
+        )
+        assert run_digest(stored) == run_digest(baseline)
+
+    def test_missing_store_config_is_an_error(self, dataset):
+        with pytest.raises(MiningError, match="store"):
+            mine_parallel(None, dataset.taxonomy, MIN_SUPPORT)
+
+
+class TestProcessExecutor:
+    """The zero-copy handles: mmap views and the shm arena, under fork."""
+
+    def test_store_process_matches_serial_list(self, dataset, store_dir):
+        config_serial = ClusterConfig(num_nodes=4, memory_per_node=60_000)
+        config_process = ClusterConfig(
+            num_nodes=4, memory_per_node=60_000, executor="process", workers=2
+        )
+        baseline = mine_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm="H-HPGM",
+            config=config_serial,
+            max_k=MAX_K,
+        )
+        stored = mine_parallel(
+            None,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm="H-HPGM",
+            config=config_process,
+            max_k=MAX_K,
+            counting=CountingConfig(store=str(store_dir)),
+        )
+        assert run_digest(stored) == run_digest(baseline)
+
+    def test_shm_arena_process_matches_serial(self, dataset):
+        config_serial = ClusterConfig(num_nodes=4, memory_per_node=60_000)
+        config_process = ClusterConfig(
+            num_nodes=4, memory_per_node=60_000, executor="process", workers=2
+        )
+        baseline = mine_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm="HPGM",
+            config=config_serial,
+            max_k=MAX_K,
+        )
+        # In-memory partitions + process executor auto-promote to the
+        # shared-memory arena (see Cluster.__init__).
+        promoted = mine_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm="HPGM",
+            config=config_process,
+            max_k=MAX_K,
+        )
+        assert run_digest(promoted) == run_digest(baseline)
+
+    def test_shm_opt_out_still_matches(self, dataset, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        config_process = ClusterConfig(
+            num_nodes=4, memory_per_node=60_000, executor="process", workers=2
+        )
+        config_serial = ClusterConfig(num_nodes=4, memory_per_node=60_000)
+        baseline = mine_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm="NPGM",
+            config=config_serial,
+            max_k=MAX_K,
+        )
+        pickled = mine_parallel(
+            dataset.database,
+            dataset.taxonomy,
+            MIN_SUPPORT,
+            algorithm="NPGM",
+            config=config_process,
+            max_k=MAX_K,
+        )
+        assert run_digest(pickled) == run_digest(baseline)
