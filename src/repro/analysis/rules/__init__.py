@@ -7,6 +7,7 @@ rules only need to be added here.
 
 from __future__ import annotations
 
+from repro.analysis.rules.async_rules import UntimedAwaitRule
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.caches import UnboundedCacheRule
 from repro.analysis.rules.determinism import (
@@ -33,6 +34,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnboundedCacheRule(),
     RequestSpanRule(),
     StoreMaterializeRule(),
+    UntimedAwaitRule(),
 )
 
 

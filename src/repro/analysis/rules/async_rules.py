@@ -1,0 +1,156 @@
+"""RL012 — untimed awaits on blocking primitives.
+
+The sharded serving tier (:mod:`repro.serve.shard`) is an asyncio
+program whose robustness contract is that **every** await on a queue,
+lock, or network primitive is bounded: an untimed ``await queue.get()``
+on a dispatch path turns one dead shard into a hung request, and the
+backpressure/deadline machinery never gets a chance to shed or fail
+over.  Similarly, an unbounded ``asyncio.Queue()`` silently absorbs
+overload instead of surfacing it as a ``QueueFull`` the admission layer
+can convert into 429s.
+
+Flagged:
+
+* ``await x.get()`` / ``x.put()`` / ``x.join()`` / ``x.wait()`` /
+  ``x.acquire()`` / ``x.recv()`` / ``x.read()`` … without a ``timeout``
+  keyword — wrap the call in ``asyncio.wait_for(..., timeout=...)`` (the
+  wrapper itself is not flagged, so the sanctioned spelling is one
+  line);
+* ``asyncio.Queue()`` (and the Lifo/Priority variants) constructed
+  without a positive literal ``maxsize`` — bounded queues are the
+  backpressure signal.
+
+The pool's drain loop (:mod:`repro.serve.shard.pool`) is the one
+sanctioned home of untimed queue awaits: a worker parked on its own
+queue *is* the idle state, and its liveness is owned by the breaker and
+deadline stamps, not a timeout.  That module is exempted here by name;
+test modules are exempt as everywhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: Method names whose await blocks until a peer acts.  Deliberately not
+#: ``wait_for``/``gather``/``sleep`` — those are the bounding tools.
+BLOCKING_ATTRS = frozenset(
+    {
+        "acquire",
+        "connect",
+        "drain",
+        "get",
+        "join",
+        "put",
+        "read",
+        "readexactly",
+        "readline",
+        "recv",
+        "wait",
+    }
+)
+
+#: Queue constructors that must be bounded.
+_QUEUE_CONSTRUCTORS = frozenset(
+    {"asyncio.Queue", "asyncio.LifoQueue", "asyncio.PriorityQueue"}
+)
+
+#: Modules whose untimed queue awaits are the design (see module
+#: docstring); each declares the sanction in its own docstring too.
+_SANCTIONED_MODULES = frozenset({"repro.serve.shard.pool"})
+
+
+def _is_test_module(module: str) -> bool:
+    last = module.rsplit(".", 1)[-1]
+    return (
+        module.startswith("tests")
+        or last.startswith("test_")
+        or last == "conftest"
+    )
+
+
+def _has_timeout_keyword(call: ast.Call) -> bool:
+    return any(keyword.arg == "timeout" for keyword in call.keywords)
+
+
+def _bounded_maxsize(call: ast.Call) -> bool:
+    """Is a positive maxsize evident?  Non-literal sizes get the benefit
+    of the doubt — the rule is for the obviously unbounded default."""
+    size: ast.expr | None = None
+    if call.args:
+        size = call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "maxsize":
+            size = keyword.value
+    if size is None:
+        return False
+    if isinstance(size, ast.Constant) and isinstance(size.value, int):
+        return size.value > 0
+    return True
+
+
+class UntimedAwaitRule(Rule):
+    """RL012 — every blocking await is bounded, every queue has a depth.
+
+    Flags ``await`` of queue/lock/network primitives without a
+    ``timeout`` keyword (bound them with ``asyncio.wait_for``) and
+    ``asyncio.Queue()`` constructions without a positive ``maxsize``.
+    """
+
+    rule_id = "RL012"
+    name = "untimed-await"
+    summary = (
+        "blocking awaits carry a timeout and asyncio queues a maxsize "
+        "(wrap in asyncio.wait_for; bound the queue)"
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        if _is_test_module(ctx.module) or ctx.module in _SANCTIONED_MODULES:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Await):
+                finding = self._check_await(ctx, node)
+            elif isinstance(node, ast.Call):
+                finding = self._check_queue(ctx, node)
+            else:
+                continue
+            if finding is not None:
+                findings.append(finding)
+        findings.sort(key=lambda finding: (finding.line, finding.column))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_await(self, ctx: ModuleContext, node: ast.Await) -> Finding | None:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return None
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        if attr not in BLOCKING_ATTRS:
+            return None
+        if _has_timeout_keyword(call):
+            return None
+        return self.finding(
+            ctx,
+            node,
+            f"await .{attr}() has no bound; a dead peer hangs this task "
+            "forever — wrap in asyncio.wait_for(..., timeout=...)",
+        )
+
+    def _check_queue(self, ctx: ModuleContext, node: ast.Call) -> Finding | None:
+        callee = dotted_name(node.func)
+        if callee not in _QUEUE_CONSTRUCTORS:
+            return None
+        if _bounded_maxsize(node):
+            return None
+        return self.finding(
+            ctx,
+            node,
+            f"{callee}() without a positive maxsize absorbs overload "
+            "silently; bound it so saturation surfaces as QueueFull",
+        )

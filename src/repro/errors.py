@@ -129,6 +129,50 @@ class SLOViolationError(ServingError):
     """
 
 
+class ShardError(ServingError):
+    """Base class of the sharded serving tier (see :mod:`repro.serve.shard`)."""
+
+
+class ShardDownError(ShardError):
+    """A shard worker is dead (killed, crashed, or past its breaker)."""
+
+
+class ShardSaturatedError(ShardError):
+    """A shard worker's bounded request queue is full.
+
+    Internal failover signal: the router treats a saturated replica
+    like a failed one and tries the next; only when *every* replica of
+    a partition is saturated does the request shed as
+    :class:`OverloadShedError`.
+    """
+
+
+class PartitionUnavailableError(ShardDownError):
+    """Every replica of one partition failed past the retry budget.
+
+    The router catches this per partition: the request degrades to a
+    partial answer (``degraded: true`` with the unavailable partitions
+    listed) instead of failing outright.
+    """
+
+
+class OverloadShedError(ServingError):
+    """The tier refused a request to protect the ones already admitted.
+
+    Carries ``retry_after`` (seconds) so front ends can answer with a
+    structured ``429`` + ``Retry-After`` instead of queueing without
+    bound.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired before an answer was assembled."""
+
+
 class EmptyRuleSetError(ServingError):
     """A rules export or snapshot build produced zero rules.
 
@@ -155,6 +199,9 @@ _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (SLOViolationError, 17),
     (EmptyRuleSetError, 15),
     (SnapshotFormatError, 16),
+    (OverloadShedError, 19),
+    (DeadlineExceededError, 20),
+    (ShardError, 21),
     (ServingError, 14),
     (ClusterError, 8),
     (ReproError, 13),

@@ -12,16 +12,33 @@ Three pieces (see ``docs/fault_tolerance.md``):
 
 The ``repro-chaos`` CLI (:mod:`repro.faults.cli`) runs the chaos
 equivalence harness: every algorithm under every fault plan must
-produce large itemsets byte-identical to its fault-free run.
+produce large itemsets byte-identical to its fault-free run.  Its
+``serve`` subcommand does the same for the sharded serving tier using
+:mod:`repro.faults.serve` (:class:`ServeFaultPlan` schedules shard
+kill/stall/drop faults at admitted-query boundaries).
 
 This package keeps its module-level imports light (errors + stdlib
 only) so ``repro.cluster.config`` can reference :class:`FaultPlan`
-without an import cycle.
+without an import cycle; the serve-tier names are re-exported lazily
+for the same reason (importing them pulls in ``repro.serve``).
 """
 
 from repro.faults.checkpoint import CheckpointStore, PassCheckpoint
 from repro.faults.plan import PRESETS, CrashSpec, FaultClock, FaultPlan, StallSpec
 from repro.faults.recovery import DEFAULT_PROFILE, FaultController, RecoveryProfile
+
+#: Serve-tier names resolved lazily from :mod:`repro.faults.serve` —
+#: importing them at module level would pull the whole serving stack
+#: into every ``repro.cluster`` import.
+_SERVE_EXPORTS = (
+    "SERVE_PRESETS",
+    "ServeFaultPlan",
+    "ShardFaultInjector",
+    "ShardKillSpec",
+    "ShardStallSpec",
+    "lockstep_replay",
+    "run_serve_chaos",
+)
 
 __all__ = [
     "CheckpointStore",
@@ -34,4 +51,13 @@ __all__ = [
     "PRESETS",
     "RecoveryProfile",
     "StallSpec",
+    *_SERVE_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        from repro.faults import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,6 +15,16 @@ Example::
 
     repro-chaos --algorithms NPGM H-HPGM-FGD --plans crash combined \
         --transactions 400 --out /tmp/chaos
+
+``repro-chaos serve`` runs the same equivalence discipline against the
+**sharded serving tier** (:mod:`repro.faults.serve`): one seeded
+workload is replayed clean and under every requested preset × fault
+seed (shard kills with restart, dispatch stalls, dropped responses),
+and every faulted answer transcript must be sha256-identical to the
+clean one::
+
+    repro-chaos serve --transactions 300 --queries 120 --shards 4 \
+        --fault-seeds 11 12 13 --out /tmp/serve-chaos
 """
 
 from __future__ import annotations
@@ -27,11 +37,15 @@ from pathlib import Path
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.machine import Cluster
+from repro.core.cumulate import cumulate
+from repro.core.rules import generate_rules
 from repro.errors import ReproError, error_label, exit_code_for
 from repro.experiments import common
 from repro.faults.plan import PRESETS, FaultPlan
+from repro.faults.serve import SERVE_PRESETS, run_serve_chaos
 from repro.obs import EventSink, Telemetry
 from repro.parallel.registry import ALGORITHMS, make_miner
+from repro.serve.snapshot import compile_snapshot
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -99,7 +113,105 @@ def _run(dataset, algorithm, args, plan=None, sink_path=None):
     return run
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos serve",
+        description="Assert shard-fault recovery is invisible in served answers",
+    )
+    parser.add_argument("--dataset", default="R30F5", help="R30F5 | R30F3 | R30F10")
+    parser.add_argument("--transactions", type=int, default=300)
+    parser.add_argument(
+        "--seed", type=int, default=7, help="dataset + workload seed"
+    )
+    parser.add_argument("--min-support", type=float, default=0.05)
+    parser.add_argument("--min-confidence", type=float, default=0.6)
+    parser.add_argument("--max-k", type=int, default=3)
+    parser.add_argument("--queries", type=int, default=120)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument(
+        "--presets",
+        nargs="+",
+        default=list(SERVE_PRESETS),
+        metavar="PLAN",
+        help="serve fault presets: " + ", ".join(SERVE_PRESETS),
+    )
+    parser.add_argument(
+        "--fault-seeds",
+        nargs="+",
+        type=int,
+        default=[11, 12, 13],
+        metavar="SEED",
+        help="fault-plan seeds (equality must hold for every one)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory for summary.json and per-run fault-event sinks",
+    )
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    args = _build_serve_parser().parse_args(argv)
+    try:
+        dataset = common.experiment_dataset(
+            args.dataset, args.transactions, args.seed
+        )
+        result = cumulate(
+            dataset.database, dataset.taxonomy, args.min_support, max_k=args.max_k
+        )
+        rules = generate_rules(result, args.min_confidence, dataset.taxonomy)
+        snapshot = compile_snapshot(
+            rules,
+            dataset.taxonomy,
+            result=result,
+            source={"dataset": args.dataset, "seed": args.seed},
+        )
+        summary = run_serve_chaos(
+            snapshot,
+            queries=args.queries,
+            workload_seed=args.seed,
+            presets=tuple(args.presets),
+            fault_seeds=tuple(args.fault_seeds),
+            shards=args.shards,
+            replication=args.replication,
+            out_dir=args.out,
+        )
+    except ReproError as error:
+        print(
+            f"repro-chaos serve: {error_label(error)}: {error}", file=sys.stderr
+        )
+        return exit_code_for(error)
+    for run in summary["runs"]:
+        status = "ok" if run["equal"] else "DIVERGED"
+        print(
+            f"serve {run['preset']:9s} seed={run['fault_seed']:<4d} "
+            f"{status:8s} kills={run['kills']} recoveries={run['recoveries']} "
+            f"hedges={run['hedges']} failovers={run['failovers']} "
+            f"drops={run['drops']} sha={run['chaos_sha256'][:12]}"
+        )
+    if args.out:
+        print(f"summary written to {Path(args.out) / 'summary.json'}")
+    if summary["failures"]:
+        print(
+            f"repro-chaos serve: {summary['failures']} diverging run(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"all {len(summary['runs'])} faulted runs byte-identical to clean "
+        f"(sha {summary['clean_sha256'][:12]})"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # `serve` routes to the serving-tier harness; everything else keeps
+    # the original flat argument surface (CI invokes it positionless).
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
     out_dir = Path(args.out) if args.out else None

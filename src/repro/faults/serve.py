@@ -1,0 +1,453 @@
+"""Seeded fault schedules + chaos harness for the sharded serve tier.
+
+The cluster simulator's :class:`~repro.faults.plan.FaultPlan` schedules
+faults at pass boundaries; the serving tier's :class:`ServeFaultPlan`
+schedules them at **admitted-query sequence numbers** — the router
+assigns every admitted request a monotone ``seq`` and asks the
+:class:`ShardFaultInjector` what breaks at that point:
+
+* :class:`ShardKillSpec` — a shard replica dies at ``at_query`` (every
+  dispatch raises :class:`~repro.errors.ShardDownError`) and, when
+  ``restart_after`` is set, comes back ``restart_after`` admitted
+  queries later — the router emits the ``shard-recovery`` marker event
+  the chaos proofs assert on;
+* :class:`ShardStallSpec` — dispatches to one replica sleep for
+  ``seconds`` during a window of admitted queries (the hedge budget
+  must recover);
+* ``drop_response_rate`` — a primary's computed answer is lost with
+  this probability (the future never resolves; only replica 0 drops,
+  so a hedge to a live replica always recovers).
+
+Determinism: per-dispatch draws come from a stream seeded by
+``(plan.seed, seq, partition, replica)`` — the async analogue of the
+simulator's :class:`~repro.faults.plan.FaultClock`.  A shared
+sequential stream would make the schedule depend on how concurrent
+dispatches interleave on the event loop; keying each draw by its
+coordinates makes the whole fault schedule a pure function of the plan
+and the admission order, independent of ``PYTHONHASHSEED`` and loop
+scheduling.
+
+The harness (:func:`run_serve_chaos`) replays one seeded workload
+through a clean tier and a faulted tier in lockstep and proves the
+faulted tier **converges to byte-identical answers**: same transcript
+sha256, with the recovery markers and shed/degraded/hedge/failover
+tallies recorded in a timing-free summary (``repro-chaos serve``
+asserts equality across ≥3 fault seeds).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import FaultPlanError, ReproError, error_label
+from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import RequestTracer
+from repro.obs.sink import EventSink
+from repro.serve.loadgen import generate_workload
+from repro.serve.shard.partition import build_shard_map
+from repro.serve.shard.pool import ShardPool
+from repro.serve.shard.router import ShardRouter
+from repro.serve.snapshot import RuleSnapshot
+
+#: Names accepted by :meth:`ServeFaultPlan.preset`.
+SERVE_PRESETS: tuple[str, ...] = ("kill", "stall", "drop", "combined")
+
+#: Injected dispatch-stall length (seconds).  Must exceed the chaos
+#: harness's hedge budget by a wide margin so the hedge *always* fires
+#: for a stalled dispatch — that margin is what keeps the hedge tally
+#: deterministic on a real clock.
+STALL_SECONDS = 0.8
+
+#: Hedge budget the chaos harness runs with (see :data:`STALL_SECONDS`).
+CHAOS_HEDGE_AFTER = 0.2
+
+
+@dataclass(frozen=True)
+class ShardKillSpec:
+    """Kill ``(partition, replica)`` at admitted query ``at_query``;
+    restart it ``restart_after`` admitted queries later (0 = never)."""
+
+    at_query: int
+    partition: int
+    replica: int = 0
+    restart_after: int = 0
+
+
+@dataclass(frozen=True)
+class ShardStallSpec:
+    """Stall dispatches to ``(partition, replica)`` for ``seconds``
+    during admitted queries ``[at_query, at_query + queries)``."""
+
+    at_query: int
+    partition: int
+    replica: int = 0
+    queries: int = 1
+    seconds: float = STALL_SECONDS
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """A complete seeded fault schedule for the sharded serve tier."""
+
+    seed: int = 0
+    kills: tuple[ShardKillSpec, ...] = ()
+    stalls: tuple[ShardStallSpec, ...] = ()
+    drop_response_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_response_rate < 1.0:
+            raise FaultPlanError(
+                f"drop_response_rate must be in [0, 1), "
+                f"got {self.drop_response_rate}"
+            )
+        seen: set[tuple[int, int, int]] = set()
+        for kill in self.kills:
+            if kill.at_query < 0:
+                raise FaultPlanError(
+                    f"kill at query {kill.at_query}: queries count from 0"
+                )
+            if kill.partition < 0 or kill.replica < 0:
+                raise FaultPlanError(
+                    f"kill target ({kill.partition}, {kill.replica}) is negative"
+                )
+            if kill.restart_after < 0:
+                raise FaultPlanError(
+                    f"restart_after must be >= 0, got {kill.restart_after}"
+                )
+            key = (kill.at_query, kill.partition, kill.replica)
+            if key in seen:
+                raise FaultPlanError(
+                    f"shard ({kill.partition}, {kill.replica}) killed twice "
+                    f"at query {kill.at_query}"
+                )
+            seen.add(key)
+        for stall in self.stalls:
+            if stall.at_query < 0:
+                raise FaultPlanError(
+                    f"stall at query {stall.at_query}: queries count from 0"
+                )
+            if stall.partition < 0 or stall.replica < 0:
+                raise FaultPlanError(
+                    f"stall target ({stall.partition}, {stall.replica}) "
+                    "is negative"
+                )
+            if stall.queries < 1:
+                raise FaultPlanError(
+                    f"stall window must be >= 1 query, got {stall.queries}"
+                )
+            if stall.seconds <= 0:
+                raise FaultPlanError(
+                    f"stall seconds must be > 0, got {stall.seconds}"
+                )
+
+    @classmethod
+    def preset(
+        cls,
+        name: str,
+        seed: int = 0,
+        num_shards: int = 4,
+        queries: int = 120,
+    ) -> "ServeFaultPlan":
+        """The serve chaos suite's named plans.
+
+        Every preset targets **replica 0 only**, so with replication ≥ 2
+        each partition always keeps a live replica — the tier must then
+        converge to byte-identical answers (what ``repro-chaos serve``
+        asserts); losing *all* replicas of a partition (degraded mode)
+        is covered by the robustness unit suite instead.
+        """
+        if num_shards < 1:
+            raise FaultPlanError("serve presets need at least 1 shard")
+        if queries < 8:
+            raise FaultPlanError("serve presets need at least 8 queries")
+        quarter = queries // 4
+        if name == "kill":
+            return cls(
+                seed=seed,
+                kills=(
+                    ShardKillSpec(
+                        at_query=quarter,
+                        partition=0,
+                        replica=0,
+                        restart_after=2 * quarter,
+                    ),
+                ),
+            )
+        if name == "stall":
+            return cls(
+                seed=seed,
+                stalls=(
+                    ShardStallSpec(
+                        at_query=quarter,
+                        partition=0,
+                        replica=0,
+                        queries=max(1, queries // 8),
+                        seconds=STALL_SECONDS,
+                    ),
+                ),
+            )
+        if name == "drop":
+            return cls(seed=seed, drop_response_rate=0.08)
+        if name == "combined":
+            return cls(
+                seed=seed,
+                kills=(
+                    ShardKillSpec(
+                        at_query=quarter,
+                        partition=0,
+                        replica=0,
+                        restart_after=quarter,
+                    ),
+                ),
+                stalls=(
+                    ShardStallSpec(
+                        at_query=2 * quarter,
+                        partition=1 % num_shards,
+                        replica=0,
+                        queries=max(1, queries // 10),
+                        seconds=STALL_SECONDS,
+                    ),
+                ),
+                drop_response_rate=0.05,
+            )
+        raise FaultPlanError(
+            f"unknown serve fault preset {name!r}; known: "
+            + ", ".join(SERVE_PRESETS)
+        )
+
+
+class ShardFaultInjector:
+    """Answers the router's two questions: *what breaks at this
+    admission?* and *what happens to this dispatch?*  (See the module
+    docstring for the determinism contract.)"""
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: ServeFaultPlan):
+        self.plan = plan
+
+    def admitted(self, seq: int) -> list[tuple[str, int, int]]:
+        """Kill/restart transitions scheduled at admitted query ``seq``
+        (kills before restarts, schedule order within each)."""
+        events: list[tuple[str, int, int]] = []
+        for kill in self.plan.kills:
+            if seq == kill.at_query:
+                events.append(("kill", kill.partition, kill.replica))
+        for kill in self.plan.kills:
+            if kill.restart_after and seq == kill.at_query + kill.restart_after:
+                events.append(("restart", kill.partition, kill.replica))
+        return events
+
+    def directives(
+        self, seq: int, partition: int, replica: int
+    ) -> tuple[float, bool]:
+        """(stall_seconds, drop) for one dispatch of admitted query
+        ``seq`` to ``(partition, replica)``."""
+        stall = 0.0
+        for spec in self.plan.stalls:
+            if (
+                spec.partition == partition
+                and spec.replica == replica
+                and spec.at_query <= seq < spec.at_query + spec.queries
+            ):
+                stall = max(stall, spec.seconds)
+        drop = False
+        if self.plan.drop_response_rate > 0.0 and replica == 0:
+            # Per-dispatch seeding (a pure function of the coordinates,
+            # not a shared stream) keeps draws order-independent: the
+            # event loop may interleave concurrent dispatches in any
+            # order without changing which responses drop.  String seeds
+            # hash via sha512 inside random.seed — stable across
+            # processes and PYTHONHASHSEED.
+            rng = random.Random(
+                f"{self.plan.seed}:{seq}:{partition}:{replica}"
+            )
+            drop = rng.random() < self.plan.drop_response_rate
+        return stall, drop
+
+
+# ----------------------------------------------------------------------
+# Chaos harness
+# ----------------------------------------------------------------------
+
+def lockstep_replay(
+    snapshot: RuleSnapshot,
+    workload: list[tuple[int, ...]],
+    shards: int = 4,
+    replication: int = 2,
+    injector: ShardFaultInjector | None = None,
+    sink: EventSink | None = None,
+    clock=time.perf_counter,
+) -> tuple[list[str], list[dict], MetricsRegistry]:
+    """Serve a workload one query at a time through a sharded tier.
+
+    Lockstep (closed-loop, depth 1) pins the admission order, which is
+    the fault schedule's only clock — so every kill, restart, stall and
+    drop lands on the same query in every run.  Returns the timing-free
+    answer transcript (compact JSON lines), any per-query errors, and
+    the tier's metrics registry.
+    """
+    registry = MetricsRegistry()
+    tracer = RequestTracer(
+        sink=sink, registry=registry, clock=clock, namespace="chaos"
+    )
+    shard_map = build_shard_map(snapshot, shards)
+    transcript: list[str] = []
+    errors: list[dict] = []
+
+    async def drive() -> None:
+        pool = ShardPool(
+            snapshot,
+            shard_map,
+            replication=replication,
+            queue_depth=max(64, len(workload)),
+            registry=registry,
+            clock_ns=tracer.now_ns,
+            failure_threshold=3,
+            # The breaker must never half-open on its own mid-run: a
+            # real-clock probe would make the failover tally depend on
+            # wall time.  Recovery is the injector's restart (which
+            # force-closes the breaker), not the cooldown.
+            cooldown_seconds=3600.0,
+        )
+        pool.start()
+        router = ShardRouter(
+            pool,
+            tracer,
+            max_inflight=max(16, len(workload)),
+            deadline_seconds=60.0,
+            hedge_after=CHAOS_HEDGE_AFTER,
+            subquery_timeout=30.0,
+            closure_cache_size=0,
+            result_cache_size=0,
+            registry=registry,
+            sink=sink,
+            injector=injector,
+        )
+        for position, basket in enumerate(workload):
+            try:
+                result = await asyncio.wait_for(
+                    router.query(basket, request_id=position), timeout=90.0
+                )
+            except ReproError as error:
+                errors.append({"id": position, "error": error_label(error)})
+            else:
+                transcript.append(
+                    json.dumps(
+                        result.to_dict(), sort_keys=True, separators=(",", ":")
+                    )
+                )
+        await pool.close()
+
+    asyncio.run(drive())
+    return transcript, errors, registry
+
+
+def _transcript_sha256(transcript: list[str]) -> str:
+    return hashlib.sha256("\n".join(transcript).encode("utf-8")).hexdigest()
+
+
+def run_serve_chaos(
+    snapshot: RuleSnapshot,
+    queries: int = 120,
+    workload_seed: int = 7,
+    presets: tuple[str, ...] = SERVE_PRESETS,
+    fault_seeds: tuple[int, ...] = (11, 12, 13),
+    shards: int = 4,
+    replication: int = 2,
+    out_dir: str | Path | None = None,
+) -> dict:
+    """Prove fault recovery is invisible in sharded answers.
+
+    One clean lockstep replay is the baseline; every ``preset × seed``
+    combination replays the same workload under injected faults and
+    must produce a **byte-identical transcript**.  The returned summary
+    is timing-free (counts and digests only), so it is itself
+    byte-identical across ``PYTHONHASHSEED`` values — the subprocess
+    determinism test pins exactly that.
+    """
+    workload = generate_workload(snapshot, queries, workload_seed)
+    out_path = Path(out_dir) if out_dir is not None else None
+    if out_path is not None:
+        out_path.mkdir(parents=True, exist_ok=True)
+    clean_transcript, clean_errors, _clean_registry = lockstep_replay(
+        snapshot, workload, shards=shards, replication=replication
+    )
+    clean_digest = _transcript_sha256(clean_transcript)
+    runs: list[dict] = []
+    failures = 0
+    for preset in presets:
+        for fault_seed in fault_seeds:
+            plan = ServeFaultPlan.preset(
+                preset, seed=fault_seed, num_shards=shards, queries=queries
+            )
+            injector = ShardFaultInjector(plan)
+            sink = None
+            if out_path is not None:
+                sink = EventSink(
+                    path=out_path / f"events-serve-{preset}-s{fault_seed}.jsonl"
+                )
+            chaos_transcript, chaos_errors, registry = lockstep_replay(
+                snapshot,
+                workload,
+                shards=shards,
+                replication=replication,
+                injector=injector,
+                sink=sink,
+            )
+            if sink is not None:
+                sink.close()
+            chaos_digest = _transcript_sha256(chaos_transcript)
+            recoveries = int(registry.value("shard.recoveries"))
+            expected_recoveries = sum(
+                1 for kill in plan.kills if kill.restart_after
+            )
+            equal = (
+                chaos_digest == clean_digest
+                and len(chaos_transcript) == len(clean_transcript)
+                and not chaos_errors
+                and recoveries == expected_recoveries
+            )
+            if not equal:
+                failures += 1
+            runs.append(
+                {
+                    "preset": preset,
+                    "fault_seed": fault_seed,
+                    "equal": equal,
+                    "clean_sha256": clean_digest,
+                    "chaos_sha256": chaos_digest,
+                    "answered": len(chaos_transcript),
+                    "errors": len(chaos_errors),
+                    "kills": int(registry.value("shard.kills")),
+                    "recoveries": recoveries,
+                    "hedges": int(registry.value("shard.hedges")),
+                    "failovers": int(registry.value("shard.failovers")),
+                    "degraded": int(registry.value("shard.degraded")),
+                    "sheds": int(registry.total("shard.sheds")),
+                    "drops": int(registry.value("shard.dropped_responses")),
+                }
+            )
+    summary = {
+        "queries": queries,
+        "workload_seed": workload_seed,
+        "shards": shards,
+        "replication": replication,
+        "snapshot": snapshot.version,
+        "clean_errors": len(clean_errors),
+        "clean_sha256": clean_digest,
+        "runs": runs,
+        "failures": failures,
+    }
+    if out_path is not None:
+        (out_path / "summary.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return summary

@@ -63,7 +63,7 @@ LATENCY_BUCKETS_MS: tuple[float, ...] = (
 )
 
 #: Request paths a context can be opened on.
-REQUEST_PATHS: tuple[str, ...] = ("direct", "batched", "http")
+REQUEST_PATHS: tuple[str, ...] = ("direct", "batched", "http", "shard")
 
 
 def to_ns(seconds: float) -> int:
@@ -90,6 +90,7 @@ class RequestContext:
     __slots__ = (
         "request_id", "trace_id", "path", "batch_id", "cache", "version",
         "status", "error", "done",
+        "shed", "degraded", "hedged", "failovers",
         "t_submit", "t_dequeue", "t_exec_begin", "t_exec_end",
         "t_query_begin", "t_query_end", "t_lookup_begin", "t_lookup_end",
         "_clock_ns",
@@ -105,6 +106,14 @@ class RequestContext:
         self.status = "ok"
         self.error: str | None = None
         self.done = False
+        # Shard-tier robustness outcomes (router-stamped; see
+        # repro.serve.shard.router).  ``shed`` names the admission gate
+        # that refused the request; the counters track the hedges and
+        # replica failovers its partition fan-out needed.
+        self.shed: str | None = None
+        self.degraded = False
+        self.hedged = 0
+        self.failovers = 0
         self._clock_ns = clock_ns
         now = clock_ns()
         self.t_submit = now
@@ -336,6 +345,17 @@ class RequestTracer:
         cache = record.get("cache")
         if cache is not None:
             registry.counter("slo.cache_lookups", outcome=cache).inc()
+        shed = record.get("shed")
+        if shed is not None:
+            registry.counter("slo.sheds", reason=shed).inc()
+        if record.get("degraded"):
+            registry.counter("slo.degraded").inc()
+        hedged = record.get("hedged")
+        if hedged:
+            registry.counter("slo.hedges").inc(hedged)
+        failovers = record.get("failovers")
+        if failovers:
+            registry.counter("slo.failovers").inc(failovers)
         phases = record["phases"]
         for metric, key in (
             ("slo.latency_ms", "end_to_end"),
@@ -386,6 +406,14 @@ def build_record(ctx: RequestContext, t_end: int) -> dict:
         record["version"] = ctx.version
     if ctx.batch_id is not None:
         record["batch"] = ctx.batch_id
+    if ctx.shed is not None:
+        record["shed"] = ctx.shed
+    if ctx.degraded:
+        record["degraded"] = True
+    if ctx.hedged:
+        record["hedged"] = ctx.hedged
+    if ctx.failovers:
+        record["failovers"] = ctx.failovers
     return record
 
 

@@ -12,6 +12,10 @@ service-level objectives against it:
   nanosecond stamps;
 * **error rate** — errored requests over all requests;
 * **cache hit rate** — result-cache hits over hit+miss lookups;
+* **shed / degraded rate** — the shard tier's robustness outcomes as
+  first-class metrics (``shed_rate``, ``degraded_rate``, ``hedge_rate``
+  and the underlying counts), so overload shedding and partial answers
+  are gated, not just logged;
 * **burn rate** — for objectives that declare an error budget
   (``target``), the rate at which the stream consumes it:
   ``bad_fraction / (1 - target)``; a burn rate of 1.0 spends the budget
@@ -159,6 +163,13 @@ def aggregate(records: list[dict]) -> dict:
     hits = sum(1 for record in records if record.get("cache") == "hit")
     misses = sum(1 for record in records if record.get("cache") == "miss")
     lookups = hits + misses
+    # Shard-tier robustness outcomes (absent from direct/batched
+    # records, hence .get): shed and degraded are per-request flags,
+    # hedged/failovers are per-request counts.
+    sheds = sum(1 for record in records if record.get("shed"))
+    degraded = sum(1 for record in records if record.get("degraded"))
+    hedged = sum(record.get("hedged", 0) for record in records)
+    failovers = sum(record.get("failovers", 0) for record in records)
     metrics: dict[str, float] = {
         "requests": requests,
         "errors": errors,
@@ -166,6 +177,13 @@ def aggregate(records: list[dict]) -> dict:
         "cache_hits": hits,
         "cache_misses": misses,
         "cache_hit_rate": hits / lookups if lookups else 0.0,
+        "sheds": sheds,
+        "shed_rate": sheds / requests if requests else 0.0,
+        "degraded": degraded,
+        "degraded_rate": degraded / requests if requests else 0.0,
+        "hedged": hedged,
+        "hedge_rate": hedged / requests if requests else 0.0,
+        "failovers": failovers,
     }
     for prefix, key in sorted(PHASE_KEYS.items()):
         values = [record["phases"][key] for record in records]
@@ -333,6 +351,15 @@ def render_report(report: dict) -> str:
         f"p95={overall['latency_p95_ms']:.3f} p99={overall['latency_p99_ms']:.3f}",
         f"windows: {report['windows']} x {report['window']} requests",
     ]
+    if overall["sheds"] or overall["degraded"] or overall["hedged"]:
+        lines.insert(
+            2,
+            f"shard tier: shed={overall['sheds']} "
+            f"(rate {overall['shed_rate']:.4f})  "
+            f"degraded={overall['degraded']} "
+            f"(rate {overall['degraded_rate']:.4f})  "
+            f"hedged={overall['hedged']}  failovers={overall['failovers']}",
+        )
     for objective in report["objectives"]:
         bounds = []
         if "max" in objective:

@@ -185,6 +185,12 @@ class ServeService:
         with self._lock:
             return self._engine
 
+    @property
+    def snapshot(self):
+        """The current snapshot (the HTTP front end's render source)."""
+        with self._lock:
+            return self._engine.snapshot
+
     # ------------------------------------------------------------------
     # Hot swap
     # ------------------------------------------------------------------

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.core.cumulate import cumulate
@@ -96,6 +98,24 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument("--clients", type=int, default=4)
     load.add_argument("--workers", type=int, default=2)
     load.add_argument("--batch-max", type=int, default=32)
+    load.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="also run the sharded-tier phase over this many partitions "
+        "(0 disables it)",
+    )
+    load.add_argument(
+        "--replication", type=int, default=2, help="replicas per partition"
+    )
+    load.add_argument(
+        "--rate",
+        type=_parse_rate,
+        default=0.0,
+        help="sharded-phase arrival mode: 0 = closed-loop lockstep, "
+        "N>0 = open loop at N queries/s, 'auto' = open loop at half "
+        "the direct phase's throughput",
+    )
     load.add_argument("--label", default="pr5")
     load.add_argument(
         "--out", default="benchmarks", help="directory for BENCH_<label>.json"
@@ -126,13 +146,49 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="expose a snapshot over HTTP/JSON")
     serve.add_argument("--snapshot", required=True)
     serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8098)
+    serve.add_argument(
+        "--port", type=int, default=8098, help="0 binds an ephemeral port"
+    )
     serve.add_argument("--scoring", choices=SCORINGS, default="confidence")
     serve.add_argument("--top-k", type=int, default=5)
     serve.add_argument("--workers", type=int, default=2)
     serve.add_argument("--batch-max", type=int, default=32)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve through the sharded tier over this many partitions "
+        "(0 = the micro-batched tier)",
+    )
+    serve.add_argument(
+        "--replication", type=int, default=2, help="replicas per partition"
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        help="write request trace events (JSONL) here, flushed on drain",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write final metrics (Prometheus text) here on drain",
+    )
 
     return parser
+
+
+def _parse_rate(spec: str):
+    if spec == "auto":
+        return "auto"
+    try:
+        rate = float(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--rate must be a number or 'auto', got {spec!r}"
+        ) from None
+    if rate < 0:
+        raise argparse.ArgumentTypeError(f"--rate must be >= 0, got {rate}")
+    return rate
 
 
 def _parse_basket(spec: str) -> list[int]:
@@ -209,6 +265,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         clients=args.clients,
         workers=args.workers,
         batch_max=args.batch_max,
+        shards=args.shards,
+        replication=args.replication,
+        rate=args.rate,
         label=args.label,
         sink=sink,
         metrics=metrics,
@@ -246,6 +305,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"(mean batch {batched['mean_batch_size']}, "
         f"{batched['deduped_queries']} deduped)"
     )
+    sharded = report["phases"].get("sharded")
+    if sharded is not None:
+        print(
+            f"sharded: {sharded['qps']:9.1f} qps  "
+            f"p50={sharded['p50_ms']:.3f}ms p95={sharded['p95_ms']:.3f}ms "
+            f"p99={sharded['p99_ms']:.3f}ms  "
+            f"({sharded['shards']}x{sharded['replication']} shards, "
+            f"rate={sharded['rate']}, shed={sharded['shed']}, "
+            f"hedges={sharded['hedges']}, degraded={sharded['degraded']})"
+        )
     tracing = report["tracing"]
     print(
         f"tracing: {tracing['requests']} requests, "
@@ -264,25 +333,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.httpd import make_server
 
     snapshot = load_snapshot(args.snapshot)
-    service = ServeService(
-        snapshot,
-        scoring=args.scoring,
-        top_k=args.top_k,
-        workers=max(1, args.workers),
-        batch_max=args.batch_max,
-    )
+    sink = EventSink(path=args.trace_out) if args.trace_out else None
+    registry = MetricsRegistry()
+    if args.shards > 0:
+        from repro.serve.shard.service import ShardedService
+
+        service = ShardedService(
+            snapshot,
+            shards=args.shards,
+            replication=args.replication,
+            scoring=args.scoring,
+            top_k=args.top_k,
+            registry=registry,
+            sink=sink,
+        )
+        tier = f"sharded {args.shards}x{args.replication}"
+    else:
+        service = ServeService(
+            snapshot,
+            scoring=args.scoring,
+            top_k=args.top_k,
+            workers=max(1, args.workers),
+            batch_max=args.batch_max,
+            registry=registry,
+            sink=sink,
+        )
+        tier = f"batched x{max(1, args.workers)}"
     server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
     print(
         f"serving snapshot {snapshot.version[:12]} "
-        f"({snapshot.num_rules} rules) on http://{args.host}:{args.port}"
+        f"({snapshot.num_rules} rules, {tier}) on http://{host}:{port}",
+        flush=True,
     )
+
+    # Graceful drain on SIGTERM/SIGINT: stop accepting, serve what is
+    # already queued, flush metrics/traces, exit 0.  server.shutdown()
+    # blocks until serve_forever() returns, so it must run off the
+    # serving thread — calling it from the signal handler directly
+    # would deadlock.
+    def _drain(signum, frame) -> None:
+        threading.Thread(
+            target=server.shutdown, name=f"drain-{signum}", daemon=True
+        ).start()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _drain),
+        signal.SIGINT: signal.signal(signal.SIGINT, _drain),
+    }
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        pass
     finally:
+        for signum in sorted(previous, key=int):
+            signal.signal(signum, previous[signum])
         server.server_close()
         service.close()
+        if sink is not None:
+            sink.close()
+            print(f"traces flushed to {args.trace_out}")
+        if args.metrics_out:
+            metrics_path = Path(args.metrics_out)
+            metrics_path.parent.mkdir(parents=True, exist_ok=True)
+            metrics_path.write_text(registry.to_prometheus(), encoding="utf-8")
+            print(f"metrics flushed to {metrics_path}")
+    print("drained; exiting 0", flush=True)
     return 0
 
 

@@ -126,6 +126,73 @@ class QueryResult:
         return record
 
 
+def rank_matches(
+    snapshot: RuleSnapshot,
+    closure: tuple[int, ...],
+    closure_mask: int,
+    candidate_ids: Iterable[int],
+    top_k: int,
+    scoring: str,
+) -> tuple[tuple[MatchedRule, ...], tuple[Recommendation, ...]]:
+    """Confirm + rank candidate rules against one closure.
+
+    The single source of truth for result ordering: the bitmask subset
+    test, the ``(-score, -confidence, -support, antecedent, consequent)``
+    sort, and the best-rule-per-item recommendation cut all live here,
+    shared by :meth:`QueryEngine._execute` and the shard router
+    (:mod:`repro.serve.shard.router`) — which is what makes sharded
+    answers provably byte-identical to unsharded ones.
+    """
+    masks = snapshot.rule_masks
+    rules = snapshot.rules
+    scored: list[tuple[float, ServedRule]] = []
+    for rule_id in sorted(set(candidate_ids)):
+        if masks[rule_id] & ~closure_mask:
+            continue
+        rule = rules[rule_id]
+        scored.append((rule_score(rule, scoring), rule))
+    scored.sort(
+        key=lambda pair: (
+            -pair[0],
+            -pair[1].confidence,
+            -pair[1].support,
+            pair[1].antecedent,
+            pair[1].consequent,
+        )
+    )
+    matches = tuple(
+        MatchedRule(rule_id=rule.rule_id, score=score) for score, rule in scored
+    )
+
+    in_closure = set(closure)
+    best: dict[int, Recommendation] = {}
+    for score, rule in scored:
+        for item in rule.consequent:
+            if item in in_closure or item in best:
+                continue
+            best[item] = Recommendation(item=item, score=score, rule_id=rule.rule_id)
+    recommendations = tuple(
+        sorted(
+            best.values(),
+            key=lambda rec: (-rec.score, rec.item),
+        )[:top_k]
+    )
+    return matches, recommendations
+
+
+def basket_closure(snapshot: RuleSnapshot, canonical: tuple[int, ...]) -> tuple[int, ...]:
+    """Ancestor closure of a canonical basket (uncached form).
+
+    Same expansion :meth:`QueryEngine.closure` performs, exposed for
+    callers that manage their own cache (the shard router).
+    """
+    closures = snapshot.closures
+    expanded: set[int] = set()
+    for item in canonical:
+        expanded.update(closures.get(item, (item,)))
+    return tuple(sorted(expanded))
+
+
 class QueryEngine:
     """Serve queries against one immutable :class:`RuleSnapshot`.
 
@@ -260,41 +327,8 @@ class QueryEngine:
             obs.mark_lookup_end()
         self.registry.counter("serve.candidates").inc(len(candidate_ids))
 
-        masks = snapshot.rule_masks
-        rules = snapshot.rules
-        scored: list[tuple[float, ServedRule]] = []
-        for rule_id in sorted(candidate_ids):
-            if masks[rule_id] & ~closure_mask:
-                continue
-            rule = rules[rule_id]
-            scored.append((rule_score(rule, scoring), rule))
-        scored.sort(
-            key=lambda pair: (
-                -pair[0],
-                -pair[1].confidence,
-                -pair[1].support,
-                pair[1].antecedent,
-                pair[1].consequent,
-            )
-        )
-        matches = tuple(
-            MatchedRule(rule_id=rule.rule_id, score=score) for score, rule in scored
-        )
-
-        in_closure = set(closure)
-        best: dict[int, Recommendation] = {}
-        for score, rule in scored:
-            for item in rule.consequent:
-                if item in in_closure or item in best:
-                    continue
-                best[item] = Recommendation(
-                    item=item, score=score, rule_id=rule.rule_id
-                )
-        recommendations = tuple(
-            sorted(
-                best.values(),
-                key=lambda rec: (-rec.score, rec.item),
-            )[:top_k]
+        matches, recommendations = rank_matches(
+            snapshot, closure, closure_mask, candidate_ids, top_k, scoring
         )
         registry = self.registry
         registry.histogram("serve.match_count", buckets=COUNT_BUCKETS).observe(

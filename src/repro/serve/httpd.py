@@ -11,7 +11,19 @@ handlers delegate to one shared service:
   different snapshot — the stale-read guard for hot swaps;
 * ``GET /healthz`` — liveness plus current snapshot version;
 * ``GET /version`` — current snapshot version only;
-* ``GET /metrics`` — the shared registry in Prometheus text format.
+* ``GET /metrics`` — the shared registry in Prometheus text format;
+* ``GET /shards`` — shard-tier health (worker queues, breaker states,
+  rollout progress) when the service is a
+  :class:`~repro.serve.shard.service.ShardedService`.
+
+The handler serves either tier through one duck-typed surface
+(``query``/``version``/``snapshot``/``registry``/``tracer``).  The
+sharded tier's robustness outcomes map onto HTTP: a shed request is
+``429`` with a ``Retry-After`` header, an expired deadline ``504``; a
+degraded (partial) answer is still ``200`` — the body carries
+``degraded: true`` plus the unavailable shard set, and refusing to
+answer would be strictly worse than answering from the shards that are
+up.
 
 Every ``POST /query`` is one traced request (path ``http``) in the
 service's :class:`~repro.obs.requests.RequestTracer`: the handler opens
@@ -29,7 +41,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, OverloadShedError, ReproError
 from repro.serve.batch import ServeService
 
 
@@ -49,15 +61,27 @@ def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
             pass
 
         # ----------------------------------------------------------
-        def _respond(self, status: int, body: bytes, content_type: str) -> None:
+        def _respond(
+            self,
+            status: int,
+            body: bytes,
+            content_type: str,
+            retry_after: float | None = None,
+        ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", f"{max(retry_after, 0.001):.3f}")
             self.end_headers()
             self.wfile.write(body)
 
-        def _respond_json(self, status: int, payload: dict) -> None:
-            self._respond(status, _json_bytes(payload), "application/json")
+        def _respond_json(
+            self, status: int, payload: dict, retry_after: float | None = None
+        ) -> None:
+            self._respond(
+                status, _json_bytes(payload), "application/json", retry_after
+            )
 
         # ----------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -73,6 +97,8 @@ def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
                     service.registry.to_prometheus().encode("utf-8"),
                     "text/plain; version=0.0.4",
                 )
+            elif self.path == "/shards" and hasattr(service, "status"):
+                self._respond_json(200, service.status())
             else:
                 self._respond_json(404, {"error": f"no route {self.path}"})
 
@@ -128,10 +154,20 @@ def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
             except (TypeError, ValueError) as error:
                 self._respond_json(400, {"error": f"bad request: {error}"})
                 return
+            except OverloadShedError as error:
+                self._respond_json(
+                    429,
+                    {"error": str(error), "retry_after": error.retry_after},
+                    retry_after=error.retry_after,
+                )
+                return
+            except DeadlineExceededError as error:
+                self._respond_json(504, {"error": str(error)})
+                return
             except ReproError as error:
                 self._respond_json(400, {"error": str(error)})
                 return
-            self._respond_json(200, result.to_dict(service.engine.snapshot))
+            self._respond_json(200, result.to_dict(service.snapshot))
 
     return ServeHandler
 

@@ -265,20 +265,32 @@ def run_loadgen(
     clients: int = 4,
     workers: int = 2,
     batch_max: int = 32,
+    shards: int = 0,
+    replication: int = 2,
+    rate: float | str = 0.0,
     label: str = "local",
     sink=None,
     clock=time.perf_counter,
     metrics: MetricsRegistry | None = None,
 ) -> tuple[dict, list[dict], list[dict]]:
-    """Both phases on one workload; returns (report, transcript,
+    """All phases on one workload; returns (report, transcript,
     request records).
 
     Request records carry each query's reconciled span accounting; the
     report's ``tracing`` section summarizes them and **fails the run**
     (via ``results_identical``-style gating in the CLI) when any record
     does not reconcile exactly.  When a ``metrics`` registry is given,
-    both phases' series are merged into it under ``phase=direct`` /
-    ``phase=batched`` labels (the ``--metrics-out`` export).
+    each phase's series are merged into it under ``phase=direct`` /
+    ``phase=batched`` / ``phase=sharded`` labels (the ``--metrics-out``
+    export).
+
+    ``shards > 0`` adds the sharded-tier phase
+    (:func:`repro.serve.shard.loadgen.run_sharded_phase`): ``rate``
+    selects its arrival mode — ``0`` closed-loop lockstep, a positive
+    number an open-loop arrival rate in queries/second, and the string
+    ``"auto"`` an open loop at half the direct phase's measured
+    throughput (fast enough to exercise concurrency, slow enough that
+    nothing sheds and the transcripts stay comparable).
     """
     workload = generate_workload(snapshot, queries, seed, pool_size=pool_size)
     direct_registry = MetricsRegistry()
@@ -311,17 +323,50 @@ def run_loadgen(
         clock=clock,
         tracer=batched_tracer,
     )
+    phase_walls = [
+        (direct_tracer, direct_stats["wall_seconds"]),
+        (batched_tracer, batched_stats["wall_seconds"]),
+    ]
+    tracers = [direct_tracer, batched_tracer]
+    phases = {"direct": direct_stats, "batched": batched_stats}
+    digests = {}
+    if shards > 0:
+        # Imported here: repro.serve.shard.loadgen borrows this module's
+        # phase-stat helpers, so a top-level import would be circular.
+        from repro.serve.shard.loadgen import run_sharded_phase
+
+        if rate == "auto":
+            rate = direct_stats["qps"] / 2
+        sharded_registry = MetricsRegistry()
+        sharded_tracer = RequestTracer(
+            sink=sink, registry=sharded_registry, clock=clock, namespace="shard"
+        )
+        sharded_stats, sharded_transcript = run_sharded_phase(
+            snapshot,
+            workload,
+            scoring,
+            top_k,
+            sharded_registry,
+            shards=shards,
+            replication=replication,
+            rate=float(rate),
+            clock=clock,
+            tracer=sharded_tracer,
+        )
+        phases["sharded"] = sharded_stats
+        phase_walls.append((sharded_tracer, sharded_stats["wall_seconds"]))
+        tracers.append(sharded_tracer)
+        digests["sharded"] = _transcript_digest(sharded_transcript)
+        if metrics is not None:
+            metrics.merge(sharded_registry, phase="sharded")
     if metrics is not None:
         metrics.merge(direct_registry, phase="direct")
         metrics.merge(batched_registry, phase="batched")
     direct_digest = _transcript_digest(direct_transcript)
     batched_digest = _transcript_digest(batched_transcript)
-    tracing = tracing_summary(
-        [
-            (direct_tracer, direct_stats["wall_seconds"]),
-            (batched_tracer, batched_stats["wall_seconds"]),
-        ]
-    )
+    digests["direct"] = direct_digest
+    digests["batched"] = batched_digest
+    tracing = tracing_summary(phase_walls)
     report = {
         "schema": BENCH_SCHEMA,
         "label": label,
@@ -345,17 +390,23 @@ def run_loadgen(
             "machine": platform.machine(),
             "cpus": os.cpu_count() or 1,
         },
-        "phases": {"direct": direct_stats, "batched": batched_stats},
+        "phases": phases,
         "speedup_qps": (
             round(batched_stats["qps"] / direct_stats["qps"], 3)
             if direct_stats["qps"]
             else 0.0
         ),
-        "results_identical": direct_digest == batched_digest,
+        "results_identical": all(
+            digest == direct_digest for digest in digests.values()
+        ),
         "transcript_sha256": direct_digest,
         "tracing": tracing,
     }
-    return report, direct_transcript, request_records(direct_tracer, batched_tracer)
+    if shards > 0:
+        report["workload"]["shards"] = shards
+        report["workload"]["replication"] = replication
+        report["workload"]["rate"] = round(float(rate), 3)
+    return report, direct_transcript, request_records(*tracers)
 
 
 def write_report(report: dict, out_dir: str | Path, label: str) -> Path:

@@ -1,0 +1,62 @@
+"""Resilient sharded serving tier.
+
+Layering (each module is importable without the ones above it):
+
+* :mod:`~repro.serve.shard.partition` — deterministic root-itemset
+  shard map + per-partition index slices (manifest-digested);
+* :mod:`~repro.serve.shard.health` — per-worker circuit breakers;
+* :mod:`~repro.serve.shard.pool` — bounded-queue async workers
+  (the backpressure mechanism) and their lifecycle;
+* :mod:`~repro.serve.shard.router` — admission control, deadlines,
+  hedged retry, failover, graceful degradation;
+* :mod:`~repro.serve.shard.rollout` — digest-verified shadow-compare
+  rollout gate;
+* :mod:`~repro.serve.shard.service` — blocking facade (loop thread)
+  that the HTTP front end and CLI drive;
+* :mod:`~repro.serve.shard.loadgen` — the benchmark's sharded phase.
+"""
+
+from repro.serve.shard.health import BREAKER_STATES, CircuitBreaker
+from repro.serve.shard.loadgen import run_sharded_phase
+from repro.serve.shard.partition import (
+    SHARD_MAP_SCHEMA,
+    ShardIndex,
+    ShardMap,
+    build_shard_indexes,
+    build_shard_map,
+    item_root,
+    load_shard_manifest,
+    rule_root,
+    write_shard_manifest,
+)
+from repro.serve.shard.pool import ShardPool, ShardWorker
+from repro.serve.shard.rollout import (
+    ROLLOUT_STATES,
+    RolloutController,
+    answer_digest,
+)
+from repro.serve.shard.router import ShardedQueryResult, ShardRouter
+from repro.serve.shard.service import ShardedService
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "ROLLOUT_STATES",
+    "RolloutController",
+    "SHARD_MAP_SCHEMA",
+    "ShardIndex",
+    "ShardMap",
+    "ShardPool",
+    "ShardRouter",
+    "ShardWorker",
+    "ShardedQueryResult",
+    "ShardedService",
+    "answer_digest",
+    "build_shard_indexes",
+    "build_shard_map",
+    "item_root",
+    "load_shard_manifest",
+    "rule_root",
+    "run_sharded_phase",
+    "write_shard_manifest",
+]

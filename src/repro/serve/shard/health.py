@@ -1,0 +1,121 @@
+"""Shard health: circuit breaker with closed / open / half-open states.
+
+One :class:`CircuitBreaker` guards one shard worker.  The router asks
+:meth:`~CircuitBreaker.allow` before dispatching and reports the
+outcome back; the breaker turns repeated failures into fast local
+refusals so a dead worker costs a dictionary lookup instead of a
+timeout per request.
+
+State machine (deterministic — driven entirely by reported outcomes
+and the injected integer-nanosecond clock, pinned under a fake clock by
+``tests/test_serve_shard_robustness.py``):
+
+* **closed** — traffic flows; ``failure_threshold`` *consecutive*
+  failures trip it open (any success resets the streak);
+* **open** — every ``allow`` refuses until ``cooldown_seconds`` elapse
+  from the trip time, then the breaker half-opens;
+* **half-open** — exactly one probe request is let through; its success
+  closes the breaker, its failure re-opens it (restarting the
+  cooldown).
+
+``reset`` force-closes the breaker — the hook for an external health
+signal (the fault injector's restart schedule models a probe that saw
+the worker come back).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ShardError
+
+#: Breaker states, in trip order.
+BREAKER_STATES: tuple[str, ...] = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """Per-worker failure gate (see module docstring for the states)."""
+
+    __slots__ = (
+        "name", "failure_threshold", "cooldown_ns", "clock_ns",
+        "state", "failures", "opened_at", "probes_inflight", "transitions",
+    )
+
+    def __init__(
+        self,
+        clock_ns: Callable[[], int],
+        name: str = "",
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 0.25,
+    ):
+        if failure_threshold < 1:
+            raise ShardError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0:
+            raise ShardError(
+                f"cooldown_seconds must be > 0, got {cooldown_seconds}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_ns = int(round(cooldown_seconds * 1e9))
+        self.clock_ns = clock_ns
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at: int | None = None
+        self.probes_inflight = 0
+        #: (from_state, to_state) transition log, for tests + /shards.
+        self.transitions: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    def _move(self, state: str) -> None:
+        if state != self.state:
+            self.transitions.append((self.state, state))
+            self.state = state
+
+    def allow(self) -> bool:
+        """May a request be dispatched to this worker right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            opened = self.opened_at if self.opened_at is not None else 0
+            if self.clock_ns() - opened < self.cooldown_ns:
+                return False
+            self._move("half_open")
+            self.probes_inflight = 0
+        # half-open: exactly one probe at a time.
+        if self.probes_inflight >= 1:
+            return False
+        self.probes_inflight += 1
+        return True
+
+    def record_success(self) -> None:
+        """A dispatched request completed: close and reset."""
+        self._move("closed")
+        self.failures = 0
+        self.opened_at = None
+        self.probes_inflight = 0
+
+    def record_failure(self) -> None:
+        """A dispatched request failed: trip when the budget is spent."""
+        self.failures += 1
+        if self.state == "half_open" or self.failures >= self.failure_threshold:
+            self._move("open")
+            self.opened_at = self.clock_ns()
+            self.probes_inflight = 0
+
+    def reset(self) -> None:
+        """External health signal: force-close (restart observed)."""
+        self.record_success()
+
+    def status(self) -> dict:
+        """JSON-ready health rendering (the ``/shards`` endpoint)."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "failures": self.failures,
+            "transitions": len(self.transitions),
+        }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.name or '?'}, {self.state})"

@@ -1,0 +1,130 @@
+"""Sharded load-generation phase: open-loop replay through the router.
+
+``repro-serve loadgen --shards N`` adds a third phase to the benchmark:
+the same deterministic Zipf workload replayed through a
+(partitions × replication) shard grid.  Two arrival modes:
+
+* ``rate == 0`` (default) — **closed-loop lockstep**: one query at a
+  time, so the answer transcript is strictly ordered and
+  digest-comparable against the direct phase (``results_identical``
+  covers all three phases);
+* ``rate > 0`` — **open-loop**: arrival ``i`` fires at
+  ``start + i/rate`` regardless of completions, the honest way to load
+  a bounded-queue tier (a closed loop would hide overload as client
+  slowdown — coordinated omission).  Overload shows up as shed
+  requests, counted in the phase stats and traced as first-class
+  ``shed`` records.
+
+Shed queries have no transcript entry; the phase records how many were
+shed so a digest mismatch from shedding is attributable, never silent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import OverloadShedError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import RequestTracer
+from repro.serve.loadgen import _phase_stats
+from repro.serve.shard.partition import build_shard_map
+from repro.serve.shard.pool import ShardPool
+from repro.serve.shard.router import ShardRouter
+from repro.serve.snapshot import RuleSnapshot
+
+
+def run_sharded_phase(
+    snapshot: RuleSnapshot,
+    workload: list[tuple[int, ...]],
+    scoring: str,
+    top_k: int,
+    registry: MetricsRegistry,
+    shards: int = 4,
+    replication: int = 2,
+    rate: float = 0.0,
+    queue_depth: int = 256,
+    max_inflight: int = 4096,
+    deadline_seconds: float = 5.0,
+    hedge_after: float = 0.05,
+    clock=time.perf_counter,
+    tracer: RequestTracer | None = None,
+) -> tuple[dict, list[dict]]:
+    """Replay a workload through a sharded router; see module docstring.
+
+    Returns ``(stats, transcript)`` shaped like the other phases;
+    ``stats`` additionally carries the shard topology and the
+    shed/hedge/failover/degraded tallies.
+    """
+    if tracer is None:
+        tracer = RequestTracer(registry=registry, clock=clock, namespace="shard")
+    shard_map = build_shard_map(snapshot, shards)
+    results: list[dict | None] = [None] * len(workload)
+    latencies: list[float | None] = [None] * len(workload)
+    shed = 0
+    collect_timeout = deadline_seconds + 5.0
+
+    async def one(router: ShardRouter, position: int, basket: tuple[int, ...]) -> None:
+        nonlocal shed
+        started = clock()
+        try:
+            result = await router.query(basket, request_id=position)
+        except OverloadShedError:
+            shed += 1
+            return
+        latencies[position] = clock() - started
+        results[position] = result.to_dict()
+
+    async def drive() -> float:
+        pool = ShardPool(
+            snapshot,
+            shard_map,
+            replication=replication,
+            queue_depth=queue_depth,
+            registry=registry,
+            clock_ns=tracer.now_ns,
+        )
+        pool.start()
+        router = ShardRouter(
+            pool,
+            tracer,
+            scoring=scoring,
+            top_k=top_k,
+            max_inflight=max_inflight,
+            deadline_seconds=deadline_seconds,
+            hedge_after=hedge_after,
+            closure_cache_size=0,
+            result_cache_size=0,
+            registry=registry,
+        )
+        start = clock()
+        if rate > 0:
+            loop = asyncio.get_running_loop()
+            tasks = []
+            for position, basket in enumerate(workload):
+                delay = (start + position / rate) - clock()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(loop.create_task(one(router, position, basket)))
+            for task in tasks:
+                await asyncio.wait_for(task, timeout=collect_timeout)
+        else:
+            for position, basket in enumerate(workload):
+                await asyncio.wait_for(
+                    one(router, position, basket), timeout=collect_timeout
+                )
+        wall = clock() - start
+        await pool.close()
+        return wall
+
+    wall = asyncio.run(drive())
+    stats = _phase_stats([value for value in latencies if value is not None], wall)
+    stats["shards"] = shards
+    stats["replication"] = replication
+    stats["rate"] = rate
+    stats["shed"] = shed
+    stats["hedges"] = int(registry.value("shard.hedges"))
+    stats["failovers"] = int(registry.value("shard.failovers"))
+    stats["degraded"] = int(registry.value("shard.degraded"))
+    stats["subqueries"] = int(registry.total("shard.subqueries"))
+    return stats, [entry for entry in results if entry is not None]

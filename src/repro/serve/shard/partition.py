@@ -1,0 +1,249 @@
+"""Root-itemset partitioning of a snapshot's inverted index.
+
+The paper's parallel miners partition candidate work across nodes; the
+serving tier partitions *rules* across engine shards the same way —
+by the classification hierarchy's root groups, which keeps every rule's
+whole antecedent co-resident with the taxonomy subtree that triggers it.
+
+Ownership and routing
+---------------------
+Every rule is owned by exactly one partition: the partition assigned
+the **root ancestor of its smallest antecedent item**.  A query is
+routed to the partitions owning the roots of its closure items.  This
+is complete: a rule matches only when its antecedent is a subset of the
+closure, so its smallest antecedent item — and therefore its owning
+root — is always among the closure's roots.  Every matching rule is
+found by exactly one consulted shard, which is what makes the union of
+shard answers equal to the unsharded candidate set (pinned by
+``tests/test_serve_shard.py`` over full query sweeps).
+
+Determinism
+-----------
+Roots are assigned to partitions by greedy LPT bin-packing over their
+rule counts: roots sorted by ``(-count, root)``, each placed on the
+least-loaded partition (ties to the lowest id).  The resulting map is a
+pure function of ``(snapshot.version, num_partitions)``; its sha256
+digest is recorded in a sidecar manifest (``repro.serve.shardmap/v1``)
+so a rolling rollout can verify both shard sets were built from the
+shard map they claim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import ShardError, SnapshotFormatError
+from repro.serve.snapshot import RuleSnapshot
+
+#: Version tag of shard-map manifest files.
+SHARD_MAP_SCHEMA = "repro.serve.shardmap/v1"
+
+
+def item_root(snapshot: RuleSnapshot, item: int) -> int:
+    """Root ancestor of an item (itself for roots and unknown items).
+
+    Closure keys are ``ancestors_or_self`` tuples ordered nearest-first,
+    so the root is the last element.
+    """
+    closure = snapshot.closures.get(item)
+    return closure[-1] if closure else item
+
+
+def rule_root(snapshot: RuleSnapshot, rule_id: int) -> int:
+    """The root that owns a rule: root of its smallest antecedent item."""
+    return item_root(snapshot, min(snapshot.rules[rule_id].antecedent))
+
+
+class ShardMap:
+    """Deterministic root → partition assignment for one snapshot."""
+
+    __slots__ = ("num_partitions", "assignment", "snapshot_version", "loads", "digest")
+
+    def __init__(
+        self,
+        num_partitions: int,
+        assignment: dict[int, int],
+        snapshot_version: str,
+        loads: tuple[int, ...],
+    ):
+        if num_partitions < 1:
+            raise ShardError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        for root, partition in assignment.items():
+            if not 0 <= partition < num_partitions:
+                raise ShardError(
+                    f"root {root} assigned to partition {partition} "
+                    f"outside [0, {num_partitions})"
+                )
+        self.num_partitions = num_partitions
+        self.assignment = dict(assignment)
+        self.snapshot_version = snapshot_version
+        self.loads = loads
+        self.digest = hashlib.sha256(
+            json.dumps(
+                {
+                    "schema": SHARD_MAP_SCHEMA,
+                    "partitions": num_partitions,
+                    "snapshot": snapshot_version,
+                    "assignment": sorted(assignment.items()),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode("utf-8")
+        ).hexdigest()
+
+    # ------------------------------------------------------------------
+    def partition_of_root(self, root: int) -> int | None:
+        """Owning partition of a root (None: no rules under that root)."""
+        return self.assignment.get(root)
+
+    def involved_partitions(
+        self, snapshot: RuleSnapshot, closure: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """Partitions a closure's query must consult, sorted."""
+        involved: set[int] = set()
+        assignment = self.assignment
+        for item in closure:
+            partition = assignment.get(item_root(snapshot, item))
+            if partition is not None:
+                involved.add(partition)
+        return tuple(sorted(involved))
+
+    def to_manifest(self) -> dict:
+        """JSON-ready manifest (recorded next to the snapshot)."""
+        return {
+            "schema": SHARD_MAP_SCHEMA,
+            "partitions": self.num_partitions,
+            "snapshot": self.snapshot_version,
+            "digest": self.digest,
+            "roots": len(self.assignment),
+            "loads": list(self.loads),
+            "assignment": [
+                [root, partition]
+                for root, partition in sorted(self.assignment.items())
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(partitions={self.num_partitions}, "
+            f"roots={len(self.assignment)}, digest={self.digest[:12]})"
+        )
+
+
+def build_shard_map(snapshot: RuleSnapshot, num_partitions: int) -> ShardMap:
+    """Greedy LPT assignment of root groups to partitions.
+
+    Pure function of the snapshot and the partition count; re-building
+    from a reloaded snapshot yields the identical digest.
+    """
+    if num_partitions < 1:
+        raise ShardError(f"num_partitions must be >= 1, got {num_partitions}")
+    counts: dict[int, int] = {}
+    for rule in snapshot.rules:
+        root = item_root(snapshot, min(rule.antecedent))
+        counts[root] = counts.get(root, 0) + 1
+    loads = [0] * num_partitions
+    assignment: dict[int, int] = {}
+    for root in sorted(counts, key=lambda root: (-counts[root], root)):
+        partition = min(range(num_partitions), key=lambda p: (loads[p], p))
+        assignment[root] = partition
+        loads[partition] += counts[root]
+    return ShardMap(num_partitions, assignment, snapshot.version, tuple(loads))
+
+
+def write_shard_manifest(shard_map: ShardMap, path: str | Path) -> Path:
+    """Write the shard-map manifest (sorted keys, byte-stable)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(shard_map.to_manifest(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_shard_manifest(path: str | Path) -> dict:
+    """Load + validate a shard-map manifest; verifies the digest."""
+    try:
+        manifest = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise SnapshotFormatError(
+            f"{path}: shard manifest is not JSON: {error}"
+        ) from None
+    if not isinstance(manifest, dict) or manifest.get("schema") != SHARD_MAP_SCHEMA:
+        raise SnapshotFormatError(
+            f"{path}: not a shard-map manifest (expected {SHARD_MAP_SCHEMA!r})"
+        )
+    rebuilt = ShardMap(
+        int(manifest["partitions"]),
+        {int(root): int(partition) for root, partition in manifest["assignment"]},
+        manifest["snapshot"],
+        tuple(int(load) for load in manifest["loads"]),
+    )
+    if rebuilt.digest != manifest.get("digest"):
+        raise SnapshotFormatError(
+            f"{path}: shard-map digest mismatch (recorded "
+            f"{str(manifest.get('digest'))[:12]}…, content hashes to "
+            f"{rebuilt.digest[:12]}…)"
+        )
+    return manifest
+
+
+class ShardIndex:
+    """One partition's slice of the antecedent inverted index.
+
+    Holds postings only for rules the partition owns; the bitmask subset
+    test reuses the snapshot's global ``rule_masks``, so a shard match
+    is exactly the engine's match restricted to owned rules.
+    ``match`` returns sorted rule ids only — scores and ranking are the
+    router's job, computed once over the merged candidate set with
+    :func:`repro.serve.engine.rank_matches`.
+    """
+
+    __slots__ = ("partition", "snapshot", "index", "num_rules")
+
+    def __init__(self, partition: int, snapshot: RuleSnapshot, shard_map: ShardMap):
+        self.partition = partition
+        self.snapshot = snapshot
+        postings: dict[int, list[int]] = {}
+        owned = 0
+        for rule in snapshot.rules:
+            if shard_map.assignment.get(rule_root(snapshot, rule.rule_id)) != partition:
+                continue
+            owned += 1
+            for item in rule.antecedent:
+                postings.setdefault(item, []).append(rule.rule_id)
+        self.index = {
+            item: tuple(sorted(rule_ids))
+            for item, rule_ids in sorted(postings.items())
+        }
+        self.num_rules = owned
+
+    def match(self, closure: tuple[int, ...], closure_mask: int) -> tuple[int, ...]:
+        """Sorted ids of owned rules whose antecedent ⊆ closure."""
+        index = self.index
+        candidates: set[int] = set()
+        for item in closure:
+            postings = index.get(item)
+            if postings:
+                candidates.update(postings)
+        masks = self.snapshot.rule_masks
+        return tuple(
+            rule_id
+            for rule_id in sorted(candidates)
+            if not masks[rule_id] & ~closure_mask
+        )
+
+
+def build_shard_indexes(
+    snapshot: RuleSnapshot, shard_map: ShardMap
+) -> tuple[ShardIndex, ...]:
+    """One :class:`ShardIndex` per partition (empty partitions allowed)."""
+    return tuple(
+        ShardIndex(partition, snapshot, shard_map)
+        for partition in range(shard_map.num_partitions)
+    )

@@ -1,0 +1,277 @@
+"""Async shard workers: bounded queues, backpressure, kill/stall hooks.
+
+One :class:`ShardWorker` serves one ``(partition, replica)`` cell: a
+bounded :class:`asyncio.Queue` in front of a single drain task that
+matches queries against the partition's :class:`ShardIndex`.  The queue
+bound *is* the backpressure mechanism — submission never blocks, a full
+queue raises :class:`~repro.errors.ShardSaturatedError` immediately and
+the router decides whether to fail over or shed.
+
+A :class:`ShardPool` is the (partitions × replication) grid of workers
+plus their circuit breakers; the router owns routing policy, the pool
+owns worker lifecycle.
+
+Fault surface (driven by :class:`repro.faults.serve.ShardFaultInjector`
+through the router): ``kill`` makes a worker refuse every request with
+:class:`~repro.errors.ShardDownError` until ``restart``; per-dispatch
+``stall``/``drop`` directives inject slowness and response loss — a
+stalled dispatch sleeps on the request path *before* enqueueing (so a
+winning hedge cancels the sleep and leaves no backlog behind), a
+dropped item computes and then never resolves its future (the response
+is lost, the caller's hedge/timeout machinery must recover).
+
+This module is the sanctioned home of untimed queue awaits (lint rule
+RL012): the drain loop's ``queue.get`` is the *server* side of the
+bound — it must park indefinitely between requests.  Everything
+client-side (router, service) awaits with explicit timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.errors import ShardDownError, ShardError, ShardSaturatedError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.shard.health import CircuitBreaker
+from repro.serve.shard.partition import ShardIndex, ShardMap, build_shard_indexes
+from repro.serve.snapshot import RuleSnapshot
+
+#: Queue sentinel that stops a worker's drain task.
+_CLOSE = object()
+
+
+class ShardWorker:
+    """One shard replica: bounded queue + single async drain task."""
+
+    __slots__ = (
+        "partition", "replica", "name", "index", "queue", "breaker",
+        "clock_ns", "registry", "killed", "served", "_task",
+    )
+
+    def __init__(
+        self,
+        partition: int,
+        replica: int,
+        index: ShardIndex,
+        queue_depth: int,
+        clock_ns: Callable[[], int],
+        breaker: CircuitBreaker,
+        registry: MetricsRegistry,
+    ):
+        if queue_depth < 1:
+            raise ShardError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.partition = partition
+        self.replica = replica
+        self.name = f"shard{partition}r{replica}"
+        self.index = index
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self.breaker = breaker
+        self.clock_ns = clock_ns
+        self.registry = registry
+        self.killed = False
+        self.served = 0
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the drain task (must run inside the serving loop)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._drain(), name=f"drain-{self.name}"
+            )
+
+    async def close(self) -> None:
+        """Stop the drain task after the queued tail is served."""
+        if self._task is None:
+            return
+        await self.queue.put(_CLOSE)
+        await self._task
+        self._task = None
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Fault hook: refuse everything until :meth:`restart`."""
+        self.killed = True
+
+    def restart(self) -> None:
+        """Fault hook: come back healthy (breaker force-closed)."""
+        self.killed = False
+        self.breaker.reset()
+
+    # ------------------------------------------------------------------
+    async def _drain(self) -> None:
+        """Serve queued items forever (until the close sentinel)."""
+        queue = self.queue
+        registry = self.registry
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                break
+            future, closure, closure_mask, deadline_ns, drop = item
+            if future.cancelled():
+                continue
+            if self.killed:
+                future.set_exception(
+                    ShardDownError(f"{self.name} is down")
+                )
+                continue
+            if deadline_ns is not None and self.clock_ns() > deadline_ns:
+                future.set_exception(
+                    ShardDownError(
+                        f"{self.name}: deadline expired in queue"
+                    )
+                )
+                continue
+            matched = self.index.match(closure, closure_mask)
+            self.served += 1
+            registry.counter("shard.subqueries", shard=self.name).inc()
+            if drop:
+                # Injected response loss: the answer was computed but
+                # never leaves the worker; the router's hedge recovers.
+                registry.counter("shard.dropped_responses").inc()
+                continue
+            if not future.done():
+                future.set_result(matched)
+
+    # ------------------------------------------------------------------
+    async def run(
+        self,
+        closure: tuple[int, ...],
+        closure_mask: int,
+        deadline_ns: int | None,
+        timeout: float,
+        stall: float = 0.0,
+        drop: bool = False,
+    ) -> tuple[int, ...]:
+        """Enqueue one sub-query and await its answer (bounded).
+
+        Raises :class:`ShardDownError` when killed,
+        :class:`ShardSaturatedError` when the queue is full, and
+        :class:`asyncio.TimeoutError` when no answer arrives within
+        ``timeout`` (a dropped response or a stall past the budget).
+        """
+        if stall > 0:
+            # Injected dispatch-path slowness; cancellable with this
+            # sub-query's task, so a hedged winner leaves no backlog.
+            await asyncio.sleep(stall)
+        if self.killed:
+            raise ShardDownError(f"{self.name} is down")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self.queue.put_nowait(
+                (future, closure, closure_mask, deadline_ns, drop)
+            )
+        except asyncio.QueueFull:
+            raise ShardSaturatedError(
+                f"{self.name} queue full ({self.queue.maxsize} deep)"
+            ) from None
+        return await asyncio.wait_for(future, timeout)
+
+    def __repr__(self) -> str:
+        return f"ShardWorker({self.name}, killed={self.killed})"
+
+
+class ShardPool:
+    """The (partition × replica) worker grid over one snapshot."""
+
+    __slots__ = (
+        "snapshot", "shard_map", "replication", "queue_depth",
+        "registry", "clock_ns", "indexes", "workers",
+    )
+
+    def __init__(
+        self,
+        snapshot: RuleSnapshot,
+        shard_map: ShardMap,
+        replication: int = 2,
+        queue_depth: int = 64,
+        registry: MetricsRegistry | None = None,
+        clock_ns: Callable[[], int] | None = None,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 0.25,
+    ):
+        if replication < 1:
+            raise ShardError(f"replication must be >= 1, got {replication}")
+        if shard_map.snapshot_version != snapshot.version:
+            raise ShardError(
+                f"shard map was built for snapshot "
+                f"{shard_map.snapshot_version[:12]}, serving "
+                f"{snapshot.version[:12]}"
+            )
+        if clock_ns is None:
+            raise ShardError("ShardPool needs an explicit clock_ns")
+        self.snapshot = snapshot
+        self.shard_map = shard_map
+        self.replication = replication
+        self.queue_depth = queue_depth
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.clock_ns = clock_ns
+        self.indexes = build_shard_indexes(snapshot, shard_map)
+        self.workers: dict[tuple[int, int], ShardWorker] = {}
+        for partition in range(shard_map.num_partitions):
+            for replica in range(replication):
+                breaker = CircuitBreaker(
+                    clock_ns,
+                    name=f"shard{partition}r{replica}",
+                    failure_threshold=failure_threshold,
+                    cooldown_seconds=cooldown_seconds,
+                )
+                self.workers[(partition, replica)] = ShardWorker(
+                    partition,
+                    replica,
+                    self.indexes[partition],
+                    queue_depth,
+                    clock_ns,
+                    breaker,
+                    self.registry,
+                )
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for key in sorted(self.workers):
+            self.workers[key].start()
+
+    async def close(self) -> None:
+        for key in sorted(self.workers):
+            await self.workers[key].close()
+
+    # ------------------------------------------------------------------
+    def replicas(self, partition: int) -> list[ShardWorker]:
+        """The partition's workers, replica order (primary first)."""
+        return [
+            self.workers[(partition, replica)]
+            for replica in range(self.replication)
+        ]
+
+    def worker(self, partition: int, replica: int) -> ShardWorker:
+        key = (partition, replica)
+        if key not in self.workers:
+            raise ShardError(
+                f"no worker for partition {partition} replica {replica}"
+            )
+        return self.workers[key]
+
+    def total_queued(self) -> int:
+        """Items currently queued across every worker."""
+        return sum(
+            self.workers[key].queue.qsize() for key in sorted(self.workers)
+        )
+
+    def status(self) -> list[dict]:
+        """JSON-ready per-worker health (the ``/shards`` endpoint)."""
+        rows = []
+        for key in sorted(self.workers):
+            worker = self.workers[key]
+            rows.append(
+                {
+                    "partition": worker.partition,
+                    "replica": worker.replica,
+                    "killed": worker.killed,
+                    "queued": worker.queue.qsize(),
+                    "served": worker.served,
+                    "breaker": worker.breaker.status(),
+                    "rules": worker.index.num_rules,
+                }
+            )
+        return rows

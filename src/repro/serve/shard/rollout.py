@@ -1,0 +1,128 @@
+"""Digest-verified rolling rollout of a new shard set.
+
+A rollout runs the old and new shard sets **side by side**: the old set
+keeps serving every admitted query, and each answer is shadow-compared
+against the new set's answer for the same basket.  Cutover is gated on
+a *window* of consecutive digest matches; the first divergence rolls
+the new set back instantly (the old set never stopped serving, so
+rollback is a no-op for clients).
+
+The comparison digest is a sha256 over the answer's canonical JSON
+**excluding the snapshot version tag** — two snapshot builds of the
+same rule set must produce byte-identical answers to pass, which is
+exactly the property the digest-stability CI job pins for rebuilds.
+
+The controller is pure policy — it sees digests and emits decisions
+(and ``rollout-*`` events into the shared sink); the
+:class:`~repro.serve.shard.service.ShardedService` owns the actual
+pool swap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ServingError
+from repro.obs.sink import EventSink
+
+#: Rollout states, in lifecycle order.
+ROLLOUT_STATES: tuple[str, ...] = ("shadow", "cutover", "rolled_back")
+
+
+def answer_digest(result) -> str:
+    """Version-independent digest of one answer's canonical JSON."""
+    record = result.to_dict()
+    record.pop("version", None)
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RolloutController:
+    """Shadow-compare gate for one old → new snapshot transition."""
+
+    __slots__ = (
+        "old_version", "new_version", "window", "sink",
+        "state", "streak", "compared", "mismatches",
+    )
+
+    def __init__(
+        self,
+        old_version: str,
+        new_version: str,
+        window: int = 32,
+        sink: EventSink | None = None,
+    ):
+        if window < 1:
+            raise ServingError(f"rollout window must be >= 1, got {window}")
+        self.old_version = old_version
+        self.new_version = new_version
+        self.window = window
+        self.sink = sink
+        self.state = "shadow"
+        self.streak = 0
+        self.compared = 0
+        self.mismatches = 0
+        if sink is not None:
+            sink.emit(
+                "rollout-begin",
+                old=old_version,
+                new=new_version,
+                window=window,
+            )
+
+    # ------------------------------------------------------------------
+    def observe(self, request_id: int, old_digest: str, new_digest: str) -> str:
+        """Record one shadow comparison; returns the (new) state.
+
+        ``cutover`` is returned on the comparison that completes the
+        match window; ``rolled_back`` on the first divergence.  Either
+        terminal state is sticky — further observations are ignored.
+        """
+        if self.state != "shadow":
+            return self.state
+        self.compared += 1
+        if old_digest == new_digest:
+            self.streak += 1
+            if self.streak >= self.window:
+                self.state = "cutover"
+                if self.sink is not None:
+                    self.sink.emit(
+                        "rollout-cutover",
+                        old=self.old_version,
+                        new=self.new_version,
+                        compared=self.compared,
+                    )
+        else:
+            self.mismatches += 1
+            self.streak = 0
+            self.state = "rolled_back"
+            if self.sink is not None:
+                self.sink.emit(
+                    "rollout-rollback",
+                    old=self.old_version,
+                    new=self.new_version,
+                    request=request_id,
+                    old_digest=old_digest,
+                    new_digest=new_digest,
+                    compared=self.compared,
+                )
+        return self.state
+
+    def status(self) -> dict:
+        """JSON-ready progress (the ``/shards`` endpoint's ``rollout``)."""
+        return {
+            "state": self.state,
+            "old": self.old_version,
+            "new": self.new_version,
+            "window": self.window,
+            "streak": self.streak,
+            "compared": self.compared,
+            "mismatches": self.mismatches,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RolloutController({self.old_version[:8]}→{self.new_version[:8]}, "
+            f"{self.state}, {self.streak}/{self.window})"
+        )

@@ -1,0 +1,510 @@
+"""Query routing over a :class:`~repro.serve.shard.pool.ShardPool`.
+
+The router is the tier's robustness policy, in one place:
+
+* **admission control** — at most ``max_inflight`` requests in flight;
+  past that (or when every replica of an involved partition has a full
+  queue) the request is *shed* with
+  :class:`~repro.errors.OverloadShedError` carrying ``retry_after`` —
+  the HTTP front end renders it as ``429`` + ``Retry-After``.  Shedding
+  protects the admitted requests' deadlines; queue depth is bounded by
+  construction, never by luck;
+* **deadline propagation** — every request gets an absolute
+  integer-nanosecond deadline (``deadline_seconds`` from submission);
+  sub-queries carry it into the worker queues, and a request whose
+  deadline expires fails with
+  :class:`~repro.errors.DeadlineExceededError` as a first-class error
+  span (the phase accounting still reconciles exactly);
+* **bounded hedged retry** — if a partition's primary has not answered
+  within ``hedge_after`` seconds, *one* hedge is dispatched to the next
+  replica and the first answer wins (duplicates are cancelled).  A
+  failed replica (dead, saturated, timed out) fails over to the next,
+  consulting each worker's circuit breaker before dispatch;
+* **graceful degradation** — when every replica of a partition is down
+  past the retry budget, the request completes as a *partial* answer:
+  ``degraded: true`` with the unavailable partitions listed, matches
+  merged from the shards that did answer.
+
+Because shards return only matched rule ids and the router ranks the
+merged candidate set with the engine's own
+:func:`~repro.serve.engine.rank_matches`, a non-degraded sharded answer
+is byte-identical to the unsharded engine's answer for the same basket
+— the property the chaos harness (``repro-chaos serve``) proves under
+injected kill/stall/drop faults.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadShedError,
+    PartitionUnavailableError,
+    ReproError,
+    ServingError,
+    ShardSaturatedError,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import RequestContext, RequestTracer
+from repro.obs.sink import EventSink
+from repro.serve.cache import MISSING, BoundedLRUCache
+from repro.serve.engine import (
+    SCORINGS,
+    MatchedRule,
+    QueryResult,
+    Recommendation,
+    basket_closure,
+    rank_matches,
+)
+from repro.serve.shard.pool import ShardPool, ShardWorker
+
+
+@dataclass(frozen=True)
+class ShardedQueryResult:
+    """A :class:`QueryResult` plus the shard tier's serving evidence.
+
+    ``to_dict`` of a non-degraded result is byte-identical to the
+    unsharded engine's rendering (no extra keys), so transcripts can be
+    digest-compared across paths; a degraded result carries the marker
+    and the partition sets.
+    """
+
+    inner: QueryResult
+    degraded: bool
+    served: tuple[int, ...]
+    unavailable: tuple[int, ...]
+
+    @property
+    def basket(self) -> tuple[int, ...]:
+        return self.inner.basket
+
+    @property
+    def scoring(self) -> str:
+        return self.inner.scoring
+
+    @property
+    def version(self) -> str:
+        return self.inner.version
+
+    @property
+    def matches(self) -> tuple[MatchedRule, ...]:
+        return self.inner.matches
+
+    @property
+    def recommendations(self) -> tuple[Recommendation, ...]:
+        return self.inner.recommendations
+
+    def to_dict(self, snapshot=None) -> dict:
+        record = self.inner.to_dict(snapshot)
+        if self.degraded:
+            record["degraded"] = True
+            record["shards"] = {
+                "served": list(self.served),
+                "unavailable": list(self.unavailable),
+            }
+        return record
+
+
+def _swallow(task: asyncio.Task) -> None:
+    """Done-callback retrieving abandoned results/exceptions."""
+    if not task.cancelled():
+        task.exception()
+
+
+class ShardRouter:
+    """Routes queries across a shard pool (policy in module docstring).
+
+    Construct over a started :class:`ShardPool`; all methods must run
+    on the pool's event loop (the :class:`ShardedService` facade owns
+    the loop-per-thread plumbing for synchronous callers).
+    """
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        tracer: RequestTracer,
+        scoring: str = "confidence",
+        top_k: int = 5,
+        max_inflight: int = 256,
+        deadline_seconds: float = 2.0,
+        hedge_after: float = 0.05,
+        subquery_timeout: float = 1.0,
+        closure_cache_size: int = 1024,
+        result_cache_size: int = 1024,
+        registry: MetricsRegistry | None = None,
+        sink: EventSink | None = None,
+        injector=None,
+    ):
+        if scoring not in SCORINGS:
+            raise ServingError(
+                f"unknown scoring {scoring!r}; expected one of {', '.join(SCORINGS)}"
+            )
+        if top_k < 1:
+            raise ServingError(f"top_k must be >= 1, got {top_k}")
+        if max_inflight < 1:
+            raise ServingError(f"max_inflight must be >= 1, got {max_inflight}")
+        if deadline_seconds <= 0:
+            raise ServingError(
+                f"deadline_seconds must be > 0, got {deadline_seconds}"
+            )
+        if hedge_after <= 0:
+            raise ServingError(f"hedge_after must be > 0, got {hedge_after}")
+        if subquery_timeout <= 0:
+            raise ServingError(
+                f"subquery_timeout must be > 0, got {subquery_timeout}"
+            )
+        self.pool = pool
+        self.snapshot = pool.snapshot
+        self.tracer = tracer
+        self.scoring = scoring
+        self.top_k = top_k
+        self.max_inflight = max_inflight
+        self.deadline_seconds = deadline_seconds
+        self.hedge_after = hedge_after
+        self.subquery_timeout = subquery_timeout
+        self.registry = registry if registry is not None else pool.registry
+        self.sink = sink
+        self.injector = injector
+        self.closure_cache: BoundedLRUCache = BoundedLRUCache(closure_cache_size)
+        self.result_cache: BoundedLRUCache = BoundedLRUCache(result_cache_size)
+        self._inflight = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> str:
+        return self.snapshot.version
+
+    def _now_ns(self) -> int:
+        return self.tracer.now_ns()
+
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        basket: Iterable[int],
+        top_k: int | None = None,
+        scoring: str | None = None,
+        request_id: int | None = None,
+        ctx: RequestContext | None = None,
+        deadline_seconds: float | None = None,
+    ) -> ShardedQueryResult:
+        """Serve one basket through the sharded tier (one traced request)."""
+        if ctx is None:
+            with self.tracer.request("shard", request_id=request_id) as ctx:
+                return await self._admit(basket, top_k, scoring, ctx, deadline_seconds)
+        return await self._admit(basket, top_k, scoring, ctx, deadline_seconds)
+
+    async def _admit(
+        self,
+        basket: Iterable[int],
+        top_k: int | None,
+        scoring: str | None,
+        ctx: RequestContext,
+        deadline_seconds: float | None,
+    ) -> ShardedQueryResult:
+        registry = self.registry
+        registry.counter("shard.requests").inc()
+        if self._inflight >= self.max_inflight:
+            ctx.shed = "inflight"
+            registry.counter("shard.sheds", reason="inflight").inc()
+            raise OverloadShedError(
+                f"in-flight budget exhausted ({self.max_inflight}); retry later",
+                retry_after=self.hedge_after,
+            )
+        seq = self._seq
+        self._seq += 1
+        self._apply_fault_events(seq)
+        self._inflight += 1
+        try:
+            return await self._execute(basket, top_k, scoring, ctx, deadline_seconds, seq)
+        finally:
+            self._inflight -= 1
+
+    def _apply_fault_events(self, seq: int) -> None:
+        """Fault-injection transitions scheduled at this admission seq."""
+        if self.injector is None:
+            return
+        for event, partition, replica in self.injector.admitted(seq):
+            worker = self.pool.worker(partition, replica)
+            if event == "kill":
+                worker.kill()
+                self.registry.counter("shard.kills").inc()
+                if self.sink is not None:
+                    # ``seq`` is the sink's reserved event counter; the
+                    # admission sequence travels as ``admitted``.
+                    self.sink.emit(
+                        "shard-kill", admitted=seq, shard=worker.name
+                    )
+            elif event == "restart":
+                worker.restart()
+                self.registry.counter("shard.recoveries").inc()
+                if self.sink is not None:
+                    # The recovery marker: chaos proofs assert this
+                    # event exists and the post-recovery answers match.
+                    self.sink.emit(
+                        "shard-recovery", admitted=seq, shard=worker.name
+                    )
+
+    # ------------------------------------------------------------------
+    async def _execute(
+        self,
+        basket: Iterable[int],
+        top_k: int | None,
+        scoring: str | None,
+        ctx: RequestContext,
+        deadline_seconds: float | None,
+        seq: int,
+    ) -> ShardedQueryResult:
+        scoring = self.scoring if scoring is None else scoring
+        if scoring not in SCORINGS:
+            raise ServingError(
+                f"unknown scoring {scoring!r}; expected one of {', '.join(SCORINGS)}"
+            )
+        top_k = self.top_k if top_k is None else top_k
+        if top_k < 1:
+            raise ServingError(f"top_k must be >= 1, got {top_k}")
+        canonical = tuple(sorted(set(basket)))
+        if not canonical:
+            raise ServingError("empty basket")
+        budget = self.deadline_seconds if deadline_seconds is None else deadline_seconds
+        deadline_ns = ctx.t_submit + int(round(budget * 1e9))
+        tracer = self.tracer
+        registry = self.registry
+        ctx.mark_dequeued()
+        exec_begin = tracer.now_ns()
+        ctx.mark_query_begin()
+        registry.counter("shard.result_lookups").inc()
+        key = (canonical, top_k, scoring)
+        cached = self.result_cache.get(key)
+        if cached is not MISSING:
+            registry.counter("shard.result_cache_hits").inc()
+            ctx.mark_cache_hit(self.snapshot.version)
+            ctx.mark_exec(exec_begin, tracer.now_ns())
+            tracer.finish_request(ctx, cached)
+            return cached
+        registry.counter("shard.result_cache_misses").inc()
+        ctx.mark_exec_begin()
+        ctx.mark_lookup_begin()
+        closure = self._closure(canonical)
+        closure_mask = self.snapshot.closure_mask(closure)
+        partitions = self.pool.shard_map.involved_partitions(self.snapshot, closure)
+        ctx.mark_lookup_end()
+
+        matched, unavailable, served = await self._fan_out(
+            partitions, closure, closure_mask, deadline_ns, ctx, seq
+        )
+        matches, recommendations = rank_matches(
+            self.snapshot, closure, closure_mask, matched, top_k, scoring
+        )
+        result = ShardedQueryResult(
+            inner=QueryResult(
+                basket=canonical,
+                scoring=scoring,
+                version=self.snapshot.version,
+                matches=matches,
+                recommendations=recommendations,
+            ),
+            degraded=bool(unavailable),
+            served=served,
+            unavailable=unavailable,
+        )
+        ctx.mark_query_end(self.snapshot.version)
+        ctx.mark_exec(exec_begin, tracer.now_ns())
+        if unavailable:
+            ctx.degraded = True
+            registry.counter("shard.degraded").inc()
+        else:
+            self.result_cache.put(key, result)
+        tracer.finish_request(ctx, result)
+        return result
+
+    def _closure(self, canonical: tuple[int, ...]) -> tuple[int, ...]:
+        self.registry.counter("shard.closure_lookups").inc()
+        cached = self.closure_cache.get(canonical)
+        if cached is not MISSING:
+            return cached
+        closure = basket_closure(self.snapshot, canonical)
+        self.closure_cache.put(canonical, closure)
+        return closure
+
+    # ------------------------------------------------------------------
+    async def _fan_out(
+        self,
+        partitions: tuple[int, ...],
+        closure: tuple[int, ...],
+        closure_mask: int,
+        deadline_ns: int,
+        ctx: RequestContext,
+        seq: int,
+    ) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+        """Query every involved partition; returns (matched ids,
+        unavailable partitions, served partitions)."""
+        if not partitions:
+            return (), (), ()
+        outcomes = await asyncio.gather(
+            *(
+                self._partition_query(
+                    partition, closure, closure_mask, deadline_ns, ctx, seq
+                )
+                for partition in partitions
+            ),
+            return_exceptions=True,
+        )
+        matched: set[int] = set()
+        unavailable: list[int] = []
+        served: list[int] = []
+        shed: ReproError | None = None
+        fatal: BaseException | None = None
+        for partition, outcome in zip(partitions, outcomes):
+            if isinstance(outcome, tuple):
+                matched.update(outcome)
+                served.append(partition)
+            elif isinstance(outcome, PartitionUnavailableError):
+                unavailable.append(partition)
+            elif isinstance(outcome, (OverloadShedError, ShardSaturatedError)):
+                shed = outcome
+            else:
+                fatal = outcome
+        if fatal is not None:
+            raise fatal
+        if shed is not None:
+            ctx.shed = "queue_depth"
+            self.registry.counter("shard.sheds", reason="queue_depth").inc()
+            raise OverloadShedError(
+                f"shard queues saturated ({shed}); retry later",
+                retry_after=self.hedge_after,
+            )
+        return tuple(sorted(matched)), tuple(unavailable), tuple(served)
+
+    async def _partition_query(
+        self,
+        partition: int,
+        closure: tuple[int, ...],
+        closure_mask: int,
+        deadline_ns: int,
+        ctx: RequestContext,
+        seq: int,
+    ) -> tuple[int, ...]:
+        """One partition's sub-query with failover + bounded hedging."""
+        replicas = self.pool.replicas(partition)
+        queue = list(replicas)
+        tasks: dict[asyncio.Task, ShardWorker] = {}
+        saturated = 0
+        failures = 0
+        hedged = False
+        loop = asyncio.get_running_loop()
+
+        def dispatch() -> bool:
+            while queue:
+                worker = queue.pop(0)
+                if not worker.breaker.allow():
+                    continue
+                remaining = (deadline_ns - self._now_ns()) / 1e9
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"deadline expired before partition {partition} answered"
+                    )
+                stall, drop = (0.0, False)
+                if self.injector is not None:
+                    stall, drop = self.injector.directives(
+                        seq, partition, worker.replica
+                    )
+                timeout = min(self.subquery_timeout, remaining)
+                task = loop.create_task(
+                    worker.run(
+                        closure,
+                        closure_mask,
+                        deadline_ns,
+                        timeout,
+                        stall=stall,
+                        drop=drop,
+                    )
+                )
+                tasks[task] = worker
+                return True
+            return False
+
+        def cancel_pending() -> None:
+            for task in tasks:
+                task.add_done_callback(_swallow)
+                task.cancel()
+
+        try:
+            if not dispatch():
+                raise PartitionUnavailableError(
+                    f"partition {partition}: every replica refused (breakers open)"
+                )
+            while True:
+                remaining = (deadline_ns - self._now_ns()) / 1e9
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"deadline expired before partition {partition} answered"
+                    )
+                if not hedged and queue:
+                    timeout = min(self.hedge_after, remaining)
+                else:
+                    timeout = remaining
+                done, _pending = await asyncio.wait(
+                    set(tasks), timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    if not hedged and queue:
+                        # Primary slow past the hedge budget: race one
+                        # replica against it, first answer wins.
+                        hedged = True
+                        if dispatch():
+                            ctx.hedged += 1
+                            self.registry.counter("shard.hedges").inc()
+                        continue
+                    continue
+                for task in done:
+                    worker = tasks.pop(task)
+                    error = task.exception()
+                    if error is None:
+                        worker.breaker.record_success()
+                        return task.result()
+                    worker.breaker.record_failure()
+                    if isinstance(error, ShardSaturatedError):
+                        saturated += 1
+                    else:
+                        failures += 1
+                if not tasks:
+                    if dispatch():
+                        ctx.failovers += 1
+                        self.registry.counter("shard.failovers").inc()
+                        continue
+                    break
+        finally:
+            cancel_pending()
+        if failures == 0 and saturated > 0:
+            raise ShardSaturatedError(
+                f"partition {partition}: all {len(replicas)} replica queues full"
+            )
+        raise PartitionUnavailableError(
+            f"partition {partition}: {failures + saturated} replica attempts "
+            "failed past the retry budget"
+        )
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """JSON-ready router + worker health (the ``/shards`` endpoint)."""
+        return {
+            "version": self.snapshot.version,
+            "partitions": self.pool.shard_map.num_partitions,
+            "replication": self.pool.replication,
+            "shard_map_digest": self.pool.shard_map.digest,
+            "inflight": self._inflight,
+            "admitted": self._seq,
+            "max_inflight": self.max_inflight,
+            "queued": self.pool.total_queued(),
+            "workers": self.pool.status(),
+        }
+
+
+# Re-exported for callers that treat ±inf scores (interest) uniformly.
+INF = math.inf

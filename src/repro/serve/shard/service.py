@@ -1,0 +1,293 @@
+"""Synchronous facade over the sharded tier: loop thread + rollout.
+
+:class:`ShardedService` owns one asyncio event loop on a daemon thread
+and runs a :class:`~repro.serve.shard.pool.ShardPool` +
+:class:`~repro.serve.shard.router.ShardRouter` on it, exposing the same
+blocking ``query``/``close`` surface as
+:class:`~repro.serve.batch.ServeService` — so the stdlib HTTP front end
+(:mod:`repro.serve.httpd`) and the CLI drive either tier through one
+shape.  Every bridge call carries an explicit timeout; nothing in the
+synchronous world waits unboundedly on the loop.
+
+Rolling rollout: :meth:`begin_rollout` builds the **new** snapshot's
+shard set next to the live one and shadow-mirrors every admitted query
+to it (inline, after the authoritative answer).  The
+:class:`~repro.serve.shard.rollout.RolloutController` digest-compares
+both answers; a full window of consecutive matches promotes the new
+set (old pool drained and discarded), the first divergence tears the
+new set down instantly — clients never see anything but the
+authoritative answer either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from typing import Callable, Iterable
+
+from repro.errors import ReproError, ServingError, error_label
+from repro.obs.registry import MetricsRegistry
+from repro.obs.requests import RequestContext, RequestTracer
+from repro.obs.sink import EventSink
+from repro.serve.shard.partition import ShardMap, build_shard_map
+from repro.serve.shard.pool import ShardPool
+from repro.serve.shard.rollout import RolloutController, answer_digest
+from repro.serve.shard.router import ShardedQueryResult, ShardRouter
+from repro.serve.snapshot import RuleSnapshot
+
+
+class ShardedService:
+    """Blocking facade over a sharded router (see module docstring)."""
+
+    def __init__(
+        self,
+        snapshot: RuleSnapshot,
+        shards: int = 4,
+        replication: int = 2,
+        scoring: str = "confidence",
+        top_k: int = 5,
+        queue_depth: int = 64,
+        max_inflight: int = 256,
+        deadline_seconds: float = 2.0,
+        hedge_after: float = 0.05,
+        subquery_timeout: float = 1.0,
+        closure_cache_size: int = 1024,
+        result_cache_size: int = 1024,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 0.25,
+        registry: MetricsRegistry | None = None,
+        sink: EventSink | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        tracer: RequestTracer | None = None,
+        injector=None,
+        shard_map: ShardMap | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sink = sink
+        self._clock = clock
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else RequestTracer(
+                sink=sink, registry=self.registry, clock=clock, namespace="shard"
+            )
+        )
+        self.deadline_seconds = deadline_seconds
+        self._router_config = {
+            "scoring": scoring,
+            "top_k": top_k,
+            "max_inflight": max_inflight,
+            "deadline_seconds": deadline_seconds,
+            "hedge_after": hedge_after,
+            "subquery_timeout": subquery_timeout,
+            "closure_cache_size": closure_cache_size,
+            "result_cache_size": result_cache_size,
+        }
+        self._pool_config = {
+            "replication": replication,
+            "queue_depth": queue_depth,
+            "failure_threshold": failure_threshold,
+            "cooldown_seconds": cooldown_seconds,
+        }
+        self.shard_map = (
+            shard_map if shard_map is not None else build_shard_map(snapshot, shards)
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="shard-loop", daemon=True
+        )
+        self._thread.start()
+        self.pool = ShardPool(
+            snapshot,
+            self.shard_map,
+            registry=self.registry,
+            clock_ns=self.tracer.now_ns,
+            **self._pool_config,
+        )
+        self.router = ShardRouter(
+            self.pool,
+            self.tracer,
+            registry=self.registry,
+            sink=sink,
+            injector=injector,
+            **self._router_config,
+        )
+        self.rollout: RolloutController | None = None
+        self._shadow: tuple[ShardPool, ShardRouter, RequestTracer] | None = None
+        self._closed = False
+        self._call(self._start_pool(self.pool))
+
+    # ------------------------------------------------------------------
+    # Loop bridge
+    # ------------------------------------------------------------------
+    def _call(self, coro, timeout: float | None = None):
+        """Run a coroutine on the serving loop, bounded by ``timeout``."""
+        if timeout is None:
+            timeout = self.deadline_seconds + 30.0
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise ServingError(
+                f"serving loop did not answer within {timeout}s"
+            ) from None
+
+    @staticmethod
+    async def _start_pool(pool: ShardPool) -> None:
+        pool.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> RuleSnapshot:
+        return self.router.snapshot
+
+    @property
+    def version(self) -> str:
+        return self.router.version
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        basket: Iterable[int],
+        top_k: int | None = None,
+        scoring: str | None = None,
+        request_id: int | None = None,
+        ctx: RequestContext | None = None,
+        timeout: float | None = None,
+    ) -> ShardedQueryResult:
+        """Serve one basket through the sharded tier (blocking)."""
+        basket = tuple(basket)
+        return self._call(
+            self._serve(basket, top_k, scoring, request_id, ctx), timeout=timeout
+        )
+
+    async def _serve(
+        self,
+        basket: tuple[int, ...],
+        top_k: int | None,
+        scoring: str | None,
+        request_id: int | None,
+        ctx: RequestContext | None,
+    ) -> ShardedQueryResult:
+        result = await self.router.query(
+            basket, top_k=top_k, scoring=scoring, request_id=request_id, ctx=ctx
+        )
+        if (
+            self.rollout is not None
+            and self.rollout.state == "shadow"
+            and not result.degraded
+        ):
+            await self._shadow_compare(basket, top_k, scoring, request_id, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Rolling rollout
+    # ------------------------------------------------------------------
+    def begin_rollout(
+        self, new_snapshot: RuleSnapshot, window: int = 32
+    ) -> RolloutController:
+        """Stand the new snapshot's shard set up in shadow mode."""
+        if self.rollout is not None and self.rollout.state == "shadow":
+            raise ServingError(
+                f"rollout to {self.rollout.new_version[:12]} already in progress"
+            )
+        shard_map = build_shard_map(new_snapshot, self.shard_map.num_partitions)
+        shadow_registry = MetricsRegistry()
+        shadow_tracer = RequestTracer(
+            registry=shadow_registry, clock=self._clock, namespace="shard-shadow"
+        )
+        pool = ShardPool(
+            new_snapshot,
+            shard_map,
+            registry=shadow_registry,
+            clock_ns=shadow_tracer.now_ns,
+            **self._pool_config,
+        )
+        router = ShardRouter(
+            pool,
+            shadow_tracer,
+            registry=shadow_registry,
+            **self._router_config,
+        )
+        self._call(self._start_pool(pool))
+        self._shadow = (pool, router, shadow_tracer)
+        self.rollout = RolloutController(
+            self.version, new_snapshot.version, window=window, sink=self.sink
+        )
+        return self.rollout
+
+    async def _shadow_compare(
+        self,
+        basket: tuple[int, ...],
+        top_k: int | None,
+        scoring: str | None,
+        request_id: int | None,
+        result: ShardedQueryResult,
+    ) -> None:
+        assert self._shadow is not None and self.rollout is not None
+        _pool, router, _tracer = self._shadow
+        old_digest = answer_digest(result)
+        try:
+            shadow = await router.query(basket, top_k=top_k, scoring=scoring)
+        except ReproError as error:
+            # A failing shadow set must never cut over: treat the error
+            # as a divergent digest.
+            new_digest = f"error:{error_label(error)}"
+        else:
+            new_digest = answer_digest(shadow)
+        decision = self.rollout.observe(
+            request_id if request_id is not None else -1, old_digest, new_digest
+        )
+        if decision == "cutover":
+            await self._promote()
+        elif decision == "rolled_back":
+            await self._discard_shadow()
+
+    async def _promote(self) -> None:
+        """Cutover: the shadow set becomes authoritative, old drains."""
+        assert self._shadow is not None
+        pool, _shadow_router, _tracer = self._shadow
+        self._shadow = None
+        old_pool = self.pool
+        self.pool = pool
+        self.shard_map = pool.shard_map
+        # The promoted router serves through the primary tracer/registry
+        # (the shadow identities were throwaway measurement plumbing).
+        self.router = ShardRouter(
+            pool,
+            self.tracer,
+            registry=self.registry,
+            sink=self.sink,
+            **self._router_config,
+        )
+        await old_pool.close()
+
+    async def _discard_shadow(self) -> None:
+        """Rollback: tear the shadow set down; old set never stopped."""
+        assert self._shadow is not None
+        pool, _router, _tracer = self._shadow
+        self._shadow = None
+        await pool.close()
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """JSON-ready tier health (the ``/shards`` endpoint body)."""
+        status = self.router.status()
+        if self.rollout is not None:
+            status["rollout"] = self.rollout.status()
+        return status
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain every worker, stop the loop, join the thread."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._shadow is not None:
+            self._call(self._discard_shadow(), timeout=timeout)
+        self._call(self.pool.close(), timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        self._loop.close()

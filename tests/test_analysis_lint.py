@@ -125,6 +125,7 @@ class TestEngine:
         assert sorted(catalog) == [f"RL00{i}" for i in range(1, 10)] + [
             "RL010",
             "RL011",
+            "RL012",
         ]
         for rule in catalog.values():
             assert rule.summary

@@ -1,0 +1,215 @@
+"""Shard partitioning: map determinism, manifests, answer equivalence.
+
+The tier's core correctness claim is that root-itemset partitioning is
+*complete* — the union of shard answers equals the unsharded engine's
+candidate set — and that a non-degraded sharded answer renders
+byte-identically to the engine's.  These tests pin both over full
+query sweeps, plus the shard-map digest discipline the rollout relies
+on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.errors import ShardError, SnapshotFormatError
+from repro.obs.requests import RequestTracer
+from repro.serve.engine import QueryEngine
+from repro.serve.loadgen import generate_workload
+from repro.serve.shard import (
+    ShardPool,
+    ShardRouter,
+    ShardedService,
+    build_shard_indexes,
+    build_shard_map,
+    item_root,
+    load_shard_manifest,
+    rule_root,
+    write_shard_manifest,
+)
+
+
+class TestShardMap:
+    def test_build_is_deterministic(self, serve_snapshot):
+        first = build_shard_map(serve_snapshot, 4)
+        second = build_shard_map(serve_snapshot, 4)
+        assert first.digest == second.digest
+        assert first.assignment == second.assignment
+        assert first.loads == second.loads
+
+    def test_digest_depends_on_partition_count(self, serve_snapshot):
+        assert (
+            build_shard_map(serve_snapshot, 2).digest
+            != build_shard_map(serve_snapshot, 4).digest
+        )
+
+    def test_loads_account_for_every_rule(self, serve_snapshot):
+        shard_map = build_shard_map(serve_snapshot, 3)
+        assert sum(shard_map.loads) == serve_snapshot.num_rules
+        for rule in serve_snapshot.rules:
+            root = rule_root(serve_snapshot, rule.rule_id)
+            assert shard_map.partition_of_root(root) is not None
+
+    def test_rejects_bad_partition_count(self, serve_snapshot):
+        with pytest.raises(ShardError):
+            build_shard_map(serve_snapshot, 0)
+
+    def test_item_root_is_last_closure_element(self, serve_snapshot):
+        for item in serve_snapshot.leaves:
+            closure = serve_snapshot.closures[item]
+            assert item_root(serve_snapshot, item) == closure[-1]
+
+    def test_involved_partitions_cover_every_matching_rule(self, serve_snapshot):
+        """Completeness: a matching rule's owner is always consulted."""
+        shard_map = build_shard_map(serve_snapshot, 3)
+        engine = QueryEngine(serve_snapshot)
+        for basket in generate_workload(serve_snapshot, 60, seed=3):
+            closure = engine.closure(tuple(sorted(set(basket))))
+            involved = set(shard_map.involved_partitions(serve_snapshot, closure))
+            result = engine.query(basket)
+            for match in result.matches:
+                owner = shard_map.partition_of_root(
+                    rule_root(serve_snapshot, match.rule_id)
+                )
+                assert owner in involved
+
+
+class TestManifest:
+    def test_round_trip(self, serve_snapshot, tmp_path):
+        shard_map = build_shard_map(serve_snapshot, 4)
+        path = write_shard_manifest(shard_map, tmp_path / "shards.json")
+        manifest = load_shard_manifest(path)
+        assert manifest["digest"] == shard_map.digest
+        assert manifest["partitions"] == 4
+        assert manifest["snapshot"] == serve_snapshot.version
+
+    def test_tampered_assignment_is_rejected(self, serve_snapshot, tmp_path):
+        shard_map = build_shard_map(serve_snapshot, 4)
+        path = write_shard_manifest(shard_map, tmp_path / "shards.json")
+        manifest = json.loads(path.read_text())
+        manifest["assignment"][0][1] = (manifest["assignment"][0][1] + 1) % 4
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotFormatError, match="digest mismatch"):
+            load_shard_manifest(path)
+
+    def test_not_json_is_rejected(self, tmp_path):
+        path = tmp_path / "shards.json"
+        path.write_text("not json")
+        with pytest.raises(SnapshotFormatError):
+            load_shard_manifest(path)
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "shards.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(SnapshotFormatError):
+            load_shard_manifest(path)
+
+
+class TestShardIndexes:
+    def test_partitions_cover_rules_disjointly(self, serve_snapshot):
+        shard_map = build_shard_map(serve_snapshot, 3)
+        indexes = build_shard_indexes(serve_snapshot, shard_map)
+        assert sum(index.num_rules for index in indexes) == serve_snapshot.num_rules
+
+    def test_union_of_shard_matches_equals_engine_candidates(self, serve_snapshot):
+        shard_map = build_shard_map(serve_snapshot, 3)
+        indexes = build_shard_indexes(serve_snapshot, shard_map)
+        engine = QueryEngine(serve_snapshot)
+        for basket in generate_workload(serve_snapshot, 60, seed=5):
+            canonical = tuple(sorted(set(basket)))
+            closure = engine.closure(canonical)
+            mask = serve_snapshot.closure_mask(closure)
+            sharded: set[int] = set()
+            for partition in shard_map.involved_partitions(serve_snapshot, closure):
+                sharded.update(indexes[partition].match(closure, mask))
+            expected = {match.rule_id for match in engine.query(basket).matches}
+            assert sharded == expected
+
+
+class TestShardedAnswers:
+    def test_router_matches_engine_byte_for_byte(self, serve_snapshot):
+        """Non-degraded sharded renderings are byte-identical to the
+        engine's — the property the chaos harness digests rely on."""
+        engine = QueryEngine(serve_snapshot)
+        workload = generate_workload(serve_snapshot, 40, seed=9)
+
+        async def drive() -> list[dict]:
+            tracer = RequestTracer(namespace="shard")
+            shard_map = build_shard_map(serve_snapshot, 4)
+            pool = ShardPool(
+                serve_snapshot, shard_map, clock_ns=tracer.now_ns
+            )
+            pool.start()
+            router = ShardRouter(
+                pool, tracer, result_cache_size=1, closure_cache_size=1
+            )
+            try:
+                return [
+                    (await router.query(basket, request_id=position)).to_dict(
+                        serve_snapshot
+                    )
+                    for position, basket in enumerate(workload)
+                ]
+            finally:
+                await pool.close()
+
+        sharded = asyncio.run(drive())
+        for basket, record in zip(workload, sharded):
+            assert record == engine.query(basket).to_dict(serve_snapshot)
+
+    def test_single_partition_degenerates_to_engine(self, serve_snapshot):
+        service = ShardedService(serve_snapshot, shards=1, replication=1)
+        engine = QueryEngine(serve_snapshot)
+        try:
+            basket = list(serve_snapshot.leaves[:2])
+            assert service.query(basket).to_dict(serve_snapshot) == (
+                engine.query(basket).to_dict(serve_snapshot)
+            )
+        finally:
+            service.close()
+
+    def test_service_facade_sweep(self, serve_snapshot):
+        service = ShardedService(serve_snapshot, shards=4, replication=2)
+        engine = QueryEngine(serve_snapshot)
+        try:
+            for position, basket in enumerate(
+                generate_workload(serve_snapshot, 30, seed=11)
+            ):
+                sharded = service.query(basket, request_id=position)
+                assert not sharded.degraded
+                assert sharded.to_dict(serve_snapshot) == engine.query(
+                    basket
+                ).to_dict(serve_snapshot)
+        finally:
+            service.close()
+
+    def test_status_surface(self, serve_snapshot):
+        service = ShardedService(serve_snapshot, shards=2, replication=2)
+        try:
+            service.query(list(serve_snapshot.leaves[:2]))
+            status = service.status()
+            assert status["partitions"] == 2
+            assert status["replication"] == 2
+            assert status["shard_map_digest"] == service.shard_map.digest
+            assert len(status["workers"]) == 4
+            assert status["admitted"] == 1
+            for row in status["workers"]:
+                assert row["breaker"]["state"] == "closed"
+                assert not row["killed"]
+        finally:
+            service.close()
+
+    def test_result_cache_serves_repeats(self, serve_snapshot):
+        service = ShardedService(serve_snapshot, shards=2, replication=1)
+        try:
+            basket = list(serve_snapshot.leaves[:2])
+            first = service.query(basket)
+            second = service.query(basket)
+            assert first.to_dict() == second.to_dict()
+            assert service.registry.value("shard.result_cache_hits") == 1
+        finally:
+            service.close()

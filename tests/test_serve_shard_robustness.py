@@ -1,0 +1,549 @@
+"""Shard-tier robustness: overload, deadlines, breakers, failover,
+degradation, rollout, and graceful drain.
+
+Overload never hangs: saturation is answered immediately (an
+:class:`OverloadShedError` the HTTP layer renders as 429+Retry-After),
+expired deadlines are first-class error spans whose phase accounting
+still reconciles exactly, and breaker transitions are a pure function
+of reported outcomes under a fake clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadShedError,
+    ServingError,
+    error_label,
+)
+from repro.core.result import Rule
+from repro.obs.requests import RequestTracer, reconciles
+from repro.serve.engine import QueryEngine
+from repro.taxonomy.builder import taxonomy_from_parents
+from repro.serve.httpd import make_server
+from repro.serve.shard import (
+    CircuitBreaker,
+    RolloutController,
+    ShardPool,
+    ShardRouter,
+    ShardedService,
+    answer_digest,
+    build_shard_map,
+)
+from repro.serve.snapshot import compile_snapshot, write_snapshot
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _router(
+    snapshot,
+    partitions=2,
+    replication=2,
+    start=True,
+    tracer=None,
+    **kwargs,
+):
+    """A started pool + router on the current loop (tests drive it with
+    asyncio.run, so construction happens inside the coroutine)."""
+    tracer = tracer if tracer is not None else RequestTracer(namespace="shard")
+    pool_kwargs = {
+        key: kwargs.pop(key)
+        for key in ("queue_depth", "failure_threshold", "cooldown_seconds")
+        if key in kwargs
+    }
+    pool = ShardPool(
+        snapshot,
+        build_shard_map(snapshot, partitions),
+        replication=replication,
+        clock_ns=tracer.now_ns,
+        **pool_kwargs,
+    )
+    if start:
+        pool.start()
+    router = ShardRouter(
+        pool, tracer, result_cache_size=1, closure_cache_size=1, **kwargs
+    )
+    return pool, router, tracer
+
+
+class TestOverload:
+    def test_inflight_saturation_sheds_immediately(self, serve_snapshot):
+        """Admission past max_inflight answers 429-shaped, never hangs:
+        workers are never started, so the only way out is the shed."""
+
+        async def drive():
+            pool, router, tracer = _router(
+                serve_snapshot,
+                start=False,
+                max_inflight=1,
+                subquery_timeout=0.05,
+                hedge_after=0.01,
+                deadline_seconds=0.2,
+            )
+            basket = list(serve_snapshot.leaves[:2])
+            first = asyncio.ensure_future(router.query(basket, request_id=0))
+            await asyncio.sleep(0)  # let it occupy the in-flight slot
+            with pytest.raises(OverloadShedError) as excinfo:
+                await router.query(basket, request_id=1)
+            assert excinfo.value.retry_after > 0
+            first.cancel()
+            return router, tracer
+
+        router, tracer = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        assert router.registry.value("shard.sheds", reason="inflight") == 1
+        records = [r for r in tracer.records if r["id"] == 1]
+        assert records and records[0]["shed"] == "inflight"
+        assert records[0]["status"] == "error"
+
+    def test_queue_saturation_sheds_not_hangs(self, serve_snapshot):
+        """Full replica queues → OverloadShedError for the loser, a
+        degraded (but bounded) answer for the occupant. No hangs."""
+
+        async def drive():
+            pool, router, tracer = _router(
+                serve_snapshot,
+                partitions=1,
+                replication=1,
+                start=False,  # nothing drains: queues only fill
+                queue_depth=1,
+                subquery_timeout=0.05,
+                hedge_after=0.01,
+                deadline_seconds=0.5,
+            )
+            basket = list(serve_snapshot.leaves[:2])
+            occupant = asyncio.ensure_future(router.query(basket, request_id=0))
+            await asyncio.sleep(0.005)  # occupant's sub-query is queued
+            with pytest.raises(OverloadShedError):
+                await router.query(basket, request_id=1)
+            outcome = await asyncio.wait_for(occupant, timeout=5)
+            return router, outcome
+
+        router, outcome = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        assert router.registry.value("shard.sheds", reason="queue_depth") == 1
+        # The occupant's sub-query timed out in the dead queue and
+        # degraded rather than hanging.
+        assert outcome.degraded
+
+    def test_http_renders_shed_as_429_with_retry_after(self, serve_snapshot):
+        class SheddingService:
+            version = serve_snapshot.version
+            snapshot = serve_snapshot
+            tracer = RequestTracer(namespace="shard")
+
+            def query(self, basket, top_k=None, scoring=None, ctx=None):
+                raise OverloadShedError("saturated", retry_after=0.125)
+
+        server = make_server(SheddingService(), "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query",
+                data=json.dumps({"basket": [1]}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "0.125"
+            body = json.loads(excinfo.value.read())
+            assert body["retry_after"] == 0.125
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_first_class_error_span(self, serve_snapshot):
+        async def drive():
+            pool, router, tracer = _router(serve_snapshot)
+            basket = list(serve_snapshot.leaves[:2])
+            with pytest.raises(DeadlineExceededError):
+                # 1ns budget expires before the first dispatch.
+                await router.query(basket, request_id=0, deadline_seconds=1e-9)
+            await pool.close()
+            return tracer
+
+        tracer = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        records = tracer.records
+        assert len(records) == 1
+        record = records[0]
+        assert record["status"] == "error"
+        assert record["error"] == error_label(DeadlineExceededError("x"))
+        # Error spans still reconcile exactly:
+        # queue_wait + batch_exec + overhead == end_to_end.
+        assert reconciles(record)
+
+    def test_deadline_expiry_while_queued_fails_the_request(self, serve_snapshot):
+        """A request whose deadline passes while its sub-query sits in a
+        dead worker's queue fails with DeadlineExceededError — bounded,
+        and the stale item is never served once the worker drains."""
+
+        async def drive():
+            pool, router, tracer = _router(
+                serve_snapshot,
+                partitions=1,
+                replication=1,
+                start=False,
+                subquery_timeout=5.0,
+                hedge_after=0.05,
+            )
+            basket = list(serve_snapshot.leaves[:2])
+            task = asyncio.ensure_future(
+                router.query(basket, request_id=0, deadline_seconds=0.02)
+            )
+            with pytest.raises(DeadlineExceededError):
+                await asyncio.wait_for(task, timeout=5)
+            pool.start()  # drain now: the stale item must be skipped
+            await asyncio.sleep(0.01)
+            served = pool.workers[(0, 0)].served
+            await pool.close()
+            return served
+
+        served = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        assert served == 0
+
+    def test_worker_refuses_deadline_expired_item(self, serve_snapshot):
+        """The drain-side check: an item whose deadline already expired
+        when the worker picks it up is refused, not served."""
+
+        async def drive():
+            pool, router, tracer = _router(
+                serve_snapshot, partitions=1, replication=1, start=False
+            )
+            worker = pool.workers[(0, 0)]
+            closure = serve_snapshot.closures[serve_snapshot.leaves[0]]
+            mask = serve_snapshot.closure_mask(closure)
+            expired = tracer.now_ns() - 1
+            attempt = asyncio.ensure_future(
+                worker.run(closure, mask, expired, timeout=5.0)
+            )
+            await asyncio.sleep(0)  # item enqueued before drain starts
+            pool.start()
+            with pytest.raises(Exception) as excinfo:
+                await asyncio.wait_for(attempt, timeout=5)
+            served = worker.served
+            await pool.close()
+            return served, excinfo.value
+
+        served, error = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        assert served == 0
+        assert "deadline expired in queue" in str(error)
+
+
+class TestCircuitBreaker:
+    def test_transitions_under_fake_clock(self):
+        now = [0]
+        breaker = CircuitBreaker(
+            lambda: now[0], name="t", failure_threshold=3, cooldown_seconds=1.0
+        )
+        assert breaker.state == "closed"
+        # Two failures + a success: streak resets, still closed.
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.failures == 0
+        # Three consecutive failures trip it open.
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        # Cooldown not yet elapsed on the fake clock.
+        now[0] += int(0.999e9)
+        assert not breaker.allow()
+        # Cooldown elapsed: half-open, exactly one probe allowed.
+        now[0] += int(0.002e9)
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # second probe refused
+        # Probe failure re-opens immediately (no threshold in half-open).
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # Next cooldown, probe succeeds: closed.
+        now[0] += int(1.1e9)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_reset_force_closes(self):
+        now = [0]
+        breaker = CircuitBreaker(lambda: now[0], failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            CircuitBreaker(lambda: 0, failure_threshold=0)
+        with pytest.raises(Exception):
+            CircuitBreaker(lambda: 0, cooldown_seconds=0)
+
+
+class TestFailover:
+    def test_dead_primary_fails_over_to_replica(self, serve_snapshot):
+        engine = QueryEngine(serve_snapshot)
+        basket = list(serve_snapshot.leaves[:2])
+
+        async def drive():
+            pool, router, tracer = _router(serve_snapshot, partitions=2)
+            for partition in range(2):
+                pool.worker(partition, 0).kill()
+            result = await asyncio.wait_for(
+                router.query(basket, request_id=0), timeout=5
+            )
+            await pool.close()
+            return router, result, tracer
+
+        router, result, tracer = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        assert not result.degraded
+        assert result.to_dict(serve_snapshot) == engine.query(basket).to_dict(
+            serve_snapshot
+        )
+        assert router.registry.value("shard.failovers") >= 1
+        record = tracer.records[0]
+        assert record["failovers"] >= 1
+
+    def test_all_replicas_dead_degrades_not_errors(self, serve_snapshot):
+        basket = list(serve_snapshot.leaves[:3])
+
+        async def drive():
+            pool, router, tracer = _router(
+                serve_snapshot, partitions=1, replication=2
+            )
+            pool.worker(0, 0).kill()
+            pool.worker(0, 1).kill()
+            degraded = await asyncio.wait_for(
+                router.query(basket, request_id=0), timeout=5
+            )
+            # Degraded answers must not poison the result cache.
+            pool.worker(0, 0).restart()
+            pool.worker(0, 1).restart()
+            healthy = await asyncio.wait_for(
+                router.query(basket, request_id=1), timeout=5
+            )
+            await pool.close()
+            return router, degraded, healthy
+
+        router, degraded, healthy = asyncio.run(
+            asyncio.wait_for(drive(), timeout=10)
+        )
+        assert degraded.degraded
+        assert degraded.matches == ()
+        record = degraded.to_dict(serve_snapshot)
+        assert record["degraded"] is True
+        assert record["shards"]["unavailable"] == [0]
+        assert router.registry.value("shard.degraded") == 1
+        # After recovery the same basket serves complete again.
+        assert not healthy.degraded
+        engine = QueryEngine(serve_snapshot)
+        assert healthy.to_dict(serve_snapshot) == engine.query(basket).to_dict(
+            serve_snapshot
+        )
+
+    def test_open_breakers_refuse_without_dispatch(self, serve_snapshot):
+        """Once breakers trip, a dead partition costs a lookup, not a
+        timeout: served counters stay flat while degraded answers flow."""
+        basket = list(serve_snapshot.leaves[:3])
+
+        async def drive():
+            pool, router, tracer = _router(
+                serve_snapshot,
+                partitions=1,
+                replication=1,
+                failure_threshold=1,
+                cooldown_seconds=3600.0,
+                subquery_timeout=0.05,
+                hedge_after=0.01,
+            )
+            pool.worker(0, 0).kill()
+            first = await asyncio.wait_for(router.query(basket), timeout=5)
+            breaker = pool.worker(0, 0).breaker
+            state_after_first = breaker.state
+            second = await asyncio.wait_for(router.query(basket), timeout=5)
+            await pool.close()
+            return first, second, state_after_first
+
+        first, second, state = asyncio.run(asyncio.wait_for(drive(), timeout=10))
+        assert first.degraded and second.degraded
+        assert state == "open"
+
+
+class TestRollout:
+    def test_controller_cutover_after_window(self):
+        sink_rows = []
+
+        class Sink:
+            def emit(self, kind, **fields):
+                sink_rows.append((kind, fields))
+
+        controller = RolloutController("old", "new", window=3, sink=Sink())
+        assert controller.state == "shadow"
+        assert controller.observe(0, "a", "a") == "shadow"
+        assert controller.observe(1, "b", "b") == "shadow"
+        assert controller.observe(2, "c", "c") == "cutover"
+        # Terminal states are sticky.
+        assert controller.observe(3, "d", "x") == "cutover"
+        kinds = [kind for kind, _ in sink_rows]
+        assert kinds == ["rollout-begin", "rollout-cutover"]
+
+    def test_controller_rolls_back_on_first_divergence(self):
+        controller = RolloutController("old", "new", window=3)
+        controller.observe(0, "a", "a")
+        assert controller.observe(1, "b", "DIFFERENT") == "rolled_back"
+        assert controller.mismatches == 1
+        assert controller.observe(2, "c", "c") == "rolled_back"
+
+    def test_window_validation(self):
+        with pytest.raises(ServingError):
+            RolloutController("old", "new", window=0)
+
+    def test_service_cutover_promotes_new_pool(self, serve_snapshot):
+        service = ShardedService(
+            serve_snapshot, shards=2, replication=1, result_cache_size=1
+        )
+        try:
+            old_pool = service.pool
+            rollout = service.begin_rollout(serve_snapshot, window=3)
+            with pytest.raises(ServingError):
+                service.begin_rollout(serve_snapshot, window=3)
+            leaves = serve_snapshot.leaves
+            for position in range(3):
+                service.query(
+                    [leaves[position], leaves[position + 1]],
+                    request_id=position,
+                )
+            assert rollout.state == "cutover"
+            assert service.pool is not old_pool
+            assert service.status()["rollout"]["state"] == "cutover"
+            # The promoted set keeps serving correct answers.
+            engine = QueryEngine(serve_snapshot)
+            basket = list(leaves[:2])
+            assert service.query(basket).to_dict(serve_snapshot) == (
+                engine.query(basket).to_dict(serve_snapshot)
+            )
+        finally:
+            service.close()
+
+    @staticmethod
+    def _hand_snapshots():
+        """A tiny snapshot and a shadow twin missing one rule (the
+        rollout must diverge on a basket that rule matches)."""
+        taxonomy = taxonomy_from_parents({1: None, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3})
+        rules = [
+            Rule(antecedent=(2,), consequent=(6,), support=0.5, confidence=0.9),
+            Rule(antecedent=(4,), consequent=(5,), support=0.3, confidence=0.7),
+            Rule(antecedent=(6,), consequent=(4,), support=0.25, confidence=0.6),
+        ]
+        full = compile_snapshot(rules, taxonomy, source={"fixture": "full"})
+        dropped = compile_snapshot(
+            rules[:1] + rules[2:], taxonomy, source={"fixture": "dropped"}
+        )
+        return full, dropped
+
+    def test_service_rolls_back_on_divergent_snapshot(self):
+        # A shadow snapshot missing the {4}=>{5} rule must diverge on
+        # basket {4} — and the old set must never stop serving.
+        full, dropped = self._hand_snapshots()
+        service = ShardedService(
+            full, shards=2, replication=1, result_cache_size=1
+        )
+        try:
+            old_pool = service.pool
+            rollout = service.begin_rollout(dropped, window=100)
+            engine = QueryEngine(full)
+            result = service.query([4], request_id=0)
+            assert rollout.state == "rolled_back"
+            assert service.pool is old_pool
+            assert result.to_dict(full) == engine.query([4]).to_dict(full)
+            # After rollback a fresh rollout may begin.
+            service.begin_rollout(full, window=1)
+        finally:
+            service.close()
+
+    def test_answer_digest_ignores_version(self):
+        # Two answers differing only in the snapshot version tag must
+        # digest identically — the cutover gate compares *content*.
+        full, _ = self._hand_snapshots()
+        first = QueryEngine(full).query([4])
+        retagged = dataclasses.replace(first, version="other-build")
+        assert retagged.to_dict() != first.to_dict()
+        assert answer_digest(first) == answer_digest(retagged)
+
+
+class TestGracefulDrain:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_serve_drains_and_exits_zero(
+        self, serve_snapshot, tmp_path, signum
+    ):
+        snapshot_path = tmp_path / "snapshot.json"
+        write_snapshot(serve_snapshot, snapshot_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve.cli",
+                "serve",
+                "--snapshot",
+                str(snapshot_path),
+                "--port",
+                "0",
+                "--shards",
+                "2",
+                "--replication",
+                "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "serving snapshot" in banner
+            port = int(banner.rsplit(":", 1)[1].strip())
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/query",
+                data=json.dumps(
+                    {"basket": list(serve_snapshot.leaves[:2])}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                answer = json.loads(response.read())
+            assert answer["version"] == serve_snapshot.version
+            process.send_signal(signum)
+            output, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "drained; exiting 0" in output
