@@ -17,6 +17,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.hygiene import BroadExceptRule, MutableDefaultRule
 from repro.analysis.rules.protocol import SimulatorProtocolRule
+from repro.analysis.rules.publish_rules import TornPublishRule
 from repro.analysis.rules.requests import RequestSpanRule
 from repro.analysis.rules.retry import UnboundedRetryRule
 from repro.analysis.rules.spans import SpanDisciplineRule
@@ -35,6 +36,7 @@ ALL_RULES: tuple[Rule, ...] = (
     RequestSpanRule(),
     StoreMaterializeRule(),
     UntimedAwaitRule(),
+    TornPublishRule(),
 )
 
 

@@ -1,0 +1,119 @@
+"""RL013 — non-atomic publish-artifact writes.
+
+Every serving-visible artifact in this repo — store manifests, rule
+snapshots, refresh checkpoints, the ``CURRENT`` pointer — is committed
+through the atomic helpers in :mod:`repro.store.atomic`
+(write to a same-directory temp file, flush, fsync, ``os.replace``),
+and always manifest/pointer **last**.  A plain ``path.write_text(...)``
+on one of these files can be observed half-written by a concurrent
+reader and survives a crash as a torn artifact — exactly the failure
+class the refresh tier's recovery contract rules out.
+
+Flagged: ``X.write_text(...)`` / ``X.write_bytes(...)`` where the
+receiver *reads* as a publish artifact — its dotted name's last
+component contains ``manifest``, ``snapshot``, ``pointer``,
+``checkpoint`` or ``state_path``, or it is a ``path / NAME`` expression
+whose name constant does (``path / "log.json"``, ``root / CURRENT``).
+
+Exempt: test modules (tests construct torn artifacts on purpose) and
+:mod:`repro.store.atomic` itself (the allow-listed commit point; its
+temp-file write is the mechanism, not a violation).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+#: Name fragments that mark a receiver as a publish artifact.
+_ARTIFACT_MARKERS = ("manifest", "snapshot", "pointer", "checkpoint", "state_path")
+
+#: Basename constants that are publish artifacts wherever they appear.
+_ARTIFACT_BASENAMES = frozenset(
+    {"log.json", "manifest.json", "state.json", "current"}
+)
+
+#: The module allowed to perform the raw write (the commit helper).
+_ALLOWED_MODULES = frozenset({"repro.store.atomic"})
+
+_WRITERS = frozenset({"write_text", "write_bytes"})
+
+
+def _is_test_module(module: str) -> bool:
+    last = module.rsplit(".", 1)[-1]
+    return (
+        module.startswith("tests")
+        or last.startswith("test_")
+        or last == "conftest"
+    )
+
+
+def _names_an_artifact(node: ast.expr) -> bool:
+    """Does this receiver *read* as a publish artifact?"""
+    name = dotted_name(node)
+    if name is not None:
+        last = name.rsplit(".", 1)[-1].lower()
+        return any(marker in last for marker in _ARTIFACT_MARKERS)
+    # ``dir / "manifest.json"`` style: check the path's last constant
+    # segment (and names like ``root / CURRENT_NAME``).
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        segment = node.right
+        if isinstance(segment, ast.Constant) and isinstance(segment.value, str):
+            base = segment.value.lower()
+            return (
+                base in _ARTIFACT_BASENAMES
+                or any(marker in base for marker in _ARTIFACT_MARKERS)
+            )
+        segment_name = dotted_name(segment)
+        if segment_name is not None:
+            last = segment_name.rsplit(".", 1)[-1].lower()
+            return (
+                last in {"current_name", "manifest_name", "state_name"}
+                or any(marker in last for marker in _ARTIFACT_MARKERS)
+            )
+    return False
+
+
+class TornPublishRule(Rule):
+    """RL013 — publish artifacts commit atomically, manifest last.
+
+    Flags direct ``.write_text()``/``.write_bytes()`` on
+    manifest/snapshot/pointer/checkpoint-shaped paths outside tests and
+    :mod:`repro.store.atomic`.  Route the write through
+    ``atomic_write_text``/``atomic_write_bytes``/``atomic_write_json``
+    instead.
+    """
+
+    rule_id = "RL013"
+    name = "torn-publish"
+    summary = (
+        "manifest/snapshot/pointer writes go through repro.store.atomic "
+        "(no raw write_text on publish artifacts)"
+    )
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        if _is_test_module(ctx.module) or ctx.module in _ALLOWED_MODULES:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WRITERS
+                and _names_an_artifact(node.func.value)
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f".{node.func.attr}() on a publish artifact can be "
+                        "observed half-written; commit it with "
+                        "repro.store.atomic (temp file + fsync + replace)",
+                    )
+                )
+        findings.sort(key=lambda finding: (finding.line, finding.column))
+        return findings

@@ -13,8 +13,15 @@ reimplements that recipe:
 * :mod:`~repro.datagen.partition` — horizontal partitioning across the
   cluster's local disks, with optional placement skew for ablations.
 * :mod:`~repro.datagen.io` — text and binary on-disk formats.
+* :mod:`~repro.datagen.adapters` — real-dataset CSV loaders (attribute
+  tables, labelled baskets) with deterministic taxonomy induction.
 """
 
+from repro.datagen.adapters import (
+    AdaptedDataset,
+    load_attribute_csv,
+    load_basket_csv,
+)
 from repro.datagen.corpus import TransactionDatabase
 from repro.datagen.generator import SyntheticDataset, generate_dataset, generate_transactions
 from repro.datagen.io import (
@@ -31,12 +38,15 @@ from repro.datagen.params import (
 from repro.datagen.partition import partition_evenly, partition_weighted
 
 __all__ = [
+    "AdaptedDataset",
     "DATASET_PRESETS",
     "GeneratorParams",
     "SyntheticDataset",
     "TransactionDatabase",
     "generate_dataset",
     "generate_transactions",
+    "load_attribute_csv",
+    "load_basket_csv",
     "load_transactions_binary",
     "load_transactions_text",
     "partition_evenly",

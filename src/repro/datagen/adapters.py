@@ -1,0 +1,182 @@
+"""Real-dataset adapters: CSV files → taxonomy + transactions.
+
+The synthetic generator covers the paper's experiments; these adapters
+bring two common *real* dataset shapes into the same id space so every
+downstream surface (mining, store, serving, refresh) runs on them
+unchanged:
+
+* :func:`load_attribute_csv` — attribute/value tables in the UCI style
+  (e.g. the mushroom dataset): every column is a categorical attribute
+  and every row one record.  The induced taxonomy is two-level —
+  one root per **attribute** and one leaf per observed
+  ``(attribute, value)`` pair — so a generalized rule can trade a
+  specific value for "any value of this attribute".
+* :func:`load_basket_csv` — market-basket exports of labelled items,
+  one basket per line.  Labels of the form ``group/item`` induce one
+  root per group and one leaf per distinct label; deeper paths
+  (``a/b/c``) chain interior nodes the same way.
+
+Both adapters are **deterministic**: ids are assigned by sorted label
+order, never by first-seen or hash order, so the same file maps to the
+same taxonomy and transactions on every run and under every
+``PYTHONHASHSEED`` — the property all digest gates in this repo lean
+on.  No third-party readers: the CSV dialects involved are plain
+``str.split`` territory, and keeping the adapters stdlib honours the
+no-new-dependencies rule.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import DataGenerationError
+from repro.taxonomy.hierarchy import Taxonomy
+
+
+@dataclass(frozen=True)
+class AdaptedDataset:
+    """A real dataset lifted into the repo's integer id space."""
+
+    #: The induced classification hierarchy.
+    taxonomy: Taxonomy
+    #: One transaction per input record, leaf ids only.
+    database: TransactionDatabase
+    #: id → human-readable label, for every node of the taxonomy.
+    labels: dict[int, str]
+
+    @property
+    def ids(self) -> dict[str, int]:
+        """label → id (inverse of :attr:`labels`)."""
+        return {label: item for item, label in self.labels.items()}
+
+
+def _read_rows(path: str | Path, delimiter: str) -> list[list[str]]:
+    target = Path(path)
+    try:
+        text = target.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataGenerationError(f"{target}: cannot read dataset: {exc}") from exc
+    rows = [
+        [cell.strip() for cell in row]
+        for row in csv.reader(text.splitlines(), delimiter=delimiter)
+        if row and any(cell.strip() for cell in row)
+    ]
+    if not rows:
+        raise DataGenerationError(f"{target}: dataset is empty")
+    return rows
+
+
+def load_attribute_csv(
+    path: str | Path,
+    delimiter: str = ",",
+    header: bool = True,
+    missing: str = "?",
+) -> AdaptedDataset:
+    """Adapt a categorical attribute table (UCI mushroom shape).
+
+    Every column becomes a root ("the attribute"), every observed
+    ``(attribute, value)`` pair a leaf under it, and every row the
+    transaction of its cells' leaves.  Cells equal to ``missing`` are
+    skipped.  Without a header, attributes are named ``col0..colN``.
+    """
+    rows = _read_rows(path, delimiter)
+    if header:
+        attributes = rows[0]
+        records = rows[1:]
+        if not records:
+            raise DataGenerationError(f"{path}: header but no data rows")
+    else:
+        attributes = [f"col{position}" for position in range(len(rows[0]))]
+        records = rows
+    if len(set(attributes)) != len(attributes):
+        raise DataGenerationError(f"{path}: duplicate attribute names in header")
+
+    width = len(attributes)
+    pairs: set[tuple[str, str]] = set()
+    for number, record in enumerate(records, start=1):
+        if len(record) != width:
+            raise DataGenerationError(
+                f"{path}: row {number} has {len(record)} cells, "
+                f"header declares {width}"
+            )
+        for attribute, value in zip(attributes, record):
+            if value != missing:
+                pairs.add((attribute, value))
+
+    # Deterministic ids: sorted attribute names take 0..A-1, sorted
+    # (attribute, value) pairs take A.. — never first-seen order.
+    sorted_attributes = sorted(attributes)
+    root_ids = {name: position for position, name in enumerate(sorted_attributes)}
+    parents: dict[int, int | None] = {
+        root_ids[name]: None for name in sorted_attributes
+    }
+    labels: dict[int, str] = {root_ids[name]: name for name in sorted_attributes}
+    leaf_ids: dict[tuple[str, str], int] = {}
+    for position, (attribute, value) in enumerate(sorted(pairs)):
+        item = len(sorted_attributes) + position
+        leaf_ids[(attribute, value)] = item
+        parents[item] = root_ids[attribute]
+        labels[item] = f"{attribute}={value}"
+
+    transactions = [
+        tuple(
+            leaf_ids[(attribute, value)]
+            for attribute, value in zip(attributes, record)
+            if value != missing
+        )
+        for record in records
+    ]
+    return AdaptedDataset(
+        taxonomy=Taxonomy(parents),
+        database=TransactionDatabase(transactions),
+        labels=labels,
+    )
+
+
+def load_basket_csv(
+    path: str | Path,
+    delimiter: str = ",",
+    separator: str = "/",
+) -> AdaptedDataset:
+    """Adapt a basket file: one line per basket, labelled items as cells.
+
+    A label's ``separator``-split path induces the hierarchy: the item
+    ``dairy/milk`` is a leaf under the root ``dairy``; deeper paths
+    chain interior nodes (``food/dairy/milk`` puts ``food/dairy`` under
+    ``food``).  Ids are assigned over the sorted set of all path
+    prefixes, so the mapping is independent of row order.
+    """
+    rows = _read_rows(path, delimiter)
+    prefixes: set[str] = set()
+    for row in rows:
+        for label in row:
+            parts = [part for part in label.split(separator) if part]
+            if not parts:
+                raise DataGenerationError(
+                    f"{path}: empty item label in basket {row!r}"
+                )
+            for depth in range(1, len(parts) + 1):
+                prefixes.add(separator.join(parts[:depth]))
+
+    ids = {label: position for position, label in enumerate(sorted(prefixes))}
+    parents: dict[int, int | None] = {}
+    for label, item in ids.items():
+        head, _, _tail = label.rpartition(separator)
+        parents[item] = ids[head] if head else None
+    labels = {item: label for label, item in ids.items()}
+
+    transactions = [
+        tuple(
+            ids[separator.join(part for part in label.split(separator) if part)]
+            for label in row
+        )
+        for row in rows
+    ]
+    return AdaptedDataset(
+        taxonomy=Taxonomy(parents),
+        database=TransactionDatabase(transactions),
+        labels=labels,
+    )

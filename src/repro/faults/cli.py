@@ -25,6 +25,15 @@ clean one::
 
     repro-chaos serve --transactions 300 --queries 120 --shards 4 \
         --fault-seeds 11 12 13 --out /tmp/serve-chaos
+
+``repro-chaos refresh`` applies the same discipline to the incremental
+refresh pipeline (:mod:`repro.faults.refresh`): a clean base + deltas
+sequence is replayed with a crash injected at every stage of the
+ingest/publish protocol, and both the mid-crash serving state and the
+recovered snapshot must match the clean run byte-for-byte::
+
+    repro-chaos refresh --base-rows 1000 --deltas 3 --delta-rows 150 \
+        --window-deltas 3 --out /tmp/refresh-chaos
 """
 
 from __future__ import annotations
@@ -206,12 +215,97 @@ def _serve_main(argv: list[str]) -> int:
     return 0
 
 
+def _build_refresh_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos refresh",
+        description="Assert refresh-crash recovery never serves a torn snapshot",
+    )
+    parser.add_argument("--dataset", default="R30F5", help="R30F5 | R30F3 | R30F10")
+    parser.add_argument("--scale", type=float, default=0.005)
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument("--base-rows", type=int, default=1000)
+    parser.add_argument("--deltas", type=int, default=3)
+    parser.add_argument("--delta-rows", type=int, default=150)
+    parser.add_argument("--window-deltas", type=int, default=3)
+    parser.add_argument("--min-support", type=float, default=0.15)
+    parser.add_argument("--min-confidence", type=float, default=0.6)
+    parser.add_argument("--max-k", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        required=True,
+        help="work directory (refresh roots, per-stage event sinks, summary.json)",
+    )
+    return parser
+
+
+def _refresh_main(argv: list[str]) -> int:
+    from repro.datagen import generate_dataset, preset as dataset_preset
+    from repro.faults.refresh import run_refresh_chaos
+
+    args = _build_refresh_parser().parse_args(argv)
+    try:
+        dataset = generate_dataset(
+            dataset_preset(args.dataset, scale=args.scale, seed=args.seed)
+        )
+        rows = list(dataset.database)
+        need = args.base_rows + args.deltas * args.delta_rows
+        if len(rows) < need:
+            print(
+                f"repro-chaos refresh: dataset yields {len(rows)} rows, "
+                f"need {need}; raise --scale",
+                file=sys.stderr,
+            )
+            return 2
+        batches = [rows[: args.base_rows]]
+        offset = args.base_rows
+        for _ in range(args.deltas):
+            batches.append(rows[offset : offset + args.delta_rows])
+            offset += args.delta_rows
+        summary = run_refresh_chaos(
+            dataset.taxonomy,
+            batches,
+            min_support=args.min_support,
+            min_confidence=args.min_confidence,
+            window_deltas=args.window_deltas,
+            work_dir=args.out,
+            max_k=args.max_k,
+        )
+    except ReproError as error:
+        print(
+            f"repro-chaos refresh: {error_label(error)}: {error}", file=sys.stderr
+        )
+        return exit_code_for(error)
+    for run in summary["runs"]:
+        status = "ok" if run["ok"] else "FAILED"
+        print(
+            f"refresh {run['stage']:17s} {status:8s} "
+            f"crashed={run['crashed']} mid_ok={run['mid_ok']} "
+            f"recovered={run['recovered_equal']}"
+        )
+    print(f"summary written to {Path(args.out) / 'summary.json'}")
+    if summary["failures"]:
+        print(
+            f"repro-chaos refresh: {summary['failures']} failing stage(s)",
+            file=sys.stderr,
+        )
+        return 1
+    clean = summary["clean_version"] or "(no publish)"
+    print(
+        f"all {len(summary['runs'])} crash stages recovered to the clean "
+        f"snapshot ({clean[:12]})"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # `serve` routes to the serving-tier harness; everything else keeps
-    # the original flat argument surface (CI invokes it positionless).
+    # `serve` / `refresh` route to their harnesses; everything else
+    # keeps the original flat argument surface (CI invokes it
+    # positionless).
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "refresh":
+        return _refresh_main(argv[1:])
     args = _build_parser().parse_args(argv)
     dataset = common.experiment_dataset(args.dataset, args.transactions, args.seed)
     out_dir = Path(args.out) if args.out else None

@@ -1,0 +1,144 @@
+"""Crash-equivalence harness for the refresh tier.
+
+``repro-chaos refresh`` applies the repo's chaos discipline to the
+publish pipeline of :mod:`repro.refresh`: one delta sequence is
+ingested cleanly, then re-run with a crash injected at every stage of
+the ingest protocol (after the log append, after the in-memory apply,
+after the checkpoint, and between the snapshot write and the pointer
+flip).  Each faulted run must satisfy two properties:
+
+* **no torn serving state at crash time** — the ``CURRENT`` pointer
+  must still load a digest-valid snapshot, and it must be the
+  *pre-crash* snapshot (a crashed ingest is invisible until recovery);
+* **recovery converges to the clean bytes** — reopening the root
+  replays the interrupted delta and republishes, and the recovered
+  snapshot must be byte-identical to the clean run's.
+
+The driver's crash stages are cooperative injection points
+(:data:`repro.refresh.driver.STAGES`): the injector raises
+:class:`CrashInjected`, which unwinds exactly like a process death at
+that point — everything already fsynced stays, nothing after the stage
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import FaultError
+from repro.obs.sink import EventSink
+from repro.refresh.driver import STAGES, RefreshDriver, current_snapshot
+from repro.taxonomy.hierarchy import Taxonomy
+
+
+class CrashInjected(FaultError):
+    """The cooperative crash raised by the refresh chaos injector."""
+
+
+def _ingest_all(driver: RefreshDriver, batches: list[list[tuple[int, ...]]]):
+    for batch in batches:
+        driver.ingest(batch)
+
+
+def run_refresh_chaos(
+    taxonomy: Taxonomy,
+    batches: list[list[tuple[int, ...]]],
+    min_support: float,
+    min_confidence: float,
+    window_deltas: int,
+    work_dir: str | Path,
+    max_k: int | None = None,
+    stages: tuple[str, ...] = STAGES,
+) -> dict:
+    """Crash at every stage of the final ingest; assert recovery (see
+    module doc).  Returns a JSON-ready summary with per-stage verdicts.
+    """
+    if len(batches) < 2:
+        raise FaultError("refresh chaos needs at least a base and one delta")
+    work = Path(work_dir)
+    work.mkdir(parents=True, exist_ok=True)
+
+    clean_root = work / "clean"
+    clean = RefreshDriver.create(
+        clean_root,
+        taxonomy,
+        min_support=min_support,
+        min_confidence=min_confidence,
+        max_k=max_k,
+        window_deltas=window_deltas,
+    )
+    _ingest_all(clean, batches)
+    clean_snapshot = clean.current()
+    clean_bytes = None if clean_snapshot is None else clean_snapshot.to_jsonl()
+
+    runs: list[dict] = []
+    failures = 0
+    for stage in stages:
+        root = work / f"crash-{stage}"
+        sink = EventSink(work / f"events-{stage}.jsonl")
+        driver = RefreshDriver.create(
+            root,
+            taxonomy,
+            min_support=min_support,
+            min_confidence=min_confidence,
+            max_k=max_k,
+            window_deltas=window_deltas,
+            sink=sink,
+        )
+        _ingest_all(driver, batches[:-1])
+        before = driver.current()
+        before_version = None if before is None else before.version
+
+        def injector(point: str, stage: str = stage) -> None:
+            if point == stage:
+                raise CrashInjected(f"injected crash at {point}")
+
+        driver._injector = injector
+        crashed = False
+        try:
+            driver.ingest(batches[-1])
+        except CrashInjected:
+            crashed = True
+
+        # Property 1: the crash left no torn serving state.
+        mid = current_snapshot(root)
+        mid_version = None if mid is None else mid.version
+        mid_ok = mid_version == before_version
+
+        # Property 2: recovery converges to the clean run's bytes.
+        recovered = RefreshDriver.open(root, sink=sink)
+        after = recovered.current()
+        after_bytes = None if after is None else after.to_jsonl()
+        recovered_equal = after_bytes == clean_bytes
+        sink.close()
+
+        ok = crashed and mid_ok and recovered_equal
+        if not ok:
+            failures += 1
+        runs.append(
+            {
+                "stage": stage,
+                "crashed": crashed,
+                "mid_ok": mid_ok,
+                "recovered_equal": recovered_equal,
+                "before_version": before_version,
+                "recovered_version": None if after is None else after.version,
+                "ok": ok,
+            }
+        )
+
+    summary = {
+        "deltas": len(batches),
+        "window_deltas": window_deltas,
+        "min_support": min_support,
+        "min_confidence": min_confidence,
+        "clean_version": None if clean_snapshot is None else clean_snapshot.version,
+        "runs": runs,
+        "failures": failures,
+    }
+    summary_path = work / "summary.json"
+    summary_path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return summary

@@ -11,6 +11,9 @@ files written by three generations of harnesses:
   throughput/latency for the direct and batched paths;
 * ``repro.scale/v1`` (``repro-bench scale``) — per-core scaling curves
   over a columnar store, with per-point peak RSS.
+* ``repro.refresh.bench/v1`` (``repro-refresh run --bench``) —
+  per-delta incremental refresh wall-clock against a from-scratch
+  batch re-mine of the same window.
 
 This module unifies them behind one versioned record shape
 (``repro.bench.history/v1``): every report flattens to a **metric map**
@@ -50,6 +53,7 @@ HISTORY_SCHEMA = "repro.bench.history/v1"
 MINING_SCHEMA = "repro.bench/v1"
 SERVING_SCHEMA = "repro.serve.bench/v1"
 SCALE_SCHEMA = "repro.scale/v1"
+REFRESH_SCHEMA = "repro.refresh.bench/v1"
 
 #: Metric-name suffixes that are lower-is-better.
 _LOWER_BETTER = ("_seconds", "_ms", "_bytes")
@@ -120,6 +124,8 @@ def record_from_report(report: dict, source: str = "") -> BenchRecord:
         return _record_from_serving(report, source)
     if schema == SCALE_SCHEMA:
         return _record_from_scale(report, source)
+    if schema == REFRESH_SCHEMA:
+        return _record_from_refresh(report, source)
     if schema is None and "experiment" in report:
         return _record_from_table6(report, source)
     raise BenchHistoryError(
@@ -176,6 +182,35 @@ def _record_from_scale(report: dict, source: str) -> BenchRecord:
         label=report.get("label", "?"),
         kind="scale",
         workload_key=workload_key("scale", report.get("workload", {})),
+        metrics=metrics,
+        digests=digests,
+        source=source,
+    )
+
+
+def _record_from_refresh(report: dict, source: str) -> BenchRecord:
+    """``repro-refresh run --bench``: per-delta refresh vs batch re-mine.
+
+    The aggregate ``speedup`` (total batch wall over total refresh wall)
+    is the headline trajectory metric; the final published snapshot's
+    version pins result identity across runs.
+    """
+    metrics: dict[str, float] = {}
+    for entry in report.get("deltas", []):
+        stem = f"delta{entry['index']}"
+        metrics[f"{stem}/refresh_seconds"] = entry["refresh_seconds"]
+        metrics[f"{stem}/batch_seconds"] = entry["batch_seconds"]
+        if entry.get("speedup"):
+            metrics[f"{stem}/speedup"] = entry["speedup"]
+    if report.get("speedup"):
+        metrics["speedup"] = report["speedup"]
+    digests: dict[str, str] = {}
+    if report.get("final_version"):
+        digests["final_snapshot"] = report["final_version"]
+    return BenchRecord(
+        label=report.get("label", "?"),
+        kind="refresh",
+        workload_key=workload_key("refresh", report.get("workload", {})),
         metrics=metrics,
         digests=digests,
         source=source,

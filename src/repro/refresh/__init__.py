@@ -1,0 +1,33 @@
+"""Continuous mining: append-only log → incremental maintainer → publish.
+
+This subpackage closes the mine→snapshot→serve loop: instead of a full
+batch re-mine per rule update, transactions land in an append-only
+:class:`~repro.refresh.log.TransactionLog` (sealed columnar delta
+segments with a sliding retention window), an
+:class:`~repro.refresh.delta.IncrementalMiner` maintains exact support
+counters for the frequent itemsets *plus* their negative-border
+borderline band with one pass over only the new and expiring rows, and
+the :class:`~repro.refresh.driver.RefreshDriver` compiles every accepted
+delta into a versioned :mod:`repro.serve` snapshot committed atomically
+(manifest-last) behind a ``CURRENT`` pointer.
+
+The correctness anchor is digest equivalence: after any delta sequence
+the published snapshot is byte-identical to a from-scratch batch mine
+over the same window (see ``docs/incremental.md``), and a crash at any
+point between delta append and pointer flip recovers to exactly those
+bytes — never a torn or stale-past-rollback snapshot.
+"""
+
+from repro.refresh.delta import DeltaStats, IncrementalMiner
+from repro.refresh.driver import RefreshDriver, read_pointer, window_source
+from repro.refresh.log import DeltaRecord, TransactionLog
+
+__all__ = [
+    "DeltaRecord",
+    "DeltaStats",
+    "IncrementalMiner",
+    "RefreshDriver",
+    "TransactionLog",
+    "read_pointer",
+    "window_source",
+]

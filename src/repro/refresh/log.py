@@ -1,0 +1,314 @@
+"""Append-only transaction log with a sliding retention window.
+
+A log is a directory of sealed **delta** stores — each delta is one
+complete :mod:`repro.store` columnar store directory (CSR segments +
+digest-verified manifest) holding the transactions of one append — plus
+a ``log.json`` manifest recording, per delta, the covered transaction
+range ``[txn_start, txn_end)``, the row count, a combined sha256 over
+the delta's segment digests, and whether the delta is still inside the
+retention window.
+
+Appends are the only mutation.  Sealing is inherited from the store
+writer (segments are immutable once flushed; the delta's own manifest is
+committed atomically last), and the log manifest itself is only ever
+replaced atomically — a reader or a recovering driver never observes a
+half-written log.
+
+Retention is count-based: the window keeps the most recent
+``window_deltas`` deltas *active*; older deltas are marked inactive at
+append time (recording exactly which append evicted them) but their
+files stay on disk until :meth:`TransactionLog.purge` — the two-phase
+split the refresh driver needs, because an evicted delta's rows must
+still be readable to subtract their counts (and to replay the append
+after a crash) before the checkpoint makes the eviction durable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StoreFormatError
+from repro.store.atomic import atomic_write_json
+from repro.store.format import MANIFEST_NAME, TAXONOMY_NAME
+from repro.store.reader import TransactionStore
+from repro.store.writer import write_store
+from repro.taxonomy.hierarchy import Taxonomy
+from repro.taxonomy.io import load_taxonomy, save_taxonomy
+
+#: Log manifest schema tag (the directory's ``log.json``).
+LOG_SCHEMA = "repro.refresh.log/v1"
+
+LOG_MANIFEST_NAME = "log.json"
+
+#: Default retention: at most this many active deltas.
+DEFAULT_WINDOW_DELTAS = 8
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One sealed delta of the log (a manifest entry)."""
+
+    index: int
+    dir: str
+    rows: int
+    txn_start: int
+    txn_end: int
+    sha256: str
+    active: bool
+    evicts: tuple[int, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "dir": self.dir,
+            "rows": self.rows,
+            "txn_start": self.txn_start,
+            "txn_end": self.txn_end,
+            "sha256": self.sha256,
+            "active": self.active,
+            "evicts": list(self.evicts),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DeltaRecord":
+        return cls(
+            index=int(payload["index"]),
+            dir=str(payload["dir"]),
+            rows=int(payload["rows"]),
+            txn_start=int(payload["txn_start"]),
+            txn_end=int(payload["txn_end"]),
+            sha256=str(payload["sha256"]),
+            active=bool(payload["active"]),
+            evicts=tuple(int(i) for i in payload.get("evicts", [])),
+        )
+
+
+def delta_dir_name(index: int) -> str:
+    """Canonical directory name of delta ``index`` (``delta-00000``)."""
+    return f"delta-{index:05d}"
+
+
+def _delta_digest(store_dir: Path) -> str:
+    """Combined sha256 over a delta store's segment digests.
+
+    The store manifest already records one digest per segment; hashing
+    the ordered digest list (plus the row count) gives one stable id for
+    the whole delta without re-reading the segment bytes.
+    """
+    manifest = json.loads(
+        (store_dir / MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    payload = {
+        "rows": manifest["rows"],
+        "segments": [entry["sha256"] for entry in manifest.get("segments", [])],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TransactionLog:
+    """Append-only delta log (see module docstring).
+
+    Construct with :meth:`create` (new directory) or :meth:`open`
+    (existing log; validates the manifest schema and the active deltas'
+    store digests).
+    """
+
+    def __init__(self, path: Path, manifest: dict, taxonomy: Taxonomy):
+        self.path = path
+        self.window_deltas = int(manifest["window_deltas"])
+        self.next_index = int(manifest["next_index"])
+        self.rows_appended = int(manifest["rows_appended"])
+        self.deltas = [
+            DeltaRecord.from_json(entry) for entry in manifest["deltas"]
+        ]
+        self.taxonomy = taxonomy
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        taxonomy: Taxonomy,
+        window_deltas: int = DEFAULT_WINDOW_DELTAS,
+    ) -> "TransactionLog":
+        """Initialise an empty log directory (refuses an existing log)."""
+        if window_deltas < 1:
+            raise StoreFormatError(
+                f"window_deltas must be >= 1, got {window_deltas}"
+            )
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        if (root / LOG_MANIFEST_NAME).exists():
+            raise StoreFormatError(
+                f"{root} already holds a transaction log; refusing to overwrite"
+            )
+        save_taxonomy(taxonomy, root / TAXONOMY_NAME)
+        manifest = {
+            "schema": LOG_SCHEMA,
+            "window_deltas": window_deltas,
+            "next_index": 0,
+            "rows_appended": 0,
+            "deltas": [],
+        }
+        atomic_write_json(root / LOG_MANIFEST_NAME, manifest)
+        return cls(root, manifest, taxonomy)
+
+    @classmethod
+    def open(cls, path: str | Path, verify: bool = True) -> "TransactionLog":
+        """Open an existing log; optionally verify active delta digests."""
+        root = Path(path)
+        manifest_path = root / LOG_MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise StoreFormatError(
+                f"{manifest_path}: not a transaction log: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise StoreFormatError(
+                f"{manifest_path}: log manifest is not JSON: {exc}"
+            ) from exc
+        if manifest.get("schema") != LOG_SCHEMA:
+            raise StoreFormatError(
+                f"{manifest_path}: schema {manifest.get('schema')!r} "
+                f"(this reader understands {LOG_SCHEMA!r})"
+            )
+        taxonomy = load_taxonomy(root / TAXONOMY_NAME)
+        log = cls(root, manifest, taxonomy)
+        if verify:
+            for record in log.active():
+                digest = _delta_digest(root / record.dir)
+                if digest != record.sha256:
+                    raise StoreFormatError(
+                        f"{root / record.dir}: delta digest mismatch — log "
+                        f"records {record.sha256[:12]}…, store hashes to "
+                        f"{digest[:12]}…"
+                    )
+        return log
+
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        manifest = {
+            "schema": LOG_SCHEMA,
+            "window_deltas": self.window_deltas,
+            "next_index": self.next_index,
+            "rows_appended": self.rows_appended,
+            "deltas": [record.to_json() for record in self.deltas],
+        }
+        atomic_write_json(self.path / LOG_MANIFEST_NAME, manifest)
+
+    def append(
+        self, transactions: Iterable[Iterable[int]]
+    ) -> tuple[DeltaRecord, list[DeltaRecord]]:
+        """Seal one delta; returns ``(record, evicted_records)``.
+
+        The delta store is written and made durable *first*; the log
+        manifest (new delta active, expired deltas flipped inactive with
+        ``evicts`` recording the flip) is replaced atomically *last* —
+        a crash mid-append leaves either the previous log or the new
+        one, never an orphan manifest entry.
+        """
+        index = self.next_index
+        store_dir = self.path / delta_dir_name(index)
+        write_store(transactions, store_dir, meta={"log_delta": index})
+        store = TransactionStore(store_dir, verify=False)
+        rows = len(store)
+
+        active = [record for record in self.deltas if record.active]
+        evict = (
+            active[: len(active) + 1 - self.window_deltas]
+            if len(active) + 1 > self.window_deltas
+            else []
+        )
+        evicted_indices = tuple(record.index for record in evict)
+        record = DeltaRecord(
+            index=index,
+            dir=delta_dir_name(index),
+            rows=rows,
+            txn_start=self.rows_appended,
+            txn_end=self.rows_appended + rows,
+            sha256=_delta_digest(store_dir),
+            active=True,
+            evicts=evicted_indices,
+        )
+        evicted: list[DeltaRecord] = []
+        for position, existing in enumerate(self.deltas):
+            if existing.index in evicted_indices:
+                flipped = DeltaRecord(
+                    **{**existing.to_json(), "active": False, "evicts": existing.evicts}
+                )
+                self.deltas[position] = flipped
+                evicted.append(flipped)
+        self.deltas.append(record)
+        self.next_index = index + 1
+        self.rows_appended += rows
+        self._commit()
+        return record, evicted
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[DeltaRecord]:
+        """Every manifest entry, in append order."""
+        return list(self.deltas)
+
+    def record(self, index: int) -> DeltaRecord:
+        for entry in self.deltas:
+            if entry.index == index:
+                return entry
+        raise StoreFormatError(f"{self.path}: no delta {index} in the log")
+
+    def active(self) -> list[DeltaRecord]:
+        """The deltas inside the retention window, oldest first."""
+        return [record for record in self.deltas if record.active]
+
+    @property
+    def window_rows(self) -> int:
+        return sum(record.rows for record in self.active())
+
+    def window_bounds(self) -> tuple[int, int]:
+        """``[txn_start, txn_end)`` covered by the active window."""
+        active = self.active()
+        if not active:
+            return (self.rows_appended, self.rows_appended)
+        return (active[0].txn_start, active[-1].txn_end)
+
+    def rows(self, record: DeltaRecord) -> Iterator[tuple[int, ...]]:
+        """Stream one delta's rows (digest-verified open)."""
+        store = TransactionStore(self.path / record.dir, verify=False)
+        return iter(store)
+
+    def iter_window(self) -> Iterator[tuple[int, ...]]:
+        """Stream every active row, in append order — the batch oracle's
+        exact input, and the scan the borderline fallback re-counts."""
+        for record in self.active():
+            yield from self.rows(record)
+
+    def purge(self) -> list[int]:
+        """Delete the store files of inactive deltas; returns indices.
+
+        Idempotent and crash-safe: purged state is "directory gone", the
+        manifest is untouched, so a crash mid-purge just leaves fewer
+        files for the next purge.
+        """
+        removed: list[int] = []
+        for record in self.deltas:
+            if record.active:
+                continue
+            store_dir = self.path / record.dir
+            if not store_dir.exists():
+                continue
+            for child in sorted(store_dir.iterdir()):
+                child.unlink()
+            store_dir.rmdir()
+            removed.append(record.index)
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionLog(path={str(self.path)!r}, deltas={len(self.deltas)}, "
+            f"active={len(self.active())}, rows={self.window_rows})"
+        )

@@ -14,7 +14,13 @@ handlers delegate to one shared service:
 * ``GET /metrics`` — the shared registry in Prometheus text format;
 * ``GET /shards`` — shard-tier health (worker queues, breaker states,
   rollout progress) when the service is a
-  :class:`~repro.serve.shard.service.ShardedService`.
+  :class:`~repro.serve.shard.service.ShardedService`;
+* ``POST /rollout`` — operator control of the rolling rollout (sharded
+  tier only): ``{"action": "begin", "snapshot": <path>, "window"?}``
+  stands a new snapshot up in shadow mode, ``{"action": "status"}``
+  reports progress, ``{"action": "rollback"}`` aborts the shadow.
+  ``begin`` with a rollout already shadowing is ``409``; a non-sharded
+  service or an unreadable snapshot is ``400``.
 
 The handler serves either tier through one duck-typed surface
 (``query``/``version``/``snapshot``/``registry``/``tracer``).  The
@@ -41,7 +47,12 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import DeadlineExceededError, OverloadShedError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadShedError,
+    ReproError,
+    ServingError,
+)
 from repro.serve.batch import ServeService
 
 
@@ -104,6 +115,9 @@ def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
 
         def do_POST(self) -> None:  # noqa: N802 - http.server API
             tracer = service.tracer
+            if self.path == "/rollout":
+                self._handle_rollout()
+                return
             if self.path != "/query":
                 self._respond_json(404, {"error": f"no route {self.path}"})
                 return
@@ -168,6 +182,69 @@ def make_handler(service: ServeService) -> type[BaseHTTPRequestHandler]:
                 self._respond_json(400, {"error": str(error)})
                 return
             self._respond_json(200, result.to_dict(service.snapshot))
+
+        # ----------------------------------------------------------
+        def _handle_rollout(self) -> None:
+            """Operator surface over the rolling rollout (see module doc)."""
+            if not hasattr(service, "begin_rollout"):
+                self._respond_json(
+                    400, {"error": "rollout needs the sharded tier"}
+                )
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length)
+            try:
+                request = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._respond_json(400, {"error": f"bad JSON body: {error}"})
+                return
+            action = request.get("action") if isinstance(request, dict) else None
+            if action == "status":
+                rollout = getattr(service, "rollout", None)
+                if rollout is None:
+                    self._respond_json(200, {"rollout": None})
+                else:
+                    self._respond_json(200, {"rollout": rollout.status()})
+                return
+            if action == "rollback":
+                try:
+                    status = service.abort_rollout()
+                except ServingError as error:
+                    self._respond_json(409, {"error": str(error)})
+                    return
+                self._respond_json(200, {"rollout": status})
+                return
+            if action == "begin":
+                path = request.get("snapshot")
+                if not path:
+                    self._respond_json(
+                        400, {"error": 'begin needs a "snapshot" path'}
+                    )
+                    return
+                try:
+                    from repro.serve.snapshot import load_snapshot
+
+                    new_snapshot = load_snapshot(path)
+                except (ReproError, OSError) as error:
+                    self._respond_json(400, {"error": str(error)})
+                    return
+                window = request.get("window", 32)
+                try:
+                    controller = service.begin_rollout(
+                        new_snapshot, window=int(window)
+                    )
+                except ServingError as error:
+                    self._respond_json(409, {"error": str(error)})
+                    return
+                except (TypeError, ValueError) as error:
+                    self._respond_json(400, {"error": f"bad request: {error}"})
+                    return
+                self._respond_json(200, {"rollout": controller.status()})
+                return
+            self._respond_json(
+                400,
+                {"error": 'action must be one of "begin", "status", "rollback"'},
+            )
 
     return ServeHandler
 

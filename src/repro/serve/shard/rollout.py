@@ -109,6 +109,28 @@ class RolloutController:
                 )
         return self.state
 
+    def abort(self, reason: str = "operator") -> str:
+        """Force a rollback from outside the compare loop.
+
+        The operator surface (``POST /rollout`` with ``action:
+        rollback``) needs a way to kill an in-flight shadow without
+        waiting for a divergence.  Terminal states are sticky, exactly
+        like :meth:`observe`.
+        """
+        if self.state != "shadow":
+            return self.state
+        self.state = "rolled_back"
+        self.streak = 0
+        if self.sink is not None:
+            self.sink.emit(
+                "rollout-rollback",
+                old=self.old_version,
+                new=self.new_version,
+                reason=reason,
+                compared=self.compared,
+            )
+        return self.state
+
     def status(self) -> dict:
         """JSON-ready progress (the ``/shards`` endpoint's ``rollout``)."""
         return {

@@ -266,11 +266,25 @@ class ShardedService:
         await old_pool.close()
 
     async def _discard_shadow(self) -> None:
-        """Rollback: tear the shadow set down; old set never stopped."""
-        assert self._shadow is not None
+        """Rollback: tear the shadow set down; old set never stopped.
+
+        Tolerates a missing shadow: an operator abort can race an
+        in-flight compare that already discarded it, and the second
+        discard must be a no-op, not a crash.
+        """
+        if self._shadow is None:
+            return
         pool, _router, _tracer = self._shadow
         self._shadow = None
         await pool.close()
+
+    def abort_rollout(self, reason: str = "operator") -> dict:
+        """Operator rollback of an in-flight shadow rollout (blocking)."""
+        if self.rollout is None:
+            raise ServingError("no rollout to roll back")
+        self.rollout.abort(reason)
+        self._call(self._discard_shadow())
+        return self.rollout.status()
 
     # ------------------------------------------------------------------
     def status(self) -> dict:

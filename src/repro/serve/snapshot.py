@@ -298,11 +298,15 @@ def compile_snapshot(
 
 
 def write_snapshot(snapshot: RuleSnapshot, path: str | Path) -> Path:
-    """Write the snapshot document; returns the path written."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(snapshot.to_jsonl(), encoding="utf-8")
-    return target
+    """Write the snapshot document atomically; returns the path written.
+
+    The commit goes through :func:`repro.store.atomic.atomic_write_text`
+    so a crashed writer never leaves a torn snapshot where a server (or
+    the refresh driver's ``CURRENT`` pointer) could load it.
+    """
+    from repro.store.atomic import atomic_write_text
+
+    return atomic_write_text(Path(path), snapshot.to_jsonl())
 
 
 def parse_snapshot(text: str) -> RuleSnapshot:

@@ -1,0 +1,51 @@
+"""Atomic, manifest-last file commits for every published artifact.
+
+Anything a reader may open while a writer is mid-crash — store manifests,
+rule snapshots, refresh checkpoints, ``CURRENT`` pointers — must appear
+on disk either whole or not at all.  These helpers implement the one
+safe recipe: write the full payload to a same-directory temporary file,
+flush it to stable storage, then :func:`os.replace` it over the target
+(atomic on POSIX within one filesystem).  A crash before the replace
+leaves the old artifact untouched; a crash after leaves the new one
+complete.  There is no window in which a reader can observe a torn file.
+
+Lint rule RL013 (``torn-publish``) enforces that manifest/snapshot/
+pointer writes in the production tree go through this module instead of
+calling ``Path.write_text`` / ``write_bytes`` directly.
+
+The temporary name is deterministic (``<name>.tmp``): concurrent
+writers to the same artifact are already a protocol violation
+everywhere these helpers are used (one writer owns a store directory,
+one driver owns a refresh root), and a deterministic name means a
+crashed writer's leftover is reclaimed by the next successful commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Commit ``data`` to ``path`` atomically; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = target.with_name(target.name + ".tmp")
+    with staging.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(staging, target)
+    return target
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Commit ``text`` to ``path`` atomically; returns the path written."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | Path, payload: dict, indent: int | None = 2) -> Path:
+    """Commit a canonical (sorted-key) JSON document atomically."""
+    text = json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    return atomic_write_text(path, text)

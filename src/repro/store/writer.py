@@ -16,12 +16,12 @@ iterator — the property every store/list equivalence test leans on.
 
 from __future__ import annotations
 
-import json
 from array import array
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.errors import StoreFormatError
+from repro.store.atomic import atomic_write_json
 from repro.store.format import (
     ITEM_WIDTH,
     MANIFEST_NAME,
@@ -148,10 +148,10 @@ class StoreWriter:
         }
         if self.meta is not None:
             manifest["meta"] = self.meta
-        manifest_path = self.path / MANIFEST_NAME
-        manifest_path.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
+        # Manifest-last commit: the segments are already durable, and the
+        # atomic replace makes the directory a store in one step — a
+        # reader never sees a manifest describing half-written segments.
+        manifest_path = atomic_write_json(self.path / MANIFEST_NAME, manifest)
         self._closed = True
         return manifest_path
 

@@ -126,6 +126,7 @@ class TestEngine:
             "RL010",
             "RL011",
             "RL012",
+            "RL013",
         ]
         for rule in catalog.values():
             assert rule.summary

@@ -1,0 +1,135 @@
+"""Real-dataset adapters: CSV → taxonomy + transactions, deterministically."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.cumulate import cumulate
+from repro.datagen import load_attribute_csv, load_basket_csv
+from repro.errors import DataGenerationError
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "datasets"
+
+
+class TestAttributeCsv:
+    def test_two_level_taxonomy_shape(self):
+        dataset = load_attribute_csv(FIXTURES / "mushrooms.csv")
+        taxonomy = dataset.taxonomy
+        # One root per attribute, sorted: cap=0, habitat=1, odor=2.
+        assert taxonomy.roots == (0, 1, 2)
+        assert dataset.labels[0] == "cap"
+        assert dataset.labels[1] == "habitat"
+        assert dataset.labels[2] == "odor"
+        # Leaves are sorted (attribute, value) pairs after the roots.
+        assert dataset.labels[3] == "cap=bell"
+        assert all(taxonomy.depth(leaf) == 1 for leaf in taxonomy.leaves)
+        # Observed values: cap has 3, habitat 3, odor 2 (the '?' is not
+        # a value).
+        assert len(taxonomy.leaves) == 8
+
+    def test_rows_become_leaf_transactions(self):
+        dataset = load_attribute_csv(FIXTURES / "mushrooms.csv")
+        ids = dataset.ids
+        rows = list(dataset.database)
+        assert rows[0] == tuple(
+            sorted(
+                (ids["cap=convex"], ids["odor=almond"], ids["habitat=woods"])
+            )
+        )
+        # The '?' cell on row 5 is skipped: only two leaves survive.
+        assert rows[4] == tuple(sorted((ids["cap=flat"], ids["habitat=woods"])))
+
+    def test_deterministic_under_row_permutation(self, tmp_path):
+        text = (FIXTURES / "mushrooms.csv").read_text()
+        header, *records = text.strip().splitlines()
+        shuffled = tmp_path / "shuffled.csv"
+        shuffled.write_text("\n".join([header] + records[::-1]) + "\n")
+
+        original = load_attribute_csv(FIXTURES / "mushrooms.csv")
+        permuted = load_attribute_csv(shuffled)
+        assert original.labels == permuted.labels
+        assert original.taxonomy.parent_map() == permuted.taxonomy.parent_map()
+        assert sorted(original.database) == sorted(permuted.database)
+
+    def test_headerless_mode(self, tmp_path):
+        target = tmp_path / "plain.csv"
+        target.write_text("a,x\nb,y\na,y\n")
+        dataset = load_attribute_csv(target, header=False)
+        assert dataset.labels[0] == "col0"
+        assert dataset.labels[1] == "col1"
+        assert "col0=a" in dataset.ids and "col1=y" in dataset.ids
+
+    def test_ragged_row_rejected(self, tmp_path):
+        target = tmp_path / "ragged.csv"
+        target.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DataGenerationError, match="row 2"):
+            load_attribute_csv(target)
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        target = tmp_path / "dup.csv"
+        target.write_text("a,a\n1,2\n")
+        with pytest.raises(DataGenerationError, match="duplicate"):
+            load_attribute_csv(target)
+
+    def test_empty_file_rejected(self, tmp_path):
+        target = tmp_path / "empty.csv"
+        target.write_text("\n\n")
+        with pytest.raises(DataGenerationError, match="empty"):
+            load_attribute_csv(target)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DataGenerationError, match="cannot read"):
+            load_attribute_csv(tmp_path / "nope.csv")
+
+    def test_mining_runs_on_adapted_data(self):
+        dataset = load_attribute_csv(FIXTURES / "mushrooms.csv")
+        result = cumulate(dataset.database, dataset.taxonomy, 0.4)
+        mined = set(result.large_itemsets())
+        # Every row carries some cap value, so the root "cap" (item 0)
+        # is unit-support under ancestor extension.
+        assert (0,) in mined
+
+
+class TestBasketCsv:
+    def test_path_hierarchy(self):
+        dataset = load_basket_csv(FIXTURES / "baskets.csv")
+        taxonomy = dataset.taxonomy
+        ids = dataset.ids
+        assert taxonomy.parent(ids["beverages/coffee"]) == ids["beverages"]
+        assert taxonomy.parent(ids["food/dairy/milk"]) == ids["food/dairy"]
+        assert taxonomy.parent(ids["food/dairy"]) == ids["food"]
+        assert taxonomy.parent(ids["food"]) is None
+        assert taxonomy.depth(ids["food/dairy/milk"]) == 2
+
+    def test_transactions_reference_full_paths(self):
+        dataset = load_basket_csv(FIXTURES / "baskets.csv")
+        ids = dataset.ids
+        rows = list(dataset.database)
+        assert rows[0] == (ids["beverages/coffee"], ids["snacks/chips"])
+        assert rows[1] == (ids["beverages/tea"],)
+
+    def test_deterministic_under_row_permutation(self, tmp_path):
+        lines = (FIXTURES / "baskets.csv").read_text().strip().splitlines()
+        shuffled = tmp_path / "shuffled.csv"
+        shuffled.write_text("\n".join(lines[::-1]) + "\n")
+        original = load_basket_csv(FIXTURES / "baskets.csv")
+        permuted = load_basket_csv(shuffled)
+        assert original.labels == permuted.labels
+        assert original.taxonomy.parent_map() == permuted.taxonomy.parent_map()
+        assert sorted(original.database) == sorted(permuted.database)
+
+    def test_empty_label_rejected(self, tmp_path):
+        target = tmp_path / "bad.csv"
+        target.write_text("a/b,//\n")
+        with pytest.raises(DataGenerationError, match="empty item label"):
+            load_basket_csv(target)
+
+    def test_mining_runs_on_adapted_data(self):
+        dataset = load_basket_csv(FIXTURES / "baskets.csv")
+        ids = dataset.ids
+        result = cumulate(dataset.database, dataset.taxonomy, 0.5)
+        mined = set(result.large_itemsets())
+        # "beverages" generalizes coffee+tea: 6 of 8 baskets.
+        assert (ids["beverages"],) in mined

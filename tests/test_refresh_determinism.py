@@ -1,0 +1,83 @@
+"""Byte-stability of the refresh pipeline across hash seeds.
+
+The ISSUE's determinism clause: the published snapshot must be
+byte-identical across interpreter runs with different
+``PYTHONHASHSEED`` values — nothing in the log, miner, or snapshot
+compiler may leak set/dict iteration order into the artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _run_sequence(root: Path, hash_seed: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.refresh.cli",
+            "run",
+            "--root", str(root),
+            "--dataset", "R30F5",
+            "--scale", "0.005",
+            "--base-rows", "400",
+            "--deltas", "3",
+            "--delta-rows", "100",
+            "--window-deltas", "2",
+            "--min-support", "0.15",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={
+            "PYTHONPATH": str(SRC),
+            "PYTHONHASHSEED": hash_seed,
+            "PATH": "/usr/bin:/bin",
+        },
+    )
+
+
+def _published(root: Path) -> tuple[str, str]:
+    pointer = json.loads((root / "CURRENT").read_text())
+    body = (root / pointer["snapshot"]).read_text()
+    return pointer["version"], body
+
+
+class TestHashSeedIndependence:
+    def test_snapshot_bytes_stable_across_hash_seeds(self, tmp_path):
+        outputs = {}
+        for hash_seed in ("1", "2"):
+            root = tmp_path / f"seed-{hash_seed}"
+            proc = _run_sequence(root, hash_seed)
+            assert proc.returncode == 0, proc.stderr
+            outputs[hash_seed] = _published(root)
+
+        version_one, body_one = outputs["1"]
+        version_two, body_two = outputs["2"]
+        assert version_one == version_two
+        assert body_one == body_two
+
+    def test_log_manifest_and_state_stable(self, tmp_path):
+        """Every durable artifact — not just the snapshot — is
+        byte-stable: log manifest, delta stores, and the checkpoint."""
+        trees = {}
+        for hash_seed in ("1", "2"):
+            root = tmp_path / f"seed-{hash_seed}"
+            proc = _run_sequence(root, hash_seed)
+            assert proc.returncode == 0, proc.stderr
+            tree = {}
+            for path in sorted(root.rglob("*")):
+                if path.is_file():
+                    tree[str(path.relative_to(root))] = path.read_bytes()
+            trees[hash_seed] = tree
+
+        assert sorted(trees["1"]) == sorted(trees["2"])
+        for name, blob in trees["1"].items():
+            assert trees["2"][name] == blob, f"{name} differs across hash seeds"

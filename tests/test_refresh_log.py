@@ -1,0 +1,105 @@
+"""Append-only transaction log: sealing, retention, eviction, purge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StoreFormatError
+from repro.refresh.log import LOG_MANIFEST_NAME, TransactionLog, delta_dir_name
+from repro.taxonomy.builder import taxonomy_from_parents
+
+PARENTS = {1: None, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3}
+
+
+@pytest.fixture()
+def taxonomy():
+    return taxonomy_from_parents(PARENTS)
+
+
+def _rows(*baskets):
+    return [tuple(basket) for basket in baskets]
+
+
+class TestCreateOpen:
+    def test_create_then_open_round_trips(self, tmp_path, taxonomy):
+        log = TransactionLog.create(tmp_path / "log", taxonomy, window_deltas=2)
+        log.append(_rows((4, 6), (5,)))
+        reopened = TransactionLog.open(tmp_path / "log")
+        assert reopened.next_index == 1
+        assert reopened.window_rows == 2
+        assert list(reopened.iter_window()) == [(4, 6), (5,)]
+        assert set(reopened.taxonomy) == set(PARENTS)
+
+    def test_create_refuses_existing_log(self, tmp_path, taxonomy):
+        TransactionLog.create(tmp_path / "log", taxonomy)
+        with pytest.raises(StoreFormatError, match="refusing to overwrite"):
+            TransactionLog.create(tmp_path / "log", taxonomy)
+
+    def test_window_must_be_positive(self, tmp_path, taxonomy):
+        with pytest.raises(StoreFormatError, match="window_deltas"):
+            TransactionLog.create(tmp_path / "log", taxonomy, window_deltas=0)
+
+    def test_open_rejects_foreign_schema(self, tmp_path, taxonomy):
+        log = TransactionLog.create(tmp_path / "log", taxonomy)
+        manifest_path = log.path / LOG_MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["schema"] = "something/else"
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(StoreFormatError, match="schema"):
+            TransactionLog.open(tmp_path / "log")
+
+    def test_open_detects_tampered_delta(self, tmp_path, taxonomy):
+        log = TransactionLog.create(tmp_path / "log", taxonomy)
+        record, _ = log.append(_rows((4, 6), (5,)))
+        store_manifest = log.path / record.dir / "store.json"
+        payload = json.loads(store_manifest.read_text())
+        payload["rows"] = payload["rows"] + 1
+        store_manifest.write_text(json.dumps(payload))
+        with pytest.raises(StoreFormatError, match="digest mismatch"):
+            TransactionLog.open(tmp_path / "log")
+
+
+class TestAppendAndRetention:
+    def test_records_carry_txn_ranges(self, tmp_path, taxonomy):
+        log = TransactionLog.create(tmp_path / "log", taxonomy, window_deltas=4)
+        first, _ = log.append(_rows((4,), (5,), (6,)))
+        second, _ = log.append(_rows((4, 5),))
+        assert (first.txn_start, first.txn_end) == (0, 3)
+        assert (second.txn_start, second.txn_end) == (3, 4)
+        assert log.window_bounds() == (0, 4)
+        assert first.sha256 and first.sha256 != second.sha256
+
+    def test_eviction_marks_oldest_inactive(self, tmp_path, taxonomy):
+        log = TransactionLog.create(tmp_path / "log", taxonomy, window_deltas=2)
+        log.append(_rows((4,),))
+        log.append(_rows((5,),))
+        record, evicted = log.append(_rows((6,),))
+        assert [entry.index for entry in evicted] == [0]
+        assert record.evicts == (0,)
+        assert [entry.index for entry in log.active()] == [1, 2]
+        # The evicted delta's rows are still readable until purge.
+        assert list(log.rows(log.record(0))) == [(4,)]
+        assert log.window_bounds() == (1, 3)
+
+    def test_purge_removes_only_inactive(self, tmp_path, taxonomy):
+        log = TransactionLog.create(tmp_path / "log", taxonomy, window_deltas=2)
+        for item in (4, 5, 6):
+            log.append(_rows((item,),))
+        removed = log.purge()
+        assert removed == [0]
+        assert not (log.path / delta_dir_name(0)).exists()
+        assert (log.path / delta_dir_name(1)).exists()
+        # Idempotent: a second purge finds nothing.
+        assert log.purge() == []
+        # The manifest still records the evicted delta's metadata.
+        assert log.record(0).active is False
+
+    def test_window_of_one(self, tmp_path, taxonomy):
+        log = TransactionLog.create(tmp_path / "log", taxonomy, window_deltas=1)
+        log.append(_rows((4,), (5,)))
+        record, evicted = log.append(_rows((6,),))
+        assert [entry.index for entry in evicted] == [0]
+        assert list(log.iter_window()) == [(6,)]
+        assert log.window_rows == 1

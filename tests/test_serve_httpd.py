@@ -169,3 +169,120 @@ class TestEngineFailureMidBatch:
         ok = registry.value("slo.requests", path="http", status="ok")
         bad = registry.value("slo.requests", path="http", status="error")
         assert (ok, bad) == (1, 1)
+
+
+class TestRolloutEndpoint:
+    """POST /rollout: the operator surface over the rolling rollout."""
+
+    @pytest.fixture()
+    def sharded_served(self, tmp_path):
+        """A live server over the sharded tier; yields (service, host,
+        port, snapshot_path) with the serving snapshot also on disk."""
+        from repro.serve.shard.service import ShardedService
+        from repro.serve.snapshot import write_snapshot
+
+        snapshot = _snapshot()
+        snapshot_path = tmp_path / "next.jsonl"
+        write_snapshot(snapshot, snapshot_path)
+        service = ShardedService(snapshot, shards=2, replication=1)
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield service, *server.server_address, snapshot_path
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.close()
+
+    def _rollout(self, host, port, payload):
+        return _post(
+            host, port, json.dumps(payload).encode("utf-8"), path="/rollout"
+        )
+
+    def test_batch_tier_has_no_rollout(self, served):
+        _service, host, port = served
+        status, body = self._rollout(host, port, {"action": "status"})
+        assert status == 400
+        assert "sharded tier" in body["error"]
+
+    def test_status_without_rollout_is_null(self, sharded_served):
+        _service, host, port, _path = sharded_served
+        status, body = self._rollout(host, port, {"action": "status"})
+        assert status == 200
+        assert body == {"rollout": None}
+
+    def test_rollback_without_rollout_conflicts(self, sharded_served):
+        _service, host, port, _path = sharded_served
+        status, body = self._rollout(host, port, {"action": "rollback"})
+        assert status == 409
+        assert "no rollout" in body["error"]
+
+    def test_begin_needs_snapshot_path(self, sharded_served):
+        _service, host, port, _path = sharded_served
+        status, body = self._rollout(host, port, {"action": "begin"})
+        assert status == 400
+        assert "snapshot" in body["error"]
+
+    def test_begin_with_unreadable_snapshot(self, sharded_served, tmp_path):
+        _service, host, port, _path = sharded_served
+        status, body = self._rollout(
+            host,
+            port,
+            {"action": "begin", "snapshot": str(tmp_path / "missing.jsonl")},
+        )
+        assert status == 400
+
+    def test_unknown_action_rejected(self, sharded_served):
+        _service, host, port, _path = sharded_served
+        status, body = self._rollout(host, port, {"action": "promote"})
+        assert status == 400
+        assert "begin" in body["error"]
+
+    def test_bad_json_rejected(self, sharded_served):
+        _service, host, port, _path = sharded_served
+        status, body = _post(host, port, b"{nope", path="/rollout")
+        assert status == 400
+
+    def test_begin_then_rollback(self, sharded_served):
+        _service, host, port, path = sharded_served
+        status, body = self._rollout(
+            host, port, {"action": "begin", "snapshot": str(path), "window": 4}
+        )
+        assert status == 200
+        assert body["rollout"]["state"] == "shadow"
+
+        # A second begin while the shadow runs is a conflict.
+        status, body = self._rollout(
+            host, port, {"action": "begin", "snapshot": str(path)}
+        )
+        assert status == 409
+
+        status, body = self._rollout(host, port, {"action": "rollback"})
+        assert status == 200
+        assert body["rollout"]["state"] == "rolled_back"
+
+        status, body = self._rollout(host, port, {"action": "status"})
+        assert status == 200
+        assert body["rollout"]["state"] == "rolled_back"
+
+    def test_begin_then_cutover_via_queries(self, sharded_served):
+        service, host, port, path = sharded_served
+        status, body = self._rollout(
+            host, port, {"action": "begin", "snapshot": str(path), "window": 3}
+        )
+        assert status == 200
+        # The shadow snapshot is the serving snapshot re-loaded from
+        # disk: every answer digest matches, so the compare window
+        # fills and the gate cuts over.
+        query = json.dumps({"basket": [4]}).encode("utf-8")
+        for _ in range(8):
+            code, _body = _post(host, port, query)
+            assert code == 200
+            if service.rollout.state == "cutover":
+                break
+        assert service.rollout.state == "cutover"
+
+        status, body = self._rollout(host, port, {"action": "status"})
+        assert body["rollout"]["state"] == "cutover"

@@ -1,0 +1,43 @@
+"""Atomic commit helpers: replace-only visibility, no stray temp files."""
+
+from __future__ import annotations
+
+import json
+
+from repro.store.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrites:
+    def test_text_round_trip(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        returned = atomic_write_text(target, "hello\n")
+        assert returned == target
+        assert target.read_text(encoding="utf-8") == "hello\n"
+
+    def test_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        atomic_write_bytes(target, b"\x00\x01payload")
+        assert target.read_bytes() == b"\x00\x01payload"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "old")
+        atomic_write_text(target, "new")
+        assert target.read_text(encoding="utf-8") == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "content")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["artifact.txt"]
+
+    def test_json_is_canonical(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write_json(target, {"b": 2, "a": 1})
+        text = target.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 1, "b": 2}
